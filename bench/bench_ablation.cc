@@ -1,0 +1,118 @@
+// Ablation study (beyond the paper's figures; DESIGN.md Section 4 "extra"):
+// isolates the contribution of each DyTIS design decision by disabling it.
+//
+//   full       the scaled default configuration
+//   no-remap   U_t = 0: utilization is always "high", so Algorithm 1 only
+//              ever splits/expands (design consideration 3 disabled)
+//   plain-EH   L_start = 63: the index never leaves the warm-up phase, i.e.
+//              order-preserving Extendible hashing with 1-bucket segments
+//              (and the stash as overflow valve) -- no learned CDF at all
+//   one-eh     R = 0: no static first level; a single EH table carries the
+//              whole key space (design of Section 3.2 disabled)
+//
+// Expected shape: no-remap hurts skewed datasets (RM/RL) most; plain-EH
+// collapses under any density variation; one-eh concentrates rebalancing
+// and slows inserts.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/dytis.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+struct Perf {
+  double insert_mops;
+  double search_mops;
+  double scan_mops;
+};
+
+Perf Measure(const DyTISConfig& config, const Dataset& d, size_t ops) {
+  DyTIS<uint64_t> index(config);
+  Perf p;
+  Timer timer;
+  for (uint64_t k : d.keys) {
+    index.Insert(k, ValueFor(k));
+  }
+  p.insert_mops =
+      static_cast<double>(d.keys.size()) / timer.ElapsedSeconds() / 1e6;
+  ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 21);
+  uint64_t value;
+  timer.Reset();
+  for (size_t i = 0; i < ops; i++) {
+    index.Find(d.keys[zipf.Next()], &value);
+  }
+  p.search_mops = static_cast<double>(ops) / timer.ElapsedSeconds() / 1e6;
+  std::vector<std::pair<uint64_t, uint64_t>> buf(100);
+  const size_t scans = ops / 100 + 1;
+  timer.Reset();
+  for (size_t i = 0; i < scans; i++) {
+    index.Scan(d.keys[zipf.Next()], 100, buf.data());
+  }
+  p.scan_mops = static_cast<double>(scans) / timer.ElapsedSeconds() / 1e6;
+  return p;
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t ops = bench::BenchOps();
+  bench::PrintScale("Ablation: contribution of each design decision");
+
+  const DyTISConfig full = bench::ScaledDyTISConfig(n);
+  DyTISConfig no_remap = full;
+  no_remap.util_threshold = 0.0;
+  DyTISConfig plain_eh = full;
+  plain_eh.l_start = 63;
+  DyTISConfig one_eh = full;
+  one_eh.first_level_bits = 0;
+
+  struct Variant {
+    const char* name;
+    const DyTISConfig* config;
+  };
+  const Variant variants[] = {{"full", &full},
+                              {"no-remap", &no_remap},
+                              {"plain-EH", &plain_eh},
+                              {"one-eh", &one_eh}};
+
+  // Measure once per (dataset, variant), print three panels.
+  const auto datasets = RealWorldDatasetIds();
+  std::vector<std::vector<Perf>> results;
+  for (DatasetId id : datasets) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    results.emplace_back();
+    for (const auto& v : variants) {
+      results.back().push_back(Measure(*v.config, d, ops));
+    }
+  }
+  struct Panel {
+    const char* name;
+    double Perf::*field;
+  };
+  const Panel panels[] = {{"insert", &Perf::insert_mops},
+                          {"search", &Perf::search_mops},
+                          {"scan100", &Perf::scan_mops}};
+  for (const auto& panel : panels) {
+    std::printf("\n(%s, Mops/s)\n%-8s", panel.name, "dataset");
+    for (const auto& v : variants) {
+      std::printf(" %10s", v.name);
+    }
+    std::printf("\n");
+    for (size_t di = 0; di < datasets.size(); di++) {
+      std::printf("%-8s", DatasetShortName(datasets[di]));
+      for (const Perf& p : results[di]) {
+        std::printf(" %10.3f", p.*panel.field);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

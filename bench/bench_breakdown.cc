@@ -1,0 +1,61 @@
+// Section 4.3, insertion execution-time breakdown: where DyTIS spends its
+// structural time during the Load phase (split / expansion / remapping /
+// directory doubling), per dataset.
+//
+// Paper shape: RM/RL (high skew) are dominated by remapping; TX (high KDD)
+// spends a large share on both remapping and expansion; remapping cost is
+// ~58% memory copy + 42% function adjustment and is proportional to the
+// segment size.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/dytis.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Insertion breakdown (Section 4.3)");
+  std::printf("%-8s %10s %8s %8s %8s %8s | %8s %8s %8s %8s %7s\n", "dataset",
+              "load-ms", "splits", "expand", "remap", "double", "split%",
+              "expand%", "remap%", "double%", "stash");
+  for (DatasetId id : RealWorldDatasetIds()) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    DyTIS<uint64_t> index(bench::ScaledDyTISConfig(n));
+    Timer timer;
+    for (uint64_t k : d.keys) {
+      index.Insert(k, ValueFor(k));
+    }
+    const double total_ms = timer.ElapsedSeconds() * 1e3;
+    const auto& s = index.stats();
+    const double struct_ns = static_cast<double>(
+        s.split_ns.load() + s.expansion_ns.load() + s.remap_ns.load() +
+        s.doubling_ns.load());
+    auto pct = [&](uint64_t ns) {
+      return struct_ns > 0 ? 100.0 * static_cast<double>(ns) / struct_ns
+                           : 0.0;
+    };
+    std::printf(
+        "%-8s %10.1f %8llu %8llu %8llu %8llu | %7.1f%% %7.1f%% %7.1f%% "
+        "%7.1f%% %7llu\n",
+        d.name.c_str(), total_ms,
+        static_cast<unsigned long long>(s.splits.load()),
+        static_cast<unsigned long long>(s.expansions.load()),
+        static_cast<unsigned long long>(s.remappings.load()),
+        static_cast<unsigned long long>(s.doublings.load()),
+        pct(s.split_ns.load()), pct(s.expansion_ns.load()),
+        pct(s.remap_ns.load()), pct(s.doubling_ns.load()),
+        static_cast<unsigned long long>(s.stash_inserts.load()));
+    std::fflush(stdout);
+  }
+  std::printf("# structural-time shares sum to 100%% of structural time, not "
+              "of total load time\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

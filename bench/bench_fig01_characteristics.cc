@@ -1,0 +1,52 @@
+// Figure 1: dynamic characteristics of the datasets.
+//
+// For every dataset of Groups 1 (real-world substitutes), 2 (shuffled) and
+// 3 (simple synthetic), prints the variance-of-skewness metric (average
+// number of error-bounded PLR linear models per key range) and the key
+// distribution divergence (average KL divergence between consecutive
+// sub-dataset histograms).  Expected shape (paper Figure 1):
+//   RM/RL       high skewness, low KDD
+//   MM/ML       low skewness, medium KDD
+//   TX          medium skewness, high KDD
+//   shuffled    same skewness, KDD collapses toward zero
+//   Group 3     both low
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analysis/dynamics.h"
+
+namespace dytis {
+namespace {
+
+void Report(const char* group, const Dataset& d, const DynamicsOptions& opt) {
+  const auto c = MeasureDynamics(d.keys, opt);
+  std::printf("%-8s %-14s %10.2f %12.4f\n", group, d.name.c_str(), c.skewness,
+              c.kdd);
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 1: dataset dynamic characteristics");
+  DynamicsOptions opt;
+  // The paper uses 0.1M keys per range; shrink with the dataset so small
+  // runs still have several ranges.
+  opt.keys_per_range = std::min<size_t>(100'000, n / 8 + 1);
+  std::printf("%-8s %-14s %10s %12s\n", "group", "dataset",
+              "skewness", "KDD");
+  for (DatasetId id : RealWorldDatasetIds()) {
+    Report("Group1", bench::CachedDataset(id, n), opt);
+  }
+  for (DatasetId id : RealWorldDatasetIds()) {
+    Report("Group2", bench::CachedDataset(id, n, /*shuffled=*/true), opt);
+  }
+  for (DatasetId id : {DatasetId::kUniform, DatasetId::kLognormal,
+                       DatasetId::kLonglat, DatasetId::kLongitudes}) {
+    Report("Group3", bench::CachedDataset(id, n), opt);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,62 @@
+// Figure 2: variance of skewness for three datasets.
+//
+// The paper shows the number of error-bounded PLR linear models needed to
+// approximate the CDF of a fixed-size key range for Map-M (2 models,
+// low skew), Taxi (8, medium) and Review-L (24, high).  This bench prints
+// the per-range model counts of those three datasets, plus the full model
+// count distribution (min / median / max over all ranges).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/analysis/dynamics.h"
+#include "src/learned/plr.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 2: PLR models per key range");
+  DynamicsOptions opt;
+  opt.keys_per_range = std::min<size_t>(100'000, n / 8 + 1);
+  std::printf("%-10s %8s %8s %8s %8s %10s\n", "dataset", "ranges", "min",
+              "median", "max", "avg(skew)");
+  for (DatasetId id :
+       {DatasetId::kMapM, DatasetId::kTaxi, DatasetId::kReviewL}) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    std::vector<uint64_t> sorted(d.keys);
+    std::sort(sorted.begin(), sorted.end());
+    const size_t chunk = std::min(opt.keys_per_range, sorted.size());
+    std::vector<size_t> models;
+    for (size_t start = 0; start + chunk <= sorted.size(); start += chunk) {
+      PlrBuilder plr(PlrErrorBound(chunk, opt));
+      for (size_t i = 0; i < chunk; i++) {
+        plr.Add(sorted[start + i], static_cast<double>(i));
+      }
+      models.push_back(plr.Finish().size());
+    }
+    if (models.empty()) {
+      continue;
+    }
+    std::sort(models.begin(), models.end());
+    double avg = 0;
+    for (size_t m : models) {
+      avg += static_cast<double>(m);
+    }
+    avg /= static_cast<double>(models.size());
+    std::printf("%-10s %8zu %8zu %8zu %8zu %10.2f\n", d.name.c_str(),
+                models.size(), models.front(),
+                models[models.size() / 2], models.back(), avg);
+  }
+  std::printf(
+      "\n# paper reference: Map-M ~2 models, Taxi ~8, Review-L ~24 per 0.1M "
+      "keys\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,84 @@
+// Figure 3: key distribution divergence over consecutive sub-datasets.
+//
+// The paper plots the key histograms of three consecutive 0.1M-key
+// sub-datasets for Review-L (virtually identical: low KDD) and Taxi
+// (clearly different: high KDD).  This bench prints a compact ASCII
+// rendering of those histograms plus the pairwise KL divergences.
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/analysis/histogram.h"
+
+namespace dytis {
+namespace {
+
+constexpr size_t kBins = 32;
+
+void PrintAsciiHistogram(const Histogram& h) {
+  uint64_t max_count = 1;
+  for (size_t b = 0; b < h.bins(); b++) {
+    max_count = std::max(max_count, h.count(b));
+  }
+  std::printf("  |");
+  for (size_t b = 0; b < h.bins(); b++) {
+    static const char kLevels[] = " .:-=+*#%@";
+    const size_t level = h.count(b) * 9 / max_count;
+    std::printf("%c", kLevels[level]);
+  }
+  std::printf("|\n");
+}
+
+void ReportDataset(const Dataset& d, size_t chunk) {
+  if (d.keys.size() < 3 * chunk) {
+    std::printf("%s: not enough keys for three sub-datasets\n",
+                d.name.c_str());
+    return;
+  }
+  // Use the middle of the stream, as the paper does (the ~116M-th keys).
+  const size_t base = d.keys.size() / 2;
+  std::span<const uint64_t> subs[3] = {
+      {d.keys.data() + base, chunk},
+      {d.keys.data() + base + chunk, chunk},
+      {d.keys.data() + base + 2 * chunk, chunk},
+  };
+  // Common range across the three sub-datasets for comparable plots.
+  uint64_t lo = subs[0][0];
+  uint64_t hi = subs[0][0];
+  for (const auto& s : subs) {
+    for (uint64_t k : s) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+  }
+  std::printf("%s (keys %zu..%zu of the stream):\n", d.name.c_str(), base,
+              base + 3 * chunk);
+  std::vector<Histogram> hists;
+  for (const auto& s : subs) {
+    hists.emplace_back(lo, hi, kBins);
+    hists.back().AddAll(s);
+    PrintAsciiHistogram(hists.back());
+  }
+  std::printf("  KL(1st||2nd) = %.4f   KL(2nd||3rd) = %.4f\n\n",
+              KlDivergence(hists[0], hists[1]),
+              KlDivergence(hists[1], hists[2]));
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 3: consecutive sub-dataset histograms");
+  const size_t chunk = std::min<size_t>(100'000, n / 8 + 1);
+  ReportDataset(bench::CachedDataset(DatasetId::kReviewL, n), chunk);
+  ReportDataset(bench::CachedDataset(DatasetId::kTaxi, n), chunk);
+  std::printf(
+      "# paper reference: Review-L histograms are nearly identical, Taxi's "
+      "differ visibly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

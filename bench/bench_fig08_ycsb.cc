@@ -1,0 +1,59 @@
+// Figure 8: throughput of the seven YCSB-style workloads (Load, A, B, C,
+// D', E, F) over the five real-world datasets for DyTIS, ALEX-10, ALEX-70,
+// XIndex (70% bulk load) and the B+-tree.
+//
+// Paper shape to verify (Section 4.3):
+//  * Load: DyTIS wins on high-KDD (TX) and ML; B+-tree beats DyTIS on
+//    high-skew RM/RL, but DyTIS still beats the learned indexes there.
+//  * C: DyTIS highest everywhere except MM where ALEX-70 edges it out.
+//  * A/B/D'/E/F: DyTIS highest overall; XIndex trails badly.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 8: YCSB-style workload throughput (Mops/s)");
+  const auto candidates = bench::PaperCandidates();
+  const YcsbWorkload workloads[] = {
+      YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
+      YcsbWorkload::kC,    YcsbWorkload::kDPrime, YcsbWorkload::kE,
+      YcsbWorkload::kF};
+
+  for (YcsbWorkload w : workloads) {
+    std::printf("\n(%s)\n", YcsbWorkloadName(w));
+    std::printf("%-8s", "dataset");
+    for (const auto& c : candidates) {
+      std::printf(" %10s", c.name.c_str());
+    }
+    std::printf("\n");
+    for (DatasetId id : RealWorldDatasetIds()) {
+      const Dataset& d = bench::CachedDataset(id, n);
+      std::printf("%-8s", d.name.c_str());
+      for (const auto& c : candidates) {
+        auto index = c.make(n);
+        YcsbOptions options;
+        options.bulk_load_fraction = c.bulk_fraction;
+        options.run_ops = bench::BenchOps();
+        const YcsbResult r = RunWorkload(index.get(), d, w, options);
+        if (r.supported) {
+          std::printf(" %10.3f", r.throughput_mops);
+        } else {
+          std::printf(" %10s", "n/a");
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

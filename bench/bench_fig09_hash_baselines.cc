@@ -1,0 +1,84 @@
+// Figure 9: DyTIS vs CCEH vs plain Extendible Hashing, insertion and
+// search throughput over the five datasets.
+//
+// Paper shape: DyTIS beats EH on both operations everywhere; CCEH and
+// DyTIS trade places on insertion; CCEH search is ~2x DyTIS (hash search is
+// cheaper than the order-preserving remap), yet DyTIS search still beats
+// B+-tree/ALEX/XIndex (Figure 8) while additionally supporting scans.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+struct HashResult {
+  double insert_mops;
+  double search_mops;
+};
+
+HashResult Run(KVIndex* index, const Dataset& d, size_t search_ops) {
+  HashResult result;
+  Timer timer;
+  for (uint64_t k : d.keys) {
+    index->Insert(k, ValueFor(k));
+  }
+  result.insert_mops =
+      static_cast<double>(d.keys.size()) / timer.ElapsedSeconds() / 1e6;
+  ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 7);
+  timer.Reset();
+  uint64_t value;
+  for (size_t i = 0; i < search_ops; i++) {
+    index->Find(d.keys[zipf.Next()], &value);
+  }
+  result.search_mops =
+      static_cast<double>(search_ops) / timer.ElapsedSeconds() / 1e6;
+  return result;
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 9: DyTIS vs CCEH vs EH (Mops/s)");
+  struct Entry {
+    const char* name;
+    std::unique_ptr<KVIndex> (*make)(size_t);
+  };
+  const Entry entries[] = {
+      {"DyTIS", &bench::MakeDyTISCandidate},
+      {"CCEH", &bench::MakeCcehCandidate},
+      {"EH", &bench::MakeEhCandidate},
+  };
+  // Measure once per (dataset, index); print the two panels afterwards.
+  std::vector<std::vector<HashResult>> results;
+  const auto datasets = RealWorldDatasetIds();
+  for (DatasetId id : datasets) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    results.emplace_back();
+    for (const auto& e : entries) {
+      auto index = e.make(n);
+      results.back().push_back(Run(index.get(), d, bench::BenchOps()));
+    }
+  }
+  for (const char* phase : {"Insertion", "Search"}) {
+    std::printf("\n(%s)\n%-8s %10s %10s %10s\n", phase, "dataset", "DyTIS",
+                "CCEH", "EH");
+    for (size_t di = 0; di < datasets.size(); di++) {
+      std::printf("%-8s", DatasetShortName(datasets[di]));
+      for (const HashResult& r : results[di]) {
+        std::printf(" %10.3f",
+                    phase[0] == 'I' ? r.insert_mops : r.search_mops);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

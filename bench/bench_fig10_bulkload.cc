@@ -1,0 +1,67 @@
+// Figure 10: effect of the ALEX bulk-loading percentage.
+//
+// Runs ALEX with 10/30/50/70/90 % bulk loading over every dataset and
+// workload, printing throughput normalised to ALEX-10 (the paper's y-axis).
+// Paper finding to verify: "no regularity can be found between load size
+// and performance" -- e.g. more bulk loading helps MM/ML but hurts or is
+// neutral for RM.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  // Half-scale keys: this sweep runs 5 fractions x 7 workloads x 5 datasets.
+  const size_t n = bench::BenchKeys() / 2 + 1;
+  const size_t ops = bench::BenchOps() / 2 + 1;
+  bench::PrintScale("Figure 10: ALEX bulk-load sweep (normalised to ALEX-10)");
+  std::printf("# this bench uses keys=%zu ops=%zu (half scale)\n", n, ops);
+
+  const double fractions[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const YcsbWorkload workloads[] = {
+      YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
+      YcsbWorkload::kC,    YcsbWorkload::kDPrime, YcsbWorkload::kE,
+      YcsbWorkload::kF};
+
+  for (DatasetId id : RealWorldDatasetIds()) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    std::printf("\n(%s)\n%-8s", d.name.c_str(), "wl");
+    for (double f : fractions) {
+      std::printf("   ALEX-%-3d", static_cast<int>(f * 100));
+    }
+    std::printf("\n");
+    for (YcsbWorkload w : workloads) {
+      std::printf("%-8s", YcsbWorkloadName(w));
+      double base = 0.0;
+      for (double f : fractions) {
+        AlexAdapter index;
+        YcsbOptions options;
+        options.bulk_load_fraction = f;
+        options.run_ops = ops;
+        // ALEX-90 cannot preload only 80% for D'/E; like the paper, it
+        // bulk-loads 90% and inserts the remaining 10%.
+        if ((w == YcsbWorkload::kDPrime || w == YcsbWorkload::kE) &&
+            f > options.preload_fraction) {
+          options.preload_fraction = f;
+        }
+        const YcsbResult r = RunWorkload(&index, d, w, options);
+        if (base == 0.0) {
+          base = r.throughput_mops;
+        }
+        std::printf(" %10.3f",
+                    base > 0.0 ? r.throughput_mops / base : 0.0);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

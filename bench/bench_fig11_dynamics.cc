@@ -1,0 +1,112 @@
+// Figure 11: influence of the dynamic characteristics on index performance.
+//
+// (a) KDD effect: Load (insert) and workload-C (search) throughput of the
+//     *original* datasets normalised to their *shuffled* versions, for
+//     DyTIS, ALEX-10 and B+-tree.  Paper shape: higher KDD helps inserts
+//     (spatial locality); B+-tree search is insensitive (ratio ~1); ALEX-10
+//     search degrades most on high-KDD data (TX).
+// (b) Skewness effect: shuffled datasets normalised to a same-size Uniform
+//     dataset.  Paper shape: B+-tree ~1 everywhere; DyTIS robust to low
+//     skew (MM/ML) but degraded by high skew (RM/RL); ALEX-10 sensitive to
+//     any skew.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+struct Perf {
+  double insert_mops;
+  double search_mops;
+};
+
+Perf Measure(KVIndex* index, const Dataset& d, double bulk_fraction,
+             size_t search_ops) {
+  Perf p;
+  YcsbOptions options;
+  options.bulk_load_fraction = bulk_fraction;
+  const YcsbResult load = RunLoad(index, d, options);
+  p.insert_mops = load.throughput_mops;
+  ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 5);
+  Timer timer;
+  uint64_t value;
+  for (size_t i = 0; i < search_ops; i++) {
+    index->Find(d.keys[zipf.Next()], &value);
+  }
+  p.search_mops =
+      static_cast<double>(search_ops) / timer.ElapsedSeconds() / 1e6;
+  return p;
+}
+
+struct Entry {
+  const char* name;
+  double bulk_fraction;
+  std::unique_ptr<KVIndex> (*make)(size_t);
+};
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t ops = bench::BenchOps();
+  bench::PrintScale("Figure 11: influence of KDD and skewness");
+  const Entry entries[] = {
+      {"DyTIS", 0.0, &bench::MakeDyTISCandidate},
+      {"ALEX-10", 0.1, &bench::MakeAlex10},
+      {"B+-tree", 0.0, &bench::MakeBTreeCandidate},
+  };
+
+  std::printf("\n(a) KDD effect: original / shuffled throughput\n");
+  std::printf("%-8s", "dataset");
+  for (const auto& e : entries) {
+    std::printf("  %8s-ins %8s-srch", e.name, e.name);
+  }
+  std::printf("\n");
+  for (DatasetId id : RealWorldDatasetIds()) {
+    const Dataset& orig = bench::CachedDataset(id, n);
+    const Dataset& shuf = bench::CachedDataset(id, n, /*shuffled=*/true);
+    std::printf("%-8s", DatasetShortName(id));
+    for (const auto& e : entries) {
+      auto a = e.make(n);
+      auto b = e.make(n);
+      const Perf po = Measure(a.get(), orig, e.bulk_fraction, ops);
+      const Perf ps = Measure(b.get(), shuf, e.bulk_fraction, ops);
+      std::printf("  %12.2f %13.2f",
+                  ps.insert_mops > 0 ? po.insert_mops / ps.insert_mops : 0,
+                  ps.search_mops > 0 ? po.search_mops / ps.search_mops : 0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) skewness effect: shuffled / uniform throughput\n");
+  std::printf("%-8s", "dataset");
+  for (const auto& e : entries) {
+    std::printf("  %8s-ins %8s-srch", e.name, e.name);
+  }
+  std::printf("\n");
+  const Dataset& uniform = bench::CachedDataset(DatasetId::kUniform, n);
+  for (DatasetId id : RealWorldDatasetIds()) {
+    const Dataset& shuf = bench::CachedDataset(id, n, /*shuffled=*/true);
+    std::printf("%-8s", DatasetShortName(id));
+    for (const auto& e : entries) {
+      auto a = e.make(n);
+      auto b = e.make(n);
+      const Perf ps = Measure(a.get(), shuf, e.bulk_fraction, ops);
+      const Perf pu = Measure(b.get(), uniform, e.bulk_fraction, ops);
+      std::printf("  %12.2f %13.2f",
+                  pu.insert_mops > 0 ? ps.insert_mops / pu.insert_mops : 0,
+                  pu.search_mops > 0 ? ps.search_mops / pu.search_mops : 0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,51 @@
+// Figure 12: throughput of DyTIS (locked build) and XIndex with 1/2/4/8
+// threads on the RL and TX datasets, for insertion, search and scan-100.
+//
+// Paper shape: DyTIS above XIndex at every thread count for every
+// operation; TX insertion scales poorly beyond 4 threads (temporal key
+// locality concentrates concurrent inserts on few segments).
+//
+// NOTE (DESIGN.md Section 5): on a single-hardware-core host this measures
+// locking overhead and fairness, not parallel speedup; the DyTIS-vs-XIndex
+// ordering is still meaningful, absolute scaling is not.
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Figure 12: multi-threaded throughput (Mops/s)");
+  std::printf("# hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  const int thread_counts[] = {1, 2, 4, 8};
+  for (DatasetId id : {DatasetId::kReviewL, DatasetId::kTaxi}) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    std::printf("\n(%s)\n%-8s %12s %12s %12s %12s %12s %12s\n",
+                d.name.c_str(), "threads", "DyTIS-ins", "XIndex-ins",
+                "DyTIS-srch", "XIndex-srch", "DyTIS-scan", "XIndex-scan");
+    for (int t : thread_counts) {
+      YcsbOptions options;
+      options.run_ops = bench::BenchOps();
+      ConcurrentDyTISAdapter dytis_index(bench::ScaledDyTISConfig(n));
+      const ConcurrencyResult rd = RunConcurrent(&dytis_index, d, t, options);
+      XIndexLike<uint64_t>::Options xopts;
+      xopts.background_compaction = true;
+      XIndexAdapter xindex(xopts);
+      const ConcurrencyResult rx = RunConcurrent(&xindex, d, t, options);
+      std::printf("%-8d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n", t,
+                  rd.insert_mops, rx.insert_mops, rd.search_mops,
+                  rx.search_mops, rd.scan_mops, rx.scan_mops);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

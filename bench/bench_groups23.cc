@@ -1,0 +1,70 @@
+// Section 4.3 (text, no figure): performance on the Group-2 (shuffled) and
+// Group-3 (simple synthetic) datasets.
+//
+// Paper claims to verify:
+//  * Group 2 (shuffled real-world): DyTIS has the highest throughput for
+//    all YCSB workloads except Load on RM/RL (and MM), as with the
+//    originals.
+//  * Group 3 Uniform (the learned-index ideal): ALEX-10 beats DyTIS by
+//    ~18.6% on average; DyTIS still beats the B+-tree on every workload.
+//  * Group 3 Longlat (most skewed of Group 3): DyTIS wins A/E/F, loses
+//    slightly on Load/B/C/D'.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace dytis {
+namespace {
+
+void RunPanel(const char* title, const Dataset& d) {
+  const auto candidates = bench::PaperCandidates();
+  const YcsbWorkload workloads[] = {
+      YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
+      YcsbWorkload::kC,    YcsbWorkload::kDPrime, YcsbWorkload::kE,
+      YcsbWorkload::kF};
+  std::printf("\n(%s)\n%-8s", title, "wl");
+  for (const auto& c : candidates) {
+    std::printf(" %10s", c.name.c_str());
+  }
+  std::printf("\n");
+  for (YcsbWorkload w : workloads) {
+    std::printf("%-8s", YcsbWorkloadName(w));
+    for (const auto& c : candidates) {
+      auto index = c.make(d.keys.size());
+      YcsbOptions options;
+      options.bulk_load_fraction = c.bulk_fraction;
+      options.run_ops = bench::BenchOps();
+      const YcsbResult r = RunWorkload(index.get(), d, w, options);
+      if (r.supported) {
+        std::printf(" %10.3f", r.throughput_mops);
+      } else {
+        std::printf(" %10s", "n/a");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Groups 2/3 workloads (Section 4.3 text, Mops/s)");
+
+  // Group 2: shuffled versions of the dynamic datasets.
+  for (DatasetId id : {DatasetId::kReviewM, DatasetId::kTaxi}) {
+    const Dataset& d = bench::CachedDataset(id, n, /*shuffled=*/true);
+    RunPanel(d.name.c_str(), d);
+  }
+  // Group 3: Uniform and Longlat.
+  for (DatasetId id : {DatasetId::kUniform, DatasetId::kLonglat}) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    RunPanel(d.name.c_str(), d);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,86 @@
+// Google-benchmark microbenchmarks: per-operation cost of every index on a
+// Taxi-shaped key stream.  Complements the figure benches with
+// statistically-stable per-op numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+constexpr size_t kKeys = 100'000;
+
+const Dataset& Data() {
+  static const Dataset d = MakeDataset(DatasetId::kTaxi, kKeys, 42);
+  return d;
+}
+
+std::unique_ptr<KVIndex> MakeLoaded(IndexKind kind) {
+  auto index = MakeIndex(kind);
+  for (uint64_t k : Data().keys) {
+    index->Insert(k, ValueFor(k));
+  }
+  return index;
+}
+
+void BM_Insert(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  const auto& keys = Data().keys;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto index = MakeIndex(kind);
+    state.ResumeTiming();
+    for (uint64_t k : keys) {
+      index->Insert(k, ValueFor(k));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kKeys));
+}
+
+void BM_Find(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  auto index = MakeLoaded(kind);
+  ScrambledZipfianGenerator zipf(kKeys, 0.99, 3);
+  const auto& keys = Data().keys;
+  uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Find(keys[zipf.Next()], &value));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Scan100(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  auto index = MakeLoaded(kind);
+  if (!index->SupportsScan()) {
+    state.SkipWithError("index does not support scans");
+    return;
+  }
+  ScrambledZipfianGenerator zipf(kKeys, 0.99, 4);
+  const auto& keys = Data().keys;
+  std::vector<KVIndex::ScanEntry> buf(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Scan(keys[zipf.Next()], 100, buf.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 100));
+}
+
+void IndexArgs(benchmark::internal::Benchmark* b) {
+  for (IndexKind kind :
+       {IndexKind::kDyTIS, IndexKind::kBTree, IndexKind::kAlex,
+        IndexKind::kXIndex, IndexKind::kEH, IndexKind::kCCEH}) {
+    b->Arg(static_cast<int>(kind));
+  }
+}
+
+BENCHMARK(BM_Insert)->Apply(IndexArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Find)->Apply(IndexArgs);
+BENCHMARK(BM_Scan100)->Apply(IndexArgs);
+
+}  // namespace
+}  // namespace dytis
+
+BENCHMARK_MAIN();

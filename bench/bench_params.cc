@@ -1,0 +1,139 @@
+// Section 4.3, parameter effect: sweeps of the DyTIS control parameters
+// against the default configuration.  Reported per parameter value:
+// insert / search / scan throughput normalised to the default setting,
+// averaged over three representative datasets (low-skew MM, high-skew RM,
+// high-KDD TX).
+//
+// Paper shape (ranges quoted in Section 4.3):
+//   B_size 1/2/4KB      insert -16..0%, search -10..+13%, scan -13..+3%
+//   L_start 4..10       insert -11..+7%
+//   R  7..13            insert -7..+6%
+//   U_t 0.5..0.7        insert -13..+7%
+//   Limit_seg large     hurts high-skew inserts, helps uniform search/scan
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/dytis.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+struct Perf {
+  double insert_mops = 0.0;
+  double search_mops = 0.0;
+  double scan_mops = 0.0;
+};
+
+Perf Measure(const DyTISConfig& config, const Dataset& d, size_t ops) {
+  Perf p;
+  DyTIS<uint64_t> index(config);
+  Timer timer;
+  for (uint64_t k : d.keys) {
+    index.Insert(k, ValueFor(k));
+  }
+  p.insert_mops =
+      static_cast<double>(d.keys.size()) / timer.ElapsedSeconds() / 1e6;
+  ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 11);
+  timer.Reset();
+  uint64_t value;
+  for (size_t i = 0; i < ops; i++) {
+    index.Find(d.keys[zipf.Next()], &value);
+  }
+  p.search_mops = static_cast<double>(ops) / timer.ElapsedSeconds() / 1e6;
+  const size_t scans = ops / 100 + 1;
+  std::vector<std::pair<uint64_t, uint64_t>> buf(100);
+  timer.Reset();
+  for (size_t i = 0; i < scans; i++) {
+    index.Scan(d.keys[zipf.Next()], 100, buf.data());
+  }
+  p.scan_mops = static_cast<double>(scans) / timer.ElapsedSeconds() / 1e6;
+  return p;
+}
+
+Perf AverageOverDatasets(const DyTISConfig& config, size_t n, size_t ops) {
+  Perf sum;
+  const DatasetId ids[] = {DatasetId::kMapM, DatasetId::kReviewM,
+                           DatasetId::kTaxi};
+  for (DatasetId id : ids) {
+    const Perf p = Measure(config, bench::CachedDataset(id, n), ops);
+    sum.insert_mops += p.insert_mops;
+    sum.search_mops += p.search_mops;
+    sum.scan_mops += p.scan_mops;
+  }
+  sum.insert_mops /= 3;
+  sum.search_mops /= 3;
+  sum.scan_mops /= 3;
+  return sum;
+}
+
+void Sweep(const char* param, const std::vector<std::string>& labels,
+           const std::vector<std::function<void(DyTISConfig*)>>& mods,
+           const DyTISConfig& base, const Perf& baseline, size_t n,
+           size_t ops) {
+  std::printf("\n[%s]\n%-12s %10s %10s %10s\n", param, "value", "insert",
+              "search", "scan");
+  for (size_t i = 0; i < mods.size(); i++) {
+    DyTISConfig config = base;
+    mods[i](&config);
+    const Perf p = AverageOverDatasets(config, n, ops);
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", labels[i].c_str(),
+                (p.insert_mops / baseline.insert_mops - 1.0) * 100.0,
+                (p.search_mops / baseline.search_mops - 1.0) * 100.0,
+                (p.scan_mops / baseline.scan_mops - 1.0) * 100.0);
+    std::fflush(stdout);
+  }
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t ops = bench::BenchOps();
+  bench::PrintScale(
+      "Parameter effect (Section 4.3): % change vs scaled default");
+  const DyTISConfig base = bench::ScaledDyTISConfig(n);
+  std::printf("# default: R=%d B_size=%zuB L_start=%d U_t=%.2f limit=%ux\n",
+              base.first_level_bits, base.bucket_bytes, base.l_start,
+              base.util_threshold, base.limit_multiplier);
+  const Perf baseline = AverageOverDatasets(base, n, ops);
+  std::printf("baseline     %9.3f %10.3f %10.3f  (Mops/s)\n",
+              baseline.insert_mops, baseline.search_mops, baseline.scan_mops);
+
+  Sweep("B_size", {"1KB", "4KB"},
+        {[](DyTISConfig* c) { c->bucket_bytes = 1024; },
+         [](DyTISConfig* c) { c->bucket_bytes = 4096; }},
+        base, baseline, n, ops);
+
+  Sweep("L_start", {"-2", "+2", "+4"},
+        {[&](DyTISConfig* c) { c->l_start = base.l_start - 2; },
+         [&](DyTISConfig* c) { c->l_start = base.l_start + 2; },
+         [&](DyTISConfig* c) { c->l_start = base.l_start + 4; }},
+        base, baseline, n, ops);
+
+  Sweep("R", {"-2", "+2"},
+        {[&](DyTISConfig* c) {
+           c->first_level_bits = std::max(0, base.first_level_bits - 2);
+         },
+         [&](DyTISConfig* c) { c->first_level_bits = base.first_level_bits + 2; }},
+        base, baseline, n, ops);
+
+  Sweep("U_t", {"0.50", "0.55", "0.65", "0.70"},
+        {[](DyTISConfig* c) { c->util_threshold = 0.50; },
+         [](DyTISConfig* c) { c->util_threshold = 0.55; },
+         [](DyTISConfig* c) { c->util_threshold = 0.65; },
+         [](DyTISConfig* c) { c->util_threshold = 0.70; }},
+        base, baseline, n, ops);
+
+  Sweep("Limit_seg", {"8x", "128x"},
+        {[](DyTISConfig* c) { c->limit_multiplier = 8; },
+         [](DyTISConfig* c) { c->limit_multiplier = 128; }},
+        base, baseline, n, ops);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,81 @@
+// Scan-length sweep (extra; complements workload E which fixes length 100).
+//
+// The paper attributes the B+-tree's workload-E loss to its small data
+// nodes (4-300x smaller than DyTIS segments force more node hops per
+// scan).  Sweeping the scan length makes the crossover visible: short
+// scans are dominated by positioning cost, long scans by sequential node
+// traversal.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/baselines/btree.h"
+#include "src/core/dytis.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t ops = bench::BenchOps();
+  bench::PrintScale("Scan-length sweep (Mkeys/s scanned)");
+  const size_t lengths[] = {10, 100, 1000};
+  for (DatasetId id : {DatasetId::kMapM, DatasetId::kTaxi}) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    DyTIS<uint64_t> dytis(bench::ScaledDyTISConfig(n));
+    BPlusTree<uint64_t, 128> btree;
+    AlexIndex<uint64_t> alex;
+    for (uint64_t k : d.keys) {
+      dytis.Insert(k, ValueFor(k));
+      btree.Insert(k, ValueFor(k));
+      alex.Insert(k, ValueFor(k));
+    }
+    std::printf("\n(%s)\n%-8s %12s %12s %12s\n", d.name.c_str(), "length",
+                "DyTIS", "B+-tree", "ALEX");
+    for (size_t len : lengths) {
+      std::vector<std::pair<uint64_t, uint64_t>> buf(len);
+      const size_t scans = std::max<size_t>(1, ops / len);
+      double mkeys[3];
+      int col = 0;
+      for (auto scan_fn : {+[](void* p, uint64_t k, size_t l,
+                               std::pair<uint64_t, uint64_t>* out) {
+                             return static_cast<DyTIS<uint64_t>*>(p)->Scan(
+                                 k, l, out);
+                           },
+                           +[](void* p, uint64_t k, size_t l,
+                               std::pair<uint64_t, uint64_t>* out) {
+                             return static_cast<BPlusTree<uint64_t, 128>*>(p)
+                                 ->Scan(k, l, out);
+                           },
+                           +[](void* p, uint64_t k, size_t l,
+                               std::pair<uint64_t, uint64_t>* out) {
+                             return static_cast<AlexIndex<uint64_t>*>(p)->Scan(
+                                 k, l, out);
+                           }}) {
+        void* index = col == 0 ? static_cast<void*>(&dytis)
+                               : (col == 1 ? static_cast<void*>(&btree)
+                                           : static_cast<void*>(&alex));
+        ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 29);
+        size_t scanned = 0;
+        Timer timer;
+        for (size_t i = 0; i < scans; i++) {
+          scanned += scan_fn(index, d.keys[zipf.Next()], len, buf.data());
+        }
+        mkeys[col] = static_cast<double>(scanned) /
+                     timer.ElapsedSeconds() / 1e6;
+        col++;
+      }
+      std::printf("%-8zu %12.2f %12.2f %12.2f\n", len, mkeys[0], mkeys[1],
+                  mkeys[2]);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,87 @@
+// Section 2.2 context: the static learned index (RMI) against DyTIS.
+//
+// RMI is the baseline the updatable learned indexes chase: when the data is
+// static and bulk-loadable it has excellent search throughput, but it
+// cannot absorb a single insert.  This bench bulk-loads each dataset into
+// an RMI, measures search and scan against DyTIS (which inserted the same
+// keys one by one), and reports the RMI's model error per dataset --
+// showing how skewness (RM/RL) inflates it, which is the paper's argument
+// for multiple local models.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/baselines/rmi.h"
+#include "src/core/dytis.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t ops = bench::BenchOps();
+  bench::PrintScale("Static RMI vs DyTIS (Section 2.2 context)");
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "dataset", "RMI-srch",
+              "DyTIS-srch", "RMI-scan", "DyTIS-scan", "RMI-err");
+  for (DatasetId id : RealWorldDatasetIds()) {
+    const Dataset& d = bench::CachedDataset(id, n);
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    entries.reserve(d.keys.size());
+    for (uint64_t k : d.keys) {
+      entries.push_back({k, ValueFor(k)});
+    }
+    std::sort(entries.begin(), entries.end());
+    StaticRmi<uint64_t> rmi(2048);
+    rmi.BulkLoad(entries);
+    DyTIS<uint64_t> dytis(bench::ScaledDyTISConfig(n));
+    for (uint64_t k : d.keys) {
+      dytis.Insert(k, ValueFor(k));
+    }
+
+    ScrambledZipfianGenerator zipf(d.keys.size(), 0.99, 23);
+    uint64_t value;
+    Timer timer;
+    for (size_t i = 0; i < ops; i++) {
+      rmi.Find(d.keys[zipf.Next()], &value);
+    }
+    const double rmi_srch =
+        static_cast<double>(ops) / timer.ElapsedSeconds() / 1e6;
+    timer.Reset();
+    for (size_t i = 0; i < ops; i++) {
+      dytis.Find(d.keys[zipf.Next()], &value);
+    }
+    const double dytis_srch =
+        static_cast<double>(ops) / timer.ElapsedSeconds() / 1e6;
+
+    std::vector<std::pair<uint64_t, uint64_t>> buf(100);
+    const size_t scans = ops / 100 + 1;
+    timer.Reset();
+    for (size_t i = 0; i < scans; i++) {
+      rmi.Scan(d.keys[zipf.Next()], 100, buf.data());
+    }
+    const double rmi_scan =
+        static_cast<double>(scans) / timer.ElapsedSeconds() / 1e6;
+    timer.Reset();
+    for (size_t i = 0; i < scans; i++) {
+      dytis.Scan(d.keys[zipf.Next()], 100, buf.data());
+    }
+    const double dytis_scan =
+        static_cast<double>(scans) / timer.ElapsedSeconds() / 1e6;
+
+    std::printf("%-8s %12.3f %12.3f %12.3f %12.3f %12.1f\n", d.name.c_str(),
+                rmi_srch, dytis_srch, rmi_scan, dytis_scan,
+                rmi.MeanAbsoluteError());
+    std::fflush(stdout);
+  }
+  std::printf("# RMI is search-only: it cannot absorb inserts at all, the "
+              "gap DyTIS closes\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -1,0 +1,59 @@
+// Table 2: average / 99th / 99.99th percentile latencies (ns) for the Load
+// workload and YCSB A, per dataset and index.
+//
+// Paper shape: DyTIS beats ALEX on the dynamic datasets (RM/RL/TX) for
+// Load; B+-tree usually has the best tail (no structural rebuild spikes);
+// ALEX's p99.99 is ~3x DyTIS's (retraining cascades); for workload A DyTIS
+// leads nearly everywhere.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace dytis {
+namespace {
+
+void PrintRow(const YcsbResult& r) {
+  if (!r.supported) {
+    std::printf(" %7s/%7s/%8s", "n/a", "n/a", "n/a");
+    return;
+  }
+  std::printf(" %7.0f/%7llu/%8llu", r.latency.MeanNanos(),
+              static_cast<unsigned long long>(r.latency.PercentileNanos(0.99)),
+              static_cast<unsigned long long>(
+                  r.latency.PercentileNanos(0.9999)));
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Table 2: avg/p99/p99.99 latency in ns (Load and A)");
+  const auto candidates = bench::PaperCandidates();
+  for (YcsbWorkload w : {YcsbWorkload::kLoad, YcsbWorkload::kA}) {
+    std::printf("\n(%s)  cells: avg/p99/p99.99 ns\n%-8s",
+                YcsbWorkloadName(w), "dataset");
+    for (const auto& c : candidates) {
+      std::printf(" %24s", c.name.c_str());
+    }
+    std::printf("\n");
+    for (DatasetId id : RealWorldDatasetIds()) {
+      const Dataset& d = bench::CachedDataset(id, n);
+      std::printf("%-8s", d.name.c_str());
+      for (const auto& c : candidates) {
+        auto index = c.make(n);
+        YcsbOptions options;
+        options.bulk_load_fraction = c.bulk_fraction;
+        options.run_ops = bench::BenchOps();
+        options.record_latency = true;
+        const YcsbResult r = RunWorkload(index.get(), d, w, options);
+        PrintRow(r);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

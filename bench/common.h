@@ -1,0 +1,132 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Scale control: the paper runs 82M-903M keys on a 16-core testbed; the
+// default here is laptop-sized and can be raised with environment
+// variables:
+//   DYTIS_BENCH_KEYS  keys per dataset            (default 200'000)
+//   DYTIS_BENCH_OPS   measured ops per workload   (default keys/2)
+// All binaries print the scale they ran at, so EXPERIMENTS.md entries are
+// reproducible.
+#ifndef DYTIS_BENCH_COMMON_H_
+#define DYTIS_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/datasets/dataset.h"
+#include "src/util/bitops.h"
+#include "src/workloads/kv_index.h"
+#include "src/workloads/ycsb.h"
+
+namespace dytis {
+namespace bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+inline size_t BenchKeys() { return EnvSize("DYTIS_BENCH_KEYS", 200'000); }
+inline size_t BenchOps() { return EnvSize("DYTIS_BENCH_OPS", BenchKeys() / 2); }
+
+// DyTIS configuration scaled to the benchmark key count: the paper's
+// defaults (R=9, L_start=6) assume hundreds of millions of keys; at bench
+// scale they would leave every EH in the warm-up phase.  The scaling keeps
+// roughly the paper's keys-per-EH ratio so remapping/expansion dynamics are
+// exercised.
+inline DyTISConfig ScaledDyTISConfig(size_t num_keys) {
+  DyTISConfig config;
+  // Aim for ~8K keys per first-level EH: enough to leave the warm-up phase
+  // (2^L_start buckets) while keeping the paper's property that the static
+  // first level absorbs most of the key-space partitioning work.
+  int r = 0;
+  while (r < 9 && (num_keys >> (r + 1)) >= 4'096) {
+    r++;
+  }
+  config.first_level_bits = r;
+  config.l_start = 4;
+  return config;
+}
+
+// A benchmark candidate: named index factory plus its bulk-load fraction
+// (the paper's ALEX-10/ALEX-70/XIndex-70 protocol).
+struct Candidate {
+  std::string name;
+  double bulk_fraction;
+  std::unique_ptr<KVIndex> (*make)(size_t num_keys);
+};
+
+inline std::unique_ptr<KVIndex> MakeDyTISCandidate(size_t n) {
+  return std::make_unique<DyTISAdapter>(ScaledDyTISConfig(n));
+}
+inline std::unique_ptr<KVIndex> MakeAlex10(size_t) {
+  return std::make_unique<AlexAdapter>("ALEX-10");
+}
+inline std::unique_ptr<KVIndex> MakeAlex30(size_t) {
+  return std::make_unique<AlexAdapter>("ALEX-30");
+}
+inline std::unique_ptr<KVIndex> MakeAlex50(size_t) {
+  return std::make_unique<AlexAdapter>("ALEX-50");
+}
+inline std::unique_ptr<KVIndex> MakeAlex70(size_t) {
+  return std::make_unique<AlexAdapter>("ALEX-70");
+}
+inline std::unique_ptr<KVIndex> MakeAlex90(size_t) {
+  return std::make_unique<AlexAdapter>("ALEX-90");
+}
+inline std::unique_ptr<KVIndex> MakeXIndexCandidate(size_t) {
+  return std::make_unique<XIndexAdapter>();
+}
+inline std::unique_ptr<KVIndex> MakeBTreeCandidate(size_t) {
+  return std::make_unique<BTreeAdapter>();
+}
+inline std::unique_ptr<KVIndex> MakeEhCandidate(size_t) {
+  return std::make_unique<EhAdapter>();
+}
+inline std::unique_ptr<KVIndex> MakeCcehCandidate(size_t) {
+  return std::make_unique<CcehAdapter>();
+}
+
+// The five candidates of Figure 8 / Table 2.
+inline std::vector<Candidate> PaperCandidates() {
+  std::vector<Candidate> c;
+  c.push_back({"DyTIS", 0.0, &MakeDyTISCandidate});
+  c.push_back({"ALEX-10", 0.1, &MakeAlex10});
+  c.push_back({"ALEX-70", 0.7, &MakeAlex70});
+  c.push_back({"XIndex", 0.7, &MakeXIndexCandidate});
+  c.push_back({"B+-tree", 0.0, &MakeBTreeCandidate});
+  return c;
+}
+
+// Dataset cache: generating 5 x 200K-key datasets repeatedly would dominate
+// the benchmark run time.
+inline const Dataset& CachedDataset(DatasetId id, size_t n,
+                                    bool shuffled = false) {
+  static std::map<std::tuple<DatasetId, size_t, bool>, Dataset> cache;
+  auto key = std::make_tuple(id, n, shuffled);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, MakeDataset(id, n, /*seed=*/42, shuffled)).first;
+  }
+  return it->second;
+}
+
+inline void PrintScale(const char* experiment) {
+  std::printf("# %s | keys/dataset=%zu ops=%zu", experiment, BenchKeys(),
+              BenchOps());
+  std::printf(" (override with DYTIS_BENCH_KEYS / DYTIS_BENCH_OPS)\n");
+}
+
+}  // namespace bench
+}  // namespace dytis
+
+#endif  // DYTIS_BENCH_COMMON_H_

@@ -1,0 +1,116 @@
+// Artifact-style benchmark runner (paper appendix E1): insert, search, and
+// scan throughput of DyTIS over a key file.
+//
+//   ./build/examples/file_benchmark <keys.csv|keys.sosd> [limit]
+//
+// Accepts the artifact's CSV format (one key per line; header lines are
+// skipped) or SOSD binary (u64 count + u64 keys).  Without arguments it
+// generates and uses a synthetic review-style dataset, mirroring the
+// artifact's bundled review-small.csv.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/datasets/file_loader.h"
+#include "src/datasets/generators.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace {
+
+dytis::DyTISConfig ConfigFor(size_t num_keys) {
+  dytis::DyTISConfig config;
+  int r = 0;
+  while (r < 9 && (num_keys >> (r + 1)) >= 4096) {
+    r++;
+  }
+  config.first_level_bits = r;
+  config.l_start = 4;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<uint64_t> keys;
+  if (argc >= 2) {
+    const size_t limit =
+        argc >= 3 ? static_cast<size_t>(std::atoll(argv[2])) : 0;
+    auto loaded = dytis::LoadKeysFromFile(argv[1], limit);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot load keys from %s\n", argv[1]);
+      return 1;
+    }
+    keys = std::move(*loaded);
+    std::printf("loaded %zu keys from %s\n", keys.size(), argv[1]);
+  } else {
+    keys = dytis::GenerateReviewKeys(1'000'000, /*seed=*/42);
+    std::printf("no file given; generated %zu review-style keys "
+                "(artifact's review-small equivalent)\n",
+                keys.size());
+  }
+  // Files may contain duplicates; deduplicate preserving order so that
+  // insert counts match unique keys (as the artifact's loader does).
+  {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(keys.size() * 2);
+    std::vector<uint64_t> unique;
+    unique.reserve(keys.size());
+    for (uint64_t k : keys) {
+      if (seen.insert(k).second) {
+        unique.push_back(k);
+      }
+    }
+    if (unique.size() != keys.size()) {
+      std::printf("deduplicated: %zu -> %zu keys\n", keys.size(),
+                  unique.size());
+    }
+    keys = std::move(unique);
+  }
+
+  dytis::DyTIS<uint64_t> index(ConfigFor(keys.size()));
+
+  // Insert.
+  dytis::Timer timer;
+  for (uint64_t k : keys) {
+    index.Insert(k, k ^ 0x5a5a);
+  }
+  const double insert_s = timer.ElapsedSeconds();
+  std::printf("insert: %10.3f Mops/s  (%zu keys in %.2fs)\n",
+              static_cast<double>(keys.size()) / insert_s / 1e6, keys.size(),
+              insert_s);
+
+  // Search (zipfian over the inserted population).
+  const size_t search_ops = keys.size();
+  dytis::ScrambledZipfianGenerator zipf(keys.size(), 0.99, 7);
+  timer.Reset();
+  uint64_t value = 0;
+  for (size_t i = 0; i < search_ops; i++) {
+    index.Find(keys[zipf.Next()], &value);
+  }
+  std::printf("search: %10.3f Mops/s\n",
+              static_cast<double>(search_ops) / timer.ElapsedSeconds() / 1e6);
+
+  // Scan (length 100).
+  const size_t scan_ops = keys.size() / 100 + 1;
+  std::vector<std::pair<uint64_t, uint64_t>> buf(100);
+  timer.Reset();
+  for (size_t i = 0; i < scan_ops; i++) {
+    index.Scan(keys[zipf.Next()], buf.size(), buf.data());
+  }
+  std::printf("scan:   %10.3f Mscans/s (100 keys each)\n",
+              static_cast<double>(scan_ops) / timer.ElapsedSeconds() / 1e6);
+
+  const auto& s = index.stats();
+  std::printf("structure: %llu splits, %llu expansions, %llu remappings, "
+              "%llu doublings; %.1f MiB\n",
+              static_cast<unsigned long long>(s.splits.load()),
+              static_cast<unsigned long long>(s.expansions.load()),
+              static_cast<unsigned long long>(s.remappings.load()),
+              static_cast<unsigned long long>(s.doublings.load()),
+              static_cast<double>(index.MemoryBytes()) / (1024 * 1024));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Interactive (and pipeable) key/value shell over a DyTIS index — the
+// smallest possible "data management system" from the paper's introduction.
+//
+//   ./build/examples/kv_shell
+//   echo 'put 5 50\nget 5\nscan 0 3\nstats' | ./build/examples/kv_shell
+//
+// Commands:
+//   put <key> <value>       insert or update
+//   get <key>               point lookup
+//   del <key>               delete
+//   scan <start> <count>    range scan
+//   count <lo> <hi>         keys in [lo, hi)
+//   save <path> / load <path>   snapshot persistence
+//   stats                   structural counters + memory
+//   help, quit
+#include <cstdio>
+#include <cstring>
+#include <inttypes.h>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/core/snapshot.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: put <k> <v> | get <k> | del <k> | scan <start> <n> |\n"
+      "          count <lo> <hi> | save <path> | load <path> | stats |\n"
+      "          help | quit\n");
+}
+
+void PrintStats(const dytis::DyTIS<uint64_t>& index) {
+  const auto& s = index.stats();
+  std::printf("keys=%zu segments=%zu memory=%.2fMiB\n", index.size(),
+              index.NumSegments(),
+              static_cast<double>(index.MemoryBytes()) / (1024 * 1024));
+  std::printf("splits=%" PRIu64 " expansions=%" PRIu64 " remappings=%" PRIu64
+              " doublings=%" PRIu64 " merges=%" PRIu64 " stash=%" PRIu64 "\n",
+              s.splits.load(), s.expansions.load(), s.remappings.load(),
+              s.doublings.load(), s.merges.load(), s.stash_inserts.load());
+}
+
+}  // namespace
+
+int main() {
+  auto index = std::make_unique<dytis::DyTIS<uint64_t>>();
+  std::printf("DyTIS shell — 'help' for commands\n");
+  char line[512];
+  while (std::printf("> "), std::fflush(stdout),
+         std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char cmd[16] = {0};
+    uint64_t a = 0;
+    uint64_t b = 0;
+    char path[256] = {0};
+    if (std::sscanf(line, "%15s", cmd) != 1) {
+      continue;
+    }
+    if (std::strcmp(cmd, "quit") == 0 || std::strcmp(cmd, "exit") == 0) {
+      break;
+    }
+    if (std::strcmp(cmd, "help") == 0) {
+      PrintHelp();
+    } else if (std::sscanf(line, "put %" SCNu64 " %" SCNu64, &a, &b) == 2) {
+      const bool is_new = index->Insert(a, b);
+      std::printf("%s %" PRIu64 "\n", is_new ? "inserted" : "updated", a);
+    } else if (std::sscanf(line, "get %" SCNu64, &a) == 1) {
+      uint64_t v = 0;
+      if (index->Find(a, &v)) {
+        std::printf("%" PRIu64 " -> %" PRIu64 "\n", a, v);
+      } else {
+        std::printf("(not found)\n");
+      }
+    } else if (std::sscanf(line, "del %" SCNu64, &a) == 1) {
+      std::printf("%s\n", index->Erase(a) ? "deleted" : "(not found)");
+    } else if (std::sscanf(line, "scan %" SCNu64 " %" SCNu64, &a, &b) == 2) {
+      const size_t want = static_cast<size_t>(b > 1000 ? 1000 : b);
+      std::vector<std::pair<uint64_t, uint64_t>> out(want);
+      const size_t got = index->Scan(a, want, out.data());
+      for (size_t i = 0; i < got; i++) {
+        std::printf("%" PRIu64 " -> %" PRIu64 "\n", out[i].first,
+                    out[i].second);
+      }
+      std::printf("(%zu entries)\n", got);
+    } else if (std::sscanf(line, "count %" SCNu64 " %" SCNu64, &a, &b) == 2) {
+      std::printf("%zu keys in [%" PRIu64 ", %" PRIu64 ")\n",
+                  index->CountRange(a, b), a, b);
+    } else if (std::sscanf(line, "save %255s", path) == 1) {
+      std::printf("%s\n", dytis::SaveSnapshot(*index, path) ? "saved"
+                                                            : "save FAILED");
+    } else if (std::sscanf(line, "load %255s", path) == 1) {
+      auto loaded = dytis::LoadSnapshot<uint64_t>(path);
+      if (loaded != nullptr) {
+        index = std::move(loaded);
+        std::printf("loaded %zu keys\n", index->size());
+      } else {
+        std::printf("load FAILED\n");
+      }
+    } else if (std::strcmp(cmd, "stats") == 0) {
+      PrintStats(*index);
+    } else {
+      std::printf("unknown command; 'help' lists them\n");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the 60-second tour of the DyTIS public API.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "src/core/dytis.h"
+
+int main() {
+  // A single-threaded DyTIS index mapping uint64 keys to uint64 values.
+  // No bulk loading, no training phase: just start inserting.
+  dytis::DyTIS<uint64_t> index;
+
+  // Insert returns true for new keys; inserting an existing key updates its
+  // value in place and returns false.
+  index.Insert(42, 4200);
+  index.Insert(7, 700);
+  index.Insert(1000, 100000);
+  const bool was_new = index.Insert(42, 4242);
+  std::printf("re-inserting key 42: was_new=%s (value updated in place)\n",
+              was_new ? "true" : "false");
+
+  // Point lookup.
+  uint64_t value = 0;
+  if (index.Find(42, &value)) {
+    std::printf("Find(42) -> %llu\n", static_cast<unsigned long long>(value));
+  }
+  std::printf("Find(43) -> %s\n", index.Find(43, nullptr) ? "hit" : "miss");
+
+  // Range scan: keys come back in natural sorted order even though DyTIS is
+  // hash-structured -- that is the paper's key trick (order-preserving
+  // remapped keys instead of hash keys).
+  for (uint64_t k = 0; k < 50; k++) {
+    index.Insert(k * 2, k);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(5);
+  const size_t got = index.Scan(/*start_key=*/40, /*count=*/5, out.data());
+  std::printf("Scan(from=40, count=5):");
+  for (size_t i = 0; i < got; i++) {
+    std::printf(" %llu", static_cast<unsigned long long>(out[i].first));
+  }
+  std::printf("\n");
+
+  // Deletion.
+  index.Erase(7);
+  std::printf("after Erase(7): Find(7) -> %s, size=%zu\n",
+              index.Find(7, nullptr) ? "hit" : "miss", index.size());
+
+  // The index keeps statistics about its structural adaptations.
+  const auto& stats = index.stats();
+  std::printf("structural ops so far: splits=%llu expansions=%llu "
+              "remappings=%llu doublings=%llu\n",
+              static_cast<unsigned long long>(stats.splits.load()),
+              static_cast<unsigned long long>(stats.expansions.load()),
+              static_cast<unsigned long long>(stats.remappings.load()),
+              static_cast<unsigned long long>(stats.doublings.load()));
+
+  // Thread-safe variant with the paper's two-level locking: same API.
+  dytis::ConcurrentDyTIS<uint64_t> shared_index;
+  shared_index.Insert(1, 1);
+  std::printf("concurrent index size=%zu\n", shared_index.size());
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Artifact experiment E1: insert, search, and scan performance of DyTIS
+# over a key file (CSV or SOSD binary).  Mirrors the paper artifact's
+# scripts/run_benchmark.sh.
+#
+#   ./scripts/run_benchmark.sh [data/review-small.csv]
+#
+# Without an argument a synthetic review-style dataset is generated.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja >/dev/null
+cmake --build build --target file_benchmark >/dev/null
+mkdir -p benchmark/result
+out="benchmark/result/benchmark_$(date +%Y%m%d_%H%M%S).log"
+./build/examples/file_benchmark "$@" | tee "$out"
+echo "results saved to $out"

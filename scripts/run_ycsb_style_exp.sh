@@ -1,0 +1,14 @@
+#!/bin/sh
+# Artifact experiment E2: the seven YCSB-style workloads (Load, A, B, C,
+# D', E, F) over the five dynamic datasets for all indexes (Figure 8).
+# Mirrors the paper artifact's scripts/run_ycsb_style_exp.sh.
+#
+#   DYTIS_BENCH_KEYS=... ./scripts/run_ycsb_style_exp.sh
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja >/dev/null
+cmake --build build --target bench_fig08_ycsb >/dev/null
+mkdir -p benchmark/result
+out="benchmark/result/ycsb_$(date +%Y%m%d_%H%M%S).log"
+./build/bench/bench_fig08_ycsb | tee "$out"
+echo "results saved to $out"

@@ -1,0 +1,95 @@
+#include "src/analysis/dynamics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/analysis/histogram.h"
+#include "src/learned/plr.h"
+
+namespace dytis {
+
+double PlrErrorBound(size_t chunk_size, const DynamicsOptions& options) {
+  // Positions run 0..chunk_size-1; a single line fits uniform data with a
+  // small bounded error, so any bound that is a constant fraction of the
+  // chunk size keeps Uniform at one model while skewed chunks need many.
+  return std::max(1.0, options.plr_error_fraction *
+                           static_cast<double>(chunk_size));
+}
+
+double SkewnessMetric(std::span<const uint64_t> keys,
+                      const DynamicsOptions& options) {
+  if (keys.empty()) {
+    return 0.0;
+  }
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const size_t chunk = std::min(options.keys_per_range, sorted.size());
+  size_t num_chunks = 0;
+  size_t total_models = 0;
+  for (size_t start = 0; start + chunk <= sorted.size(); start += chunk) {
+    PlrBuilder plr(PlrErrorBound(chunk, options));
+    for (size_t i = 0; i < chunk; i++) {
+      plr.Add(sorted[start + i], static_cast<double>(i));
+    }
+    total_models += plr.Finish().size();
+    num_chunks++;
+  }
+  if (num_chunks == 0) {
+    // Fewer keys than one chunk: evaluate the whole set as one range.
+    PlrBuilder plr(PlrErrorBound(sorted.size(), options));
+    for (size_t i = 0; i < sorted.size(); i++) {
+      plr.Add(sorted[i], static_cast<double>(i));
+    }
+    return static_cast<double>(plr.Finish().size());
+  }
+  return static_cast<double>(total_models) / static_cast<double>(num_chunks);
+}
+
+double KddMetric(std::span<const uint64_t> keys_in_insert_order,
+                 const DynamicsOptions& options) {
+  const size_t chunk =
+      std::min(options.keys_per_range, keys_in_insert_order.size());
+  if (chunk == 0) {
+    return 0.0;
+  }
+  const size_t num_chunks = keys_in_insert_order.size() / chunk;
+  if (num_chunks < 2) {
+    return 0.0;
+  }
+  double total_kl = 0.0;
+  size_t pairs = 0;
+  for (size_t c = 0; c + 1 < num_chunks; c++) {
+    const auto a = keys_in_insert_order.subspan(c * chunk, chunk);
+    const auto b = keys_in_insert_order.subspan((c + 1) * chunk, chunk);
+    // Histogram range: min/max over *both* sub-datasets (Section 2.1).
+    uint64_t lo = a[0];
+    uint64_t hi = a[0];
+    for (uint64_t k : a) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+    for (uint64_t k : b) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+    Histogram ha(lo, hi, options.histogram_bins);
+    Histogram hb(lo, hi, options.histogram_bins);
+    ha.AddAll(a);
+    hb.AddAll(b);
+    total_kl += KlDivergence(ha, hb);
+    pairs++;
+  }
+  return pairs == 0 ? 0.0 : total_kl / static_cast<double>(pairs);
+}
+
+DatasetCharacteristics MeasureDynamics(
+    std::span<const uint64_t> keys_in_insert_order,
+    const DynamicsOptions& options) {
+  DatasetCharacteristics c;
+  c.skewness = SkewnessMetric(keys_in_insert_order, options);
+  c.kdd = KddMetric(keys_in_insert_order, options);
+  return c;
+}
+
+}  // namespace dytis

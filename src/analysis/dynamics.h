@@ -1,0 +1,59 @@
+// Dynamic-dataset metrics from Section 2.1 of the paper:
+//
+//  * Variance of skewness — the average number of max-error-bounded PLR
+//    linear models needed to approximate the CDF of a fixed number of keys
+//    per key range (paper uses 0.1M keys per range; the error bound is
+//    calibrated so that a Uniform dataset needs exactly one model).
+//
+//  * Key Distribution Divergence (KDD) — the average KL divergence between
+//    histograms of consecutive fixed-size sub-datasets, where each pairwise
+//    histogram range is the [min, max] of the two sub-datasets.
+#ifndef DYTIS_SRC_ANALYSIS_DYNAMICS_H_
+#define DYTIS_SRC_ANALYSIS_DYNAMICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dytis {
+
+struct DynamicsOptions {
+  // Keys per range for the skewness metric and per sub-dataset for KDD.
+  // The paper uses 100'000 for both and reports insensitivity to the choice.
+  size_t keys_per_range = 100'000;
+  // PLR error bound as a fraction of the range size; calibrated so Uniform
+  // needs one model (see CalibratePlrError).
+  double plr_error_fraction = 0.01;
+  // Bins per histogram for KDD.
+  size_t histogram_bins = 1'000;
+};
+
+// Variance-of-skewness metric: sorts the keys, chops them into chunks of
+// keys_per_range, runs error-bounded PLR per chunk, and returns the average
+// model count per chunk.  Uniform data yields ~1.
+double SkewnessMetric(std::span<const uint64_t> keys,
+                      const DynamicsOptions& options = {});
+
+// KDD metric: splits the *insert-ordered* key stream into consecutive
+// sub-datasets of keys_per_range keys and averages the KL divergence between
+// each adjacent pair.
+double KddMetric(std::span<const uint64_t> keys_in_insert_order,
+                 const DynamicsOptions& options = {});
+
+struct DatasetCharacteristics {
+  double skewness = 0.0;  // avg linear models per keys_per_range keys
+  double kdd = 0.0;       // avg KL divergence between consecutive sub-datasets
+};
+
+DatasetCharacteristics MeasureDynamics(
+    std::span<const uint64_t> keys_in_insert_order,
+    const DynamicsOptions& options = {});
+
+// Chooses the absolute PLR error bound for a chunk of n keys, such that a
+// uniformly distributed chunk needs a single model (footnote 2 of the paper).
+double PlrErrorBound(size_t chunk_size, const DynamicsOptions& options);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_ANALYSIS_DYNAMICS_H_

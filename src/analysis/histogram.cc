@@ -1,0 +1,63 @@
+#include "src/analysis/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dytis {
+
+Histogram::Histogram(uint64_t lo, uint64_t hi, size_t bins) : lo_(lo) {
+  assert(hi >= lo);
+  assert(bins > 0);
+  const uint64_t span = hi - lo;
+  width_ = span / bins + 1;  // ceil-ish width; guarantees hi maps to last bin
+  counts_.assign(bins, 0);
+}
+
+size_t Histogram::BinFor(uint64_t key) const {
+  if (key < lo_) {
+    return 0;
+  }
+  const uint64_t offset = key - lo_;
+  size_t bin = static_cast<size_t>(offset / width_);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;
+  }
+  return bin;
+}
+
+void Histogram::Add(uint64_t key) {
+  counts_[BinFor(key)]++;
+  total_++;
+}
+
+void Histogram::AddAll(std::span<const uint64_t> keys) {
+  for (uint64_t k : keys) {
+    Add(k);
+  }
+}
+
+double Histogram::Probability(size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double KlDivergence(const Histogram& p, const Histogram& q, double epsilon) {
+  assert(p.bins() == q.bins());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.bins(); i++) {
+    const double pi = p.Probability(i);
+    if (pi <= 0.0) {
+      continue;
+    }
+    double qi = q.Probability(i);
+    if (qi <= 0.0) {
+      qi = epsilon;
+    }
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace dytis

@@ -1,0 +1,49 @@
+// Fixed-bin histograms over uint64 key ranges.
+//
+// Used by the Key Distribution Divergence (KDD) metric of Section 2.1: the
+// probability distribution of a sub-dataset is approximated by a histogram
+// whose key range is the [min, max] of the two sub-datasets being compared.
+#ifndef DYTIS_SRC_ANALYSIS_HISTOGRAM_H_
+#define DYTIS_SRC_ANALYSIS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dytis {
+
+class Histogram {
+ public:
+  // Histogram of `bins` equal-width bins over the inclusive range [lo, hi].
+  Histogram(uint64_t lo, uint64_t hi, size_t bins);
+
+  void Add(uint64_t key);
+  void AddAll(std::span<const uint64_t> keys);
+
+  size_t bins() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+
+  // Probability mass of bin i (0 when the histogram is empty).
+  double Probability(size_t bin) const;
+
+ private:
+  size_t BinFor(uint64_t key) const;
+
+  uint64_t lo_;
+  uint64_t width_;  // bin width (>= 1)
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// KL divergence D(p || q) between two histograms with identical binning.
+// Zero-probability q bins are smoothed with `epsilon` mass (standard practice
+// so the divergence stays finite, as required when consecutive sub-datasets
+// occupy disjoint key ranges — exactly the high-KDD case of the Taxi data).
+double KlDivergence(const Histogram& p, const Histogram& q,
+                    double epsilon = 1e-10);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_ANALYSIS_HISTOGRAM_H_

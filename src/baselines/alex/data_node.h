@@ -1,0 +1,341 @@
+// ALEX-style data node: a gapped, model-indexed sorted array.
+//
+// Keys live in a sorted array of `capacity` slots with gaps; a linear model
+// predicts the slot of a key, and exponential search corrects the
+// prediction (Ding et al., SIGMOD'20).  Gap slots hold a copy of their left
+// neighbour's key so the array is always non-decreasing and plain binary /
+// exponential search works; an occupancy bitmap distinguishes real entries.
+//
+// Model-based inserts: when a node is rebuilt (expansion or bulk load) each
+// key is placed at its model-predicted slot, so future predictions start
+// accurate and drift only as keys arrive.
+#ifndef DYTIS_SRC_BASELINES_ALEX_DATA_NODE_H_
+#define DYTIS_SRC_BASELINES_ALEX_DATA_NODE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/learned/linear_model.h"
+
+namespace dytis {
+
+template <typename V>
+class AlexDataNode {
+ public:
+  static constexpr double kMaxDensity = 0.8;   // upper density before action
+  static constexpr double kInitDensity = 0.6;  // density after a rebuild
+
+  explicit AlexDataNode(size_t capacity = 64) { Reset(capacity); }
+
+  size_t num_keys() const { return num_keys_; }
+  size_t capacity() const { return keys_.size(); }
+  const LinearModel& model() const { return model_; }
+  AlexDataNode* next_leaf() const { return next_leaf_; }
+  void set_next_leaf(AlexDataNode* n) { next_leaf_ = n; }
+
+  // A node needs structural action when the density bound is hit OR when
+  // inserts have become expensive (long shifts to reach a gap).  The latter
+  // is the shift-cost half of ALEX's cost model: without it, appending
+  // sorted keys into a node whose right side has filled up degenerates to
+  // O(capacity) memmove per insert.
+  bool NeedsAction() const {
+    if (static_cast<double>(num_keys_ + 1) >
+        kMaxDensity * static_cast<double>(keys_.size())) {
+      return true;
+    }
+    return inserts_since_rebuild_ >= 64 &&
+           shifts_since_rebuild_ / inserts_since_rebuild_ >= 64;
+  }
+
+  // Returns the slot of `key`, or -1.  A run of equal key values can start
+  // with gap slots (leading gaps of a rebuild copy the first key; erases
+  // leave remnants), so the search skips forward to the occupied slot.
+  int Find(uint64_t key) const {
+    const int n = static_cast<int>(keys_.size());
+    for (int slot = LowerBound(key); slot < n && keys_[slot] == key; slot++) {
+      if (OccupiedAt(slot)) {
+        return slot;
+      }
+    }
+    return -1;
+  }
+
+  const V& ValueAt(int slot) const { return values_[static_cast<size_t>(slot)]; }
+  V& MutableValueAt(int slot) { return values_[static_cast<size_t>(slot)]; }
+  uint64_t KeyAt(int slot) const { return keys_[static_cast<size_t>(slot)]; }
+  bool OccupiedAt(int slot) const {
+    return (bitmap_[static_cast<size_t>(slot) >> 6] >>
+            (static_cast<size_t>(slot) & 63)) &
+           1;
+  }
+
+  enum class InsertResult { kInserted, kAlreadyExists, kNeedsAction };
+
+  // Inserts keeping sorted order; returns kNeedsAction when the density
+  // bound is hit (caller expands or splits first).
+  InsertResult Insert(uint64_t key, const V& value, int* existing_slot) {
+    const int slot = LowerBound(key);
+    const int n = static_cast<int>(keys_.size());
+    // Check the whole equal-key run for an occupied copy (see Find).
+    for (int s = slot; s < n && keys_[s] == key; s++) {
+      if (OccupiedAt(s)) {
+        if (existing_slot != nullptr) {
+          *existing_slot = s;
+        }
+        return InsertResult::kAlreadyExists;
+      }
+    }
+    if (NeedsAction()) {
+      return InsertResult::kNeedsAction;
+    }
+    inserts_since_rebuild_++;
+    // Case 1: lower-bound slot is itself a gap -> place directly.
+    if (slot < n && !OccupiedAt(slot)) {
+      keys_[slot] = key;
+      values_[slot] = value;
+      SetOccupied(slot);
+      num_keys_++;
+      return InsertResult::kInserted;
+    }
+    // Case 2: shift toward the nearest gap (bitmap word scan).
+    int gap = FindGapRight(slot);
+    if (gap >= 0) {
+      shifts_since_rebuild_ += static_cast<uint64_t>(gap - slot);
+      for (int i = gap; i > slot; i--) {
+        keys_[i] = keys_[i - 1];
+        values_[i] = std::move(values_[i - 1]);
+      }
+      SetOccupied(gap);
+      keys_[slot] = key;
+      values_[slot] = value;
+      num_keys_++;
+      return InsertResult::kInserted;
+    }
+    gap = FindGapLeft(slot - 1);
+    assert(gap >= 0 && "density bound guarantees a free slot");
+    shifts_since_rebuild_ += static_cast<uint64_t>(slot - gap);
+    for (int i = gap; i + 1 < slot; i++) {
+      keys_[i] = keys_[i + 1];
+      values_[i] = std::move(values_[i + 1]);
+    }
+    SetOccupied(gap);
+    keys_[slot - 1] = key;
+    values_[slot - 1] = value;
+    num_keys_++;
+    return InsertResult::kInserted;
+  }
+
+  bool Erase(uint64_t key) {
+    const int slot = Find(key);
+    if (slot < 0) {
+      return false;
+    }
+    // The key value stays in place as a gap sentinel (array remains sorted).
+    ClearOccupied(slot);
+    num_keys_--;
+    return true;
+  }
+
+  // Collects all (key, value) pairs in ascending order.
+  void Collect(std::vector<std::pair<uint64_t, V>>* out) const {
+    for (size_t w = 0; w < bitmap_.size(); w++) {
+      uint64_t word = bitmap_[w];
+      while (word != 0) {
+        const size_t i = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+        out->emplace_back(keys_[i], values_[i]);
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Rebuilds the node from sorted entries with model-based placement: each
+  // key goes to its model-predicted slot (nudged right to preserve order)
+  // and gaps hold left-neighbour copies.  Capacity sized for kInitDensity.
+  void BulkLoad(const std::vector<std::pair<uint64_t, V>>& sorted_entries) {
+    const size_t target_capacity = std::max<size_t>(
+        64, static_cast<size_t>(static_cast<double>(sorted_entries.size()) /
+                                kInitDensity));
+    BulkLoadWithCapacity(sorted_entries, target_capacity);
+  }
+
+  // Expands in place: doubled capacity, retrained model, re-placed keys.
+  void Expand() {
+    std::vector<std::pair<uint64_t, V>> entries;
+    entries.reserve(num_keys_);
+    Collect(&entries);
+    const size_t target = std::max<size_t>(128, keys_.size() * 2);
+    BulkLoadWithCapacity(entries, target);
+  }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + keys_.capacity() * sizeof(uint64_t) +
+           values_.capacity() * sizeof(V) +
+           bitmap_.capacity() * sizeof(uint64_t);
+  }
+
+  // Exponential-search lower bound starting from the model prediction.
+  int LowerBound(uint64_t key) const {
+    const int n = static_cast<int>(keys_.size());
+    if (n == 0) {
+      return 0;
+    }
+    int pos = static_cast<int>(model_.PredictClamped(key, keys_.size()));
+    int lo;
+    int hi;
+    if (keys_[static_cast<size_t>(pos)] < key) {
+      int step = 1;
+      lo = pos + 1;
+      hi = lo;
+      while (hi < n && keys_[static_cast<size_t>(hi)] < key) {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, n);
+    } else {
+      int step = 1;
+      hi = pos;
+      lo = hi;
+      while (lo > 0 && keys_[static_cast<size_t>(lo - 1)] >= key) {
+        hi = lo;
+        lo -= step;
+        step <<= 1;
+        if (lo < 0) {
+          lo = 0;
+        }
+      }
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (keys_[static_cast<size_t>(mid)] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  void SetOccupied(int slot) {
+    bitmap_[static_cast<size_t>(slot) >> 6] |=
+        uint64_t{1} << (static_cast<size_t>(slot) & 63);
+  }
+  void ClearOccupied(int slot) {
+    bitmap_[static_cast<size_t>(slot) >> 6] &=
+        ~(uint64_t{1} << (static_cast<size_t>(slot) & 63));
+  }
+
+  // First unoccupied slot >= from, or -1 (word-level scan).
+  int FindGapRight(int from) const {
+    const size_t n = keys_.size();
+    if (static_cast<size_t>(from) >= n) {
+      return -1;
+    }
+    size_t w = static_cast<size_t>(from) >> 6;
+    uint64_t gaps = ~bitmap_[w] & ~((uint64_t{1} << (from & 63)) - 1);
+    for (;;) {
+      if (gaps != 0) {
+        const size_t slot = (w << 6) + static_cast<size_t>(std::countr_zero(gaps));
+        return slot < n ? static_cast<int>(slot) : -1;
+      }
+      if (++w >= bitmap_.size()) {
+        return -1;
+      }
+      gaps = ~bitmap_[w];
+    }
+  }
+
+  // Last unoccupied slot <= from, or -1.
+  int FindGapLeft(int from) const {
+    if (from < 0) {
+      return -1;
+    }
+    size_t w = static_cast<size_t>(from) >> 6;
+    const int bit = from & 63;
+    uint64_t gaps = ~bitmap_[w] &
+                    (bit == 63 ? ~uint64_t{0} : ((uint64_t{1} << (bit + 1)) - 1));
+    for (;;) {
+      if (gaps != 0) {
+        return static_cast<int>((w << 6) + 63 -
+                                static_cast<size_t>(std::countl_zero(gaps)));
+      }
+      if (w == 0) {
+        return -1;
+      }
+      gaps = ~bitmap_[--w];
+    }
+  }
+
+  void Reset(size_t capacity) {
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, V{});
+    bitmap_.assign((capacity + 63) / 64, 0);
+    num_keys_ = 0;
+    model_ = LinearModel{};
+    inserts_since_rebuild_ = 0;
+    shifts_since_rebuild_ = 0;
+  }
+
+  void BulkLoadWithCapacity(const std::vector<std::pair<uint64_t, V>>& entries,
+                            size_t capacity) {
+    Reset(capacity);
+    if (entries.empty()) {
+      return;
+    }
+    // Reserve slack before the first and after the last key so that keys
+    // arriving beyond the current range (ascending or descending streams)
+    // land in gaps instead of shifting the whole array.
+    const size_t head = capacity / 32;
+    const size_t tail = capacity / 16;
+    const size_t usable = capacity - head - tail;
+    LinearModelBuilder builder;
+    const double scale = static_cast<double>(usable) /
+                         static_cast<double>(entries.size());
+    for (size_t i = 0; i < entries.size(); i++) {
+      builder.Add(entries[i].first,
+                  static_cast<double>(head) + static_cast<double>(i) * scale);
+    }
+    model_ = builder.Fit();
+    int prev = -1;
+    const int cap = static_cast<int>(capacity);
+    for (size_t i = 0; i < entries.size(); i++) {
+      int pos = static_cast<int>(
+          model_.PredictClamped(entries[i].first, capacity));
+      const int remaining = static_cast<int>(entries.size() - i);
+      pos = std::max(pos, prev + 1);
+      pos = std::min(pos, cap - remaining);
+      keys_[static_cast<size_t>(pos)] = entries[i].first;
+      values_[static_cast<size_t>(pos)] = entries[i].second;
+      SetOccupied(pos);
+      prev = pos;
+    }
+    uint64_t left = entries[0].first;
+    for (size_t i = 0; i < keys_.size(); i++) {
+      if (OccupiedAt(static_cast<int>(i))) {
+        left = keys_[i];
+      } else {
+        keys_[i] = left;
+      }
+    }
+    num_keys_ = entries.size();
+  }
+
+  LinearModel model_;
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  std::vector<uint64_t> bitmap_;  // occupancy, one bit per slot
+  size_t num_keys_ = 0;
+  // Shift-cost statistics since the last rebuild (cost-model trigger).
+  uint64_t inserts_since_rebuild_ = 0;
+  uint64_t shifts_since_rebuild_ = 0;
+  AlexDataNode* next_leaf_ = nullptr;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_ALEX_DATA_NODE_H_

@@ -1,0 +1,429 @@
+// STX-style in-memory B+-tree baseline (Section 4.1 of the paper).
+//
+// The paper compares DyTIS against the STX B+-tree with fanout 128 and
+// in-place updates enabled.  This is a from-scratch reimplementation with
+// the same structural choices: fixed-fanout inner and leaf nodes, keys and
+// values in parallel arrays inside leaves, leaf sibling links for scans,
+// binary search within nodes, and a sorted-input bulk loader.
+#ifndef DYTIS_SRC_BASELINES_BTREE_H_
+#define DYTIS_SRC_BASELINES_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dytis {
+
+// Fanout is a template parameter so tests can exercise tiny nodes while the
+// benchmark uses the paper's 128.
+template <typename V, int Fanout = 128>
+class BPlusTree {
+  static_assert(Fanout >= 4, "B+-tree fanout must be at least 4");
+
+ public:
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  BPlusTree() = default;
+  ~BPlusTree() { Clear(); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  // Inserts or updates in place.  Returns true when the key is new.
+  bool Insert(uint64_t key, const V& value) {
+    if (root_ == nullptr) {
+      auto* leaf = new LeafNode();
+      leaf->keys[0] = key;
+      leaf->values[0] = value;
+      leaf->count = 1;
+      root_ = leaf;
+      height_ = 1;
+      size_ = 1;
+      first_leaf_ = leaf;
+      return true;
+    }
+    SplitResult split;
+    const InsertOutcome outcome = InsertRecursive(root_, height_, key, value,
+                                                  &split);
+    if (outcome == InsertOutcome::kUpdated) {
+      return false;
+    }
+    if (split.happened) {
+      auto* new_root = new InnerNode();
+      new_root->keys[0] = split.separator;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      new_root->count = 1;
+      root_ = new_root;
+      height_++;
+    }
+    size_++;
+    return true;
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    const LeafNode* leaf = FindLeaf(key);
+    if (leaf == nullptr) {
+      return false;
+    }
+    const int slot = LeafLowerBound(leaf, key);
+    if (slot >= leaf->count || leaf->keys[slot] != key) {
+      return false;
+    }
+    if (value != nullptr) {
+      *value = leaf->values[slot];
+    }
+    return true;
+  }
+
+  bool Update(uint64_t key, const V& value) {
+    LeafNode* leaf = const_cast<LeafNode*>(FindLeaf(key));
+    if (leaf == nullptr) {
+      return false;
+    }
+    const int slot = LeafLowerBound(leaf, key);
+    if (slot >= leaf->count || leaf->keys[slot] != key) {
+      return false;
+    }
+    leaf->values[slot] = value;
+    return true;
+  }
+
+  // Deletes a key.  Leaves may underflow (lazy deletion, as in STX when
+  // used without rebalancing-heavy workloads); empty leaves are unlinked.
+  bool Erase(uint64_t key) {
+    LeafNode* leaf = const_cast<LeafNode*>(FindLeaf(key));
+    if (leaf == nullptr) {
+      return false;
+    }
+    const int slot = LeafLowerBound(leaf, key);
+    if (slot >= leaf->count || leaf->keys[slot] != key) {
+      return false;
+    }
+    for (int i = slot; i + 1 < leaf->count; i++) {
+      leaf->keys[i] = leaf->keys[i + 1];
+      leaf->values[i] = std::move(leaf->values[i + 1]);
+    }
+    leaf->count--;
+    size_--;
+    return true;
+  }
+
+  // Copies up to `count` entries with key >= start_key into `out`.
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    const LeafNode* leaf = FindLeaf(start_key);
+    if (leaf == nullptr) {
+      return 0;
+    }
+    int slot = LeafLowerBound(leaf, start_key);
+    size_t got = 0;
+    while (leaf != nullptr && got < count) {
+      for (; slot < leaf->count && got < count; slot++) {
+        out[got++] = {leaf->keys[slot], leaf->values[slot]};
+      }
+      leaf = leaf->next;
+      slot = 0;
+    }
+    return got;
+  }
+
+  // Builds the tree from sorted unique (key, value) pairs.  Replaces any
+  // existing contents.  Leaves are filled to ~90% like STX's bulk loader.
+  void BulkLoad(std::span<const std::pair<uint64_t, V>> sorted_entries) {
+    Clear();
+    if (sorted_entries.empty()) {
+      return;
+    }
+    const int fill = std::max(2, Fanout * 9 / 10);
+    // Build the leaf level.
+    std::vector<void*> level;
+    std::vector<uint64_t> separators;  // first key of each node except [0]
+    LeafNode* prev = nullptr;
+    size_t i = 0;
+    while (i < sorted_entries.size()) {
+      auto* leaf = new LeafNode();
+      const size_t take =
+          std::min<size_t>(fill, sorted_entries.size() - i);
+      for (size_t j = 0; j < take; j++) {
+        leaf->keys[j] = sorted_entries[i + j].first;
+        leaf->values[j] = sorted_entries[i + j].second;
+      }
+      leaf->count = static_cast<int>(take);
+      if (prev != nullptr) {
+        prev->next = leaf;
+        separators.push_back(leaf->keys[0]);
+      } else {
+        first_leaf_ = leaf;
+      }
+      prev = leaf;
+      level.push_back(leaf);
+      i += take;
+    }
+    size_ = sorted_entries.size();
+    height_ = 1;
+    // Build inner levels bottom-up.
+    while (level.size() > 1) {
+      std::vector<void*> parents;
+      std::vector<uint64_t> parent_separators;
+      size_t c = 0;
+      while (c < level.size()) {
+        auto* inner = new InnerNode();
+        const size_t take =
+            std::min<size_t>(static_cast<size_t>(fill) + 1, level.size() - c);
+        inner->children[0] = level[c];
+        for (size_t j = 1; j < take; j++) {
+          inner->keys[j - 1] = separators[c + j - 1];
+          inner->children[j] = level[c + j];
+        }
+        inner->count = static_cast<int>(take) - 1;
+        if (!parents.empty()) {
+          parent_separators.push_back(separators[c - 1]);
+        }
+        parents.push_back(inner);
+        c += take;
+      }
+      level = std::move(parents);
+      separators = std::move(parent_separators);
+      height_++;
+    }
+    root_ = level[0];
+  }
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + num_leaves_bytes() + num_inner_bytes();
+  }
+
+  // Average number of entries per leaf (the paper's "data node size"
+  // discussion for workload E).
+  double AverageLeafFill() const {
+    size_t leaves = 0;
+    size_t entries = 0;
+    for (const LeafNode* l = first_leaf_; l != nullptr; l = l->next) {
+      leaves++;
+      entries += static_cast<size_t>(l->count);
+    }
+    return leaves == 0 ? 0.0
+                       : static_cast<double>(entries) /
+                             static_cast<double>(leaves);
+  }
+
+  // Test hook: verifies sortedness and leaf-chain consistency.
+  bool ValidateInvariants() const {
+    uint64_t prev = 0;
+    bool have_prev = false;
+    size_t counted = 0;
+    for (const LeafNode* l = first_leaf_; l != nullptr; l = l->next) {
+      for (int i = 0; i < l->count; i++) {
+        if (have_prev && l->keys[i] <= prev) {
+          return false;
+        }
+        prev = l->keys[i];
+        have_prev = true;
+        counted++;
+      }
+    }
+    return counted == size_;
+  }
+
+ private:
+  struct LeafNode {
+    uint64_t keys[Fanout];
+    V values[Fanout];
+    int count = 0;
+    LeafNode* next = nullptr;
+  };
+  struct InnerNode {
+    // count separators, count+1 children.
+    uint64_t keys[Fanout];
+    void* children[Fanout + 1];
+    int count = 0;
+  };
+
+  enum class InsertOutcome { kInserted, kUpdated };
+  struct SplitResult {
+    bool happened = false;
+    uint64_t separator = 0;
+    void* right = nullptr;
+  };
+
+  static int LeafLowerBound(const LeafNode* leaf, uint64_t key) {
+    return static_cast<int>(
+        std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+        leaf->keys);
+  }
+  static int InnerChildIndex(const InnerNode* inner, uint64_t key) {
+    // First separator > key selects the child.
+    return static_cast<int>(
+        std::upper_bound(inner->keys, inner->keys + inner->count, key) -
+        inner->keys);
+  }
+
+  const LeafNode* FindLeaf(uint64_t key) const {
+    if (root_ == nullptr) {
+      return nullptr;
+    }
+    void* node = root_;
+    for (int h = height_; h > 1; h--) {
+      const auto* inner = static_cast<const InnerNode*>(node);
+      node = inner->children[InnerChildIndex(inner, key)];
+    }
+    return static_cast<const LeafNode*>(node);
+  }
+
+  InsertOutcome InsertRecursive(void* node, int level, uint64_t key,
+                                const V& value, SplitResult* split) {
+    if (level == 1) {
+      return InsertIntoLeaf(static_cast<LeafNode*>(node), key, value, split);
+    }
+    auto* inner = static_cast<InnerNode*>(node);
+    const int child_idx = InnerChildIndex(inner, key);
+    SplitResult child_split;
+    const InsertOutcome outcome = InsertRecursive(
+        inner->children[child_idx], level - 1, key, value, &child_split);
+    if (child_split.happened) {
+      InsertIntoInner(inner, child_idx, child_split, split);
+    }
+    return outcome;
+  }
+
+  InsertOutcome InsertIntoLeaf(LeafNode* leaf, uint64_t key, const V& value,
+                               SplitResult* split) {
+    const int slot = LeafLowerBound(leaf, key);
+    if (slot < leaf->count && leaf->keys[slot] == key) {
+      leaf->values[slot] = value;  // in-place update
+      return InsertOutcome::kUpdated;
+    }
+    if (leaf->count < Fanout) {
+      for (int i = leaf->count; i > slot; i--) {
+        leaf->keys[i] = leaf->keys[i - 1];
+        leaf->values[i] = std::move(leaf->values[i - 1]);
+      }
+      leaf->keys[slot] = key;
+      leaf->values[slot] = value;
+      leaf->count++;
+      return InsertOutcome::kInserted;
+    }
+    // Split the leaf, then insert into the proper half.
+    auto* right = new LeafNode();
+    const int mid = Fanout / 2;
+    for (int i = mid; i < Fanout; i++) {
+      right->keys[i - mid] = leaf->keys[i];
+      right->values[i - mid] = std::move(leaf->values[i]);
+    }
+    right->count = Fanout - mid;
+    leaf->count = mid;
+    right->next = leaf->next;
+    leaf->next = right;
+    split->happened = true;
+    split->separator = right->keys[0];
+    split->right = right;
+    if (key < split->separator) {
+      InsertIntoLeaf(leaf, key, value, split);  // cannot split again
+    } else {
+      SplitResult unused;
+      InsertIntoLeaf(right, key, value, &unused);
+    }
+    return InsertOutcome::kInserted;
+  }
+
+  void InsertIntoInner(InnerNode* inner, int child_idx,
+                       const SplitResult& child_split, SplitResult* split) {
+    if (inner->count < Fanout) {
+      for (int i = inner->count; i > child_idx; i--) {
+        inner->keys[i] = inner->keys[i - 1];
+        inner->children[i + 1] = inner->children[i];
+      }
+      inner->keys[child_idx] = child_split.separator;
+      inner->children[child_idx + 1] = child_split.right;
+      inner->count++;
+      return;
+    }
+    // Split the inner node.  Gather count+1 separators conceptually (with
+    // the new one inserted) and push the middle one up.
+    std::vector<uint64_t> keys(inner->keys, inner->keys + inner->count);
+    std::vector<void*> children(inner->children,
+                                inner->children + inner->count + 1);
+    keys.insert(keys.begin() + child_idx, child_split.separator);
+    children.insert(children.begin() + child_idx + 1, child_split.right);
+    const int total = static_cast<int>(keys.size());  // == Fanout + 1
+    const int mid = total / 2;                        // separator pushed up
+    auto* right = new InnerNode();
+    inner->count = mid;
+    for (int i = 0; i < mid; i++) {
+      inner->keys[i] = keys[static_cast<size_t>(i)];
+      inner->children[i] = children[static_cast<size_t>(i)];
+    }
+    inner->children[mid] = children[static_cast<size_t>(mid)];
+    right->count = total - mid - 1;
+    for (int i = 0; i < right->count; i++) {
+      right->keys[i] = keys[static_cast<size_t>(mid + 1 + i)];
+      right->children[i] = children[static_cast<size_t>(mid + 1 + i)];
+    }
+    right->children[right->count] = children[static_cast<size_t>(total)];
+    split->happened = true;
+    split->separator = keys[static_cast<size_t>(mid)];
+    split->right = right;
+  }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      DeleteRecursive(root_, height_);
+    }
+    root_ = nullptr;
+    first_leaf_ = nullptr;
+    height_ = 0;
+    size_ = 0;
+  }
+
+  void DeleteRecursive(void* node, int level) {
+    if (level == 1) {
+      delete static_cast<LeafNode*>(node);
+      return;
+    }
+    auto* inner = static_cast<InnerNode*>(node);
+    for (int i = 0; i <= inner->count; i++) {
+      DeleteRecursive(inner->children[i], level - 1);
+    }
+    delete inner;
+  }
+
+  size_t num_leaves_bytes() const {
+    size_t n = 0;
+    for (const LeafNode* l = first_leaf_; l != nullptr; l = l->next) {
+      n += sizeof(LeafNode);
+    }
+    return n;
+  }
+  size_t num_inner_bytes() const {
+    if (root_ == nullptr || height_ <= 1) {
+      return 0;
+    }
+    return CountInnerBytes(root_, height_);
+  }
+  size_t CountInnerBytes(void* node, int level) const {
+    if (level == 1) {
+      return 0;
+    }
+    const auto* inner = static_cast<const InnerNode*>(node);
+    size_t bytes = sizeof(InnerNode);
+    for (int i = 0; i <= inner->count; i++) {
+      bytes += CountInnerBytes(inner->children[i], level - 1);
+    }
+    return bytes;
+  }
+
+  void* root_ = nullptr;
+  LeafNode* first_leaf_ = nullptr;
+  int height_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_BTREE_H_

@@ -1,0 +1,277 @@
+// CCEH-style baseline: three-level Extendible hashing (Nam et al., FAST'19;
+// Section 3.1 / Figure 9 of the DyTIS paper).
+//
+// Structure: directory -> fixed-size segments of 2^kSegmentBits buckets ->
+// small buckets probed linearly.  The segment index comes from the MSBs of
+// the hashed pseudo-key and the bucket index from its LSBs; having the
+// intermediate segment level amortises directory doubling, which is the
+// property DyTIS borrows.  Like the original, a bucket probe also checks the
+// adjacent bucket (linear probing distance 1) before declaring the segment
+// full.
+#ifndef DYTIS_SRC_BASELINES_CCEH_H_
+#define DYTIS_SRC_BASELINES_CCEH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/bitops.h"
+
+namespace dytis {
+
+template <typename V>
+class Cceh {
+ public:
+  // Defaults follow the CCEH paper scaled to DRAM: 1024 buckets per segment,
+  // 8 pairs per bucket (one cache line of keys).
+  explicit Cceh(int segment_bits = 10, uint32_t bucket_capacity = 8)
+      : segment_bits_(segment_bits), bucket_capacity_(bucket_capacity) {
+    dir_.push_back(new Segment(*this, /*local_depth=*/0));
+  }
+
+  ~Cceh() {
+    Segment* prev = nullptr;
+    for (Segment* s : dir_) {
+      if (s != prev) {
+        delete s;
+        prev = s;
+      }
+    }
+  }
+
+  Cceh(const Cceh&) = delete;
+  Cceh& operator=(const Cceh&) = delete;
+
+  bool Insert(uint64_t key, const V& value) {
+    const uint64_t h = Hash(key);
+    for (;;) {
+      Segment* seg = SegmentFor(h);
+      int bucket;
+      int slot;
+      if (seg->FindSlot(h, key, &bucket, &slot)) {
+        ValueRef(seg, bucket, slot) = value;  // in-place update
+        return false;
+      }
+      if (seg->TryInsert(h, key, value)) {
+        size_++;
+        return true;
+      }
+      SplitSegment(h);
+    }
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    const uint64_t h = Hash(key);
+    const Segment* seg = SegmentFor(h);
+    int bucket;
+    int slot;
+    if (!seg->FindSlot(h, key, &bucket, &slot)) {
+      return false;
+    }
+    if (value != nullptr) {
+      *value = ValueRef(const_cast<Segment*>(seg), bucket, slot);
+    }
+    return true;
+  }
+
+  bool Update(uint64_t key, const V& value) {
+    const uint64_t h = Hash(key);
+    Segment* seg = SegmentFor(h);
+    int bucket;
+    int slot;
+    if (!seg->FindSlot(h, key, &bucket, &slot)) {
+      return false;
+    }
+    ValueRef(seg, bucket, slot) = value;
+    return true;
+  }
+
+  bool Erase(uint64_t key) {
+    const uint64_t h = Hash(key);
+    Segment* seg = SegmentFor(h);
+    int bucket;
+    int slot;
+    if (!seg->FindSlot(h, key, &bucket, &slot)) {
+      return false;
+    }
+    if (bucket < 0) {
+      seg->overflow.erase(seg->overflow.begin() + slot);
+    } else {
+      seg->occupied[SlotIndex(bucket, slot)] = false;
+    }
+    size_--;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  int global_depth() const { return global_depth_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + dir_.capacity() * sizeof(Segment*);
+    const Segment* prev = nullptr;
+    for (const Segment* s : dir_) {
+      if (s != prev) {
+        bytes += sizeof(Segment) +
+                 s->keys.capacity() * sizeof(uint64_t) +
+                 s->values.capacity() * sizeof(V) +
+                 s->occupied.capacity() / 8;
+        prev = s;
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Segment {
+    Segment(const Cceh& owner, int depth)
+        : local_depth(depth),
+          num_buckets(1u << owner.segment_bits_),
+          capacity(owner.bucket_capacity_) {
+      const size_t slots = static_cast<size_t>(num_buckets) * capacity;
+      keys.assign(slots, 0);
+      values.assign(slots, V{});
+      occupied.assign(slots, false);
+    }
+
+    // Bucket index from the hash LSBs (CCEH uses LSBs inside segments).
+    uint32_t BucketIndex(uint64_t h) const {
+      return static_cast<uint32_t>(h & (num_buckets - 1));
+    }
+
+    bool FindSlot(uint64_t h, uint64_t key, int* bucket, int* slot) const {
+      const uint32_t b0 = BucketIndex(h);
+      // Probe the home bucket and its neighbour (linear probing distance 1).
+      for (uint32_t d = 0; d < 2; d++) {
+        const uint32_t b = (b0 + d) & (num_buckets - 1);
+        for (uint32_t s = 0; s < capacity; s++) {
+          const size_t i = static_cast<size_t>(b) * capacity + s;
+          if (occupied[i] && keys[i] == key) {
+            *bucket = static_cast<int>(b);
+            *slot = static_cast<int>(s);
+            return true;
+          }
+        }
+      }
+      // Split-rehash overflow entries (rare; see SplitSegment).
+      for (size_t i = 0; i < overflow.size(); i++) {
+        if (overflow[i].first == key) {
+          *bucket = -1;
+          *slot = static_cast<int>(i);
+          return true;
+        }
+      }
+      return false;
+    }
+
+    bool TryInsert(uint64_t h, uint64_t key, const V& value) {
+      const uint32_t b0 = BucketIndex(h);
+      for (uint32_t d = 0; d < 2; d++) {
+        const uint32_t b = (b0 + d) & (num_buckets - 1);
+        for (uint32_t s = 0; s < capacity; s++) {
+          const size_t i = static_cast<size_t>(b) * capacity + s;
+          if (!occupied[i]) {
+            keys[i] = key;
+            values[i] = value;
+            occupied[i] = true;
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+
+    int local_depth;
+    const uint32_t num_buckets;
+    const uint32_t capacity;
+    std::vector<uint64_t> keys;
+    std::vector<V> values;
+    std::vector<bool> occupied;
+    // Entries displaced during a split rehash when both probe buckets of the
+    // child are already full (keys keep their LSB bucket index across
+    // splits, so collisions can concentrate).  Checked by FindSlot.
+    std::vector<std::pair<uint64_t, V>> overflow;
+  };
+
+  static uint64_t Hash(uint64_t key) {
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return h * 0xff51afd7ed558ccdULL;
+  }
+
+  size_t SlotIndex(int bucket, int slot) const {
+    return static_cast<size_t>(bucket) * bucket_capacity_ +
+           static_cast<size_t>(slot);
+  }
+
+  // Value location for a FindSlot result (bucket == -1 means overflow list).
+  V& ValueRef(Segment* seg, int bucket, int slot) const {
+    if (bucket < 0) {
+      return seg->overflow[static_cast<size_t>(slot)].second;
+    }
+    return seg->values[SlotIndex(bucket, slot)];
+  }
+
+  size_t DirIndex(uint64_t h) const {
+    if (global_depth_ == 0) {
+      return 0;
+    }
+    return static_cast<size_t>(h >> (64 - global_depth_));
+  }
+  Segment* SegmentFor(uint64_t h) { return dir_[DirIndex(h)]; }
+  const Segment* SegmentFor(uint64_t h) const { return dir_[DirIndex(h)]; }
+
+  void SplitSegment(uint64_t h) {
+    Segment* seg = SegmentFor(h);
+    if (seg->local_depth == global_depth_) {
+      std::vector<Segment*> bigger(dir_.size() * 2);
+      for (size_t i = 0; i < dir_.size(); i++) {
+        bigger[2 * i] = dir_[i];
+        bigger[2 * i + 1] = dir_[i];
+      }
+      dir_ = std::move(bigger);
+      global_depth_++;
+    }
+    const int new_depth = seg->local_depth + 1;
+    auto* left = new Segment(*this, new_depth);
+    auto* right = new Segment(*this, new_depth);
+    const size_t slots =
+        static_cast<size_t>(seg->num_buckets) * seg->capacity;
+    for (size_t i = 0; i < slots; i++) {
+      if (!seg->occupied[i]) {
+        continue;
+      }
+      const uint64_t kh = Hash(seg->keys[i]);
+      Segment* dst = ((kh >> (64 - new_depth)) & 1) ? right : left;
+      if (!dst->TryInsert(kh, seg->keys[i], seg->values[i])) {
+        dst->overflow.emplace_back(seg->keys[i], seg->values[i]);
+      }
+    }
+    // Parent overflow entries redistribute the same way.
+    for (const auto& [k, v] : seg->overflow) {
+      const uint64_t kh = Hash(k);
+      Segment* dst = ((kh >> (64 - new_depth)) & 1) ? right : left;
+      if (!dst->TryInsert(kh, k, v)) {
+        dst->overflow.emplace_back(k, v);
+      }
+    }
+    const size_t run =
+        static_cast<size_t>(Pow2(global_depth_ - seg->local_depth));
+    const size_t start = DirIndex(h) / run * run;
+    for (size_t i = 0; i < run / 2; i++) {
+      dir_[start + i] = left;
+      dir_[start + run / 2 + i] = right;
+    }
+    delete seg;
+  }
+
+  const int segment_bits_;
+  const uint32_t bucket_capacity_;
+  std::vector<Segment*> dir_;
+  int global_depth_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_CCEH_H_

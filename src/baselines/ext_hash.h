@@ -1,0 +1,188 @@
+// Classic Extendible Hashing baseline (Section 3.1 / Figure 9).
+//
+// Directory + buckets, with the directory indexed by the most-significant
+// bits of a hashed pseudo-key K' = h(K) (Fagin et al. 1979).  Supports
+// insert / search / delete / in-place update; no scans (hash order destroys
+// key order, which is exactly the limitation DyTIS removes).
+#ifndef DYTIS_SRC_BASELINES_EXT_HASH_H_
+#define DYTIS_SRC_BASELINES_EXT_HASH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/bitops.h"
+
+namespace dytis {
+
+template <typename V>
+class ExtendibleHash {
+ public:
+  // bucket_capacity: key/value pairs per bucket (the paper's 2KB bucket
+  // holds 128 8+8-byte pairs).
+  explicit ExtendibleHash(uint32_t bucket_capacity = 128)
+      : capacity_(bucket_capacity) {
+    dir_.push_back(new Bucket(capacity_, /*local_depth=*/0));
+  }
+
+  ~ExtendibleHash() {
+    Bucket* prev = nullptr;
+    for (Bucket* b : dir_) {
+      if (b != prev) {
+        delete b;
+        prev = b;
+      }
+    }
+  }
+
+  ExtendibleHash(const ExtendibleHash&) = delete;
+  ExtendibleHash& operator=(const ExtendibleHash&) = delete;
+
+  bool Insert(uint64_t key, const V& value) {
+    const uint64_t h = Hash(key);
+    for (;;) {
+      Bucket* b = BucketFor(h);
+      const int slot = b->Find(key);
+      if (slot >= 0) {
+        b->values[static_cast<size_t>(slot)] = value;  // in-place update
+        return false;
+      }
+      if (b->keys.size() < capacity_) {
+        b->keys.push_back(key);
+        b->values.push_back(value);
+        size_++;
+        return true;
+      }
+      SplitBucket(h);
+    }
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    const Bucket* b = BucketFor(Hash(key));
+    const int slot = b->Find(key);
+    if (slot < 0) {
+      return false;
+    }
+    if (value != nullptr) {
+      *value = b->values[static_cast<size_t>(slot)];
+    }
+    return true;
+  }
+
+  bool Update(uint64_t key, const V& value) {
+    Bucket* b = BucketFor(Hash(key));
+    const int slot = b->Find(key);
+    if (slot < 0) {
+      return false;
+    }
+    b->values[static_cast<size_t>(slot)] = value;
+    return true;
+  }
+
+  bool Erase(uint64_t key) {
+    Bucket* b = BucketFor(Hash(key));
+    const int slot = b->Find(key);
+    if (slot < 0) {
+      return false;
+    }
+    b->keys[static_cast<size_t>(slot)] = b->keys.back();
+    b->values[static_cast<size_t>(slot)] = std::move(b->values.back());
+    b->keys.pop_back();
+    b->values.pop_back();
+    size_--;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  int global_depth() const { return global_depth_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + dir_.capacity() * sizeof(Bucket*);
+    const Bucket* prev = nullptr;
+    for (const Bucket* b : dir_) {
+      if (b != prev) {
+        bytes += sizeof(Bucket) + b->keys.capacity() * sizeof(uint64_t) +
+                 b->values.capacity() * sizeof(V);
+        prev = b;
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Bucket {
+    Bucket(uint32_t capacity, int depth) : local_depth(depth) {
+      keys.reserve(capacity);
+      values.reserve(capacity);
+    }
+    int Find(uint64_t key) const {
+      for (size_t i = 0; i < keys.size(); i++) {
+        if (keys[i] == key) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    std::vector<uint64_t> keys;
+    std::vector<V> values;
+    int local_depth;
+  };
+
+  // Fibonacci hashing: cheap and well-distributed for integer keys.
+  static uint64_t Hash(uint64_t key) {
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return h * 0xff51afd7ed558ccdULL;
+  }
+
+  size_t DirIndex(uint64_t h) const {
+    if (global_depth_ == 0) {
+      return 0;
+    }
+    return static_cast<size_t>(h >> (64 - global_depth_));
+  }
+  Bucket* BucketFor(uint64_t h) { return dir_[DirIndex(h)]; }
+  const Bucket* BucketFor(uint64_t h) const { return dir_[DirIndex(h)]; }
+
+  void SplitBucket(uint64_t h) {
+    Bucket* b = BucketFor(h);
+    if (b->local_depth == global_depth_) {
+      // Directory doubling.
+      std::vector<Bucket*> bigger(dir_.size() * 2);
+      for (size_t i = 0; i < dir_.size(); i++) {
+        bigger[2 * i] = dir_[i];
+        bigger[2 * i + 1] = dir_[i];
+      }
+      dir_ = std::move(bigger);
+      global_depth_++;
+    }
+    // Split b by the next hash bit.
+    const int new_depth = b->local_depth + 1;
+    auto* left = new Bucket(capacity_, new_depth);
+    auto* right = new Bucket(capacity_, new_depth);
+    for (size_t i = 0; i < b->keys.size(); i++) {
+      const uint64_t kh = Hash(b->keys[i]);
+      Bucket* dst = ((kh >> (64 - new_depth)) & 1) ? right : left;
+      dst->keys.push_back(b->keys[i]);
+      dst->values.push_back(std::move(b->values[i]));
+    }
+    // Redirect the directory run of b.
+    const size_t run = static_cast<size_t>(Pow2(global_depth_ - b->local_depth));
+    const size_t start = DirIndex(h) / run * run;
+    for (size_t i = 0; i < run / 2; i++) {
+      dir_[start + i] = left;
+      dir_[start + run / 2 + i] = right;
+    }
+    delete b;
+  }
+
+  const uint32_t capacity_;
+  std::vector<Bucket*> dir_;
+  int global_depth_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_EXT_HASH_H_

@@ -1,0 +1,159 @@
+// Static two-stage Recursive Model Index (Kraska et al., SIGMOD'18).
+//
+// The original learned index the DyTIS paper discusses in Section 2.2: a
+// root linear model dispatches to one of N second-stage linear models, each
+// predicting a position in one sorted array; exponential search corrects
+// the prediction.  It is *static*: built once from sorted data, no inserts
+// (the very limitation that motivates ALEX, XIndex, and DyTIS).  Used by
+// bench_static_rmi to show the baseline the updatable indexes are chasing.
+#ifndef DYTIS_SRC_BASELINES_RMI_H_
+#define DYTIS_SRC_BASELINES_RMI_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/learned/linear_model.h"
+
+namespace dytis {
+
+template <typename V>
+class StaticRmi {
+ public:
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  // num_models: second-stage size.  The classic configuration uses a few
+  // thousand models for hundreds of millions of keys.
+  explicit StaticRmi(size_t num_models = 1024) : num_models_(num_models) {}
+
+  void BulkLoad(std::span<const ScanEntry> sorted_entries) {
+    keys_.clear();
+    values_.clear();
+    keys_.reserve(sorted_entries.size());
+    values_.reserve(sorted_entries.size());
+    for (const auto& [k, v] : sorted_entries) {
+      keys_.push_back(k);
+      values_.push_back(v);
+    }
+    // Stage 1: root model over the whole CDF, scaled to model index.
+    LinearModelBuilder root_builder;
+    const double scale = keys_.empty()
+                             ? 0.0
+                             : static_cast<double>(num_models_) /
+                                   static_cast<double>(keys_.size());
+    for (size_t i = 0; i < keys_.size(); i++) {
+      root_builder.Add(keys_[i], static_cast<double>(i) * scale);
+    }
+    root_ = root_builder.Fit();
+    // Stage 2: each model is trained on the keys the ROOT dispatches to it
+    // (not an equal-width partition) so training matches inference.
+    models_.assign(num_models_, LinearModel{});
+    std::vector<LinearModelBuilder> builders(num_models_);
+    for (size_t i = 0; i < keys_.size(); i++) {
+      builders[RootDispatch(keys_[i])].Add(keys_[i], static_cast<double>(i));
+    }
+    for (size_t m = 0; m < num_models_; m++) {
+      if (builders[m].count() > 0) {
+        models_[m] = builders[m].Fit();
+      } else if (m > 0) {
+        models_[m] = models_[m - 1];  // empty bucket: borrow the neighbour
+      }
+    }
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    if (keys_.empty()) {
+      return false;
+    }
+    const size_t pos = LowerBound(key);
+    if (pos >= keys_.size() || keys_[pos] != key) {
+      return false;
+    }
+    if (value != nullptr) {
+      *value = values_[pos];
+    }
+    return true;
+  }
+
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    size_t got = 0;
+    for (size_t pos = LowerBound(start_key);
+         pos < keys_.size() && got < count; pos++) {
+      out[got++] = {keys_[pos], values_[pos]};
+    }
+    return got;
+  }
+
+  size_t size() const { return keys_.size(); }
+  size_t num_models() const { return num_models_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + keys_.capacity() * sizeof(uint64_t) +
+           values_.capacity() * sizeof(V) +
+           models_.capacity() * sizeof(LinearModel);
+  }
+
+  // Average |predicted - actual| position error over all keys (the model
+  // quality measure RMI papers report).
+  double MeanAbsoluteError() const {
+    if (keys_.empty()) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < keys_.size(); i++) {
+      const double p = models_[RootDispatch(keys_[i])].Predict(keys_[i]);
+      total += std::abs(p - static_cast<double>(i));
+    }
+    return total / static_cast<double>(keys_.size());
+  }
+
+ private:
+  size_t RootDispatch(uint64_t key) const {
+    return root_.PredictClamped(key, num_models_);
+  }
+
+  // Exponential search around the stage-2 prediction.
+  size_t LowerBound(uint64_t key) const {
+    const size_t n = keys_.size();
+    size_t pos = models_[RootDispatch(key)].PredictClamped(key, n);
+    size_t lo;
+    size_t hi;
+    if (keys_[pos] < key) {
+      size_t step = 1;
+      lo = pos + 1;
+      hi = lo;
+      while (hi < n && keys_[hi] < key) {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, n);
+    } else {
+      size_t step = 1;
+      hi = pos;
+      lo = hi;
+      while (lo > 0 && keys_[lo - 1] >= key) {
+        hi = lo;
+        lo = (lo >= step) ? lo - step : 0;
+        step <<= 1;
+      }
+    }
+    return static_cast<size_t>(
+        std::lower_bound(keys_.begin() + static_cast<long>(lo),
+                         keys_.begin() + static_cast<long>(hi), key) -
+        keys_.begin());
+  }
+
+  size_t num_models_;
+  LinearModel root_;
+  std::vector<LinearModel> models_;
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_RMI_H_

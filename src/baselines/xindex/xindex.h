@@ -1,0 +1,522 @@
+// XIndex-style concurrent learned index (Tang et al., PPoPP'20), the
+// paper's concurrent comparator (Figures 8 and 12).
+//
+// Two-level architecture: a root with a learned model over group boundary
+// keys, and per-group storage consisting of a learned sorted array (the
+// "data" part) plus a sorted delta buffer that absorbs inserts.  A
+// compaction merges delta into data and retrains the group model; it can
+// run inline (delta threshold reached) or from a background thread, like
+// the original.  Deletes are delta tombstones until compaction.
+//
+// Concurrency: root shared_mutex + per-group shared_mutex (readers share,
+// writers exclusive per group), which gives the same scaling shape as
+// XIndex's group-level concurrency.  The original's lock-free read path and
+// RCU-based two-phase compaction are simplified to reader/writer locking;
+// DESIGN.md Section 5 records the deviation.
+#ifndef DYTIS_SRC_BASELINES_XINDEX_XINDEX_H_
+#define DYTIS_SRC_BASELINES_XINDEX_XINDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/learned/linear_model.h"
+
+namespace dytis {
+
+template <typename V>
+class XIndexLike {
+ public:
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  struct Options {
+    // Delta entries above base_fraction * data_size + slack trigger
+    // compaction.
+    double delta_fraction = 0.125;
+    size_t delta_slack = 256;
+    // Groups larger than this split in two at compaction time.
+    size_t max_group_size = 64 * 1024;
+    // Run compactions from a background thread (the foreground then only
+    // flags groups) instead of inline.
+    bool background_compaction = false;
+  };
+
+  explicit XIndexLike(const Options& options = Options{})
+      : options_(options) {
+    groups_.push_back(std::make_unique<Group>());
+    boundaries_.push_back(0);
+    if (options_.background_compaction) {
+      compactor_ = std::thread([this] { CompactorLoop(); });
+    }
+  }
+
+  ~XIndexLike() {
+    if (compactor_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(compactor_mutex_);
+        stop_ = true;
+      }
+      compactor_cv_.notify_all();
+      compactor_.join();
+    }
+  }
+
+  XIndexLike(const XIndexLike&) = delete;
+  XIndexLike& operator=(const XIndexLike&) = delete;
+
+  // Builds groups from sorted unique entries (replaces all contents).
+  void BulkLoad(std::span<const ScanEntry> sorted_entries) {
+    std::unique_lock root_lock(root_mutex_);
+    groups_.clear();
+    boundaries_.clear();
+    const size_t per_group = std::max<size_t>(
+        1024, std::min(options_.max_group_size / 2,
+                       sorted_entries.size() / 64 + 1024));
+    size_t i = 0;
+    while (i < sorted_entries.size()) {
+      const size_t take = std::min(per_group, sorted_entries.size() - i);
+      auto group = std::make_unique<Group>();
+      group->keys.reserve(take);
+      group->values.reserve(take);
+      for (size_t j = 0; j < take; j++) {
+        group->keys.push_back(sorted_entries[i + j].first);
+        group->values.push_back(sorted_entries[i + j].second);
+      }
+      group->Retrain();
+      boundaries_.push_back(group->keys.front());
+      groups_.push_back(std::move(group));
+      i += take;
+    }
+    if (groups_.empty()) {
+      groups_.push_back(std::make_unique<Group>());
+      boundaries_.push_back(0);
+    }
+    boundaries_[0] = 0;  // the first group owns everything below it
+    RetrainRoot();
+    size_.store(sorted_entries.size(), std::memory_order_relaxed);
+  }
+
+  bool Insert(uint64_t key, const V& value) {
+    for (;;) {
+      std::shared_lock root_lock(root_mutex_);
+      Group* g = GroupFor(key);
+      std::unique_lock group_lock(g->mutex);
+      // Existing key: in-place update (base first, then delta).
+      const int base_slot = g->FindBase(key);
+      if (base_slot >= 0 && !g->base_deleted[static_cast<size_t>(base_slot)]) {
+        g->values[static_cast<size_t>(base_slot)] = value;
+        return false;
+      }
+      const auto delta_it = g->DeltaFind(key);
+      if (delta_it != g->delta.end() && delta_it->key == key) {
+        const bool was_tombstone = delta_it->deleted;
+        delta_it->value = value;
+        delta_it->deleted = false;
+        if (!was_tombstone) {
+          return false;
+        }
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (base_slot >= 0) {
+        // Resurrect a base-deleted key in place.
+        g->base_deleted[static_cast<size_t>(base_slot)] = false;
+        g->values[static_cast<size_t>(base_slot)] = value;
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      g->delta.insert(delta_it, DeltaEntry{key, value, false});
+      size_.fetch_add(1, std::memory_order_relaxed);
+      if (g->delta.size() >
+          static_cast<size_t>(options_.delta_fraction *
+                              static_cast<double>(g->keys.size())) +
+              options_.delta_slack) {
+        if (options_.background_compaction) {
+          group_lock.unlock();
+          root_lock.unlock();
+          RequestCompaction();
+        } else {
+          group_lock.unlock();
+          root_lock.unlock();
+          CompactOneGroup(key);
+        }
+      }
+      return true;
+    }
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    std::shared_lock root_lock(root_mutex_);
+    const Group* g = GroupFor(key);
+    std::shared_lock group_lock(g->mutex);
+    const auto delta_it = g->DeltaFindConst(key);
+    if (delta_it != g->delta.end() && delta_it->key == key) {
+      if (delta_it->deleted) {
+        return false;
+      }
+      if (value != nullptr) {
+        *value = delta_it->value;
+      }
+      return true;
+    }
+    const int slot = g->FindBase(key);
+    if (slot < 0 || g->base_deleted[static_cast<size_t>(slot)]) {
+      return false;
+    }
+    if (value != nullptr) {
+      *value = g->values[static_cast<size_t>(slot)];
+    }
+    return true;
+  }
+
+  bool Update(uint64_t key, const V& value) {
+    std::shared_lock root_lock(root_mutex_);
+    Group* g = GroupFor(key);
+    std::unique_lock group_lock(g->mutex);
+    const auto delta_it = g->DeltaFind(key);
+    if (delta_it != g->delta.end() && delta_it->key == key) {
+      if (delta_it->deleted) {
+        return false;
+      }
+      delta_it->value = value;
+      return true;
+    }
+    const int slot = g->FindBase(key);
+    if (slot < 0 || g->base_deleted[static_cast<size_t>(slot)]) {
+      return false;
+    }
+    g->values[static_cast<size_t>(slot)] = value;
+    return true;
+  }
+
+  bool Erase(uint64_t key) {
+    std::shared_lock root_lock(root_mutex_);
+    Group* g = GroupFor(key);
+    std::unique_lock group_lock(g->mutex);
+    const auto delta_it = g->DeltaFind(key);
+    if (delta_it != g->delta.end() && delta_it->key == key) {
+      if (delta_it->deleted) {
+        return false;
+      }
+      delta_it->deleted = true;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    const int slot = g->FindBase(key);
+    if (slot < 0 || g->base_deleted[static_cast<size_t>(slot)]) {
+      return false;
+    }
+    g->base_deleted[static_cast<size_t>(slot)] = true;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    if (count == 0) {
+      return 0;
+    }
+    std::shared_lock root_lock(root_mutex_);
+    size_t gi = GroupIndexFor(start_key);
+    size_t got = 0;
+    for (; gi < groups_.size() && got < count; gi++) {
+      const Group* g = groups_[gi].get();
+      std::shared_lock group_lock(g->mutex);
+      got += g->ScanMerged(start_key, count - got, out + got);
+    }
+    return got;
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  size_t NumGroups() const {
+    std::shared_lock root_lock(root_mutex_);
+    return groups_.size();
+  }
+
+  size_t MemoryBytes() const {
+    std::shared_lock root_lock(root_mutex_);
+    size_t bytes = sizeof(*this) +
+                   boundaries_.capacity() * sizeof(uint64_t) +
+                   groups_.capacity() * sizeof(void*);
+    for (const auto& g : groups_) {
+      std::shared_lock group_lock(g->mutex);
+      bytes += sizeof(Group) + g->keys.capacity() * sizeof(uint64_t) +
+               g->values.capacity() * sizeof(V) +
+               g->base_deleted.capacity() / 8 +
+               g->delta.capacity() * sizeof(DeltaEntry);
+    }
+    return bytes;
+  }
+
+  // Drains all pending compactions (test/bench hook).
+  void FlushCompactions() {
+    for (;;) {
+      uint64_t key = 0;
+      {
+        std::shared_lock root_lock(root_mutex_);
+        const Group* pending = nullptr;
+        for (size_t i = 0; i < groups_.size(); i++) {
+          std::shared_lock gl(groups_[i]->mutex);
+          if (NeedsCompaction(*groups_[i])) {
+            pending = groups_[i].get();
+            key = pending->keys.empty()
+                      ? (pending->delta.empty() ? 0 : pending->delta[0].key)
+                      : pending->keys[0];
+            break;
+          }
+        }
+        if (pending == nullptr) {
+          return;
+        }
+      }
+      CompactOneGroup(key);
+    }
+  }
+
+ private:
+  struct DeltaEntry {
+    uint64_t key;
+    V value;
+    bool deleted;
+  };
+
+  struct Group {
+    void Retrain() {
+      LinearModelBuilder builder;
+      for (size_t i = 0; i < keys.size(); i++) {
+        builder.Add(keys[i], static_cast<double>(i));
+      }
+      model = builder.Fit();
+      base_deleted.assign(keys.size(), false);
+    }
+
+    // Exponential search around the model prediction.
+    int FindBase(uint64_t key) const {
+      const size_t n = keys.size();
+      if (n == 0) {
+        return -1;
+      }
+      size_t pos = model.PredictClamped(key, n);
+      size_t lo;
+      size_t hi;
+      if (keys[pos] < key) {
+        size_t step = 1;
+        lo = pos + 1;
+        hi = lo;
+        while (hi < n && keys[hi] < key) {
+          lo = hi + 1;
+          hi += step;
+          step <<= 1;
+        }
+        hi = std::min(hi, n);
+      } else {
+        size_t step = 1;
+        hi = pos;
+        lo = hi;
+        while (lo > 0 && keys[lo - 1] >= key) {
+          hi = lo;
+          lo = (lo >= step) ? lo - step : 0;
+          step <<= 1;
+        }
+      }
+      const auto it = std::lower_bound(keys.begin() + static_cast<long>(lo),
+                                       keys.begin() + static_cast<long>(hi),
+                                       key);
+      if (it != keys.end() && *it == key) {
+        return static_cast<int>(it - keys.begin());
+      }
+      return -1;
+    }
+
+    typename std::vector<DeltaEntry>::iterator DeltaFind(uint64_t key) {
+      return std::lower_bound(
+          delta.begin(), delta.end(), key,
+          [](const DeltaEntry& e, uint64_t k) { return e.key < k; });
+    }
+    typename std::vector<DeltaEntry>::const_iterator DeltaFindConst(
+        uint64_t key) const {
+      return std::lower_bound(
+          delta.begin(), delta.end(), key,
+          [](const DeltaEntry& e, uint64_t k) { return e.key < k; });
+    }
+
+    // Merged scan over base and delta starting at start_key.
+    size_t ScanMerged(uint64_t start_key, size_t want, ScanEntry* out) const {
+      size_t bi = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), start_key) -
+          keys.begin());
+      auto di = DeltaFindConst(start_key);
+      size_t got = 0;
+      while (got < want && (bi < keys.size() || di != delta.end())) {
+        const bool take_base =
+            di == delta.end() ||
+            (bi < keys.size() && keys[bi] <= di->key);
+        if (take_base) {
+          if (!base_deleted[bi]) {
+            out[got++] = {keys[bi], values[bi]};
+          }
+          bi++;
+        } else {
+          if (!di->deleted) {
+            out[got++] = {di->key, di->value};
+          }
+          ++di;
+        }
+      }
+      return got;
+    }
+
+    LinearModel model;
+    std::vector<uint64_t> keys;    // sorted base keys
+    std::vector<V> values;
+    std::vector<bool> base_deleted;
+    std::vector<DeltaEntry> delta;  // sorted by key
+    mutable std::shared_mutex mutex;
+  };
+
+  bool NeedsCompaction(const Group& g) const {
+    return g.delta.size() >
+           static_cast<size_t>(options_.delta_fraction *
+                               static_cast<double>(g.keys.size())) +
+               options_.delta_slack;
+  }
+
+  size_t GroupIndexFor(uint64_t key) const {
+    // Root model predicts the group; exponential correction on boundaries.
+    size_t pos = root_model_.PredictClamped(key, boundaries_.size());
+    // Correct to the last boundary <= key.
+    while (pos + 1 < boundaries_.size() && boundaries_[pos + 1] <= key) {
+      pos++;
+    }
+    while (pos > 0 && boundaries_[pos] > key) {
+      pos--;
+    }
+    return pos;
+  }
+  Group* GroupFor(uint64_t key) { return groups_[GroupIndexFor(key)].get(); }
+  const Group* GroupFor(uint64_t key) const {
+    return groups_[GroupIndexFor(key)].get();
+  }
+
+  void RetrainRoot() {
+    LinearModelBuilder builder;
+    for (size_t i = 0; i < boundaries_.size(); i++) {
+      builder.Add(boundaries_[i], static_cast<double>(i));
+    }
+    root_model_ = builder.Fit();
+  }
+
+  // Merges delta into base for the group owning `key`; splits oversized
+  // groups (adjusting the root).
+  void CompactOneGroup(uint64_t key) {
+    std::unique_lock root_lock(root_mutex_);
+    const size_t gi = GroupIndexFor(key);
+    Group* g = groups_[gi].get();
+    std::unique_lock group_lock(g->mutex);
+    if (!NeedsCompaction(*g) && g->keys.size() <= options_.max_group_size) {
+      return;  // someone else compacted already
+    }
+    std::vector<uint64_t> merged_keys;
+    std::vector<V> merged_values;
+    merged_keys.reserve(g->keys.size() + g->delta.size());
+    merged_values.reserve(g->keys.size() + g->delta.size());
+    size_t bi = 0;
+    size_t di = 0;
+    while (bi < g->keys.size() || di < g->delta.size()) {
+      const bool take_base =
+          di >= g->delta.size() ||
+          (bi < g->keys.size() && g->keys[bi] < g->delta[di].key);
+      if (take_base) {
+        if (!g->base_deleted[bi]) {
+          merged_keys.push_back(g->keys[bi]);
+          merged_values.push_back(std::move(g->values[bi]));
+        }
+        bi++;
+      } else {
+        if (!g->delta[di].deleted) {
+          merged_keys.push_back(g->delta[di].key);
+          merged_values.push_back(std::move(g->delta[di].value));
+        }
+        di++;
+      }
+    }
+    g->delta.clear();
+    g->delta.shrink_to_fit();
+    if (merged_keys.size() > options_.max_group_size) {
+      // Split in two; the right half becomes a new group after gi.
+      const size_t half = merged_keys.size() / 2;
+      auto right = std::make_unique<Group>();
+      right->keys.assign(merged_keys.begin() + static_cast<long>(half),
+                         merged_keys.end());
+      right->values.assign(
+          std::make_move_iterator(merged_values.begin() + static_cast<long>(half)),
+          std::make_move_iterator(merged_values.end()));
+      right->Retrain();
+      merged_keys.resize(half);
+      merged_values.resize(half);
+      g->keys = std::move(merged_keys);
+      g->values = std::move(merged_values);
+      g->Retrain();
+      const uint64_t boundary = right->keys.front();
+      group_lock.unlock();
+      boundaries_.insert(boundaries_.begin() + static_cast<long>(gi) + 1,
+                         boundary);
+      groups_.insert(groups_.begin() + static_cast<long>(gi) + 1,
+                     std::move(right));
+      RetrainRoot();
+      return;
+    }
+    g->keys = std::move(merged_keys);
+    g->values = std::move(merged_values);
+    g->Retrain();
+  }
+
+  // --- Background compaction ----------------------------------------------
+
+  void RequestCompaction() {
+    {
+      std::lock_guard<std::mutex> lk(compactor_mutex_);
+      compaction_requested_ = true;
+    }
+    compactor_cv_.notify_one();
+  }
+
+  void CompactorLoop() {
+    std::unique_lock<std::mutex> lk(compactor_mutex_);
+    while (!stop_) {
+      compactor_cv_.wait(lk, [this] { return stop_ || compaction_requested_; });
+      if (stop_) {
+        return;
+      }
+      compaction_requested_ = false;
+      lk.unlock();
+      FlushCompactions();
+      lk.lock();
+    }
+  }
+
+  Options options_;
+  mutable std::shared_mutex root_mutex_;
+  LinearModel root_model_;
+  std::vector<uint64_t> boundaries_;  // first key of each group; [0] == 0
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::atomic<size_t> size_{0};
+
+  std::thread compactor_;
+  std::mutex compactor_mutex_;
+  std::condition_variable compactor_cv_;
+  bool compaction_requested_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_BASELINES_XINDEX_XINDEX_H_

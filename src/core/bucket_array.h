@@ -1,0 +1,213 @@
+// Sorted fixed-capacity buckets backing a DyTIS segment.
+//
+// A bucket stores up to `capacity` key/value pairs with the keys kept in
+// sorted order; keys and values live in two parallel arrays as in ALEX
+// (Section 3.2: "a key and its value are stored in sorted order ... in the
+// two different arrays").  All buckets of a segment share one contiguous
+// allocation, which keeps scans sequential and makes the
+// remapping/expansion rebuild a single pass.
+//
+// Lookups use exponential search around a predicted slot (the hint supplied
+// by the remapping function), the same in-node search ALEX uses.
+#ifndef DYTIS_SRC_CORE_BUCKET_ARRAY_H_
+#define DYTIS_SRC_CORE_BUCKET_ARRAY_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace dytis {
+
+template <typename V>
+class BucketArray {
+ public:
+  BucketArray(uint32_t num_buckets, uint32_t capacity)
+      : num_buckets_(num_buckets),
+        capacity_(capacity),
+        keys_(std::make_unique<uint64_t[]>(
+            static_cast<size_t>(num_buckets) * capacity)),
+        values_(std::make_unique<V[]>(
+            static_cast<size_t>(num_buckets) * capacity)),
+        sizes_(std::make_unique<uint16_t[]>(num_buckets)) {
+    assert(capacity >= 1 && capacity <= UINT16_MAX);
+    std::memset(sizes_.get(), 0, num_buckets * sizeof(uint16_t));
+  }
+
+  BucketArray(BucketArray&&) noexcept = default;
+  BucketArray& operator=(BucketArray&&) noexcept = default;
+
+  uint32_t num_buckets() const { return num_buckets_; }
+  uint32_t capacity() const { return capacity_; }
+  uint16_t BucketSize(uint32_t b) const { return sizes_[b]; }
+  bool IsFull(uint32_t b) const { return sizes_[b] == capacity_; }
+
+  std::span<const uint64_t> Keys(uint32_t b) const {
+    return {keys_.get() + Base(b), sizes_[b]};
+  }
+  std::span<const V> Values(uint32_t b) const {
+    return {values_.get() + Base(b), sizes_[b]};
+  }
+
+  // Finds `key` in bucket b.  `hint` is the predicted slot (clamped
+  // internally).  Returns the slot index, or -1 if absent.
+  int Find(uint32_t b, uint64_t key, uint32_t hint) const {
+    const uint64_t* keys = keys_.get() + Base(b);
+    const int n = sizes_[b];
+    const int pos = LowerBound(keys, n, key, hint);
+    if (pos < n && keys[pos] == key) {
+      return pos;
+    }
+    return -1;
+  }
+
+  const V& ValueAt(uint32_t b, int slot) const {
+    return values_[Base(b) + static_cast<size_t>(slot)];
+  }
+  V& MutableValueAt(uint32_t b, int slot) {
+    return values_[Base(b) + static_cast<size_t>(slot)];
+  }
+  uint64_t KeyAt(uint32_t b, int slot) const {
+    return keys_[Base(b) + static_cast<size_t>(slot)];
+  }
+
+  // Slot of the first key >= `key` in bucket b (may equal BucketSize(b)).
+  int LowerBoundSlot(uint32_t b, uint64_t key, uint32_t hint) const {
+    return LowerBound(keys_.get() + Base(b), sizes_[b], key, hint);
+  }
+
+  // Result of an insert attempt.
+  enum class InsertResult {
+    kInserted,       // new key stored
+    kAlreadyExists,  // key present; *existing_slot tells where
+    kFull,           // bucket has no space (key not present)
+  };
+
+  // Inserts (key, value) into bucket b keeping sorted order.
+  InsertResult Insert(uint32_t b, uint64_t key, const V& value, uint32_t hint,
+                      int* existing_slot = nullptr) {
+    uint64_t* keys = keys_.get() + Base(b);
+    V* values = values_.get() + Base(b);
+    const int n = sizes_[b];
+    const int pos = LowerBound(keys, n, key, hint);
+    if (pos < n && keys[pos] == key) {
+      if (existing_slot != nullptr) {
+        *existing_slot = pos;
+      }
+      return InsertResult::kAlreadyExists;
+    }
+    if (n == static_cast<int>(capacity_)) {
+      return InsertResult::kFull;
+    }
+    // Shift the tail up by one (values may be non-trivially copyable).
+    for (int i = n; i > pos; i--) {
+      keys[i] = keys[i - 1];
+      values[i] = std::move(values[i - 1]);
+    }
+    keys[pos] = key;
+    values[pos] = value;
+    sizes_[b]++;
+    return InsertResult::kInserted;
+  }
+
+  // Appends without searching; caller guarantees key > all keys in bucket b
+  // and the bucket has space.  Used by rebuilds, which feed keys in order.
+  void AppendSorted(uint32_t b, uint64_t key, const V& value) {
+    const int n = sizes_[b];
+    assert(n < static_cast<int>(capacity_));
+    assert(n == 0 || keys_[Base(b) + static_cast<size_t>(n - 1)] < key);
+    keys_[Base(b) + static_cast<size_t>(n)] = key;
+    values_[Base(b) + static_cast<size_t>(n)] = value;
+    sizes_[b]++;
+  }
+
+  // Removes `key` from bucket b.  Returns false if absent.
+  bool Erase(uint32_t b, uint64_t key, uint32_t hint) {
+    uint64_t* keys = keys_.get() + Base(b);
+    V* values = values_.get() + Base(b);
+    const int n = sizes_[b];
+    const int pos = LowerBound(keys, n, key, hint);
+    if (pos >= n || keys[pos] != key) {
+      return false;
+    }
+    for (int i = pos; i + 1 < n; i++) {
+      keys[i] = keys[i + 1];
+      values[i] = std::move(values[i + 1]);
+    }
+    sizes_[b]--;
+    return true;
+  }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) +
+           static_cast<size_t>(num_buckets_) * capacity_ *
+               (sizeof(uint64_t) + sizeof(V)) +
+           static_cast<size_t>(num_buckets_) * sizeof(uint16_t);
+  }
+
+ private:
+  size_t Base(uint32_t b) const {
+    return static_cast<size_t>(b) * capacity_;
+  }
+
+  // Exponential search for the lower bound of `key`, starting from `hint`.
+  static int LowerBound(const uint64_t* keys, int n, uint64_t key,
+                        uint32_t hint) {
+    if (n == 0) {
+      return 0;
+    }
+    int pos = static_cast<int>(hint);
+    if (pos >= n) {
+      pos = n - 1;
+    }
+    int lo;
+    int hi;
+    if (keys[pos] < key) {
+      // Gallop right.
+      int step = 1;
+      lo = pos + 1;
+      hi = lo;
+      while (hi < n && keys[hi] < key) {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, n);
+    } else {
+      // Gallop left.
+      int step = 1;
+      hi = pos;
+      lo = hi;
+      while (lo > 0 && keys[lo - 1] >= key) {
+        hi = lo;
+        lo -= step;
+        step <<= 1;
+        if (lo < 0) {
+          lo = 0;
+        }
+      }
+    }
+    // Binary search in [lo, hi).
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint32_t num_buckets_;
+  uint32_t capacity_;
+  std::unique_ptr<uint64_t[]> keys_;
+  std::unique_ptr<V[]> values_;
+  std::unique_ptr<uint16_t[]> sizes_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_BUCKET_ARRAY_H_

@@ -1,0 +1,70 @@
+// Tunable parameters of the DyTIS index (Section 4.1 of the paper lists the
+// defaults used in the evaluation; bench_params sweeps them).
+#ifndef DYTIS_SRC_CORE_CONFIG_H_
+#define DYTIS_SRC_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dytis {
+
+struct DyTISConfig {
+  // R: number of key MSBs used by the static first level; the index holds
+  // 2^R independent Extendible-Hashing tables.  Paper default: 9.
+  int first_level_bits = 9;
+
+  // B_size: bytes per bucket.  With 8-byte keys and 8-byte values the paper
+  // default of 2KB stores 128 pairs per bucket.
+  size_t bucket_bytes = 2048;
+
+  // U_t: segment-utilization threshold that selects between the structural
+  // operations in Algorithm 1.  Paper default: 0.6.
+  double util_threshold = 0.6;
+
+  // L_start: local depth at which DyTIS stops behaving like plain Extendible
+  // hashing and starts remapping/expansion.  Paper default: 6.
+  int l_start = 6;
+
+  // L' = L_start + l_prime_delta: the local depth at which the segment-size
+  // limit decision is made (Section 3.3, "Selecting a segment size").
+  int l_prime_delta = 2;
+
+  // Limit_seg: the segment-size cap is
+  //   limit_multiplier * 2^(LD - L_start + 1) buckets.
+  // It doubles per local depth as the paper requires.  When an EH observes a
+  // large share of expansions by the time it reaches L' (a uniform-ish key
+  // distribution), the multiplier is raised to limit_multiplier_large
+  // ("increased to 128 times, from 2 times by default").
+  uint32_t limit_multiplier = 2;
+  uint32_t limit_multiplier_large = 128;
+  // Share of expansion among structural operations above which the large
+  // multiplier is adopted.
+  double expansion_share_threshold = 0.5;
+
+  // Maximum refinement of a segment's remapping function: up to
+  // 2^max_subrange_bits piecewise-linear sub-ranges per segment
+  // ("Multiple models per node", design consideration 3).
+  int max_subrange_bits = 6;
+
+  // Deletion: when a segment's utilization falls below this threshold its
+  // buckets are merged (segment shrink), the inverse of remapping.
+  double merge_threshold = 0.2;
+
+  // Robustness cap (this reproduction's addition; see DESIGN.md Section 5).
+  // MSB-indexed Extendible hashing needs directory depth proportional to the
+  // longest shared key prefix of a dense cluster, so adversarially dense
+  // key ranges (e.g. millions of consecutive integers at the bottom of the
+  // key space) would otherwise grow the directory without bound.  When an
+  // EH reaches this global depth and every structural repair is exhausted,
+  // inserts fall back to a per-segment sorted overflow stash (correct but
+  // slower; stats.stash_inserts counts how often it happens -- zero for all
+  // of the paper's workloads).
+  int max_global_depth = 24;
+
+  // Derived: key/value pairs per bucket.
+  size_t BucketCapacity() const { return bucket_bytes / 16; }
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_CONFIG_H_

@@ -1,0 +1,82 @@
+// Forward cursor over a DyTIS index (library extension; not in the paper).
+//
+// RocksDB-style interface: Seek / SeekToFirst / Valid / Next / key / value.
+// The cursor batches entries through the index's Scan path, so it sees the
+// same consistency as Scan: with the concurrent build, each refill is
+// atomic with respect to writers, but entries inserted behind the cursor's
+// position after a refill are not revisited (no snapshot isolation).
+//
+//   dytis::DyTIS<uint64_t> index = ...;
+//   for (dytis::Cursor c(index); c.Valid(); c.Next()) {
+//     use(c.key(), c.value());
+//   }
+#ifndef DYTIS_SRC_CORE_CURSOR_H_
+#define DYTIS_SRC_CORE_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dytis.h"
+
+namespace dytis {
+
+template <typename V, typename Policy = NoLockPolicy>
+class BasicCursor {
+ public:
+  // batch_size: entries fetched per refill; larger batches amortise the
+  // per-refill positioning cost for long iterations.
+  explicit BasicCursor(const BasicDyTIS<V, Policy>& index,
+                       size_t batch_size = 256)
+      : index_(&index), buffer_(batch_size) {
+    SeekToFirst();
+  }
+
+  // Positions at the smallest key in the index.
+  void SeekToFirst() { Refill(0); }
+
+  // Positions at the smallest key >= target.
+  void Seek(uint64_t target) { Refill(target); }
+
+  bool Valid() const { return pos_ < filled_; }
+
+  void Next() {
+    pos_++;
+    if (pos_ < filled_) {
+      return;
+    }
+    if (filled_ < buffer_.size() || last_key_ == ~uint64_t{0}) {
+      // The previous refill already hit the end of the index.
+      filled_ = 0;
+      pos_ = 0;
+      return;
+    }
+    Refill(last_key_ + 1);
+  }
+
+  uint64_t key() const { return buffer_[pos_].first; }
+  const V& value() const { return buffer_[pos_].second; }
+
+ private:
+  void Refill(uint64_t start) {
+    filled_ = index_->Scan(start, buffer_.size(), buffer_.data());
+    pos_ = 0;
+    if (filled_ > 0) {
+      last_key_ = buffer_[filled_ - 1].first;
+    }
+  }
+
+  const BasicDyTIS<V, Policy>* index_;
+  std::vector<std::pair<uint64_t, V>> buffer_;
+  size_t filled_ = 0;
+  size_t pos_ = 0;
+  uint64_t last_key_ = 0;
+};
+
+template <typename V>
+using Cursor = BasicCursor<V, NoLockPolicy>;
+template <typename V>
+using ConcurrentCursor = BasicCursor<V, SharedMutexPolicy>;
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_CURSOR_H_

@@ -1,0 +1,230 @@
+// DyTIS — Dynamic dataset Targeted Index Structure (EuroSys '23).
+//
+// Public API of the reproduction.  DyTIS is an ordered key/value index over
+// 64-bit integer keys that is simultaneously efficient for search, insert,
+// and scan, needs no bulk-loading phase, and adapts its structure online to
+// the key distribution.
+//
+// Architecture (Section 3.2): a static first level of 2^R Extendible-Hashing
+// tables indexed by the R key MSBs; each EH table is a directory -> segments
+// -> sorted buckets structure where the bucket index of a key comes from a
+// per-segment piecewise-linear remapping function (an incrementally learned
+// CDF) instead of a hash, preserving the natural key order end to end.
+//
+// Typical use:
+//
+//   dytis::DyTIS<uint64_t> index;                  // single-threaded
+//   index.Insert(key, value);                      // insert / in-place update
+//   uint64_t v;
+//   if (index.Find(key, &v)) { ... }
+//   std::vector<std::pair<uint64_t, uint64_t>> out(100);
+//   size_t n = index.Scan(start_key, 100, out.data());
+//
+//   dytis::ConcurrentDyTIS<uint64_t> shared_index; // thread-safe variant
+#ifndef DYTIS_SRC_CORE_DYTIS_H_
+#define DYTIS_SRC_CORE_DYTIS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/eh_table.h"
+#include "src/core/lock_policy.h"
+#include "src/core/stats.h"
+#include "src/util/bitops.h"
+
+namespace dytis {
+
+template <typename V, typename Policy = NoLockPolicy>
+class BasicDyTIS {
+ public:
+  using ValueType = V;
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  explicit BasicDyTIS(const DyTISConfig& config = DyTISConfig{})
+      : config_(config), stats_(std::make_unique<DyTISStats>()) {
+    const size_t tables = static_cast<size_t>(Pow2(config_.first_level_bits));
+    const int eh_key_bits = kKeyBits - config_.first_level_bits;
+    tables_.reserve(tables);
+    for (size_t i = 0; i < tables; i++) {
+      tables_.push_back(std::make_unique<EhTable<V, Policy>>(
+          config_, stats_.get(), eh_key_bits));
+    }
+  }
+
+  // Inserts (key, value); if the key exists its value is updated in place.
+  // Returns true when the key is new.
+  bool Insert(uint64_t key, const V& value) {
+    const bool is_new = TableFor(key).Insert(key, value);
+    if (is_new) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return is_new;
+  }
+
+  // Point lookup.  Returns false when the key is absent; otherwise stores
+  // the value through `value` (which may be null to test existence only).
+  bool Find(uint64_t key, V* value) const {
+    return TableFor(key).Find(key, value);
+  }
+
+  // In-place update of an existing key.  Returns false when absent.
+  bool Update(uint64_t key, const V& value) {
+    return TableFor(key).Update(key, value);
+  }
+
+  // Deletes a key.  Returns false when absent.
+  bool Erase(uint64_t key) {
+    if (TableFor(key).Erase(key)) {
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Range scan: copies up to `count` entries with key >= start_key, in
+  // ascending key order, into `out`.  Returns the number copied (smaller
+  // only when the index runs out of keys).
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    size_t got = 0;
+    size_t t = TableIndexFor(start_key);
+    bool from_begin = false;
+    while (got < count && t < tables_.size()) {
+      got += tables_[t]->Scan(start_key, from_begin, count - got, out + got);
+      from_begin = true;  // subsequent EHs are scanned from their first key
+      t++;
+    }
+    return got;
+  }
+
+  // Bounded range scan: like Scan but stops before `end_key` (exclusive).
+  // Returns the number of entries copied.
+  size_t ScanRange(uint64_t start_key, uint64_t end_key, size_t count,
+                   ScanEntry* out) const {
+    if (start_key >= end_key) {
+      return 0;
+    }
+    const size_t got = Scan(start_key, count, out);
+    // Clip at the first entry >= end_key (entries are sorted).
+    size_t lo = 0;
+    size_t hi = got;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (out[mid].first < end_key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Number of keys in [start_key, end_key).  Costs a scan of the range.
+  size_t CountRange(uint64_t start_key, uint64_t end_key) const {
+    size_t total = 0;
+    std::vector<ScanEntry> buf(512);
+    uint64_t cursor = start_key;
+    while (cursor < end_key) {
+      const size_t got = ScanRange(cursor, end_key, buf.size(), buf.data());
+      total += got;
+      if (got < buf.size()) {
+        break;
+      }
+      const uint64_t last = buf[got - 1].first;
+      if (last == ~uint64_t{0}) {
+        break;
+      }
+      cursor = last + 1;
+    }
+    return total;
+  }
+
+  // Visits every (key, value) pair in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& table : tables_) {
+      table->ForEach(fn);
+    }
+  }
+
+  // Number of keys currently stored.
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  const DyTISConfig& config() const { return config_; }
+  const DyTISStats& stats() const { return *stats_; }
+  // Mutable access so harnesses can Reset() counters between phases.
+  DyTISStats& mutable_stats() { return *stats_; }
+
+  // Approximate heap footprint of the index structure (directories,
+  // segments, buckets).  Used by the memory-usage experiment.
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + tables_.capacity() * sizeof(void*);
+    for (const auto& table : tables_) {
+      bytes += table->MemoryBytes();
+    }
+    return bytes;
+  }
+
+  // Diagnostic counters for the experiments.
+  size_t NumSegments() const {
+    size_t n = 0;
+    for (const auto& table : tables_) {
+      n += table->NumSegments();
+    }
+    return n;
+  }
+
+  // Checks every structural invariant (directory alignment, sorted order,
+  // remap placement, sibling chains, key counts).  Test-suite hook.
+  bool ValidateInvariants(std::string* error = nullptr) const {
+    for (const auto& table : tables_) {
+      if (!table->ValidateInvariants(error)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t TableIndexFor(uint64_t key) const {
+    if (config_.first_level_bits == 0) {
+      return 0;
+    }
+    return static_cast<size_t>(
+        TopBits(key, kKeyBits, config_.first_level_bits));
+  }
+  EhTable<V, Policy>& TableFor(uint64_t key) {
+    return *tables_[TableIndexFor(key)];
+  }
+  const EhTable<V, Policy>& TableFor(uint64_t key) const {
+    return *tables_[TableIndexFor(key)];
+  }
+
+  DyTISConfig config_;
+  std::unique_ptr<DyTISStats> stats_;
+  std::vector<std::unique_ptr<EhTable<V, Policy>>> tables_;
+  std::atomic<size_t> size_{0};
+};
+
+// Single-threaded DyTIS (no locking; for one-engine-per-core designs).
+template <typename V>
+using DyTIS = BasicDyTIS<V, NoLockPolicy>;
+
+// Thread-safe DyTIS with the two-level locking of Section 3.4.
+template <typename V>
+using ConcurrentDyTIS = BasicDyTIS<V, SharedMutexPolicy>;
+
+// Thread-safe DyTIS with additional per-bucket spinlocks — the finer-grained
+// scheme the paper explored and rejected ("performance of DyTIS generally
+// degrades" due to lock memory and variable-size segments, Section 3.4).
+// Provided to reproduce that comparison; prefer ConcurrentDyTIS.
+template <typename V>
+using FineGrainedDyTIS = BasicDyTIS<V, FineGrainedPolicy>;
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_DYTIS_H_

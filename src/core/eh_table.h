@@ -1,0 +1,1042 @@
+// One Extendible-Hashing table of the DyTIS second level (Sections 3.2/3.3).
+//
+// Structure: directory (global depth GD) -> segments (local depth LD,
+// variable bucket count, remapping function) -> sorted buckets.  Unlike
+// CCEH, the bucket index inside a segment comes from the *remapped key*
+// (monotone CDF approximation), not from hash LSBs, which is what makes
+// scans possible.
+//
+// Insertion follows Algorithm 1 of the paper:
+//   bucket full, LD <  GD:  util > U_t ? split  : remap (fallback split)
+//   bucket full, LD == GD:  util > U_t ? expand : remap (fallback doubling)
+// with a warm-up phase (LD < L_start) that behaves like plain Extendible
+// hashing (split / directory doubling only).
+//
+// Locking (Section 3.4): a per-EH shared_mutex guards the directory; every
+// operation enters with it held shared, so holding it exclusively gives a
+// structural operation the whole table.  Remapping and expansion mutate only
+// segment-internal state and run under the segment lock; split and doubling
+// re-enter with the directory lock held exclusively.
+#ifndef DYTIS_SRC_CORE_EH_TABLE_H_
+#define DYTIS_SRC_CORE_EH_TABLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/segment.h"
+#include "src/core/stats.h"
+#include "src/util/bitops.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+
+template <typename V, typename Policy>
+class EhTable {
+ public:
+  using SegmentT = Segment<V, Policy>;
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  // key_bits: width of the EH-local key (n - R).
+  EhTable(const DyTISConfig& config, DyTISStats* stats, int key_bits)
+      : config_(config),
+        stats_(stats),
+        key_bits_(key_bits),
+        limit_multiplier_(config.limit_multiplier) {
+    auto* seg = new SegmentT(
+        /*local_depth=*/0, RemapFunction(key_bits_, /*num_buckets=*/1),
+        static_cast<uint32_t>(config_.BucketCapacity()));
+    dir_.push_back(seg);
+    global_depth_ = 0;
+  }
+
+  ~EhTable() {
+    SegmentT* prev = nullptr;
+    for (SegmentT* seg : dir_) {
+      if (seg != prev) {
+        delete seg;
+        prev = seg;
+      }
+    }
+  }
+
+  EhTable(const EhTable&) = delete;
+  EhTable& operator=(const EhTable&) = delete;
+
+  // Inserts or updates in place.  Returns true when the key is new.
+  bool Insert(uint64_t key, const V& value) {
+    const uint64_t eh_local = LowBits(key, key_bits_);
+    for (int attempt = 0; attempt < kMaxStructuralRetries; attempt++) {
+      if constexpr (Policy::kBucketLocks) {
+        // Fine-grained fast path: shared segment lock + bucket spinlock.
+        const FineOutcome fine = FineInsert(eh_local, key, value);
+        if (fine == FineOutcome::kInsertedNew) {
+          return true;
+        }
+        if (fine == FineOutcome::kUpdated) {
+          return false;
+        }
+        // kFallback: full bucket or active stash; use the coarse path.
+      }
+      {
+        typename Policy::SharedLock dir_lock(mutex_);
+        SegmentT* seg = SegmentFor(eh_local);
+        typename Policy::UniqueLock seg_lock(seg->mutex);
+        // A key that once overflowed may live in the stash; it must be
+        // updated there, never duplicated into a bucket.
+        if (!seg->stash.empty()) {
+          const int stash_slot = seg->StashFind(key);
+          if (stash_slot >= 0) {
+            seg->stash[static_cast<size_t>(stash_slot)].second = value;
+            return false;
+          }
+        }
+        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+        const auto placement = seg->remap.PlacementFor(local);
+        const uint32_t hint = SearchHint(*seg, placement);
+        int slot = -1;
+        const auto result =
+            seg->buckets.Insert(placement.bucket, key, value, hint, &slot);
+        if (result == BucketArray<V>::InsertResult::kInserted) {
+          seg->num_keys++;
+          return true;
+        }
+        if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
+          seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+          return false;
+        }
+        // Bucket full.  Try the segment-local repairs (remap / expansion)
+        // under the locks we already hold.
+        if (TrySegmentLocalRepair(seg, local)) {
+          continue;  // structure improved; retry the insert
+        }
+      }
+      // Split or directory doubling needed: re-enter exclusively.  A false
+      // return means every structural option is exhausted (directory-depth
+      // cap + segment-size limits): fall back to the overflow stash.
+      if (!HandleOverflowExclusive(eh_local)) {
+        typename Policy::SharedLock dir_lock(mutex_);
+        SegmentT* seg = SegmentFor(eh_local);
+        typename Policy::UniqueLock seg_lock(seg->mutex);
+        // State may have changed while re-locking: only stash when the
+        // target bucket is still full.
+        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+        if (!seg->buckets.IsFull(seg->remap.BucketIndexFor(local))) {
+          continue;
+        }
+        const bool is_new = seg->StashInsert(key, value);
+        if (is_new) {
+          seg->num_keys++;
+          stats_->Add(&DyTISStats::stash_inserts, 1);
+        }
+        return is_new;
+      }
+    }
+    assert(false && "DyTIS insert exceeded structural retry bound");
+    return false;
+  }
+
+  bool Find(uint64_t key, V* value) const {
+    const uint64_t eh_local = LowBits(key, key_bits_);
+    typename Policy::SharedLock dir_lock(mutex_);
+    const SegmentT* seg = SegmentFor(eh_local);
+    typename Policy::SharedLock seg_lock(seg->mutex);
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const auto placement = seg->remap.PlacementFor(local);
+    int slot;
+    if constexpr (Policy::kBucketLocks) {
+      SpinGuard guard(
+          const_cast<SegmentT*>(seg)->BucketLock(placement.bucket));
+      slot = seg->buckets.Find(placement.bucket, key,
+                               SearchHint(*seg, placement));
+      if (slot >= 0 && value != nullptr) {
+        *value = seg->buckets.ValueAt(placement.bucket, slot);
+        return true;
+      }
+    } else {
+      slot = seg->buckets.Find(placement.bucket, key,
+                               SearchHint(*seg, placement));
+    }
+    if (slot < 0) {
+      if (!seg->stash.empty()) {
+        const int stash_slot = seg->StashFind(key);
+        if (stash_slot >= 0) {
+          if (value != nullptr) {
+            *value = seg->stash[static_cast<size_t>(stash_slot)].second;
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    if (value != nullptr) {
+      *value = seg->buckets.ValueAt(placement.bucket, slot);
+    }
+    return true;
+  }
+
+  // Updates an existing key in place.  Returns false if the key is absent.
+  bool Update(uint64_t key, const V& value) {
+    const uint64_t eh_local = LowBits(key, key_bits_);
+    if constexpr (Policy::kBucketLocks) {
+      // Fine-grained fast path for bucket-resident keys.
+      typename Policy::SharedLock dir_lock(mutex_);
+      SegmentT* seg = SegmentFor(eh_local);
+      typename Policy::SharedLock seg_lock(seg->mutex);
+      const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+      const auto placement = seg->remap.PlacementFor(local);
+      {
+        SpinGuard guard(seg->BucketLock(placement.bucket));
+        const int slot = seg->buckets.Find(placement.bucket, key,
+                                           SearchHint(*seg, placement));
+        if (slot >= 0) {
+          seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+          return true;
+        }
+      }
+      if (seg->stash.empty()) {
+        return false;
+      }
+      // Stash-resident keys need the exclusive path below.
+    }
+    typename Policy::SharedLock dir_lock(mutex_);
+    SegmentT* seg = SegmentFor(eh_local);
+    typename Policy::UniqueLock seg_lock(seg->mutex);
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const auto placement = seg->remap.PlacementFor(local);
+    const int slot = seg->buckets.Find(placement.bucket, key,
+                                       SearchHint(*seg, placement));
+    if (slot < 0) {
+      if (!seg->stash.empty()) {
+        const int stash_slot = seg->StashFind(key);
+        if (stash_slot >= 0) {
+          seg->stash[static_cast<size_t>(stash_slot)].second = value;
+          return true;
+        }
+      }
+      return false;
+    }
+    seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+    return true;
+  }
+
+  // Deletes a key.  Returns false if absent.  May merge (shrink) the
+  // segment when its utilization drops below the merge threshold.
+  bool Erase(uint64_t key) {
+    const uint64_t eh_local = LowBits(key, key_bits_);
+    typename Policy::SharedLock dir_lock(mutex_);
+    SegmentT* seg = SegmentFor(eh_local);
+    typename Policy::UniqueLock seg_lock(seg->mutex);
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const auto placement = seg->remap.PlacementFor(local);
+    if (!seg->buckets.Erase(placement.bucket, key,
+                            SearchHint(*seg, placement))) {
+      if (seg->stash.empty() || !seg->StashErase(key)) {
+        return false;
+      }
+    }
+    seg->num_keys--;
+    MaybeMergeSegment(seg);
+    return true;
+  }
+
+  // Appends up to `want` entries with key >= start_key (or from the table's
+  // smallest key when from_begin).  Returns the number appended.
+  size_t Scan(uint64_t start_key, bool from_begin, size_t want,
+              ScanEntry* out) const {
+    if (want == 0) {
+      return 0;
+    }
+    typename Policy::SharedLock dir_lock(mutex_);
+    const uint64_t eh_local = LowBits(start_key, key_bits_);
+    const SegmentT* seg = from_begin ? dir_[0] : SegmentFor(eh_local);
+    size_t got = 0;
+    bool positioned = from_begin;
+    while (seg != nullptr && got < want) {
+      SegmentScanLock seg_lock(seg->mutex);
+      if (!seg->stash.empty()) {
+        // Slow path: merge buckets and stash for this segment.
+        got += ScanSegmentWithStash(*seg, positioned ? 0 : start_key,
+                                    want - got, out + got);
+        positioned = true;
+        seg = seg->sibling;
+        continue;
+      }
+      uint32_t b = 0;
+      int slot = 0;
+      if (!positioned) {
+        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+        const auto placement = seg->remap.PlacementFor(local);
+        b = placement.bucket;
+        slot = seg->buckets.LowerBoundSlot(b, start_key,
+                                           SearchHint(*seg, placement));
+        positioned = true;
+      }
+      for (; b < seg->buckets.num_buckets() && got < want; b++) {
+        const auto keys = seg->buckets.Keys(b);
+        const auto values = seg->buckets.Values(b);
+        for (size_t i = static_cast<size_t>(slot);
+             i < keys.size() && got < want; i++) {
+          out[got++] = {keys[i], values[i]};
+        }
+        slot = 0;
+      }
+      seg = seg->sibling;
+    }
+    return got;
+  }
+
+  // Visits every (key, value) pair in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    const SegmentT* seg = dir_.empty() ? nullptr : dir_[0];
+    while (seg != nullptr) {
+      SegmentScanLock seg_lock(seg->mutex);
+      if (!seg->stash.empty()) {
+        for (const auto& [k, v] : CollectSegmentEntries(*seg)) {
+          fn(k, v);
+        }
+      } else {
+        for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
+          const auto keys = seg->buckets.Keys(b);
+          const auto values = seg->buckets.Values(b);
+          for (size_t i = 0; i < keys.size(); i++) {
+            fn(keys[i], values[i]);
+          }
+        }
+      }
+      seg = seg->sibling;
+    }
+  }
+
+  int global_depth() const { return global_depth_; }
+
+  size_t NumSegments() const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    size_t n = 0;
+    const SegmentT* prev = nullptr;
+    for (const SegmentT* seg : dir_) {
+      if (seg != prev) {
+        n++;
+        prev = seg;
+      }
+    }
+    return n;
+  }
+
+  size_t NumKeys() const {
+    size_t n = 0;
+    typename Policy::SharedLock dir_lock(mutex_);
+    const SegmentT* prev = nullptr;
+    for (const SegmentT* seg : dir_) {
+      if (seg != prev) {
+        SegmentScanLock seg_lock(seg->mutex);
+        n += seg->num_keys;
+        prev = seg;
+      }
+    }
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    size_t bytes = sizeof(*this) + dir_.capacity() * sizeof(SegmentT*);
+    const SegmentT* prev = nullptr;
+    for (const SegmentT* seg : dir_) {
+      if (seg != prev) {
+        bytes += seg->MemoryBytes();
+        prev = seg;
+      }
+    }
+    return bytes;
+  }
+
+  // Structural invariant checker used by the test suite.  Returns true when
+  // every invariant holds; on failure writes a description to *error.
+  bool ValidateInvariants(std::string* error) const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    auto fail = [error](const std::string& msg) {
+      if (error != nullptr) {
+        *error = msg;
+      }
+      return false;
+    };
+    if (dir_.size() != Pow2(global_depth_)) {
+      return fail("directory size != 2^GD");
+    }
+    uint64_t prev_key = 0;
+    bool have_prev = false;
+    size_t i = 0;
+    const SegmentT* expected_sibling_chain = dir_[0];
+    while (i < dir_.size()) {
+      const SegmentT* seg = dir_[i];
+      if (seg != expected_sibling_chain) {
+        return fail("sibling chain does not match directory order");
+      }
+      SegmentScanLock seg_lock(seg->mutex);
+      if (seg->local_depth > global_depth_) {
+        return fail("segment LD > GD");
+      }
+      const size_t run = static_cast<size_t>(Pow2(global_depth_ - seg->local_depth));
+      if (i % run != 0) {
+        return fail("segment directory run is misaligned");
+      }
+      for (size_t j = 0; j < run; j++) {
+        if (dir_[i + j] != seg) {
+          return fail("directory run points at a different segment");
+        }
+      }
+      if (seg->remap.key_bits() != key_bits_ - seg->local_depth) {
+        return fail("segment key_bits != key_bits - LD");
+      }
+      // Per-bucket checks: sorted keys, correct bucket placement, correct
+      // segment membership (local-key prefix must equal the directory run).
+      size_t counted = 0;
+      for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
+        const auto keys = seg->buckets.Keys(b);
+        for (size_t s = 0; s < keys.size(); s++) {
+          const uint64_t k = keys[s];
+          const uint64_t eh_local = LowBits(k, key_bits_);
+          if (DirIndexFor(eh_local) / run * run != i) {
+            return fail("key stored in the wrong segment");
+          }
+          const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+          if (seg->remap.BucketIndexFor(local) != b) {
+            return fail("key stored in the wrong bucket");
+          }
+          if (have_prev && k <= prev_key) {
+            return fail("keys are not globally sorted");
+          }
+          prev_key = k;
+          have_prev = true;
+          counted++;
+        }
+      }
+      // Stash invariants: sorted, unique, owned by this segment, disjoint
+      // from bucket contents.
+      for (size_t s = 0; s < seg->stash.size(); s++) {
+        const uint64_t k = seg->stash[s].first;
+        if (s > 0 && seg->stash[s - 1].first >= k) {
+          return fail("stash is not strictly sorted");
+        }
+        const uint64_t eh_local = LowBits(k, key_bits_);
+        if (DirIndexFor(eh_local) / run * run != i) {
+          return fail("stash key stored in the wrong segment");
+        }
+        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+        const uint32_t kb = seg->remap.BucketIndexFor(local);
+        if (seg->buckets.Find(kb, k, 0) >= 0) {
+          return fail("stash key duplicated in a bucket");
+        }
+        counted++;
+      }
+      if (counted != seg->num_keys) {
+        return fail("segment num_keys out of sync");
+      }
+      expected_sibling_chain = seg->sibling;
+      i += run;
+    }
+    if (expected_sibling_chain != nullptr) {
+      return fail("last segment's sibling is not null");
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxStructuralRetries = 256;
+
+  // Segment-level lock used by multi-bucket readers (scan / for-each /
+  // validation / accounting).  With per-bucket locks active, point writers
+  // hold the segment lock *shared*, so multi-bucket readers must take it
+  // exclusively to get a consistent view; otherwise shared suffices.
+  using SegmentScanLock =
+      std::conditional_t<Policy::kBucketLocks, typename Policy::UniqueLock,
+                         typename Policy::SharedLock>;
+
+  // Outcome of the fine-grained insert fast path.
+  enum class FineOutcome { kInsertedNew, kUpdated, kFallback };
+
+  FineOutcome FineInsert(uint64_t eh_local, uint64_t key, const V& value) {
+    typename Policy::SharedLock dir_lock(mutex_);
+    SegmentT* seg = SegmentFor(eh_local);
+    typename Policy::SharedLock seg_lock(seg->mutex);
+    if (!seg->stash.empty()) {
+      return FineOutcome::kFallback;  // stash ops need the exclusive path
+    }
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const auto placement = seg->remap.PlacementFor(local);
+    SpinGuard guard(seg->BucketLock(placement.bucket));
+    int slot = -1;
+    const auto result =
+        seg->buckets.Insert(placement.bucket, key, value,
+                            SearchHint(*seg, placement), &slot);
+    if (result == BucketArray<V>::InsertResult::kInserted) {
+      seg->num_keys++;
+      return FineOutcome::kInsertedNew;
+    }
+    if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
+      seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+      return FineOutcome::kUpdated;
+    }
+    return FineOutcome::kFallback;  // bucket full
+  }
+
+  SegmentT* SegmentFor(uint64_t eh_local) {
+    return dir_[DirIndexFor(eh_local)];
+  }
+  const SegmentT* SegmentFor(uint64_t eh_local) const {
+    return dir_[DirIndexFor(eh_local)];
+  }
+
+  size_t DirIndexFor(uint64_t eh_local) const {
+    if (global_depth_ == 0) {
+      return 0;
+    }
+    return static_cast<size_t>(TopBits(eh_local, key_bits_, global_depth_));
+  }
+
+  // In-bucket slot hint from the remap placement (learned-index-style
+  // position prediction; the in-bucket search is exponential around it).
+  static uint32_t SearchHint(const SegmentT& seg,
+                             const RemapFunction::Placement& placement) {
+    const uint32_t size = seg.buckets.BucketSize(placement.bucket);
+    return placement.permille * size / 1000;
+  }
+
+  bool InWarmup(const SegmentT* seg) const {
+    return seg->local_depth < config_.l_start;
+  }
+
+  // Limit_seg: maximum bucket count of a segment at the given local depth.
+  // Doubles per local depth; the multiplier is raised once per EH when the
+  // expansion share observed by L' = L_start + l_prime_delta is high.
+  uint32_t SegmentLimit(int local_depth) const {
+    const int excess =
+        local_depth >= config_.l_start ? local_depth - config_.l_start : 0;
+    const int shift = std::min(excess + 1, 24);
+    return limit_multiplier_.load(std::memory_order_relaxed) *
+           static_cast<uint32_t>(Pow2(shift));
+  }
+
+  void NoteStructuralOp(bool was_expansion, int local_depth) {
+    if (limit_decided_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const uint32_t structurals =
+        warm_structurals_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint32_t expansions = warm_expansions_.load(std::memory_order_relaxed);
+    if (was_expansion) {
+      expansions = warm_expansions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    if (local_depth >= config_.l_start + config_.l_prime_delta) {
+      // Decision point L' reached: commit the segment-size limit.
+      const double share =
+          static_cast<double>(expansions) / static_cast<double>(structurals);
+      if (share > config_.expansion_share_threshold) {
+        limit_multiplier_.store(config_.limit_multiplier_large,
+                                std::memory_order_relaxed);
+      }
+      limit_decided_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // --- Segment-local repairs (run under dir shared + segment unique) -----
+
+  // Returns true when the structure changed (caller should retry).
+  bool TrySegmentLocalRepair(SegmentT* seg, uint64_t local) {
+    if (InWarmup(seg)) {
+      return false;  // warm-up: plain Extendible hashing only
+    }
+    const bool at_global = seg->local_depth == global_depth_;
+    const double util = seg->Utilization();
+    if (util > config_.util_threshold) {
+      if (at_global) {
+        return ExpandSegment(seg);  // Algorithm 1 line 13
+      }
+      return false;  // split needed (line 6): requires the directory lock
+    }
+    if (RemapSegment(seg, local)) {  // lines 8 / 15
+      return true;
+    }
+    return false;  // remap failed: split (line 9) or doubling (line 18)
+  }
+
+  // Expansion (Algorithm 1 line 13): double every sub-range's bucket span,
+  // i.e. double all slopes and rebuild.  Fails when the segment-size limit
+  // would be exceeded.
+  bool ExpandSegment(SegmentT* seg) {
+    const uint64_t t0 = NowNanos();
+    std::vector<uint32_t> counts = seg->remap.Counts();
+    uint64_t total = 0;
+    for (auto& c : counts) {
+      c *= 2;
+      total += c;
+    }
+    if (total > SegmentLimit(seg->local_depth)) {
+      return false;
+    }
+    if (!RebuildSegment(seg, std::move(counts), /*enforce_limit=*/true)) {
+      return false;  // overflow retries blew the size limit
+    }
+    stats_->Add(&DyTISStats::expansions, 1);
+    stats_->Add(&DyTISStats::expansion_ns, NowNanos() - t0);
+    NoteStructuralOp(/*was_expansion=*/true, seg->local_depth);
+    return true;
+  }
+
+  // Remapping (Algorithm 1 lines 8/15): refine sub-ranges until the target
+  // sub-range's utilization exceeds U_t, then double the target's bucket
+  // span, stealing buckets from under-utilized sub-ranges when possible and
+  // growing the segment otherwise.  Fails when nothing can change (all
+  // sub-ranges busy and the size limit is reached).
+  bool RemapSegment(SegmentT* seg, uint64_t local) {
+    const uint64_t t0 = NowNanos();
+    const int key_bits = seg->remap.key_bits();
+    const int max_p = std::min(config_.max_subrange_bits, key_bits);
+    const int cur_p = seg->remap.subrange_bits();
+
+    // Key counts at maximum refinement (single pass over the segment).
+    std::vector<uint64_t> keys_fine(Pow2(max_p), 0);
+    for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
+      for (uint64_t k : seg->buckets.Keys(b)) {
+        const uint64_t seg_local = LowBits(k, key_bits);
+        keys_fine[TopBits(seg_local, key_bits, max_p)]++;
+      }
+    }
+    const std::vector<uint32_t> buckets_fine = seg->remap.RefinedCounts(max_p);
+    const double cap = static_cast<double>(seg->buckets.capacity());
+
+    // 1. Refine until the target sub-range is genuinely hot (util > U_t).
+    int p = cur_p;
+    while (p < max_p) {
+      const uint32_t t = static_cast<uint32_t>(TopBits(local, key_bits, p));
+      const int group = max_p - p;
+      uint64_t kcount = 0;
+      uint64_t bcount = 0;
+      for (uint64_t i = (static_cast<uint64_t>(t) << group),
+                    end = (static_cast<uint64_t>(t) + 1) << group;
+           i < end; i++) {
+        kcount += keys_fine[i];
+        bcount += buckets_fine[i];
+      }
+      const double util =
+          bcount == 0 ? 2.0 : static_cast<double>(kcount) / (cap * bcount);
+      if (util > config_.util_threshold) {
+        break;
+      }
+      p++;
+    }
+
+    // Aggregate keys and current buckets to refinement p.
+    const uint32_t subs = static_cast<uint32_t>(Pow2(p));
+    const int group = max_p - p;
+    std::vector<uint64_t> keys_at(subs, 0);
+    std::vector<uint32_t> buckets_at(subs, 0);
+    for (uint32_t s = 0; s < subs; s++) {
+      for (uint64_t i = (static_cast<uint64_t>(s) << group),
+                    end = (static_cast<uint64_t>(s) + 1) << group;
+           i < end; i++) {
+        keys_at[s] += keys_fine[i];
+        buckets_at[s] += buckets_fine[i];
+      }
+    }
+    const uint32_t target = static_cast<uint32_t>(TopBits(local, key_bits, p));
+
+    // 2. New allocation: double the target's span; steal from sub-ranges
+    // whose utilization is below U_t (each keeps the minimum it needs).
+    std::vector<uint32_t> new_counts(subs);
+    const uint32_t old_t = std::max<uint32_t>(1, buckets_at[target]);
+    const uint32_t want_t = old_t * 2;
+    uint32_t needed = want_t - buckets_at[target];
+    uint64_t old_total = 0;
+    for (uint32_t s = 0; s < subs; s++) {
+      new_counts[s] = std::max<uint32_t>(1, buckets_at[s]);
+      old_total += new_counts[s];
+    }
+    new_counts[target] = want_t;
+    // Steal pass.
+    for (uint32_t s = 0; s < subs && needed > 0; s++) {
+      if (s == target) {
+        continue;
+      }
+      const uint32_t have = new_counts[s];
+      const double util = static_cast<double>(keys_at[s]) / (cap * have);
+      if (util >= config_.util_threshold) {
+        continue;
+      }
+      const uint32_t min_needed = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 std::ceil(static_cast<double>(keys_at[s]) /
+                           (cap * config_.util_threshold))));
+      if (have <= min_needed) {
+        continue;
+      }
+      const uint32_t give = std::min(have - min_needed, needed);
+      new_counts[s] = have - give;
+      needed -= give;
+    }
+    uint64_t new_total = 0;
+    for (uint32_t c : new_counts) {
+      new_total += c;
+    }
+    if (needed > 0) {
+      // 3. Stealing failed: grow the segment instead.
+      if (new_total > SegmentLimit(seg->local_depth)) {
+        stats_->Add(&DyTISStats::remap_failures, 1);
+        return false;
+      }
+    }
+    // No-op guard: remapping must change the function, or the caller would
+    // loop forever.
+    if (p == cur_p && new_counts == seg->remap.Counts()) {
+      stats_->Add(&DyTISStats::remap_failures, 1);
+      return false;
+    }
+    if (!RebuildSegment(seg, std::move(new_counts), /*enforce_limit=*/true)) {
+      stats_->Add(&DyTISStats::remap_failures, 1);
+      return false;
+    }
+    stats_->Add(&DyTISStats::remappings, 1);
+    stats_->Add(&DyTISStats::remap_ns, NowNanos() - t0);
+    NoteStructuralOp(/*was_expansion=*/false, seg->local_depth);
+    return true;
+  }
+
+  // Deletion-side merge: when utilization drops far below the threshold,
+  // shrink the segment to the minimum allocation (inverse of remapping).
+  void MaybeMergeSegment(SegmentT* seg) {
+    if (InWarmup(seg) || seg->remap.num_buckets() <= 1) {
+      return;
+    }
+    if (seg->Utilization() >= config_.merge_threshold) {
+      return;
+    }
+    const int key_bits = seg->remap.key_bits();
+    const int p = seg->remap.subrange_bits();
+    const uint32_t subs = seg->remap.num_subranges();
+    std::vector<uint64_t> keys_at(subs, 0);
+    for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
+      for (uint64_t k : seg->buckets.Keys(b)) {
+        keys_at[TopBits(LowBits(k, key_bits), key_bits, p)]++;
+      }
+    }
+    const double cap = static_cast<double>(seg->buckets.capacity());
+    std::vector<uint32_t> new_counts(subs);
+    uint64_t new_total = 0;
+    for (uint32_t s = 0; s < subs; s++) {
+      new_counts[s] = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 std::ceil(static_cast<double>(keys_at[s]) /
+                           (cap * config_.util_threshold))));
+      new_total += new_counts[s];
+    }
+    if (new_total >= seg->remap.num_buckets()) {
+      return;  // nothing to reclaim
+    }
+    // enforce_limit keeps the shrink bounded; if the compact allocation
+    // cannot hold the remaining keys the merge is simply skipped.
+    if (RebuildSegment(seg, std::move(new_counts), /*enforce_limit=*/true)) {
+      stats_->Add(&DyTISStats::merges, 1);
+    }
+  }
+
+  // Merged, ascending-key view of a segment's buckets and stash.
+  static std::vector<std::pair<uint64_t, V>> CollectSegmentEntries(
+      const SegmentT& seg) {
+    std::vector<std::pair<uint64_t, V>> entries;
+    entries.reserve(seg.num_keys);
+    size_t si = 0;  // stash cursor (stash is sorted)
+    for (uint32_t b = 0; b < seg.buckets.num_buckets(); b++) {
+      const auto keys = seg.buckets.Keys(b);
+      const auto values = seg.buckets.Values(b);
+      for (size_t i = 0; i < keys.size(); i++) {
+        while (si < seg.stash.size() && seg.stash[si].first < keys[i]) {
+          entries.push_back(seg.stash[si++]);
+        }
+        entries.emplace_back(keys[i], values[i]);
+      }
+    }
+    while (si < seg.stash.size()) {
+      entries.push_back(seg.stash[si++]);
+    }
+    return entries;
+  }
+
+  // Scan fallback for segments with a non-empty stash.
+  static size_t ScanSegmentWithStash(const SegmentT& seg, uint64_t start_key,
+                                     size_t want, ScanEntry* out) {
+    const auto entries = CollectSegmentEntries(seg);
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), start_key,
+        [](const auto& e, uint64_t k) { return e.first < k; });
+    size_t got = 0;
+    for (; it != entries.end() && got < want; ++it) {
+      out[got++] = *it;
+    }
+    return got;
+  }
+
+  // Rebuilds the segment's buckets under a new allocation (draining the
+  // stash back into buckets).  Retries with a doubled sub-range when a
+  // bucket overflows (possible when a key cluster is narrower than a bucket
+  // span).  Returns false when enforce_limit is set and the allocation
+  // cannot fit under the segment-size limit.
+  bool RebuildSegment(SegmentT* seg, std::vector<uint32_t> counts,
+                      bool enforce_limit) {
+    const int key_bits = seg->remap.key_bits();
+    const std::vector<std::pair<uint64_t, V>> entries =
+        CollectSegmentEntries(*seg);
+    auto rebuilt = BuildBuckets(key_bits, std::move(counts), entries,
+                                enforce_limit ? SegmentLimit(seg->local_depth)
+                                              : 0,
+                                static_cast<uint32_t>(config_.BucketCapacity()));
+    if (!rebuilt) {
+      return false;
+    }
+    seg->remap = std::move(rebuilt->first);
+    seg->buckets = std::move(rebuilt->second);
+    seg->ResetBucketLocks();
+    seg->stash.clear();
+    seg->stash.shrink_to_fit();
+    return true;
+  }
+
+  // Places `entries` (ascending by key) into fresh buckets under the
+  // allocation `counts` over `key_bits`-wide local keys.  On overflow the
+  // offending sub-range's count is doubled and the build restarts, within
+  // `limit` total buckets.  When the limit blocks:
+  //   * stash_out == nullptr: returns nullopt (the caller treats the
+  //     structural operation as failed, per Algorithm 1);
+  //   * stash_out != nullptr: performs a final build with the best-fitting
+  //     allocation and spills non-fitting entries into *stash_out (used by
+  //     split, which must always succeed).
+  static std::optional<std::pair<RemapFunction, BucketArray<V>>> BuildBuckets(
+      int key_bits, std::vector<uint32_t> counts,
+      const std::vector<std::pair<uint64_t, V>>& entries, uint64_t limit,
+      uint32_t capacity,
+      std::vector<std::pair<uint64_t, V>>* stash_out = nullptr) {
+    const int p = FloorLog2(counts.size());
+    const int span_bits = key_bits - p;
+    bool force_spill = false;
+    for (;;) {
+      uint64_t total = 0;
+      for (uint32_t c : counts) {
+        total += c;
+      }
+      const bool over_limit = force_spill || (limit != 0 && total > limit);
+      if (over_limit && stash_out == nullptr) {
+        return std::nullopt;
+      }
+      RemapFunction remap(key_bits, counts);
+      BucketArray<V> buckets(remap.num_buckets(), capacity);
+      int overflow_sub = -1;
+      for (const auto& [key, value] : entries) {
+        const uint64_t local = LowBits(key, key_bits);
+        const uint32_t b = remap.BucketIndexFor(local);
+        if (buckets.IsFull(b)) {
+          if (over_limit) {
+            // Final build (stash_out is non-null here): spill the entry
+            // instead of growing the allocation further.
+            stash_out->emplace_back(key, value);
+            continue;
+          }
+          overflow_sub = static_cast<int>(remap.SubrangeFor(local));
+          break;
+        }
+        buckets.AppendSorted(b, key, value);
+      }
+      if (overflow_sub < 0) {
+        return std::make_pair(std::move(remap), std::move(buckets));
+      }
+      // Double the overflowing sub-range (bounded: once a sub-range has one
+      // bucket per possible key value it cannot overflow again, and unique
+      // keys guarantee at most one entry per key value).
+      const uint64_t span = span_bits >= 63 ? ~uint64_t{0} : Pow2(span_bits);
+      uint64_t next = static_cast<uint64_t>(counts[overflow_sub]) * 2;
+      next = std::min<uint64_t>(next, std::min<uint64_t>(span, UINT32_MAX / 2));
+      if (next <= counts[static_cast<size_t>(overflow_sub)]) {
+        if (stash_out == nullptr) {
+          return std::nullopt;  // cannot grow further
+        }
+        force_spill = true;  // spill on the next pass instead
+        continue;
+      }
+      counts[static_cast<size_t>(overflow_sub)] = static_cast<uint32_t>(next);
+    }
+  }
+
+  // --- Structural operations under the exclusive directory lock ----------
+
+  // Returns false when every structural repair is exhausted (the caller
+  // falls back to the overflow stash).
+  bool HandleOverflowExclusive(uint64_t eh_local) {
+    typename Policy::UniqueLock dir_lock(mutex_);
+    SegmentT* seg = SegmentFor(eh_local);
+    // Re-check: another thread may have repaired the structure already.
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const uint32_t b = seg->remap.BucketIndexFor(local);
+    if (!seg->buckets.IsFull(b)) {
+      return true;
+    }
+    // Re-run the decision with exclusive ownership: segment-local repairs
+    // are legal here too (they can apply if the state changed since the
+    // shared-lock attempt).
+    if (TrySegmentLocalRepair(seg, local)) {
+      return true;
+    }
+    if (seg->local_depth < global_depth_) {
+      SplitSegment(seg, eh_local);  // Algorithm 1 lines 6/9 (+ warm-up splits)
+      return true;
+    }
+    if (global_depth_ < config_.max_global_depth) {
+      DoubleDirectory();  // Algorithm 1 line 18 (and warm-up doubling)
+      return true;
+    }
+    return false;  // directory-depth cap reached: degrade to the stash
+  }
+
+  void SplitSegment(SegmentT* seg, uint64_t eh_local) {
+    const uint64_t t0 = NowNanos();
+    assert(seg->local_depth < global_depth_);
+    const int parent_ld = seg->local_depth;
+    const int child_ld = parent_ld + 1;
+    const int parent_kb = seg->remap.key_bits();
+    const int child_kb = parent_kb - 1;
+    assert(child_kb >= 0);
+    const uint32_t capacity = static_cast<uint32_t>(config_.BucketCapacity());
+
+    // Partition entries (buckets + stash) by the next local-key MSB.
+    std::vector<std::pair<uint64_t, V>> left_entries;
+    std::vector<std::pair<uint64_t, V>> right_entries;
+    const uint64_t half = Pow2(child_kb);
+    for (auto& entry : CollectSegmentEntries(*seg)) {
+      const uint64_t local = LowBits(entry.first, parent_kb);
+      if (local < half) {
+        left_entries.push_back(std::move(entry));
+      } else {
+        right_entries.push_back(std::move(entry));
+      }
+    }
+
+    // Child allocations (Section 3.3, Split): size the child for the keys
+    // of its half of the parent, then double it, keeping the slopes.
+    std::vector<uint32_t> left_counts;
+    std::vector<uint32_t> right_counts;
+    if (child_ld <= config_.l_start) {
+      // Warm-up children: plain Extendible hashing, one bucket each.
+      left_counts = {1};
+      right_counts = {1};
+    } else {
+      const int p = seg->remap.subrange_bits();
+      if (p >= 1) {
+        const auto counts = seg->remap.Counts();
+        const size_t mid = counts.size() / 2;
+        left_counts.assign(counts.begin(), counts.begin() + mid);
+        right_counts.assign(counts.begin() + mid, counts.end());
+        for (auto& c : left_counts) {
+          c = std::max<uint32_t>(1, c * 2);
+        }
+        for (auto& c : right_counts) {
+          c = std::max<uint32_t>(1, c * 2);
+        }
+      } else {
+        const uint32_t c = seg->remap.num_buckets();
+        const uint32_t boundary = c / 2;
+        left_counts = {std::max<uint32_t>(1, boundary * 2)};
+        right_counts = {std::max<uint32_t>(1, (c - boundary) * 2)};
+      }
+    }
+
+    // Children are built under their own size limit; entries that cannot fit
+    // (pathologically dense key clusters) spill into the child's stash so a
+    // split can never fail or allocate unboundedly.
+    const uint64_t child_limit = SegmentLimit(child_ld);
+    std::vector<std::pair<uint64_t, V>> left_stash;
+    std::vector<std::pair<uint64_t, V>> right_stash;
+    auto left_built = BuildBuckets(child_kb, std::move(left_counts),
+                                   left_entries, child_limit, capacity,
+                                   &left_stash);
+    auto right_built = BuildBuckets(child_kb, std::move(right_counts),
+                                    right_entries, child_limit, capacity,
+                                    &right_stash);
+    assert(left_built && right_built);
+
+    auto* left = new SegmentT(child_ld, std::move(left_built->first), capacity);
+    left->buckets = std::move(left_built->second);
+    left->ResetBucketLocks();
+    left->num_keys = left_entries.size();
+    left->stash = std::move(left_stash);
+    auto* right =
+        new SegmentT(child_ld, std::move(right_built->first), capacity);
+    right->buckets = std::move(right_built->second);
+    right->ResetBucketLocks();
+    right->num_keys = right_entries.size();
+    right->stash = std::move(right_stash);
+
+    // Wire siblings: predecessor -> left -> right -> old sibling.
+    left->sibling = right;
+    right->sibling = seg->sibling;
+
+    // Redirect the directory run occupied by the parent; runs are aligned
+    // on their own length, so the start follows from any covered index.
+    const size_t run = static_cast<size_t>(Pow2(global_depth_ - parent_ld));
+    const size_t start = (DirIndexFor(eh_local) / run) * run;
+    assert(dir_[start] == seg);
+    for (size_t i = 0; i < run / 2; i++) {
+      dir_[start + i] = left;
+      dir_[start + run / 2 + i] = right;
+    }
+    if (start > 0) {
+      dir_[start - 1]->sibling = left;
+    }
+    delete seg;
+
+    stats_->Add(&DyTISStats::splits, 1);
+    stats_->Add(&DyTISStats::split_ns, NowNanos() - t0);
+    if (child_ld > config_.l_start) {
+      NoteStructuralOp(/*was_expansion=*/false, parent_ld);
+    }
+  }
+
+  void DoubleDirectory() {
+    const uint64_t t0 = NowNanos();
+    std::vector<SegmentT*> bigger(dir_.size() * 2);
+    for (size_t i = 0; i < dir_.size(); i++) {
+      bigger[2 * i] = dir_[i];
+      bigger[2 * i + 1] = dir_[i];
+    }
+    dir_ = std::move(bigger);
+    global_depth_++;
+    stats_->Add(&DyTISStats::doublings, 1);
+    stats_->Add(&DyTISStats::doubling_ns, NowNanos() - t0);
+  }
+
+  DyTISConfig config_;
+  DyTISStats* stats_;
+  const int key_bits_;
+
+  mutable typename Policy::Mutex mutex_;
+  std::vector<SegmentT*> dir_;
+  int global_depth_ = 0;
+
+  // Segment-size-limit heuristic state (Section 3.3).  Relaxed atomics:
+  // remapping/expansion update these under segment locks, so two segments of
+  // the same EH can report concurrently.
+  std::atomic<uint32_t> limit_multiplier_;
+  std::atomic<bool> limit_decided_{false};
+  std::atomic<uint32_t> warm_expansions_{0};
+  std::atomic<uint32_t> warm_structurals_{0};
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_EH_TABLE_H_

@@ -1,0 +1,89 @@
+// Locking policies for the DyTIS index (Section 3.4).
+//
+// The paper ships both a lock-free single-threaded build (for
+// one-engine-per-core systems like H-Store / Redis Cluster) and a
+// multi-threaded build with two-level locking adapted from Ellis:
+// a per-EH directory lock and per-segment locks.  We express that choice as
+// a compile-time policy so the single-threaded index pays zero
+// synchronisation cost.
+#ifndef DYTIS_SRC_CORE_LOCK_POLICY_H_
+#define DYTIS_SRC_CORE_LOCK_POLICY_H_
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+
+namespace dytis {
+
+// No-op locking: single-threaded engines.
+struct NoLockPolicy {
+  struct Mutex {};
+  struct SharedLock {
+    explicit SharedLock(Mutex&) {}
+    void unlock() {}
+  };
+  struct UniqueLock {
+    explicit UniqueLock(Mutex&) {}
+    void unlock() {}
+  };
+  static constexpr bool kThreadSafe = false;
+  static constexpr bool kBucketLocks = false;
+};
+
+// Reader/writer locking with std::shared_mutex.
+struct SharedMutexPolicy {
+  using Mutex = std::shared_mutex;
+  struct SharedLock {
+    explicit SharedLock(Mutex& m) : lock_(m) {}
+    void unlock() { lock_.unlock(); }
+
+   private:
+    std::shared_lock<Mutex> lock_;
+  };
+  struct UniqueLock {
+    explicit UniqueLock(Mutex& m) : lock_(m) {}
+    void unlock() { lock_.unlock(); }
+
+   private:
+    std::unique_lock<Mutex> lock_;
+  };
+  static constexpr bool kThreadSafe = true;
+  static constexpr bool kBucketLocks = false;
+};
+
+// Fine-grained variant: segment reader/writer locks plus per-bucket
+// spinlocks for point operations.  The paper explored bucket-level
+// concurrency (Section 3.4) and found that it "generally degrades"
+// performance due to the extra lock memory and variable-size segments;
+// this policy exists to reproduce that comparison (bench_finegrained).
+struct FineGrainedPolicy : SharedMutexPolicy {
+  static constexpr bool kBucketLocks = true;
+};
+
+// Tiny test-and-set spinlock for the per-bucket locks.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_LOCK_POLICY_H_

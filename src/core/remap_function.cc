@@ -1,0 +1,113 @@
+#include "src/core/remap_function.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/bitops.h"
+
+namespace dytis {
+
+RemapFunction::RemapFunction(int key_bits, uint32_t num_buckets)
+    : key_bits_(key_bits), subrange_bits_(0), starts_{0, num_buckets} {
+  assert(key_bits >= 0 && key_bits <= 63);
+  assert(num_buckets >= 1);
+}
+
+RemapFunction::RemapFunction(int key_bits, std::vector<uint32_t> counts)
+    : key_bits_(key_bits) {
+  assert(key_bits >= 0 && key_bits <= 63);
+  assert(!counts.empty());
+  assert(IsPow2(counts.size()));
+  subrange_bits_ = FloorLog2(counts.size());
+  assert(subrange_bits_ <= key_bits_);
+  starts_.resize(counts.size() + 1);
+  starts_[0] = 0;
+  for (size_t i = 0; i < counts.size(); i++) {
+    assert(counts[i] >= 1);
+    starts_[i + 1] = starts_[i] + counts[i];
+  }
+}
+
+uint32_t RemapFunction::SubrangeFor(uint64_t local_key) const {
+  if (subrange_bits_ == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(local_key >> (key_bits_ - subrange_bits_));
+}
+
+uint32_t RemapFunction::BucketIndexFor(uint64_t local_key) const {
+  const uint32_t sub = SubrangeFor(local_key);
+  const int span_bits = key_bits_ - subrange_bits_;
+  const uint64_t offset = LowBits(local_key, span_bits);
+  const uint32_t count = BucketCount(sub);
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(offset) * count;
+  return starts_[sub] + static_cast<uint32_t>(product >> span_bits);
+}
+
+RemapFunction::Placement RemapFunction::PlacementFor(uint64_t local_key) const {
+  const uint32_t sub = SubrangeFor(local_key);
+  const int span_bits = key_bits_ - subrange_bits_;
+  const uint64_t offset = LowBits(local_key, span_bits);
+  const uint32_t count = BucketCount(sub);
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(offset) * count;
+  Placement p;
+  p.bucket = starts_[sub] + static_cast<uint32_t>(product >> span_bits);
+  const uint64_t rem =
+      static_cast<uint64_t>(product - ((product >> span_bits) << span_bits));
+  p.permille = static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(rem) * 1000) >> span_bits);
+  return p;
+}
+
+uint64_t RemapFunction::FirstKeyOfBucket(uint32_t bucket) const {
+  if (bucket >= num_buckets()) {
+    return (key_bits_ >= 64) ? ~uint64_t{0} : Pow2(key_bits_);
+  }
+  // Find the sub-range owning this bucket: largest i with starts_[i] <= bucket.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), bucket);
+  const uint32_t sub = static_cast<uint32_t>(it - starts_.begin()) - 1;
+  const int span_bits = key_bits_ - subrange_bits_;
+  const uint32_t count = BucketCount(sub);
+  const uint64_t rel = bucket - starts_[sub];
+  // Smallest offset with floor(offset * count / 2^span_bits) == rel:
+  // offset = ceil(rel * 2^span_bits / count).
+  const unsigned __int128 numer =
+      (static_cast<unsigned __int128>(rel) << span_bits) + count - 1;
+  const uint64_t offset = static_cast<uint64_t>(numer / count);
+  const uint64_t sub_base = static_cast<uint64_t>(sub) << span_bits;
+  return sub_base | offset;
+}
+
+std::vector<uint32_t> RemapFunction::Counts() const {
+  std::vector<uint32_t> counts(starts_.size() - 1);
+  for (size_t i = 0; i + 1 < starts_.size(); i++) {
+    counts[i] = starts_[i + 1] - starts_[i];
+  }
+  return counts;
+}
+
+std::vector<uint32_t> RemapFunction::RefinedCounts(int new_subrange_bits) const {
+  assert(new_subrange_bits >= subrange_bits_);
+  assert(new_subrange_bits <= key_bits_);
+  const int d = new_subrange_bits - subrange_bits_;
+  const uint32_t children = static_cast<uint32_t>(Pow2(d));
+  std::vector<uint32_t> refined;
+  refined.reserve(num_subranges() * children);
+  for (uint32_t s = 0; s < num_subranges(); s++) {
+    const uint32_t c = BucketCount(s);
+    // Child boundaries follow the parent's linear mapping exactly, so the
+    // refined function is pointwise identical to the coarse one.
+    uint32_t prev = 0;
+    for (uint32_t j = 1; j <= children; j++) {
+      const uint32_t boundary = static_cast<uint32_t>(
+          (static_cast<uint64_t>(c) * j) >> d);
+      refined.push_back(boundary - prev);
+      prev = boundary;
+    }
+  }
+  return refined;
+}
+
+}  // namespace dytis

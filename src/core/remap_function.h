@@ -1,0 +1,99 @@
+// The per-segment remapping function of DyTIS (Section 3.2/3.3).
+//
+// The paper describes the remapping function as a scaled approximate CDF:
+// the segment key range is statically divided into 2^p equal sub-ranges and
+// each sub-range carries a linear function (slope + intercept); the function
+// range is [0, B * 2^key_bits) for a segment with B buckets, and the bucket
+// index of a key is its remapped value divided by 2^key_bits.
+//
+// We store the mathematically equivalent *bucket allocation* form: sub-range
+// i owns the contiguous span of `count_i` buckets starting at `start_i`
+// (start_i is the prefix sum of counts).  Inside a sub-range, the local key
+// is linearly interpolated onto the owned span.  The slope of sub-range i in
+// the paper's formulation is exactly `count_i * 2^p` (buckets per sub-range
+// scaled by the sub-range fraction of the domain), and the intercept chain
+// ("functions are connected to handle the entire range") is exactly the
+// prefix-sum property of starts.  Advantages of this representation:
+//
+//  * exact integer arithmetic (128-bit intermediate), so the remap is
+//    *exactly* monotonic -- the keys-stay-in-natural-order invariant that
+//    makes scans work is structural, not a floating-point accident;
+//  * "steal buckets from a low-utilisation sub-range" (the remapping
+//    operation of Algorithm 1) is a literal edit of the counts array.
+#ifndef DYTIS_SRC_CORE_REMAP_FUNCTION_H_
+#define DYTIS_SRC_CORE_REMAP_FUNCTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dytis {
+
+class RemapFunction {
+ public:
+  // Identity-CDF function: one sub-range owning `num_buckets` buckets over a
+  // segment whose local keys are `key_bits` wide.
+  RemapFunction(int key_bits, uint32_t num_buckets);
+
+  // Builds from an explicit per-sub-range allocation.  counts.size() must be
+  // a power of two and every count must be >= 1.
+  RemapFunction(int key_bits, std::vector<uint32_t> counts);
+
+  int key_bits() const { return key_bits_; }
+  // p: log2 of the number of sub-ranges.
+  int subrange_bits() const { return subrange_bits_; }
+  uint32_t num_subranges() const {
+    return static_cast<uint32_t>(starts_.size() - 1);
+  }
+  uint32_t num_buckets() const { return starts_.back(); }
+
+  uint32_t BucketStart(uint32_t subrange) const { return starts_[subrange]; }
+  uint32_t BucketCount(uint32_t subrange) const {
+    return starts_[subrange + 1] - starts_[subrange];
+  }
+
+  // Sub-range containing `local_key` (the top p bits of the local key).
+  uint32_t SubrangeFor(uint64_t local_key) const;
+
+  // Bucket index for `local_key`; exact, monotone non-decreasing in the key.
+  uint32_t BucketIndexFor(uint64_t local_key) const;
+
+  // Bucket index plus the fractional position inside the bucket's key span,
+  // as a per-mille value in [0, 1000).  The fraction is the search hint for
+  // the exponential in-bucket search (the analogue of a learned-index
+  // position prediction).
+  struct Placement {
+    uint32_t bucket;
+    uint32_t permille;  // predicted relative position within the bucket
+  };
+  Placement PlacementFor(uint64_t local_key) const;
+
+  // First local key mapped to `bucket` (inverse mapping; used by scans and
+  // rebuild validation).  Returns 2^key_bits when bucket >= num_buckets().
+  uint64_t FirstKeyOfBucket(uint32_t bucket) const;
+
+  // Returns a copy of the per-sub-range counts.
+  std::vector<uint32_t> Counts() const;
+
+  // Returns counts refined to 2^new_p sub-ranges (each sub-range's span is
+  // split evenly; odd counts give the extra bucket to the left child, and a
+  // count of 1 yields children sharing the parent bucket -- callers only use
+  // refined counts as the starting point for a fresh allocation, never as a
+  // final allocation, so transient zero counts are allowed here).
+  std::vector<uint32_t> RefinedCounts(int new_subrange_bits) const;
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + starts_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  int key_bits_;
+  int subrange_bits_;
+  // Prefix sums: starts_[i] is the first bucket of sub-range i;
+  // starts_.back() is the total bucket count.  Size = num_subranges + 1.
+  std::vector<uint32_t> starts_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_REMAP_FUNCTION_H_

@@ -1,0 +1,110 @@
+// DyTIS segment: local depth + remapping function + bucket storage.
+//
+// A segment holds all keys of its EH that share its LD most-significant
+// local-key bits.  Synchronisation state lives here too (the "segment
+// object" of Section 3.4): remapping and expansion mutate only this object,
+// so they run under the segment lock alone, while split/doubling also take
+// the EH directory lock.
+#ifndef DYTIS_SRC_CORE_SEGMENT_H_
+#define DYTIS_SRC_CORE_SEGMENT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/bucket_array.h"
+#include "src/core/lock_policy.h"
+#include "src/core/remap_function.h"
+
+namespace dytis {
+
+template <typename V, typename Policy>
+struct Segment {
+  Segment(int local_depth_in, RemapFunction remap_in, uint32_t capacity)
+      : local_depth(local_depth_in),
+        remap(std::move(remap_in)),
+        buckets(remap.num_buckets(), capacity) {
+    ResetBucketLocks();
+  }
+
+  // (Re)allocates the per-bucket spinlocks to match the current bucket
+  // count.  No-op for policies without bucket locks.  Callers must hold the
+  // segment lock exclusively (rebuilds already do).
+  void ResetBucketLocks() {
+    if constexpr (Policy::kBucketLocks) {
+      bucket_locks.reset(new SpinLock[buckets.num_buckets()]);
+    }
+  }
+
+  SpinLock& BucketLock(uint32_t b) { return bucket_locks[b]; }
+
+  double Utilization() const {
+    return static_cast<double>(num_keys) /
+           (static_cast<double>(remap.num_buckets()) * buckets.capacity());
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + remap.MemoryBytes() - sizeof(RemapFunction) +
+                   buckets.MemoryBytes() - sizeof(BucketArray<V>) +
+                   stash.capacity() * sizeof(std::pair<uint64_t, V>);
+    if constexpr (Policy::kBucketLocks) {
+      bytes += buckets.num_buckets() * sizeof(SpinLock);
+    }
+    return bytes;
+  }
+
+  // --- Overflow stash (last-resort graceful degradation; see
+  // DyTISConfig::max_global_depth).  Sorted by key; normally empty. --------
+
+  // Returns the stash slot of `key`, or -1.
+  int StashFind(uint64_t key) const {
+    const auto it = std::lower_bound(
+        stash.begin(), stash.end(), key,
+        [](const auto& e, uint64_t k) { return e.first < k; });
+    if (it == stash.end() || it->first != key) {
+      return -1;
+    }
+    return static_cast<int>(it - stash.begin());
+  }
+
+  // Inserts or updates `key` in the stash.  Returns true when new.
+  bool StashInsert(uint64_t key, const V& value) {
+    const auto it = std::lower_bound(
+        stash.begin(), stash.end(), key,
+        [](const auto& e, uint64_t k) { return e.first < k; });
+    if (it != stash.end() && it->first == key) {
+      it->second = value;
+      return false;
+    }
+    stash.insert(it, {key, value});
+    return true;
+  }
+
+  bool StashErase(uint64_t key) {
+    const int slot = StashFind(key);
+    if (slot < 0) {
+      return false;
+    }
+    stash.erase(stash.begin() + slot);
+    return true;
+  }
+
+  int local_depth;
+  RemapFunction remap;
+  BucketArray<V> buckets;
+  // Includes stash entries.  Atomic because the fine-grained policy
+  // updates it under a shared segment lock.
+  std::atomic<size_t> num_keys{0};
+  Segment* sibling = nullptr;  // next segment in key order within the EH
+  std::vector<std::pair<uint64_t, V>> stash;
+  // Per-bucket spinlocks (FineGrainedPolicy only; null otherwise).
+  std::unique_ptr<SpinLock[]> bucket_locks;
+  mutable typename Policy::Mutex mutex;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_SEGMENT_H_

@@ -1,0 +1,121 @@
+// Snapshot persistence for DyTIS (library extension; not part of the paper).
+//
+// Format (little-endian, version 1):
+//   magic "DYTS"   u32
+//   version        u32
+//   config         first_level_bits/l_start/... (the knobs that shape the
+//                  rebuilt index)
+//   num_entries    u64
+//   entries        num_entries * (key u64, value V) in ascending key order
+//
+// Loading replays the sorted entries through the normal insert path, which
+// is DyTIS's fast path (buckets fill in append order) and guarantees the
+// loaded index satisfies every invariant of a live one.  Only trivially
+// copyable value types are supported.
+#ifndef DYTIS_SRC_CORE_SNAPSHOT_H_
+#define DYTIS_SRC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "src/core/dytis.h"
+
+namespace dytis {
+
+inline constexpr uint32_t kSnapshotMagic = 0x53545944;  // "DYTS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+namespace snapshot_detail {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace snapshot_detail
+
+// Writes the index contents to `path`.  Returns false on I/O failure.
+template <typename V, typename Policy>
+bool SaveSnapshot(const BasicDyTIS<V, Policy>& index, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "snapshots support trivially copyable values only");
+  using snapshot_detail::WriteOne;
+  snapshot_detail::File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  const DyTISConfig& config = index.config();
+  bool ok = WriteOne(f.get(), kSnapshotMagic) &&
+            WriteOne(f.get(), kSnapshotVersion) &&
+            WriteOne(f.get(), config) &&
+            WriteOne(f.get(), static_cast<uint64_t>(index.size()));
+  if (!ok) {
+    return false;
+  }
+  bool write_failed = false;
+  index.ForEach([&](uint64_t key, const V& value) {
+    if (write_failed) {
+      return;
+    }
+    if (!WriteOne(f.get(), key) || !WriteOne(f.get(), value)) {
+      write_failed = true;
+    }
+  });
+  if (write_failed) {
+    return false;
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+// Loads a snapshot into a fresh index.  Returns nullptr on I/O failure,
+// magic/version mismatch, or corrupt entry counts.
+template <typename V, typename Policy = NoLockPolicy>
+std::unique_ptr<BasicDyTIS<V, Policy>> LoadSnapshot(const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  using snapshot_detail::ReadOne;
+  snapshot_detail::File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return nullptr;
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  DyTISConfig config;
+  uint64_t count = 0;
+  if (!ReadOne(f.get(), &magic) || magic != kSnapshotMagic ||
+      !ReadOne(f.get(), &version) || version != kSnapshotVersion ||
+      !ReadOne(f.get(), &config) || !ReadOne(f.get(), &count)) {
+    return nullptr;
+  }
+  auto index = std::make_unique<BasicDyTIS<V, Policy>>(config);
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t key = 0;
+    V value{};
+    if (!ReadOne(f.get(), &key) || !ReadOne(f.get(), &value)) {
+      return nullptr;
+    }
+    index->Insert(key, value);
+  }
+  return index;
+}
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_SNAPSHOT_H_

@@ -1,0 +1,56 @@
+// Operation statistics for the DyTIS index.
+//
+// Used by the insertion-breakdown analysis (Section 4.3: time spent in
+// split / expansion / remapping / doubling) and by the segment-size-limit
+// heuristic (Section 3.3).  Counters are relaxed atomics so the concurrent
+// build can update them without synchronisation beyond the structural locks.
+#ifndef DYTIS_SRC_CORE_STATS_H_
+#define DYTIS_SRC_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dytis {
+
+// Only *structural* operations are counted: per-operation counters (every
+// insert/search) would put an atomic increment on the hot path and distort
+// the head-to-head comparisons the benchmarks make.
+struct DyTISStats {
+  // Structural operations.
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> expansions{0};
+  std::atomic<uint64_t> remappings{0};
+  std::atomic<uint64_t> remap_failures{0};
+  std::atomic<uint64_t> doublings{0};
+  std::atomic<uint64_t> merges{0};
+  // Last-resort overflow-stash inserts (graceful degradation on
+  // adversarially dense key ranges; see DyTISConfig::max_global_depth).
+  std::atomic<uint64_t> stash_inserts{0};
+
+  // Nanoseconds spent inside each structural operation (breakdown bench).
+  std::atomic<uint64_t> split_ns{0};
+  std::atomic<uint64_t> expansion_ns{0};
+  std::atomic<uint64_t> remap_ns{0};
+  std::atomic<uint64_t> doubling_ns{0};
+
+  void Add(std::atomic<uint64_t> DyTISStats::*field, uint64_t v) {
+    (this->*field).fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t StructuralOps() const {
+    return splits.load(std::memory_order_relaxed) +
+           expansions.load(std::memory_order_relaxed) +
+           remappings.load(std::memory_order_relaxed) +
+           doublings.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    splits = expansions = remappings = remap_failures = doublings = merges = 0;
+    stash_inserts = 0;
+    split_ns = expansion_ns = remap_ns = doubling_ns = 0;
+  }
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_STATS_H_

@@ -1,0 +1,111 @@
+#include "src/datasets/dataset.h"
+
+#include <cassert>
+
+#include "src/datasets/generators.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+
+const char* DatasetShortName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kMapM:
+      return "MM";
+    case DatasetId::kMapL:
+      return "ML";
+    case DatasetId::kReviewM:
+      return "RM";
+    case DatasetId::kReviewL:
+      return "RL";
+    case DatasetId::kTaxi:
+      return "TX";
+    case DatasetId::kUniform:
+      return "Uniform";
+    case DatasetId::kLognormal:
+      return "Lognormal";
+    case DatasetId::kLonglat:
+      return "Longlat";
+    case DatasetId::kLongitudes:
+      return "Longitudes";
+  }
+  return "?";
+}
+
+Dataset MakeDataset(DatasetId id, size_t num_keys, uint64_t seed,
+                    bool shuffled) {
+  Dataset d;
+  d.id = id;
+  d.shuffled = shuffled;
+  d.name = DatasetShortName(id);
+  if (shuffled) {
+    d.name += "(s)";
+  }
+  switch (id) {
+    case DatasetId::kMapM: {
+      d.keys = GenerateMapKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kMapL: {
+      // ML covers a different continent: different bump layout + larger
+      // region count (Africa is bigger than South America).
+      MapGenOptions options;
+      options.num_density_bumps = 9;
+      options.num_regions = 96;
+      d.keys = GenerateMapKeys(num_keys, seed ^ 0xaf51caULL, options);
+      break;
+    }
+    case DatasetId::kReviewM: {
+      d.keys = GenerateReviewKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kReviewL: {
+      // RL (ratings only) has more items and users than the deduplicated RM.
+      ReviewGenOptions options;
+      options.num_items = 80'000;
+      options.item_zipf_theta = 0.95;
+      options.num_users = 1'000'000;
+      d.keys = GenerateReviewKeys(num_keys, seed ^ 0x4a71ULL, options);
+      break;
+    }
+    case DatasetId::kTaxi: {
+      d.keys = GenerateTaxiKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kUniform: {
+      d.keys = GenerateUniformKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kLognormal: {
+      d.keys = GenerateLognormalKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kLonglat: {
+      d.keys = GenerateLonglatKeys(num_keys, seed);
+      break;
+    }
+    case DatasetId::kLongitudes: {
+      d.keys = GenerateLongitudesKeys(num_keys, seed);
+      break;
+    }
+  }
+  if (shuffled) {
+    Rng rng(seed ^ 0x5bffULL);
+    for (size_t i = d.keys.size(); i > 1; i--) {
+      std::swap(d.keys[i - 1], d.keys[rng.NextBelow(i)]);
+    }
+  }
+  return d;
+}
+
+std::vector<DatasetId> RealWorldDatasetIds() {
+  return {DatasetId::kMapM, DatasetId::kMapL, DatasetId::kReviewM,
+          DatasetId::kReviewL, DatasetId::kTaxi};
+}
+
+std::vector<DatasetId> AllDatasetIds() {
+  return {DatasetId::kMapM,      DatasetId::kMapL,    DatasetId::kReviewM,
+          DatasetId::kReviewL,   DatasetId::kTaxi,    DatasetId::kUniform,
+          DatasetId::kLognormal, DatasetId::kLonglat, DatasetId::kLongitudes};
+}
+
+}  // namespace dytis

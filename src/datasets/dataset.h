@@ -1,0 +1,65 @@
+// Dataset model and registry.
+//
+// The paper evaluates on five real-world traces (Table 1): Map-M/Map-L
+// (OpenStreetMap longitudes+latitudes of a continent), Review-M/Review-L
+// (Amazon review item/user/time concatenations) and Taxi (NYC TLC pickup +
+// drop-off timestamps), plus the simpler Group-3 datasets used by earlier
+// learned-index studies (Uniform, Lognormal, Longlat, Longitudes).  The raw
+// traces are multi-GB downloads that are not available offline, so this
+// module generates synthetic substitutes engineered to reproduce the two
+// dynamic characteristics the paper shows matter (Figure 1): variance of
+// skewness and key distribution divergence.  See DESIGN.md Section 2 for the
+// substitution rationale per dataset.
+//
+// A Dataset is an *insert-ordered* stream of unique 64-bit keys: the order
+// is part of the dataset definition (Section 2.1 of the paper) because it
+// determines the KDD.
+#ifndef DYTIS_SRC_DATASETS_DATASET_H_
+#define DYTIS_SRC_DATASETS_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dytis {
+
+enum class DatasetId {
+  // Group 1: dynamic real-world substitutes.
+  kMapM,       // MM: South-America-like map keys; low skewness, medium KDD
+  kMapL,       // ML: Africa-like map keys (larger); low skewness, medium KDD
+  kReviewM,    // RM: deduplicated review keys; high skewness, low KDD
+  kReviewL,    // RL: ratings-only review keys; high skewness, low KDD
+  kTaxi,       // TX: taxi-trip timestamps; medium skewness, high KDD
+  // Group 3: simple datasets from prior learned-index studies.
+  kUniform,
+  kLognormal,
+  kLonglat,
+  kLongitudes,
+};
+
+struct Dataset {
+  std::string name;
+  DatasetId id = DatasetId::kUniform;
+  bool shuffled = false;
+  std::vector<uint64_t> keys;  // unique keys, in insertion order
+};
+
+// Human-readable short name (MM, ML, RM, RL, TX, Uniform, ...).
+const char* DatasetShortName(DatasetId id);
+
+// Generates `num_keys` unique keys for the given dataset.  `shuffled` applies
+// a Fisher-Yates shuffle after generation, producing the "(s)" Group-2
+// variants of the paper (same key set, uniform-over-time insertion order).
+Dataset MakeDataset(DatasetId id, size_t num_keys, uint64_t seed = 42,
+                    bool shuffled = false);
+
+// The five Group-1 datasets used throughout the paper's evaluation.
+std::vector<DatasetId> RealWorldDatasetIds();
+
+// All dataset ids, including Group 3.
+std::vector<DatasetId> AllDatasetIds();
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_DATASETS_DATASET_H_

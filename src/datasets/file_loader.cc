@@ -1,0 +1,118 @@
+#include "src/datasets/file_loader.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dytis {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+std::optional<std::vector<uint64_t>> LoadKeysFromCsv(const std::string& path,
+                                                     size_t limit) {
+  File f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> keys;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (limit != 0 && keys.size() >= limit) {
+      break;
+    }
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') {
+      p++;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      continue;  // header, comment, or blank line
+    }
+    uint64_t key = 0;
+    if (std::sscanf(p, "%" SCNu64, &key) == 1) {
+      keys.push_back(key);
+    }
+  }
+  if (keys.empty()) {
+    return std::nullopt;
+  }
+  return keys;
+}
+
+std::optional<std::vector<uint64_t>> LoadKeysFromSosd(const std::string& path,
+                                                      size_t limit) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return std::nullopt;
+  }
+  if (limit != 0 && count > limit) {
+    count = limit;
+  }
+  std::vector<uint64_t> keys(count);
+  if (count > 0 &&
+      std::fread(keys.data(), sizeof(uint64_t), count, f.get()) != count) {
+    return std::nullopt;  // truncated file
+  }
+  return keys;
+}
+
+std::optional<std::vector<uint64_t>> LoadKeysFromFile(const std::string& path,
+                                                      size_t limit) {
+  if (HasSuffix(path, ".csv") || HasSuffix(path, ".txt")) {
+    return LoadKeysFromCsv(path, limit);
+  }
+  return LoadKeysFromSosd(path, limit);
+}
+
+bool SaveKeysToCsv(const std::vector<uint64_t>& keys,
+                   const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return false;
+  }
+  for (uint64_t k : keys) {
+    if (std::fprintf(f.get(), "%" PRIu64 "\n", k) < 0) {
+      return false;
+    }
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+bool SaveKeysToSosd(const std::vector<uint64_t>& keys,
+                    const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  const uint64_t count = keys.size();
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return false;
+  }
+  if (count > 0 &&
+      std::fwrite(keys.data(), sizeof(uint64_t), count, f.get()) != count) {
+    return false;
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+}  // namespace dytis

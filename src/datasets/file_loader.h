@@ -1,0 +1,40 @@
+// Loading key files: CSV (the paper artifact's review-small.csv format) and
+// SOSD-style binary (uint64 count followed by count uint64 keys, little
+// endian).  Lets the repository run against real downloaded datasets when
+// they are available, mirroring the artifact's benchmark workflow.
+#ifndef DYTIS_SRC_DATASETS_FILE_LOADER_H_
+#define DYTIS_SRC_DATASETS_FILE_LOADER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dytis {
+
+// Reads keys from a CSV/text file: the first comma-separated column of each
+// line is parsed as an unsigned 64-bit integer.  Lines that do not start
+// with a digit (headers, comments, blanks) are skipped.  `limit` == 0 means
+// read everything.  Returns nullopt when the file cannot be opened or
+// contains no keys.
+std::optional<std::vector<uint64_t>> LoadKeysFromCsv(const std::string& path,
+                                                     size_t limit = 0);
+
+// Reads a SOSD-style binary file: uint64 key count, then that many uint64
+// keys, all little-endian.  Returns nullopt on open failure or truncation.
+std::optional<std::vector<uint64_t>> LoadKeysFromSosd(const std::string& path,
+                                                      size_t limit = 0);
+
+// Dispatches on the file extension: ".csv"/".txt" -> CSV, anything else ->
+// SOSD binary.
+std::optional<std::vector<uint64_t>> LoadKeysFromFile(const std::string& path,
+                                                      size_t limit = 0);
+
+// Writers (round-trip tooling and tests).
+bool SaveKeysToCsv(const std::vector<uint64_t>& keys, const std::string& path);
+bool SaveKeysToSosd(const std::vector<uint64_t>& keys,
+                    const std::string& path);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_DATASETS_FILE_LOADER_H_

@@ -1,0 +1,307 @@
+#include "src/datasets/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/bitops.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Clamps v into [lo, hi].
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+void MakeUnique(std::vector<uint64_t>& keys, uint64_t seed) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size() * 2);
+  Rng rng(seed ^ 0xded00bULL);
+  for (auto& k : keys) {
+    uint64_t candidate = k;
+    // Perturb low bits until unique; nearby values keep the distribution
+    // intact (the low bits carry no structure in any of our layouts).
+    while (!seen.insert(candidate).second) {
+      candidate = (candidate & ~LowMask(16)) | LowBits(rng.Next(), 16);
+    }
+    k = candidate;
+  }
+}
+
+std::vector<uint64_t> GenerateMapKeys(size_t n, uint64_t seed,
+                                      const MapGenOptions& options) {
+  Rng rng(seed);
+  // Broad density bumps over the longitude axis: centers and widths.
+  struct Bump {
+    double center;
+    double width;
+    double weight;
+  };
+  std::vector<Bump> bumps;
+  double total_weight = 0.0;
+  for (int i = 0; i < options.num_density_bumps; i++) {
+    Bump b;
+    b.center = rng.NextDouble();
+    b.width = 0.15 + 0.25 * rng.NextDouble();  // broad => smooth CDF
+    b.weight = 0.5 + rng.NextDouble();
+    total_weight += b.weight;
+    bumps.push_back(b);
+  }
+
+  // Spatial sweep: visit longitude regions roughly left-to-right with
+  // jitter, emitting a block of points per region visit.  This reproduces
+  // the region-by-region write order of OSM extracts.
+  const int regions = options.num_regions;
+  std::vector<int> order(static_cast<size_t>(regions));
+  for (int i = 0; i < regions; i++) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  // Jitter the sweep: swap nearby entries.
+  const int swaps = static_cast<int>(options.region_jitter * regions * 4);
+  for (int s = 0; s < swaps; s++) {
+    const int i = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(regions - 1)));
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(i + 1)]);
+  }
+
+  // Region weights from the bump mixture, used to size each region's block.
+  std::vector<double> region_weight(static_cast<size_t>(regions), 0.0);
+  double wsum = 0.0;
+  for (int r = 0; r < regions; r++) {
+    const double x = (static_cast<double>(r) + 0.5) / regions;
+    double w = 0.05;  // base density floor
+    for (const auto& b : bumps) {
+      const double d = (x - b.center) / b.width;
+      w += (b.weight / total_weight) * std::exp(-0.5 * d * d);
+    }
+    region_weight[static_cast<size_t>(r)] = w;
+    wsum += w;
+  }
+
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (int idx = 0; idx < regions && keys.size() < n; idx++) {
+    const int r = order[static_cast<size_t>(idx)];
+    size_t block =
+        static_cast<size_t>(region_weight[static_cast<size_t>(r)] / wsum *
+                            static_cast<double>(n)) + 1;
+    block = std::min(block, n - keys.size());
+    const double lon_lo = static_cast<double>(r) / regions;
+    const double lon_hi = static_cast<double>(r + 1) / regions;
+    for (size_t i = 0; i < block; i++) {
+      double lon;
+      if (rng.NextDouble() < options.background_fraction) {
+        // Continent-wide point, weighted by the bump mixture via rejection.
+        for (;;) {
+          lon = rng.NextDouble();
+          double w = 0.05;
+          for (const auto& bm : bumps) {
+            const double dd = (lon - bm.center) / bm.width;
+            w += (bm.weight / total_weight) * std::exp(-0.5 * dd * dd);
+          }
+          if (rng.NextDouble() < w) {
+            break;
+          }
+        }
+      } else {
+        lon = lon_lo + (lon_hi - lon_lo) * rng.NextDouble();
+      }
+      // Mild latitude relief: more points near the middle latitudes.
+      double lat = rng.NextDouble();
+      if (rng.NextDouble() < options.lat_relief) {
+        lat = 0.5 + 0.25 * rng.NextGaussian();
+        lat = Clamp01(lat);
+      }
+      const uint64_t lon_bits =
+          static_cast<uint64_t>(lon * static_cast<double>(Pow2(32) - 1));
+      const uint64_t lat_bits =
+          static_cast<uint64_t>(lat * static_cast<double>(Pow2(31) - 1));
+      keys.push_back((lon_bits << 31) | lat_bits);
+    }
+  }
+  // Rounding may leave a shortfall; top up uniformly.
+  while (keys.size() < n) {
+    keys.push_back(rng.Next() >> 1);
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateReviewKeys(size_t n, uint64_t seed,
+                                         const ReviewGenOptions& options) {
+  Rng rng(seed);
+  // Sparse item identifiers: random points in the 24-bit item space.
+  std::vector<uint64_t> item_ids;
+  item_ids.reserve(options.num_items);
+  for (size_t i = 0; i < options.num_items; i++) {
+    item_ids.push_back(LowBits(rng.Next(), 24));
+  }
+  std::sort(item_ids.begin(), item_ids.end());
+  item_ids.erase(std::unique(item_ids.begin(), item_ids.end()),
+                 item_ids.end());
+  // Popularity must not correlate with the id value (Zipf rank 0 picks
+  // index 0): shuffle so hot items are scattered across the id space.
+  for (size_t i = item_ids.size(); i > 1; i--) {
+    std::swap(item_ids[i - 1], item_ids[rng.NextBelow(i)]);
+  }
+
+  ZipfianGenerator item_pick(item_ids.size(), options.item_zipf_theta,
+                             seed ^ 0x17e35ULL);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // Reviews arrive in time order; the item/user mixture is stationary.
+  for (size_t t = 0; t < n; t++) {
+    const uint64_t item = item_ids[item_pick.Next()];
+    const uint64_t user = rng.NextBelow(options.num_users) & LowMask(20);
+    const uint64_t time = LowBits(t, 20);
+    keys.push_back((item << 40) | (user << 20) | time);
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateTaxiKeys(size_t n, uint64_t seed,
+                                       const TaxiGenOptions& options) {
+  Rng rng(seed);
+  const double total_seconds = options.years * 365.25 * 86400.0;
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // Demand-modulated clock: trips per simulated second vary with hour of
+  // day and day of week, so wall-clock time advances unevenly per trip.
+  double clock = 0.0;
+  const double base_step = total_seconds / static_cast<double>(n);
+  // Week-scale demand bursts (weather, events): a lognormal multiplier that
+  // resamples every simulated week.
+  double burst = 1.0;
+  double next_burst_at = 0.0;
+  for (size_t i = 0; i < n; i++) {
+    if (clock >= next_burst_at) {
+      burst = std::exp(options.burst_sigma * rng.NextGaussian());
+      next_burst_at = clock + 7.0 * 86400.0;
+    }
+    const double day_seconds = std::fmod(clock, 86400.0);
+    const double hour = day_seconds / 3600.0;
+    const double dow = std::fmod(clock / 86400.0, 7.0);
+    const double day_of_year = std::fmod(clock / 86400.0, 365.25);
+    // Diurnal cycle (rush hours), weekly cycle (weekend dip), and seasonal
+    // cycle (summer/winter demand swing).
+    const double diurnal = 1.0 + 0.8 * std::sin((hour - 7.0) / 24.0 * 2 * kPi) +
+                           0.4 * std::sin((hour - 18.0) / 12.0 * 2 * kPi);
+    const double weekly = (dow >= 5.0) ? 0.7 : 1.0;
+    const double seasonal =
+        1.0 + options.seasonal_amplitude *
+                  std::sin(day_of_year / 365.25 * 2 * kPi);
+    const double demand =
+        std::max(0.05, diurnal * weekly * seasonal * burst);
+    clock += base_step / demand * (0.5 + rng.NextDouble());
+    const uint64_t pickup =
+        options.start_epoch_seconds + static_cast<uint64_t>(clock);
+    // Trip duration: exponential-ish around the mean, in centiseconds.
+    const double u = std::max(1e-12, rng.NextDouble());
+    const double minutes = -options.mean_trip_minutes * std::log(u);
+    const uint64_t duration_centis =
+        std::min<uint64_t>(static_cast<uint64_t>(minutes * 6000.0),
+                           Pow2(30) - 1);
+    keys.push_back((LowBits(pickup, 34) << 30) | duration_centis);
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateUniformKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    keys.push_back(rng.Next() >> 1);  // 63-bit keys
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateLognormalKeys(size_t n, uint64_t seed,
+                                            double sigma) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // exp(N(0, sigma)) scaled so the bulk of mass lands inside 2^62.
+  const double scale = std::pow(2.0, 40.0);
+  for (size_t i = 0; i < n; i++) {
+    const double v = std::exp(sigma * rng.NextGaussian()) * scale;
+    uint64_t k;
+    if (v >= static_cast<double>(Pow2(62))) {
+      k = Pow2(62) - 1;
+    } else {
+      k = static_cast<uint64_t>(v);
+    }
+    keys.push_back(k);
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateLonglatKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // ALEX's longlat: 180*lon + lat of OSM points, which concentrates keys
+  // around populated (lon, lat) combinations.  We model the population with
+  // a handful of tight city clusters plus diffuse background.
+  const int kCities = 64;
+  std::vector<std::pair<double, double>> cities;
+  cities.reserve(kCities);
+  for (int i = 0; i < kCities; i++) {
+    cities.emplace_back(rng.NextDouble() * 360.0 - 180.0,
+                        rng.NextDouble() * 180.0 - 90.0);
+  }
+  for (size_t i = 0; i < n; i++) {
+    double lon;
+    double lat;
+    if (rng.NextDouble() < 0.85) {
+      const auto& c = cities[rng.NextBelow(kCities)];
+      lon = c.first + rng.NextGaussian() * 0.5;
+      lat = c.second + rng.NextGaussian() * 0.5;
+    } else {
+      lon = rng.NextDouble() * 360.0 - 180.0;
+      lat = rng.NextDouble() * 180.0 - 90.0;
+    }
+    lon = std::min(180.0, std::max(-180.0, lon));
+    lat = std::min(90.0, std::max(-90.0, lat));
+    const double compound = 180.0 * (lon + 180.0) + (lat + 90.0);
+    keys.push_back(static_cast<uint64_t>(compound * 1e12));
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateLongitudesKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // Longitudes of populated places: a few dense meridian bands.
+  const int kBands = 12;
+  std::vector<double> centers;
+  centers.reserve(kBands);
+  for (int i = 0; i < kBands; i++) {
+    centers.push_back(rng.NextDouble() * 360.0);
+  }
+  for (size_t i = 0; i < n; i++) {
+    double lon;
+    if (rng.NextDouble() < 0.7) {
+      lon = centers[rng.NextBelow(kBands)] + rng.NextGaussian() * 8.0;
+    } else {
+      lon = rng.NextDouble() * 360.0;
+    }
+    lon = std::fmod(std::fmod(lon, 360.0) + 360.0, 360.0);
+    keys.push_back(static_cast<uint64_t>(lon * 1e15));
+  }
+  MakeUnique(keys, seed);
+  return keys;
+}
+
+}  // namespace dytis

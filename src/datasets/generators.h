@@ -1,0 +1,89 @@
+// Individual synthetic key-stream generators.
+//
+// Each generator produces keys in *insertion order*; the order encodes the
+// temporal behaviour the paper's KDD metric measures.  All generators are
+// deterministic given a seed.
+#ifndef DYTIS_SRC_DATASETS_GENERATORS_H_
+#define DYTIS_SRC_DATASETS_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dytis {
+
+// Map-style keys (substitute for OSM Map-M / Map-L).
+//
+// Key layout: [lon:32][lat:31] over a continent bounding box.  The longitude
+// marginal is a smooth mixture of broad bumps (population density varies
+// slowly across a continent => LOW variance of skewness), and insertion
+// follows a spatial sweep with jitter: the OSM extracts are written
+// region-by-region, so data with similar coordinates arrives in bulks
+// (=> MEDIUM key distribution divergence).
+struct MapGenOptions {
+  int num_density_bumps = 6;     // broad population bumps across longitude
+  int num_regions = 64;          // extraction granularity of the sweep
+  double region_jitter = 0.25;   // how much the sweep order is perturbed
+  double lat_relief = 0.3;       // mild latitude non-uniformity
+  // Fraction of points drawn from the whole continent instead of the
+  // current region (OSM extracts interleave global features with local
+  // ones); keeps consecutive sub-datasets partially overlapping, which is
+  // what makes Map KDD *medium* rather than Taxi-high.
+  double background_fraction = 0.35;
+};
+std::vector<uint64_t> GenerateMapKeys(size_t n, uint64_t seed,
+                                      const MapGenOptions& options = {});
+
+// Review-style keys (substitute for Amazon Review-M / Review-L).
+//
+// Key layout: [item:24][user:20][time:20].  Item identifiers are sparse
+// (random points in a 2^24 space) with Zipfian popularity, so the sorted key
+// space is a set of dense clusters separated by empty gaps => HIGH variance
+// of skewness.  The item-popularity mixture is stationary over time, so
+// consecutive sub-datasets have nearly identical histograms => LOW KDD.
+struct ReviewGenOptions {
+  size_t num_items = 30'000;
+  double item_zipf_theta = 0.9;
+  size_t num_users = 500'000;
+};
+std::vector<uint64_t> GenerateReviewKeys(size_t n, uint64_t seed,
+                                         const ReviewGenOptions& options = {});
+
+// Taxi-style keys (substitute for NYC TLC pickup/drop-off timestamps).
+//
+// Key layout: [pickup_seconds:34][duration_centis:30].  Pickup time advances
+// monotonically across a simulated multi-year window with diurnal and weekly
+// demand cycles.  Because the key prefix is wall-clock time, consecutive
+// sub-datasets occupy nearly disjoint key ranges => HIGH KDD; the demand
+// cycles produce MEDIUM variance of skewness in the sorted key space.
+struct TaxiGenOptions {
+  uint64_t start_epoch_seconds = 1'483'228'800;  // 2017-01-01
+  double years = 4.0;                            // 2017..2020 as in the paper
+  double mean_trip_minutes = 14.0;
+  // Seasonal demand amplitude and week-scale burst strength.  These produce
+  // density variation that is visible at any sub-dataset granularity, so
+  // the sorted key space needs several linear models per range
+  // (medium variance of skewness, ~8 models in the paper's Figure 2).
+  double seasonal_amplitude = 0.4;
+  double burst_sigma = 0.45;
+};
+std::vector<uint64_t> GenerateTaxiKeys(size_t n, uint64_t seed,
+                                       const TaxiGenOptions& options = {});
+
+// Group-3 simple datasets (ALEX's benchmark distributions).
+std::vector<uint64_t> GenerateUniformKeys(size_t n, uint64_t seed);
+std::vector<uint64_t> GenerateLognormalKeys(size_t n, uint64_t seed,
+                                            double sigma = 2.0);
+// ALEX longlat: compound key 180 * lon + lat from OSM; highly non-linear CDF.
+std::vector<uint64_t> GenerateLonglatKeys(size_t n, uint64_t seed);
+// ALEX longitudes: raw longitude values.
+std::vector<uint64_t> GenerateLongitudesKeys(size_t n, uint64_t seed);
+
+// Deduplicates `keys` in place, preserving insertion order, replacing
+// duplicates with nearby unused values (low-bit perturbation).  All
+// generators call this before returning.
+void MakeUnique(std::vector<uint64_t>& keys, uint64_t seed);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_DATASETS_GENERATORS_H_

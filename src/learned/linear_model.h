@@ -1,0 +1,120 @@
+// Linear model y = slope * x + intercept over uint64 keys.
+//
+// Shared by the ALEX-style and XIndex-style baselines (position prediction in
+// sorted arrays) and by the PLR used for the skewness metric.  Fitting is
+// ordinary least squares in double precision; predictions are clamped by the
+// caller to the valid slot range.
+#ifndef DYTIS_SRC_LEARNED_LINEAR_MODEL_H_
+#define DYTIS_SRC_LEARNED_LINEAR_MODEL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dytis {
+
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Predict(uint64_t key) const {
+    return slope * static_cast<double>(key) + intercept;
+  }
+
+  // Predicts an integer position clamped to [0, size).
+  size_t PredictClamped(uint64_t key, size_t size) const {
+    if (size == 0) {
+      return 0;
+    }
+    const double p = Predict(key);
+    if (p <= 0.0) {
+      return 0;
+    }
+    if (p >= static_cast<double>(size - 1)) {
+      return size - 1;
+    }
+    return static_cast<size_t>(p);
+  }
+};
+
+// Incremental least-squares fitter: feed (key, position) pairs, then Fit().
+//
+// Keys are centred on the first sample before accumulating, which keeps the
+// normal equations well-conditioned even for keys near 2^63 (raw sums of
+// x^2 would lose all precision there).
+class LinearModelBuilder {
+ public:
+  void Add(uint64_t key, double position) {
+    if (count_ == 0) {
+      first_x_ = static_cast<double>(key);
+      first_y_ = position;
+    }
+    const double x = static_cast<double>(key) - first_x_;
+    count_++;
+    sum_x_ += x;
+    sum_y_ += position;
+    sum_xx_ += x * x;
+    sum_xy_ += x * position;
+    last_x_ = x;
+    last_y_ = position;
+  }
+
+  size_t count() const { return count_; }
+
+  LinearModel Fit() const {
+    LinearModel m;
+    if (count_ == 0) {
+      return m;
+    }
+    if (count_ == 1) {
+      m.slope = 0.0;
+      m.intercept = first_y_;
+      return m;
+    }
+    const double n = static_cast<double>(count_);
+    const double det = n * sum_xx_ - sum_x_ * sum_x_;
+    if (det == 0.0) {
+      // All keys equal; fall back to a flat model through the mean.
+      m.slope = 0.0;
+      m.intercept = sum_y_ / n;
+      return m;
+    }
+    m.slope = (n * sum_xy_ - sum_x_ * sum_y_) / det;
+    // Un-centre: y = slope * (x - first_x) + b.
+    m.intercept = (sum_y_ - m.slope * sum_x_) / n - m.slope * first_x_;
+    return m;
+  }
+
+  // Endpoint fit: line through the first and last sample.  Cheaper and often
+  // what learned-index bulk loaders use for leaf models.
+  LinearModel FitEndpoints() const {
+    LinearModel m;
+    if (count_ == 0) {
+      return m;
+    }
+    // last_x_ is centred on the first sample, so 0 means "same key".
+    if (count_ == 1 || last_x_ == 0.0) {
+      m.slope = 0.0;
+      m.intercept = first_y_;
+      return m;
+    }
+    m.slope = (last_y_ - first_y_) / last_x_;
+    m.intercept = first_y_ - m.slope * first_x_;
+    return m;
+  }
+
+ private:
+  size_t count_ = 0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_xy_ = 0.0;
+  double first_x_ = 0.0;
+  double first_y_ = 0.0;
+  double last_x_ = 0.0;
+  double last_y_ = 0.0;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_LEARNED_LINEAR_MODEL_H_

@@ -1,0 +1,97 @@
+#include "src/learned/plr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dytis {
+
+PlrBuilder::PlrBuilder(double max_error) : max_error_(max_error) {
+  assert(max_error > 0.0);
+}
+
+void PlrBuilder::Add(uint64_t key, double position) {
+  if (!open_) {
+    open_ = true;
+    seg_start_key_ = key;
+    seg_start_pos_ = position;
+    seg_points_ = 1;
+    slope_lo_ = -std::numeric_limits<double>::infinity();
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    last_key_ = key;
+    last_pos_ = position;
+    return;
+  }
+  assert(key >= seg_start_key_);
+  const double dx = static_cast<double>(key - seg_start_key_);
+  const double dy = position - seg_start_pos_;
+  if (dx == 0.0) {
+    // Duplicate key: representable iff the position stays within the error
+    // band at the segment origin.
+    if (dy > max_error_ || dy < -max_error_) {
+      CloseSegment();
+      Add(key, position);
+      return;
+    }
+    seg_points_++;
+    last_key_ = key;
+    last_pos_ = position;
+    return;
+  }
+  // Cone constraints through the segment origin.
+  const double lo = (dy - max_error_) / dx;
+  const double hi = (dy + max_error_) / dx;
+  const double new_lo = std::max(slope_lo_, lo);
+  const double new_hi = std::min(slope_hi_, hi);
+  if (new_lo > new_hi) {
+    CloseSegment();
+    Add(key, position);
+    return;
+  }
+  slope_lo_ = new_lo;
+  slope_hi_ = new_hi;
+  seg_points_++;
+  last_key_ = key;
+  last_pos_ = position;
+}
+
+void PlrBuilder::CloseSegment() {
+  PlrSegment seg;
+  seg.start_key = seg_start_key_;
+  double slope = 0.0;
+  if (seg_points_ > 1 && slope_lo_ > -std::numeric_limits<double>::infinity()) {
+    // Midpoint of the feasible cone is the standard choice.
+    if (slope_hi_ == std::numeric_limits<double>::infinity()) {
+      slope = slope_lo_;
+    } else {
+      slope = (slope_lo_ + slope_hi_) / 2.0;
+    }
+  }
+  seg.model.slope = slope;
+  seg.model.intercept =
+      seg_start_pos_ - slope * static_cast<double>(seg_start_key_);
+  segments_.push_back(seg);
+  open_ = false;
+}
+
+std::vector<PlrSegment> PlrBuilder::Finish() {
+  if (open_) {
+    CloseSegment();
+  }
+  return std::move(segments_);
+}
+
+size_t PlrBuilder::SegmentCount() const {
+  return segments_.size() + (open_ ? 1 : 0);
+}
+
+size_t CountPlrSegments(const std::vector<uint64_t>& sorted_keys,
+                        double max_error) {
+  PlrBuilder plr(max_error);
+  for (size_t i = 0; i < sorted_keys.size(); i++) {
+    plr.Add(sorted_keys[i], static_cast<double>(i));
+  }
+  return plr.Finish().size();
+}
+
+}  // namespace dytis

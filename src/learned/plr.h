@@ -1,0 +1,68 @@
+// Maximum error-bounded Piecewise Linear Representation (PLR).
+//
+// Implements the online segmentation of Xie et al. (VLDB'14), the technique
+// the paper cites ([64]) for approximating a dataset CDF and the basis of the
+// "variance of skewness" metric in Section 2.1: the average number of linear
+// models needed per fixed-size key range.
+//
+// The algorithm is the classic slope-cone method: maintain the feasible
+// slope interval [slope_lo, slope_hi] of lines through the segment origin
+// that pass within +/- error of every point seen so far; when the interval
+// empties, close the segment and start a new one.
+#ifndef DYTIS_SRC_LEARNED_PLR_H_
+#define DYTIS_SRC_LEARNED_PLR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/learned/linear_model.h"
+
+namespace dytis {
+
+struct PlrSegment {
+  uint64_t start_key = 0;  // first key covered by this segment
+  LinearModel model;
+};
+
+// Online error-bounded PLR builder.  Feed strictly non-decreasing keys with
+// their positions (e.g. CDF rank); segments() returns the fitted pieces.
+class PlrBuilder {
+ public:
+  // max_error: maximum allowed |predicted - actual| position error.
+  explicit PlrBuilder(double max_error);
+
+  // Adds the next point.  Keys must be fed in non-decreasing order.
+  void Add(uint64_t key, double position);
+
+  // Closes the trailing segment and returns all segments.
+  std::vector<PlrSegment> Finish();
+
+  // Number of segments produced so far (including the open one, if any).
+  size_t SegmentCount() const;
+
+ private:
+  void CloseSegment();
+
+  double max_error_;
+  std::vector<PlrSegment> segments_;
+
+  // State of the open segment.
+  bool open_ = false;
+  uint64_t seg_start_key_ = 0;
+  double seg_start_pos_ = 0.0;
+  size_t seg_points_ = 0;
+  double slope_lo_ = 0.0;
+  double slope_hi_ = 0.0;
+  uint64_t last_key_ = 0;
+  double last_pos_ = 0.0;
+};
+
+// Convenience: number of PLR segments needed for `keys` (sorted ascending)
+// with positions 0..n-1 and the given error bound.
+size_t CountPlrSegments(const std::vector<uint64_t>& sorted_keys,
+                        double max_error);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_LEARNED_PLR_H_

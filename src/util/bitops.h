@@ -1,0 +1,80 @@
+// Bit-manipulation helpers shared across the index implementations.
+//
+// DyTIS carves a 64-bit key into fields (first-level index, directory index,
+// segment-local key, sub-range index), so all of the indexes in this repo end
+// up doing the same handful of shift/mask operations.  Centralising them keeps
+// the bit arithmetic auditable in one place.
+#ifndef DYTIS_SRC_UTIL_BITOPS_H_
+#define DYTIS_SRC_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace dytis {
+
+// Number of bits in the key type used throughout the library.
+inline constexpr int kKeyBits = 64;
+
+// Returns floor(log2(x)).  Precondition: x > 0.
+constexpr int FloorLog2(uint64_t x) {
+  assert(x > 0);
+  return 63 - std::countl_zero(x);
+}
+
+// Returns ceil(log2(x)).  Precondition: x > 0.
+constexpr int CeilLog2(uint64_t x) {
+  assert(x > 0);
+  return (x == 1) ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+// Returns true when x is a power of two (and non-zero).
+constexpr bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Returns 2^e as a uint64_t.  Precondition: 0 <= e < 64.
+constexpr uint64_t Pow2(int e) {
+  assert(e >= 0 && e < 64);
+  return uint64_t{1} << e;
+}
+
+// Extracts `count` most-significant bits of a `width`-bit value `x`
+// (i.e. the directory-index operation of Extendible Hashing).
+// Preconditions: 0 <= count <= width <= 64, x < 2^width.
+constexpr uint64_t TopBits(uint64_t x, int width, int count) {
+  assert(width >= 0 && width <= 64);
+  assert(count >= 0 && count <= width);
+  if (count == 0) {
+    return 0;
+  }
+  return x >> (width - count);
+}
+
+// Extracts the `count` least-significant bits of x.
+constexpr uint64_t LowBits(uint64_t x, int count) {
+  assert(count >= 0 && count <= 64);
+  if (count == 64) {
+    return x;
+  }
+  return x & (Pow2(count) - 1);
+}
+
+// Mask with the lowest `count` bits set.
+constexpr uint64_t LowMask(int count) {
+  assert(count >= 0 && count <= 64);
+  if (count == 64) {
+    return ~uint64_t{0};
+  }
+  return Pow2(count) - 1;
+}
+
+// Exact (x * num) / den in 128-bit intermediate arithmetic.  Used by the
+// remapping function so that the piecewise-linear key remap is exactly
+// monotonic with no floating-point rounding.
+constexpr uint64_t MulDiv(uint64_t x, uint64_t num, uint64_t den) {
+  assert(den != 0);
+  return static_cast<uint64_t>((static_cast<unsigned __int128>(x) * num) / den);
+}
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_BITOPS_H_

@@ -1,0 +1,87 @@
+#include "src/util/latency_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace dytis {
+
+LatencyRecorder::LatencyRecorder() : buckets_(kNumBuckets, 0) {}
+
+int LatencyRecorder::BucketFor(uint64_t nanos) {
+  if (nanos < (uint64_t{1} << kSubBucketBits)) {
+    // Values below 64ns are exact: one bucket per nanosecond would be
+    // overkill; the first decade stores them linearly.
+    return static_cast<int>(nanos);
+  }
+  const int msb = 63 - std::countl_zero(nanos);
+  const int decade = msb - kSubBucketBits + 1;
+  const int sub =
+      static_cast<int>((nanos >> (msb - kSubBucketBits)) & ((1 << kSubBucketBits) - 1));
+  int bucket = ((decade + 1) << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t LatencyRecorder::BucketMidpoint(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int decade = (bucket >> kSubBucketBits) - 1;
+  const int sub = bucket & ((1 << kSubBucketBits) - 1);
+  const int msb = decade + kSubBucketBits - 1;
+  const uint64_t base = (uint64_t{1} << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBucketBits));
+  const uint64_t width = uint64_t{1} << (msb - kSubBucketBits);
+  return base + width / 2;
+}
+
+void LatencyRecorder::Record(uint64_t nanos) {
+  buckets_[static_cast<size_t>(BucketFor(nanos))]++;
+  count_++;
+  sum_ += nanos;
+  max_ = std::max(max_, nanos);
+  min_ = std::min(min_, nanos);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+double LatencyRecorder::MeanNanos() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LatencyRecorder::PercentileNanos(double quantile) const {
+  assert(quantile >= 0.0 && quantile <= 1.0);
+  if (count_ == 0) {
+    return 0;
+  }
+  const uint64_t target =
+      static_cast<uint64_t>(quantile * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    seen += buckets_[static_cast<size_t>(b)];
+    if (seen >= target) {
+      return std::min(BucketMidpoint(b), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyRecorder::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = ~uint64_t{0};
+}
+
+}  // namespace dytis

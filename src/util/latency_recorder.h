@@ -1,0 +1,52 @@
+// Latency sample recorder with percentile reporting (Table 2 of the paper).
+//
+// Uses a fixed-resolution logarithmic histogram (HdrHistogram-style: 64
+// buckets per power-of-two decade) so that recording is O(1), memory is
+// constant, and p99/p99.99 are accurate to <2% relative error, which is
+// plenty for latency tables quoted in ns.
+#ifndef DYTIS_SRC_UTIL_LATENCY_RECORDER_H_
+#define DYTIS_SRC_UTIL_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dytis {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  // Records one latency sample in nanoseconds.
+  void Record(uint64_t nanos);
+
+  // Merges another recorder's samples into this one (for per-thread
+  // recorders in the concurrency experiments).
+  void Merge(const LatencyRecorder& other);
+
+  uint64_t count() const { return count_; }
+  double MeanNanos() const;
+  // quantile in [0, 1]; e.g. 0.99 for p99, 0.9999 for p99.99.
+  uint64_t PercentileNanos(double quantile) const;
+  uint64_t MaxNanos() const { return max_; }
+  uint64_t MinNanos() const { return count_ == 0 ? 0 : min_; }
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per decade.
+  static constexpr int kDecades = 40;       // covers up to ~2^45 ns (~9 hours).
+  static constexpr int kNumBuckets = kDecades << kSubBucketBits;
+
+  static int BucketFor(uint64_t nanos);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_LATENCY_RECORDER_H_

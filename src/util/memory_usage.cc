@@ -1,0 +1,76 @@
+#include "src/util/memory_usage.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace dytis {
+namespace {
+
+// Parses a "Vm...:   <kB> kB" line value from /proc/self/status.
+size_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  size_t value_kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + field_len, " %llu", &kb) == 1) {
+        value_kb = static_cast<size_t>(kb);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return value_kb * 1024;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+size_t PeakRssBytes() { return ReadStatusField("VmHWM:"); }
+
+size_t RunAndMeasurePeakRss(const std::function<void()>& fn) {
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    return 0;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipefd[0]);
+    close(pipefd[1]);
+    return 0;
+  }
+  if (pid == 0) {
+    // Child: run the workload, report peak RSS over the pipe, and exit
+    // without running atexit handlers (the parent owns those resources).
+    close(pipefd[0]);
+    fn();
+    const size_t peak = PeakRssBytes();
+    ssize_t written = write(pipefd[1], &peak, sizeof(peak));
+    (void)written;
+    close(pipefd[1]);
+    _exit(0);
+  }
+  close(pipefd[1]);
+  size_t peak = 0;
+  const ssize_t got = read(pipefd[0], &peak, sizeof(peak));
+  close(pipefd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof(peak)) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return 0;
+  }
+  return peak;
+}
+
+}  // namespace dytis

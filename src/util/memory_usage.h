@@ -1,0 +1,30 @@
+// Process memory accounting for the Section 4.3 memory-usage analysis.
+//
+// The paper measures maximum memory usage per index with `dstat`.  We read
+// the Linux /proc/self/status counters instead: VmRSS for the current
+// resident set and VmHWM for the high-water mark.  Because VmHWM is
+// monotonic for the life of the process, the per-index measurement in
+// bench_memory runs each index build in a forked child (RunAndMeasurePeakRss)
+// so every candidate starts from a fresh high-water mark.
+#ifndef DYTIS_SRC_UTIL_MEMORY_USAGE_H_
+#define DYTIS_SRC_UTIL_MEMORY_USAGE_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dytis {
+
+// Current resident set size in bytes (0 if unavailable).
+size_t CurrentRssBytes();
+
+// Peak resident set size (VmHWM) in bytes for this process (0 if unavailable).
+size_t PeakRssBytes();
+
+// Runs `fn` in a forked child process and returns the child's peak RSS in
+// bytes.  Returns 0 on failure (fork unsupported / child crashed).  `fn` must
+// not depend on being able to communicate anything back other than memory use.
+size_t RunAndMeasurePeakRss(const std::function<void()>& fn);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_MEMORY_USAGE_H_

@@ -1,0 +1,103 @@
+// Small deterministic PRNGs used by the dataset generators and workloads.
+//
+// We intentionally avoid <random>'s engines in the hot paths: the benchmark
+// harness generates hundreds of millions of keys and std::mt19937_64 is both
+// slower and harder to seed reproducibly across platforms.  SplitMix64 is the
+// canonical seeding function; Xoshiro256** is the workhorse generator.
+#ifndef DYTIS_SRC_UTIL_RNG_H_
+#define DYTIS_SRC_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace dytis {
+
+// SplitMix64: tiny, statistically solid, used to expand one seed into many.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: fast general-purpose generator (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // bias is < 2^-64 * bound which is irrelevant for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Avoid log(0).
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_RNG_H_

@@ -1,0 +1,51 @@
+// Monotonic wall-clock timing helpers for the benchmark harness.
+#ifndef DYTIS_SRC_UTIL_TIMER_H_
+#define DYTIS_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dytis {
+
+// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Simple stopwatch.  Started on construction.
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+
+  void Reset() { start_ = NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+// Accumulates time spent in a named phase; used for the insertion-time
+// breakdown analysis (Section 4.3 of the paper).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedAccumulator() { *sink_ += NowNanos() - start_; }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_TIMER_H_

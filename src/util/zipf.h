@@ -1,0 +1,114 @@
+// Zipfian-distributed integer sampler, YCSB-compatible.
+//
+// The paper runs workloads A-F with YCSB's default Zipfian constant 0.99.
+// This is the standard Gray et al. rejection-free sampler used by YCSB's
+// ZipfianGenerator, including the incremental zeta update that lets the item
+// count grow (needed for workloads D'/E where inserts extend the key set).
+#ifndef DYTIS_SRC_UTIL_ZIPF_H_
+#define DYTIS_SRC_UTIL_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+
+class ZipfianGenerator {
+ public:
+  // Samples values in [0, num_items).  theta is the Zipfian constant
+  // (YCSB default 0.99).
+  ZipfianGenerator(uint64_t num_items, double theta = 0.99,
+                   uint64_t seed = 0x5eedULL)
+      : items_(num_items), theta_(theta), rng_(seed) {
+    assert(num_items > 0);
+    zeta_n_ = Zeta(0, items_, theta_, 0.0);
+    zeta2_ = Zeta(0, 2, theta_, 0.0);
+    Recompute();
+  }
+
+  // Grows the item universe (used when inserts extend the loaded key set).
+  // Zeta is updated incrementally, so this is O(delta) not O(n).
+  void GrowTo(uint64_t num_items) {
+    if (num_items <= items_) {
+      return;
+    }
+    zeta_n_ = Zeta(items_, num_items, theta_, zeta_n_);
+    items_ = num_items;
+    Recompute();
+  }
+
+  uint64_t num_items() const { return items_; }
+
+  // Returns a rank in [0, num_items): rank 0 is the most popular item.
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+ private:
+  static double Zeta(uint64_t from, uint64_t to, double theta, double initial) {
+    double sum = initial;
+    for (uint64_t i = from; i < to; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+  void Recompute() {
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  Rng rng_;
+};
+
+// YCSB's ScrambledZipfian: zipfian ranks hashed over the item space so that
+// the popular items are spread across the key population instead of being
+// the first-inserted ones.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, double theta = 0.99,
+                            uint64_t seed = 0x5eedULL)
+      : zipf_(num_items, theta, seed) {}
+
+  void GrowTo(uint64_t num_items) { zipf_.GrowTo(num_items); }
+
+  uint64_t Next() {
+    const uint64_t rank = zipf_.Next();
+    return FnvHash64(rank) % zipf_.num_items();
+  }
+
+ private:
+  static uint64_t FnvHash64(uint64_t v) {
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; i++) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+    return hash;
+  }
+
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_ZIPF_H_

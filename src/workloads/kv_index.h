@@ -1,0 +1,185 @@
+// Uniform key/value index interface + adapters for every index in the repo.
+//
+// The benchmark harness drives DyTIS, ALEX, XIndex, the B+-tree, EH and
+// CCEH through this interface so that all of Section 4's experiments share
+// one code path.  Virtual dispatch costs the same for every candidate, so
+// relative comparisons are unaffected.
+#ifndef DYTIS_SRC_WORKLOADS_KV_INDEX_H_
+#define DYTIS_SRC_WORKLOADS_KV_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/alex/alex_index.h"
+#include "src/baselines/btree.h"
+#include "src/baselines/cceh.h"
+#include "src/baselines/ext_hash.h"
+#include "src/baselines/xindex/xindex.h"
+#include "src/core/dytis.h"
+
+namespace dytis {
+
+class KVIndex {
+ public:
+  using ScanEntry = std::pair<uint64_t, uint64_t>;
+
+  virtual ~KVIndex() = default;
+
+  virtual std::string Name() const = 0;
+  virtual bool SupportsScan() const { return true; }
+  virtual bool SupportsBulkLoad() const { return false; }
+  virtual bool ThreadSafe() const { return false; }
+
+  // Bulk loads sorted unique entries (only when SupportsBulkLoad()).
+  virtual void BulkLoad(std::span<const ScanEntry> /*sorted_entries*/) {}
+
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  virtual bool Find(uint64_t key, uint64_t* value) const = 0;
+  virtual bool Update(uint64_t key, uint64_t value) = 0;
+  virtual bool Erase(uint64_t key) = 0;
+  virtual size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    (void)start_key;
+    (void)count;
+    (void)out;
+    return 0;
+  }
+
+  virtual size_t size() const = 0;
+  virtual size_t MemoryBytes() const = 0;
+};
+
+// --- Adapters --------------------------------------------------------------
+
+template <typename Index>
+class OrderedIndexAdapter : public KVIndex {
+ public:
+  template <typename... Args>
+  explicit OrderedIndexAdapter(std::string name, Args&&... args)
+      : name_(std::move(name)), index_(std::forward<Args>(args)...) {}
+
+  std::string Name() const override { return name_; }
+  bool Insert(uint64_t key, uint64_t value) override {
+    return index_.Insert(key, value);
+  }
+  bool Find(uint64_t key, uint64_t* value) const override {
+    return index_.Find(key, value);
+  }
+  bool Update(uint64_t key, uint64_t value) override {
+    return index_.Update(key, value);
+  }
+  bool Erase(uint64_t key) override { return index_.Erase(key); }
+  size_t Scan(uint64_t start_key, size_t count,
+              ScanEntry* out) const override {
+    if constexpr (requires { index_.Scan(start_key, count, out); }) {
+      return index_.Scan(start_key, count, out);
+    } else {
+      return 0;  // hash indexes do not support scans
+    }
+  }
+  size_t size() const override { return index_.size(); }
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+  Index& index() { return index_; }
+  const Index& index() const { return index_; }
+
+ protected:
+  std::string name_;
+  Index index_;
+};
+
+class DyTISAdapter : public OrderedIndexAdapter<DyTIS<uint64_t>> {
+ public:
+  explicit DyTISAdapter(const DyTISConfig& config = DyTISConfig{})
+      : OrderedIndexAdapter("DyTIS", config) {}
+};
+
+class ConcurrentDyTISAdapter
+    : public OrderedIndexAdapter<ConcurrentDyTIS<uint64_t>> {
+ public:
+  explicit ConcurrentDyTISAdapter(const DyTISConfig& config = DyTISConfig{})
+      : OrderedIndexAdapter("DyTIS-MT", config) {}
+  bool ThreadSafe() const override { return true; }
+};
+
+class BTreeAdapter : public OrderedIndexAdapter<BPlusTree<uint64_t, 128>> {
+ public:
+  BTreeAdapter() : OrderedIndexAdapter("B+-tree") {}
+  bool SupportsBulkLoad() const override { return true; }
+  void BulkLoad(std::span<const ScanEntry> sorted_entries) override {
+    index_.BulkLoad(sorted_entries);
+  }
+};
+
+class AlexAdapter : public OrderedIndexAdapter<AlexIndex<uint64_t>> {
+ public:
+  explicit AlexAdapter(std::string name = "ALEX")
+      : OrderedIndexAdapter(std::move(name)) {}
+  bool SupportsBulkLoad() const override { return true; }
+  void BulkLoad(std::span<const ScanEntry> sorted_entries) override {
+    index_.BulkLoad(sorted_entries);
+  }
+};
+
+class XIndexAdapter : public OrderedIndexAdapter<XIndexLike<uint64_t>> {
+ public:
+  explicit XIndexAdapter(
+      const XIndexLike<uint64_t>::Options& options = {})
+      : OrderedIndexAdapter("XIndex", options) {}
+  bool SupportsBulkLoad() const override { return true; }
+  bool ThreadSafe() const override { return true; }
+  void BulkLoad(std::span<const ScanEntry> sorted_entries) override {
+    index_.BulkLoad(sorted_entries);
+  }
+};
+
+class EhAdapter : public OrderedIndexAdapter<ExtendibleHash<uint64_t>> {
+ public:
+  EhAdapter() : OrderedIndexAdapter("EH") {}
+  bool SupportsScan() const override { return false; }
+};
+
+class CcehAdapter : public OrderedIndexAdapter<Cceh<uint64_t>> {
+ public:
+  CcehAdapter() : OrderedIndexAdapter("CCEH") {}
+  bool SupportsScan() const override { return false; }
+};
+
+// --- Factory ----------------------------------------------------------------
+
+enum class IndexKind {
+  kDyTIS,
+  kDyTISConcurrent,
+  kBTree,
+  kAlex,
+  kXIndex,
+  kEH,
+  kCCEH,
+};
+
+inline std::unique_ptr<KVIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kDyTIS:
+      return std::make_unique<DyTISAdapter>();
+    case IndexKind::kDyTISConcurrent:
+      return std::make_unique<ConcurrentDyTISAdapter>();
+    case IndexKind::kBTree:
+      return std::make_unique<BTreeAdapter>();
+    case IndexKind::kAlex:
+      return std::make_unique<AlexAdapter>();
+    case IndexKind::kXIndex:
+      return std::make_unique<XIndexAdapter>();
+    case IndexKind::kEH:
+      return std::make_unique<EhAdapter>();
+    case IndexKind::kCCEH:
+      return std::make_unique<CcehAdapter>();
+  }
+  return nullptr;
+}
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_WORKLOADS_KV_INDEX_H_

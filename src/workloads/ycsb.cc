@@ -1,0 +1,293 @@
+#include "src/workloads/ycsb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace {
+
+// Loads the index: bulk fraction (sorted) + the remainder inserted in
+// dataset order.  Returns the number of keys inserted (not bulk loaded).
+size_t LoadIndex(KVIndex* index, const Dataset& dataset, double bulk_fraction,
+                 double load_fraction, YcsbResult* result,
+                 const YcsbOptions& options) {
+  const size_t total =
+      static_cast<size_t>(load_fraction * static_cast<double>(dataset.keys.size()));
+  size_t bulk = 0;
+  if (bulk_fraction > 0.0 && index->SupportsBulkLoad()) {
+    bulk = std::min(total,
+                    static_cast<size_t>(bulk_fraction *
+                                        static_cast<double>(dataset.keys.size())));
+    std::vector<KVIndex::ScanEntry> entries;
+    entries.reserve(bulk);
+    for (size_t i = 0; i < bulk; i++) {
+      entries.push_back({dataset.keys[i], ValueFor(dataset.keys[i])});
+    }
+    std::sort(entries.begin(), entries.end());
+    index->BulkLoad(entries);
+  }
+  Timer timer;
+  if (result != nullptr && options.record_latency) {
+    for (size_t i = bulk; i < total; i++) {
+      const uint64_t t0 = NowNanos();
+      index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+      result->latency.Record(NowNanos() - t0);
+    }
+  } else {
+    for (size_t i = bulk; i < total; i++) {
+      index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+    }
+  }
+  if (result != nullptr) {
+    result->ops = total - bulk;
+    result->seconds = timer.ElapsedSeconds();
+    result->throughput_mops =
+        result->seconds > 0.0
+            ? static_cast<double>(result->ops) / result->seconds / 1e6
+            : 0.0;
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kLoad:
+      return "Load";
+    case YcsbWorkload::kA:
+      return "A";
+    case YcsbWorkload::kB:
+      return "B";
+    case YcsbWorkload::kC:
+      return "C";
+    case YcsbWorkload::kD:
+      return "D";
+    case YcsbWorkload::kDPrime:
+      return "D'";
+    case YcsbWorkload::kE:
+      return "E";
+    case YcsbWorkload::kF:
+      return "F";
+  }
+  return "?";
+}
+
+YcsbResult RunLoad(KVIndex* index, const Dataset& dataset,
+                   const YcsbOptions& options) {
+  YcsbResult result;
+  result.workload = "Load";
+  result.index_name = index->Name();
+  LoadIndex(index, dataset, options.bulk_load_fraction, 1.0, &result, options);
+  return result;
+}
+
+YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
+                       YcsbWorkload workload, const YcsbOptions& options) {
+  YcsbResult result;
+  result.workload = YcsbWorkloadName(workload);
+  result.index_name = index->Name();
+  if (workload == YcsbWorkload::kLoad) {
+    return RunLoad(index, dataset, options);
+  }
+  if (workload == YcsbWorkload::kE && !index->SupportsScan()) {
+    result.supported = false;
+    return result;
+  }
+
+  const bool inserting = workload == YcsbWorkload::kD ||
+                         workload == YcsbWorkload::kDPrime ||
+                         workload == YcsbWorkload::kE;
+  const double load_fraction = inserting ? options.preload_fraction : 1.0;
+  size_t loaded = LoadIndex(index, dataset, options.bulk_load_fraction,
+                            load_fraction, nullptr, options);
+
+  // Operation mix per workload: (read%, update%, insert%, scan%, rmw%).
+  int read_pct = 0;
+  int update_pct = 0;
+  int insert_pct = 0;
+  int scan_pct = 0;
+  switch (workload) {
+    case YcsbWorkload::kA:
+      read_pct = 50;
+      update_pct = 50;
+      break;
+    case YcsbWorkload::kB:
+      read_pct = 95;
+      update_pct = 5;
+      break;
+    case YcsbWorkload::kC:
+      read_pct = 100;
+      break;
+    case YcsbWorkload::kD:
+    case YcsbWorkload::kDPrime:
+      read_pct = 95;
+      insert_pct = 5;
+      break;
+    case YcsbWorkload::kE:
+      scan_pct = 95;
+      insert_pct = 5;
+      break;
+    case YcsbWorkload::kF:
+      read_pct = 50;  // + 50% read-modify-write
+      break;
+    case YcsbWorkload::kLoad:
+      break;
+  }
+
+  const size_t ops = options.run_ops != 0 ? options.run_ops
+                                          : dataset.keys.size() / 2;
+
+  ScrambledZipfianGenerator zipf(std::max<size_t>(1, loaded),
+                                 options.zipf_theta, options.seed);
+  // Classic YCSB D reads the *latest* keys: a (non-scrambled) Zipfian over
+  // recency ranks, rank 0 = the most recently inserted key.
+  ZipfianGenerator latest(std::max<size_t>(1, loaded), options.zipf_theta,
+                          options.seed ^ 0x1a7e57ULL);
+  Rng op_rng(options.seed ^ 0x09b5ULL);
+  Rng uniform_rng(options.seed ^ 0x04a11ULL);
+  std::vector<KVIndex::ScanEntry> scan_buf(options.scan_length);
+  size_t next_insert = loaded;
+  const bool latest_reads = workload == YcsbWorkload::kD;
+
+  auto pick_key = [&]() -> uint64_t {
+    if (latest_reads) {
+      const uint64_t rank =
+          std::min<uint64_t>(latest.Next(), next_insert - 1);
+      return dataset.keys[next_insert - 1 - rank];
+    }
+    if (options.key_distribution == KeyDistribution::kUniform) {
+      return dataset.keys[uniform_rng.NextBelow(next_insert)];
+    }
+    return dataset.keys[zipf.Next()];
+  };
+
+  Timer timer;
+  // D/D'/E run until every dataset key is inserted (Section 4.3); the
+  // other workloads run a fixed op count.
+  for (size_t i = 0;
+       inserting ? next_insert < dataset.keys.size() : i < ops; i++) {
+    const int dice = static_cast<int>(op_rng.NextBelow(100));
+    const uint64_t t0 = options.record_latency ? NowNanos() : 0;
+    if (dice < read_pct) {
+      const uint64_t key = pick_key();
+      uint64_t value;
+      index->Find(key, &value);
+    } else if (dice < read_pct + update_pct) {
+      const uint64_t key = pick_key();
+      index->Update(key, ValueFor(key) + i);
+    } else if (dice < read_pct + update_pct + insert_pct) {
+      if (next_insert < dataset.keys.size()) {
+        const uint64_t key = dataset.keys[next_insert++];
+        index->Insert(key, ValueFor(key));
+        zipf.GrowTo(next_insert);
+      } else {
+        uint64_t value;
+        index->Find(pick_key(), &value);
+      }
+    } else if (dice < read_pct + update_pct + insert_pct + scan_pct) {
+      index->Scan(pick_key(), options.scan_length, scan_buf.data());
+    } else {
+      // Read-modify-write (workload F).
+      const uint64_t key = pick_key();
+      uint64_t value = 0;
+      index->Find(key, &value);
+      index->Update(key, value + 1);
+    }
+    if (options.record_latency) {
+      result.latency.Record(NowNanos() - t0);
+    }
+    result.ops++;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.throughput_mops =
+      result.seconds > 0.0
+          ? static_cast<double>(result.ops) / result.seconds / 1e6
+          : 0.0;
+  return result;
+}
+
+ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
+                                int num_threads, const YcsbOptions& options) {
+  assert(num_threads >= 1);
+  ConcurrencyResult result;
+  const size_t n = dataset.keys.size();
+
+  // Insertion: keys striped round-robin across threads.
+  {
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; t++) {
+      threads.emplace_back([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < n;
+             i += static_cast<size_t>(num_threads)) {
+          index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    result.insert_mops =
+        static_cast<double>(n) / timer.ElapsedSeconds() / 1e6;
+  }
+
+  // Search: zipfian reads, ops split across threads.
+  const size_t search_ops = options.run_ops != 0 ? options.run_ops : n / 2;
+  {
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; t++) {
+      threads.emplace_back([&, t] {
+        ScrambledZipfianGenerator zipf(n, options.zipf_theta,
+                                       options.seed + static_cast<uint64_t>(t));
+        uint64_t value;
+        for (size_t i = 0; i < search_ops / static_cast<size_t>(num_threads);
+             i++) {
+          index->Find(dataset.keys[zipf.Next()], &value);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    result.search_mops = static_cast<double>(search_ops) /
+                         timer.ElapsedSeconds() / 1e6;
+  }
+
+  // Scan-100: number of scan ops scaled down by the scan length.
+  const size_t scan_ops =
+      std::max<size_t>(1, search_ops / options.scan_length);
+  {
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; t++) {
+      threads.emplace_back([&, t] {
+        ScrambledZipfianGenerator zipf(n, options.zipf_theta,
+                                       options.seed + 77 +
+                                           static_cast<uint64_t>(t));
+        std::vector<KVIndex::ScanEntry> buf(options.scan_length);
+        for (size_t i = 0; i < scan_ops / static_cast<size_t>(num_threads) + 1;
+             i++) {
+          index->Scan(dataset.keys[zipf.Next()], options.scan_length,
+                      buf.data());
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    result.scan_mops =
+        static_cast<double>(scan_ops) / timer.ElapsedSeconds() / 1e6;
+  }
+  return result;
+}
+
+}  // namespace dytis

@@ -1,0 +1,97 @@
+// YCSB-style workload harness (Section 4.3 protocol).
+//
+// The seven workloads of the paper:
+//   Load : 100% inserts (whole dataset, in dataset order)
+//   A    : 50% reads / 50% updates
+//   B    : 95% reads /  5% updates
+//   C    : 100% reads
+//   D'   :  5% inserts / 95% reads of *existing* keys (the paper's variant
+//          of YCSB D); starts from an 80%-loaded index and finishes when
+//          every dataset key is inserted
+//   E    :  5% inserts / 95% scans of length 100; same protocol as D'
+//   F    : 50% reads / 50% read-modify-writes
+//
+// Keys for reads/updates/scans are chosen with YCSB's scrambled-Zipfian
+// distribution (theta = 0.99) over the loaded population.  Learned-index
+// candidates bulk load a fraction of the dataset first (ALEX-10/-70,
+// XIndex-70), exactly as in the paper.
+#ifndef DYTIS_SRC_WORKLOADS_YCSB_H_
+#define DYTIS_SRC_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/util/latency_recorder.h"
+#include "src/workloads/kv_index.h"
+
+namespace dytis {
+
+// kD is classic YCSB D (95% reads of the *latest* keys / 5% inserts); the
+// paper replaces it with kDPrime (reads of existing keys, Zipfian over the
+// whole population) because repeated-batch runs make exact D modelling
+// complex.  Both are provided.
+enum class YcsbWorkload { kLoad, kA, kB, kC, kD, kDPrime, kE, kF };
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+// Key-chooser distribution for reads/updates/scans.  The paper uses
+// Zipfian(0.99) and reports that uniform gives similar results.
+enum class KeyDistribution { kZipfian, kUniform };
+
+struct YcsbOptions {
+  // Fraction of the dataset bulk-loaded before the Load phase (learned
+  // indexes; 0 = insert everything).
+  double bulk_load_fraction = 0.0;
+  // Ops in the measured phase (A/B/C/F); the paper uses >= 50% of the
+  // dataset size.
+  size_t run_ops = 0;  // 0 -> dataset_size / 2
+  // Fraction pre-loaded before D'/E (the paper uses 80%).
+  double preload_fraction = 0.8;
+  double zipf_theta = 0.99;
+  KeyDistribution key_distribution = KeyDistribution::kZipfian;
+  size_t scan_length = 100;
+  // When true, per-op latencies are recorded (Table 2).
+  bool record_latency = false;
+  uint64_t seed = 0xc0ffee;
+};
+
+struct YcsbResult {
+  std::string workload;
+  std::string index_name;
+  size_t ops = 0;
+  double seconds = 0.0;
+  double throughput_mops = 0.0;
+  LatencyRecorder latency;  // populated when record_latency
+  bool supported = true;    // false: index cannot run this workload
+};
+
+// Value stored for a key (arbitrary but deterministic).
+inline uint64_t ValueFor(uint64_t key) { return key ^ 0x5a5a5a5a5a5a5a5aULL; }
+
+// Runs the Load phase: bulk-loads options.bulk_load_fraction of the keys
+// (sorted) when supported, inserts the rest in dataset order, and reports
+// insert throughput over the inserted part.
+YcsbResult RunLoad(KVIndex* index, const Dataset& dataset,
+                   const YcsbOptions& options);
+
+// Runs one of workloads A/B/C/D'/E/F after performing the appropriate load
+// (full load for A/B/C/F; preload_fraction for D'/E).
+YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
+                       YcsbWorkload workload, const YcsbOptions& options);
+
+// Multi-threaded run of Load / C-style searches / scans for the
+// concurrency experiment (Figure 12).  Requests are assigned to threads
+// round-robin.  The index must be ThreadSafe().
+struct ConcurrencyResult {
+  double insert_mops = 0.0;
+  double search_mops = 0.0;
+  double scan_mops = 0.0;  // scan ops (each of scan_length keys) per second
+};
+ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
+                                int num_threads, const YcsbOptions& options);
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_WORKLOADS_YCSB_H_

@@ -1,0 +1,178 @@
+// Adversarial key-pattern tests: insertion orders and key shapes chosen to
+// stress specific mechanisms of every ordered index in the repo.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/baselines/alex/alex_index.h"
+#include "src/baselines/btree.h"
+#include "src/baselines/xindex/xindex.h"
+#include "src/core/dytis.h"
+#include "src/util/bitops.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;
+  c.l_start = 3;
+  c.max_global_depth = 14;
+  return c;
+}
+
+// Key patterns.  Each produces `n` unique keys in a stressful order.
+std::vector<uint64_t> Descending(size_t n) {
+  std::vector<uint64_t> keys;
+  for (size_t i = n; i > 0; i--) {
+    keys.push_back(static_cast<uint64_t>(i) << 40);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> BitReversed(size_t n) {
+  // Bit-reversed counter: maximally scattered prefixes (every new key flips
+  // the directory side), the EH-split stress pattern.
+  std::vector<uint64_t> keys;
+  for (size_t i = 1; i <= n; i++) {
+    uint64_t v = static_cast<uint64_t>(i);
+    uint64_t r = 0;
+    for (int b = 0; b < 64; b++) {
+      r = (r << 1) | (v & 1);
+      v >>= 1;
+    }
+    keys.push_back(r);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> AlternatingEnds(size_t n) {
+  // Alternates between the bottom and top of the key space: every insert
+  // lands in a different first-level EH / tree spine.
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < n; i++) {
+    if (i % 2 == 0) {
+      keys.push_back((static_cast<uint64_t>(i) << 30) + 1);
+    } else {
+      keys.push_back(~uint64_t{0} - (static_cast<uint64_t>(i) << 30));
+    }
+  }
+  return keys;
+}
+
+std::vector<uint64_t> SawtoothWaves(size_t n) {
+  // Repeated ascending waves over the same range with fresh offsets:
+  // continuous churn of the same segments.
+  std::vector<uint64_t> keys;
+  const size_t wave = 1000;
+  for (size_t i = 0; i < n; i++) {
+    const uint64_t within = (i % wave) << 44;
+    const uint64_t offset = (i / wave) << 20;
+    keys.push_back(within + offset);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> ZigzagPowers(size_t n) {
+  // Exponentially spaced keys: every scale of the key space occupied.
+  std::vector<uint64_t> keys;
+  Rng rng(99);
+  for (size_t i = 0; i < n; i++) {
+    const int shift = static_cast<int>(rng.NextBelow(56));
+    keys.push_back((uint64_t{1} << shift) + rng.NextBelow(1 << 12));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+using PatternFn = std::vector<uint64_t> (*)(size_t);
+
+struct Pattern {
+  const char* name;
+  PatternFn make;
+};
+
+class AdversarialTest : public testing::TestWithParam<Pattern> {};
+
+TEST_P(AdversarialTest, DyTISSurvives) {
+  const auto keys = GetParam().make(30'000);
+  DyTIS<uint64_t> idx(SmallConfig());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i)) << GetParam().name << " at " << i;
+  }
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << GetParam().name << ": " << err;
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << GetParam().name;
+    ASSERT_EQ(v, i);
+  }
+  // Sorted-scan completeness.
+  std::vector<uint64_t> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<uint64_t, uint64_t>> out(keys.size());
+  ASSERT_EQ(idx.Scan(0, keys.size(), out.data()), keys.size())
+      << GetParam().name;
+  for (size_t i = 0; i < sorted.size(); i++) {
+    ASSERT_EQ(out[i].first, sorted[i]) << GetParam().name << " at " << i;
+  }
+}
+
+TEST_P(AdversarialTest, AlexSurvives) {
+  const auto keys = GetParam().make(30'000);
+  AlexIndex<uint64_t> idx;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i)) << GetParam().name << " at " << i;
+  }
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << GetParam().name;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST_P(AdversarialTest, BTreeSurvives) {
+  const auto keys = GetParam().make(30'000);
+  BPlusTree<uint64_t, 16> idx;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i)) << GetParam().name;
+  }
+  EXPECT_TRUE(idx.ValidateInvariants()) << GetParam().name;
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << GetParam().name;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST_P(AdversarialTest, XIndexSurvives) {
+  const auto keys = GetParam().make(30'000);
+  XIndexLike<uint64_t> idx;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i)) << GetParam().name;
+  }
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << GetParam().name;
+    ASSERT_EQ(v, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, AdversarialTest,
+    testing::Values(Pattern{"Descending", &Descending},
+                    Pattern{"BitReversed", &BitReversed},
+                    Pattern{"AlternatingEnds", &AlternatingEnds},
+                    Pattern{"SawtoothWaves", &SawtoothWaves},
+                    Pattern{"ZigzagPowers", &ZigzagPowers}),
+    [](const testing::TestParamInfo<Pattern>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace dytis

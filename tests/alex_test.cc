@@ -1,0 +1,249 @@
+#include "src/baselines/alex/alex_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/baselines/alex/data_node.h"
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+// ---------------- AlexDataNode ----------------
+
+TEST(AlexDataNodeTest, InsertFindErase) {
+  AlexDataNode<uint64_t> node(64);
+  int slot = -1;
+  EXPECT_EQ(node.Insert(10, 100, &slot),
+            AlexDataNode<uint64_t>::InsertResult::kInserted);
+  EXPECT_EQ(node.Insert(10, 200, &slot),
+            AlexDataNode<uint64_t>::InsertResult::kAlreadyExists);
+  ASSERT_GE(slot, 0);
+  node.MutableValueAt(slot) = 200;
+  const int found = node.Find(10);
+  ASSERT_GE(found, 0);
+  EXPECT_EQ(node.ValueAt(found), 200u);
+  EXPECT_TRUE(node.Erase(10));
+  EXPECT_FALSE(node.Erase(10));
+  EXPECT_EQ(node.Find(10), -1);
+}
+
+TEST(AlexDataNodeTest, GappedArrayStaysSorted) {
+  AlexDataNode<uint64_t> node(256);
+  Rng rng(1);
+  for (int i = 0; i < 150; i++) {
+    int slot;
+    node.Insert(rng.Next(), 0, &slot);
+  }
+  uint64_t prev = 0;
+  for (size_t i = 0; i < node.capacity(); i++) {
+    ASSERT_GE(node.KeyAt(static_cast<int>(i)), prev);
+    prev = node.KeyAt(static_cast<int>(i));
+  }
+}
+
+TEST(AlexDataNodeTest, DensityBoundTriggersAction) {
+  AlexDataNode<uint64_t> node(64);
+  int inserted = 0;
+  int slot;
+  while (node.Insert(static_cast<uint64_t>(inserted) * 100, 0, &slot) ==
+         AlexDataNode<uint64_t>::InsertResult::kInserted) {
+    inserted++;
+    ASSERT_LT(inserted, 64);
+  }
+  // Density cap is 0.8 of 64 slots.
+  EXPECT_NEAR(inserted, 51, 2);
+  node.Expand();
+  EXPECT_GE(node.capacity(), 128u);
+  EXPECT_EQ(node.Insert(999'999, 0, &slot),
+            AlexDataNode<uint64_t>::InsertResult::kInserted);
+  // All pre-expansion keys survive.
+  for (int i = 0; i < inserted; i++) {
+    ASSERT_GE(node.Find(static_cast<uint64_t>(i) * 100), 0);
+  }
+}
+
+TEST(AlexDataNodeTest, BulkLoadModelAccuracy) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t i = 0; i < 1000; i++) {
+    entries.push_back({i * 1000, i});
+  }
+  AlexDataNode<uint64_t> node;
+  node.BulkLoad(entries);
+  EXPECT_EQ(node.num_keys(), 1000u);
+  // Linear data: predictions should be near-exact (within a few slots).
+  for (uint64_t i = 0; i < 1000; i += 97) {
+    const int found = node.Find(i * 1000);
+    ASSERT_GE(found, 0);
+    EXPECT_EQ(node.ValueAt(found), i);
+  }
+}
+
+TEST(AlexDataNodeTest, ReinsertAfterEraseUsesGap) {
+  AlexDataNode<uint64_t> node(64);
+  int slot;
+  node.Insert(5, 50, &slot);
+  node.Insert(10, 100, &slot);
+  node.Erase(5);
+  EXPECT_EQ(node.Insert(5, 51, &slot),
+            AlexDataNode<uint64_t>::InsertResult::kInserted);
+  const int f = node.Find(5);
+  ASSERT_GE(f, 0);
+  EXPECT_EQ(node.ValueAt(f), 51u);
+}
+
+// ---------------- AlexIndex ----------------
+
+TEST(AlexIndexTest, EmptyIndex) {
+  AlexIndex<uint64_t> idx;
+  uint64_t v;
+  EXPECT_FALSE(idx.Find(1, &v));
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(AlexIndexTest, InsertOnlyGrowth) {
+  AlexIndex<uint64_t> idx;
+  Rng rng(3);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 100'000; i++) {
+    const uint64_t k = rng.Next();
+    const uint64_t v = rng.Next();
+    ASSERT_EQ(idx.Insert(k, v), model.emplace(k, v).second);
+    model[k] = v;
+  }
+  ASSERT_EQ(idx.size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_TRUE(idx.Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  // Expansions and splits must have occurred.
+  EXPECT_GT(idx.stats().expansions + idx.stats().splits +
+                idx.stats().subtree_creations,
+            0u);
+}
+
+TEST(AlexIndexTest, BulkLoadThenQuery) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  Rng rng(4);
+  for (int i = 0; i < 200'000; i++) {
+    entries.push_back({rng.Next(), rng.Next()});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](auto& a, auto& b) { return a.first == b.first; }),
+                entries.end());
+  AlexIndex<uint64_t> idx;
+  idx.BulkLoad(entries);
+  EXPECT_EQ(idx.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); i += 101) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(entries[i].first, &v)) << i;
+    ASSERT_EQ(v, entries[i].second);
+  }
+  const auto shape = idx.ComputeShape();
+  EXPECT_GT(shape.data_nodes, 1u);
+  EXPECT_GE(shape.max_depth, 2);
+}
+
+TEST(AlexIndexTest, BulkLoadThenInsertRest) {
+  // The paper's ALEX-10 protocol: 10% bulk load, 90% inserted.
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 50'000, 5);
+  std::vector<std::pair<uint64_t, uint64_t>> bulk;
+  const size_t cut = d.keys.size() / 10;
+  for (size_t i = 0; i < cut; i++) {
+    bulk.push_back({d.keys[i], i});
+  }
+  std::sort(bulk.begin(), bulk.end());
+  AlexIndex<uint64_t> idx;
+  idx.BulkLoad(bulk);
+  for (size_t i = cut; i < d.keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(d.keys[i], i));
+  }
+  EXPECT_EQ(idx.size(), d.keys.size());
+  for (size_t i = 0; i < d.keys.size(); i += 37) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(d.keys[i], &v)) << i;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(AlexIndexTest, ScanSortedAcrossLeaves) {
+  AlexIndex<uint64_t> idx;
+  Rng rng(6);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 50'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  for (uint64_t k : keys) {
+    idx.Insert(k, k / 3);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::pair<uint64_t, uint64_t>> out(500);
+  const size_t start = keys.size() / 4;
+  ASSERT_EQ(idx.Scan(keys[start], 500, out.data()), 500u);
+  for (size_t i = 0; i < 500; i++) {
+    ASSERT_EQ(out[i].first, keys[start + i]) << i;
+    ASSERT_EQ(out[i].second, out[i].first / 3);
+  }
+}
+
+TEST(AlexIndexTest, UpdateAndErase) {
+  AlexIndex<uint64_t> idx;
+  for (uint64_t k = 0; k < 10'000; k++) {
+    idx.Insert(k * 7, k);
+  }
+  EXPECT_TRUE(idx.Update(7, 999));
+  uint64_t v;
+  ASSERT_TRUE(idx.Find(7, &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_FALSE(idx.Update(8, 1));
+  EXPECT_TRUE(idx.Erase(7));
+  EXPECT_FALSE(idx.Find(7, &v));
+  EXPECT_EQ(idx.size(), 9999u);
+}
+
+TEST(AlexIndexTest, SkewedClustersStressSplits) {
+  AlexIndex<uint64_t> idx;
+  Rng rng(7);
+  std::vector<uint64_t> keys;
+  for (int c = 0; c < 20; c++) {
+    const uint64_t base = rng.Next() & ~((uint64_t{1} << 30) - 1);
+    for (int i = 0; i < 3000; i++) {
+      keys.push_back(base + static_cast<uint64_t>(i) * 64);
+    }
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i)) << i;
+  }
+  for (size_t i = 0; i < keys.size(); i += 53) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << i;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(AlexIndexTest, DatasetRoundTrip) {
+  for (DatasetId id : {DatasetId::kTaxi, DatasetId::kReviewL,
+                       DatasetId::kLonglat}) {
+    const Dataset d = MakeDataset(id, 30'000, 8);
+    AlexIndex<uint64_t> idx;
+    for (size_t i = 0; i < d.keys.size(); i++) {
+      ASSERT_TRUE(idx.Insert(d.keys[i], i)) << DatasetShortName(id);
+    }
+    for (size_t i = 0; i < d.keys.size(); i += 41) {
+      uint64_t v;
+      ASSERT_TRUE(idx.Find(d.keys[i], &v)) << DatasetShortName(id);
+      ASSERT_EQ(v, i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,93 @@
+#include "src/util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace dytis {
+namespace {
+
+TEST(BitopsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 63), 63);
+  EXPECT_EQ(FloorLog2((uint64_t{1} << 63) + 12345), 63);
+}
+
+TEST(BitopsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(uint64_t{1} << 63), 63);
+}
+
+TEST(BitopsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(uint64_t{1} << 40));
+  EXPECT_FALSE(IsPow2((uint64_t{1} << 40) + 1));
+}
+
+TEST(BitopsTest, Pow2) {
+  EXPECT_EQ(Pow2(0), 1u);
+  EXPECT_EQ(Pow2(1), 2u);
+  EXPECT_EQ(Pow2(63), uint64_t{1} << 63);
+}
+
+TEST(BitopsTest, TopBitsExtractsMsbs) {
+  // 0b0101'1101 with width 8.
+  const uint64_t k = 0b01011101;
+  EXPECT_EQ(TopBits(k, 8, 0), 0u);
+  EXPECT_EQ(TopBits(k, 8, 2), 0b01u);
+  EXPECT_EQ(TopBits(k, 8, 3), 0b010u);
+  EXPECT_EQ(TopBits(k, 8, 8), k);
+}
+
+TEST(BitopsTest, TopBitsFullWidth64) {
+  const uint64_t k = 0xdeadbeefcafebabeULL;
+  EXPECT_EQ(TopBits(k, 64, 64), k);
+  EXPECT_EQ(TopBits(k, 64, 4), 0xdu);
+}
+
+TEST(BitopsTest, LowBits) {
+  EXPECT_EQ(LowBits(0xff, 4), 0xfu);
+  EXPECT_EQ(LowBits(0xff, 0), 0u);
+  EXPECT_EQ(LowBits(0xdeadbeefcafebabeULL, 64), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(LowBits(0b01011101, 6), 0b011101u);
+}
+
+TEST(BitopsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(4), 0xfu);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitopsTest, MulDivExactLargeOperands) {
+  // Values that would overflow 64-bit intermediate math.
+  const uint64_t x = uint64_t{1} << 55;
+  EXPECT_EQ(MulDiv(x, 1000, 1), x * 1000 / 1);  // would overflow without 128b
+  EXPECT_EQ(MulDiv(x, 3, 2), x / 2 * 3);
+  EXPECT_EQ(MulDiv(0, 12345, 678), 0u);
+  EXPECT_EQ(MulDiv(10, 1, 3), 3u);
+}
+
+// The walk-through example of Figure 5: key 01011101 with n=8, R=2, GD=3.
+TEST(BitopsTest, PaperWalkthroughBitFields) {
+  const uint64_t key = 0b01011101;
+  // First level: two MSBs = 01.
+  EXPECT_EQ(TopBits(key, 8, 2), 0b01u);
+  // EH-local key: 6 LSBs = 011101.
+  const uint64_t eh_local = LowBits(key, 6);
+  EXPECT_EQ(eh_local, 0b011101u);
+  // Directory index with GD=3: 3 MSBs of the 6-bit local key = 011.
+  EXPECT_EQ(TopBits(eh_local, 6, 3), 0b011u);
+  // Segment-local key with LD=2: 4 LSBs = 1101.
+  EXPECT_EQ(LowBits(eh_local, 4), 0b1101u);
+}
+
+}  // namespace
+}  // namespace dytis

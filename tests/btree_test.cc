@@ -1,0 +1,203 @@
+#include "src/baselines/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<uint64_t> t;
+  uint64_t v;
+  EXPECT_FALSE(t.Find(1, &v));
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_FALSE(t.Update(1, 2));
+  EXPECT_EQ(t.size(), 0u);
+  std::pair<uint64_t, uint64_t> out[4];
+  EXPECT_EQ(t.Scan(0, 4, out), 0u);
+}
+
+TEST(BPlusTreeTest, InsertFindUpdate) {
+  BPlusTree<uint64_t> t;
+  EXPECT_TRUE(t.Insert(10, 100));
+  EXPECT_FALSE(t.Insert(10, 200));  // in-place update
+  uint64_t v = 0;
+  ASSERT_TRUE(t.Find(10, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_TRUE(t.Update(10, 300));
+  ASSERT_TRUE(t.Find(10, &v));
+  EXPECT_EQ(v, 300u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+// Tiny fanout forces deep trees and many splits.
+TEST(BPlusTreeTest, SplitsWithTinyFanout) {
+  BPlusTree<uint64_t, 4> t;
+  for (uint64_t k = 0; k < 10'000; k++) {
+    ASSERT_TRUE(t.Insert(k, k * 2));
+  }
+  EXPECT_TRUE(t.ValidateInvariants());
+  EXPECT_GT(t.height(), 3);
+  for (uint64_t k = 0; k < 10'000; k += 7) {
+    uint64_t v;
+    ASSERT_TRUE(t.Find(k, &v));
+    ASSERT_EQ(v, k * 2);
+  }
+}
+
+TEST(BPlusTreeTest, ReverseAndRandomOrderInserts) {
+  BPlusTree<uint64_t, 8> t;
+  for (uint64_t k = 5000; k > 0; k--) {
+    ASSERT_TRUE(t.Insert(k, k));
+  }
+  Rng rng(1);
+  for (int i = 0; i < 5000; i++) {
+    t.Insert(rng.Next(), 7);
+  }
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTreeTest, ScanSorted) {
+  BPlusTree<uint64_t, 16> t;
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  for (uint64_t k : keys) {
+    t.Insert(k, k + 1);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::pair<uint64_t, uint64_t>> out(200);
+  const size_t start = keys.size() / 2;
+  ASSERT_EQ(t.Scan(keys[start], 200, out.data()), 200u);
+  for (size_t i = 0; i < 200; i++) {
+    ASSERT_EQ(out[i].first, keys[start + i]);
+    ASSERT_EQ(out[i].second, out[i].first + 1);
+  }
+}
+
+TEST(BPlusTreeTest, ScanFromMissingKey) {
+  BPlusTree<uint64_t, 8> t;
+  for (uint64_t k = 0; k < 100; k++) {
+    t.Insert(k * 10, k);
+  }
+  std::pair<uint64_t, uint64_t> out[3];
+  ASSERT_EQ(t.Scan(15, 3, out), 3u);
+  EXPECT_EQ(out[0].first, 20u);
+  EXPECT_EQ(out[2].first, 40u);
+  EXPECT_EQ(t.Scan(99999, 3, out), 0u);
+}
+
+TEST(BPlusTreeTest, Erase) {
+  BPlusTree<uint64_t, 8> t;
+  for (uint64_t k = 0; k < 1000; k++) {
+    t.Insert(k, k);
+  }
+  for (uint64_t k = 0; k < 1000; k += 3) {
+    ASSERT_TRUE(t.Erase(k));
+  }
+  EXPECT_FALSE(t.Erase(0));
+  for (uint64_t k = 0; k < 1000; k++) {
+    EXPECT_EQ(t.Find(k, nullptr), k % 3 != 0);
+  }
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesIncremental) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 50'000; k++) {
+    entries.push_back({k * 3, k});
+  }
+  BPlusTree<uint64_t> bulk;
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(bulk.size(), entries.size());
+  EXPECT_TRUE(bulk.ValidateInvariants());
+  for (uint64_t k = 0; k < 50'000; k += 11) {
+    uint64_t v;
+    ASSERT_TRUE(bulk.Find(k * 3, &v));
+    ASSERT_EQ(v, k);
+    ASSERT_FALSE(bulk.Find(k * 3 + 1, &v));
+  }
+  // Inserting after bulk load works.
+  EXPECT_TRUE(bulk.Insert(1, 999));
+  EXPECT_TRUE(bulk.ValidateInvariants());
+}
+
+TEST(BPlusTreeTest, BulkLoadEmptyAndTiny) {
+  BPlusTree<uint64_t> t;
+  t.BulkLoad({});
+  EXPECT_EQ(t.size(), 0u);
+  std::vector<std::pair<uint64_t, uint64_t>> one = {{42, 7}};
+  t.BulkLoad(one);
+  uint64_t v;
+  ASSERT_TRUE(t.Find(42, &v));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(BPlusTreeTest, AverageLeafFill) {
+  BPlusTree<uint64_t, 128> t;
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 10'000; k++) {
+    entries.push_back({k, k});
+  }
+  t.BulkLoad(entries);
+  // Bulk loading fills ~90%.
+  EXPECT_GT(t.AverageLeafFill(), 100.0);
+}
+
+class BTreePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMap) {
+  Rng rng(GetParam());
+  BPlusTree<uint64_t, 8> t;
+  std::map<uint64_t, uint64_t> model;
+  for (int step = 0; step < 20'000; step++) {
+    const uint64_t key = rng.NextBelow(5000);
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {
+        const uint64_t value = rng.Next();
+        const bool expect_new = model.find(key) == model.end();
+        ASSERT_EQ(t.Insert(key, value), expect_new);
+        model[key] = value;
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(t.Erase(key), model.erase(key) > 0);
+        break;
+      }
+      default: {
+        uint64_t v = 0;
+        const auto it = model.find(key);
+        ASSERT_EQ(t.Find(key, &v), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(t.size(), model.size());
+  ASSERT_TRUE(t.ValidateInvariants());
+  // Full scan equals the model.
+  std::vector<std::pair<uint64_t, uint64_t>> out(model.size());
+  ASSERT_EQ(t.Scan(0, model.size(), out.data()), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(out[i].first, k);
+    ASSERT_EQ(out[i].second, v);
+    i++;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dytis

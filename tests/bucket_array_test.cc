@@ -1,0 +1,195 @@
+#include "src/core/bucket_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Result = BucketArray<uint64_t>::InsertResult;
+
+TEST(BucketArrayTest, InsertAndFind) {
+  BucketArray<uint64_t> ba(2, 8);
+  EXPECT_EQ(ba.Insert(0, 50, 500, 0), Result::kInserted);
+  EXPECT_EQ(ba.Insert(0, 30, 300, 0), Result::kInserted);
+  EXPECT_EQ(ba.Insert(0, 40, 400, 0), Result::kInserted);
+  EXPECT_EQ(ba.BucketSize(0), 3);
+  const int slot = ba.Find(0, 40, 0);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(ba.ValueAt(0, slot), 400u);
+  EXPECT_EQ(ba.Find(0, 99, 0), -1);
+  EXPECT_EQ(ba.Find(1, 40, 0), -1);  // other bucket untouched
+}
+
+TEST(BucketArrayTest, KeysStaySorted) {
+  BucketArray<uint64_t> ba(1, 64);
+  Rng rng(1);
+  for (int i = 0; i < 64; i++) {
+    ba.Insert(0, rng.Next(), 0, static_cast<uint32_t>(i % 7));
+  }
+  const auto keys = ba.Keys(0);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BucketArrayTest, DuplicateInsertReportsSlot) {
+  BucketArray<uint64_t> ba(1, 8);
+  ba.Insert(0, 10, 100, 0);
+  int slot = -1;
+  EXPECT_EQ(ba.Insert(0, 10, 999, 0, &slot), Result::kAlreadyExists);
+  ASSERT_EQ(slot, 0);
+  // Value untouched by the failed insert; caller decides about updates.
+  EXPECT_EQ(ba.ValueAt(0, slot), 100u);
+  ba.MutableValueAt(0, slot) = 999;
+  EXPECT_EQ(ba.ValueAt(0, slot), 999u);
+}
+
+TEST(BucketArrayTest, FullBucketRejects) {
+  BucketArray<uint64_t> ba(1, 4);
+  for (uint64_t k = 0; k < 4; k++) {
+    EXPECT_EQ(ba.Insert(0, k, k, 0), Result::kInserted);
+  }
+  EXPECT_TRUE(ba.IsFull(0));
+  EXPECT_EQ(ba.Insert(0, 100, 0, 0), Result::kFull);
+  // But an existing key is still reported as existing, not full.
+  EXPECT_EQ(ba.Insert(0, 2, 0, 0), Result::kAlreadyExists);
+}
+
+TEST(BucketArrayTest, ValuesFollowTheirKeysOnShift) {
+  BucketArray<uint64_t> ba(1, 8);
+  ba.Insert(0, 10, 100, 0);
+  ba.Insert(0, 30, 300, 0);
+  ba.Insert(0, 20, 200, 0);  // shifts 30 right
+  for (uint64_t k : {10, 20, 30}) {
+    const int slot = ba.Find(0, k, 0);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(ba.ValueAt(0, slot), k * 10);
+  }
+}
+
+TEST(BucketArrayTest, EraseShiftsDown) {
+  BucketArray<uint64_t> ba(1, 8);
+  for (uint64_t k : {1, 2, 3, 4}) {
+    ba.Insert(0, k, k * 10, 0);
+  }
+  EXPECT_TRUE(ba.Erase(0, 2, 0));
+  EXPECT_EQ(ba.BucketSize(0), 3);
+  EXPECT_EQ(ba.Find(0, 2, 0), -1);
+  for (uint64_t k : {1, 3, 4}) {
+    const int slot = ba.Find(0, k, 0);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(ba.ValueAt(0, slot), k * 10);
+  }
+  EXPECT_FALSE(ba.Erase(0, 99, 0));
+}
+
+TEST(BucketArrayTest, HintsDoNotAffectCorrectness) {
+  BucketArray<uint64_t> ba(1, 128);
+  for (uint64_t k = 0; k < 128; k++) {
+    ba.Insert(0, k * 3, k, static_cast<uint32_t>((k * 37) % 128));
+  }
+  for (uint64_t k = 0; k < 128; k++) {
+    for (uint32_t hint : {0u, 5u, 64u, 127u, 1000u}) {
+      const int slot = ba.Find(0, k * 3, hint);
+      ASSERT_GE(slot, 0) << "key " << k * 3 << " hint " << hint;
+      EXPECT_EQ(ba.ValueAt(0, slot), k);
+      EXPECT_EQ(ba.Find(0, k * 3 + 1, hint), -1);
+    }
+  }
+}
+
+TEST(BucketArrayTest, LowerBoundSlot) {
+  BucketArray<uint64_t> ba(1, 8);
+  for (uint64_t k : {10, 20, 30}) {
+    ba.Insert(0, k, 0, 0);
+  }
+  EXPECT_EQ(ba.LowerBoundSlot(0, 5, 0), 0);
+  EXPECT_EQ(ba.LowerBoundSlot(0, 10, 0), 0);
+  EXPECT_EQ(ba.LowerBoundSlot(0, 15, 2), 1);
+  EXPECT_EQ(ba.LowerBoundSlot(0, 30, 0), 2);
+  EXPECT_EQ(ba.LowerBoundSlot(0, 31, 0), 3);  // past the end
+  EXPECT_EQ(ba.LowerBoundSlot(0, 1, 0), 0);   // empty-prefix
+}
+
+TEST(BucketArrayTest, AppendSortedFillsInOrder) {
+  BucketArray<uint64_t> ba(2, 4);
+  ba.AppendSorted(0, 1, 10);
+  ba.AppendSorted(0, 2, 20);
+  ba.AppendSorted(1, 100, 1000);
+  EXPECT_EQ(ba.BucketSize(0), 2);
+  EXPECT_EQ(ba.BucketSize(1), 1);
+  EXPECT_EQ(ba.KeyAt(0, 1), 2u);
+  EXPECT_EQ(ba.ValueAt(1, 0), 1000u);
+}
+
+TEST(BucketArrayTest, NonTrivialValueType) {
+  BucketArray<std::string> ba(1, 4);
+  ba.Insert(0, 2, "two", 0);
+  ba.Insert(0, 1, "one", 0);  // shifts "two"
+  const int slot = ba.Find(0, 2, 0);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(ba.ValueAt(0, slot), "two");
+  EXPECT_TRUE(ba.Erase(0, 1, 0));
+  EXPECT_EQ(ba.ValueAt(0, ba.Find(0, 2, 0)), "two");
+}
+
+TEST(BucketArrayTest, MoveTransfersStorage) {
+  BucketArray<uint64_t> a(1, 4);
+  a.Insert(0, 7, 70, 0);
+  BucketArray<uint64_t> b = std::move(a);
+  EXPECT_EQ(b.ValueAt(0, b.Find(0, 7, 0)), 70u);
+}
+
+// Property sweep: random inserts/erases mirror a std::vector model.
+class BucketArrayPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BucketArrayPropertyTest, MatchesReferenceModel) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  BucketArray<uint64_t> ba(1, 64);
+  std::vector<std::pair<uint64_t, uint64_t>> model;
+  for (int step = 0; step < 2000; step++) {
+    const uint64_t key = rng.NextBelow(200);
+    const uint32_t hint = static_cast<uint32_t>(rng.NextBelow(70));
+    if (rng.NextBelow(3) != 0) {
+      const uint64_t value = rng.Next();
+      const auto r = ba.Insert(0, key, value, hint);
+      const auto it = std::find_if(model.begin(), model.end(),
+                                   [&](auto& p) { return p.first == key; });
+      if (it != model.end()) {
+        EXPECT_EQ(r, Result::kAlreadyExists);
+      } else if (model.size() == 64) {
+        EXPECT_EQ(r, Result::kFull);
+      } else {
+        EXPECT_EQ(r, Result::kInserted);
+        model.emplace_back(key, value);
+      }
+    } else {
+      const bool erased = ba.Erase(0, key, hint);
+      const auto it = std::find_if(model.begin(), model.end(),
+                                   [&](auto& p) { return p.first == key; });
+      EXPECT_EQ(erased, it != model.end());
+      if (it != model.end()) {
+        model.erase(it);
+      }
+    }
+    ASSERT_EQ(ba.BucketSize(0), model.size());
+  }
+  std::sort(model.begin(), model.end());
+  const auto keys = ba.Keys(0);
+  ASSERT_EQ(keys.size(), model.size());
+  for (size_t i = 0; i < model.size(); i++) {
+    EXPECT_EQ(keys[i], model[i].first);
+    EXPECT_EQ(ba.ValueAt(0, static_cast<int>(i)), model[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BucketArrayPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,122 @@
+#include "src/core/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 2;
+  c.bucket_bytes = 128;
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+TEST(CursorTest, EmptyIndex) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  Cursor<uint64_t> c(idx);
+  EXPECT_FALSE(c.Valid());
+  c.Next();  // must be safe past the end
+  EXPECT_FALSE(c.Valid());
+}
+
+TEST(CursorTest, FullIterationMatchesModel) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(1);
+  for (int i = 0; i < 30'000; i++) {
+    const uint64_t k = rng.Next();
+    idx.Insert(k, k / 7);
+    model[k] = k / 7;
+  }
+  size_t visited = 0;
+  auto it = model.begin();
+  // Tiny batches stress the refill boundary logic.
+  for (Cursor<uint64_t> c(idx, /*batch_size=*/7); c.Valid(); c.Next()) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(c.key(), it->first);
+    ASSERT_EQ(c.value(), it->second);
+    ++it;
+    visited++;
+  }
+  EXPECT_EQ(visited, model.size());
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(CursorTest, SeekPositionsAtLowerBound) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  for (uint64_t k = 0; k < 1000; k++) {
+    idx.Insert(k << 40, k);
+  }
+  Cursor<uint64_t> c(idx);
+  c.Seek(uint64_t{500} << 40);
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), uint64_t{500} << 40);
+  c.Seek((uint64_t{500} << 40) + 1);
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), uint64_t{501} << 40);
+  c.Seek(uint64_t{9999} << 40);
+  EXPECT_FALSE(c.Valid());
+}
+
+TEST(CursorTest, SeekToFirstRewinds) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  for (uint64_t k = 10; k < 20; k++) {
+    idx.Insert(k << 40, k);
+  }
+  Cursor<uint64_t> c(idx);
+  c.Next();
+  c.Next();
+  c.SeekToFirst();
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), uint64_t{10} << 40);
+}
+
+TEST(CursorTest, MaxKeyTermination) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  idx.Insert(~uint64_t{0}, 1);  // the largest possible key
+  idx.Insert(0, 2);
+  size_t visited = 0;
+  for (Cursor<uint64_t> c(idx, 1); c.Valid(); c.Next()) {
+    visited++;
+    ASSERT_LE(visited, 2u);
+  }
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(ScanRangeTest, ClipsAtEnd) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  for (uint64_t k = 0; k < 100; k++) {
+    idx.Insert(k << 40, k);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(100);
+  // [10<<40, 20<<40): exactly keys 10..19.
+  const size_t got = idx.ScanRange(uint64_t{10} << 40, uint64_t{20} << 40,
+                                   out.size(), out.data());
+  ASSERT_EQ(got, 10u);
+  EXPECT_EQ(out[0].first, uint64_t{10} << 40);
+  EXPECT_EQ(out[9].first, uint64_t{19} << 40);
+  // Empty and inverted ranges.
+  EXPECT_EQ(idx.ScanRange(5, 5, out.size(), out.data()), 0u);
+  EXPECT_EQ(idx.ScanRange(10, 5, out.size(), out.data()), 0u);
+}
+
+TEST(ScanRangeTest, CountRange) {
+  DyTIS<uint64_t> idx(SmallConfig());
+  for (uint64_t k = 0; k < 5000; k++) {
+    idx.Insert(k << 40, k);
+  }
+  EXPECT_EQ(idx.CountRange(0, ~uint64_t{0}), 5000u);
+  EXPECT_EQ(idx.CountRange(uint64_t{100} << 40, uint64_t{200} << 40), 100u);
+  EXPECT_EQ(idx.CountRange(1, 2), 0u);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,136 @@
+#include "src/datasets/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/dynamics.h"
+#include "src/datasets/generators.h"
+
+namespace dytis {
+namespace {
+
+constexpr size_t kN = 60'000;
+
+DynamicsOptions TestOptions() {
+  DynamicsOptions o;
+  o.keys_per_range = 10'000;
+  return o;
+}
+
+class AllDatasetsTest : public testing::TestWithParam<DatasetId> {};
+
+TEST_P(AllDatasetsTest, KeysAreUniqueAndCountMatches) {
+  const Dataset d = MakeDataset(GetParam(), kN, /*seed=*/7);
+  EXPECT_EQ(d.keys.size(), kN);
+  std::unordered_set<uint64_t> seen(d.keys.begin(), d.keys.end());
+  EXPECT_EQ(seen.size(), kN);
+}
+
+TEST_P(AllDatasetsTest, Deterministic) {
+  const Dataset a = MakeDataset(GetParam(), 5'000, 11);
+  const Dataset b = MakeDataset(GetParam(), 5'000, 11);
+  EXPECT_EQ(a.keys, b.keys);
+}
+
+TEST_P(AllDatasetsTest, SeedChangesKeys) {
+  const Dataset a = MakeDataset(GetParam(), 5'000, 1);
+  const Dataset b = MakeDataset(GetParam(), 5'000, 2);
+  EXPECT_NE(a.keys, b.keys);
+}
+
+TEST_P(AllDatasetsTest, ShuffledIsPermutationOfOriginal) {
+  const Dataset orig = MakeDataset(GetParam(), 5'000, 3, /*shuffled=*/false);
+  const Dataset shuf = MakeDataset(GetParam(), 5'000, 3, /*shuffled=*/true);
+  EXPECT_NE(orig.keys, shuf.keys);
+  std::vector<uint64_t> a = orig.keys;
+  std::vector<uint64_t> b = shuf.keys;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, AllDatasetsTest, testing::ValuesIn(AllDatasetIds()),
+    [](const testing::TestParamInfo<DatasetId>& info) {
+      return std::string(DatasetShortName(info.param));
+    });
+
+// --- Characteristic checks: the substitutes must land in the right region
+// of the Figure-1 plane (relative ordering, not absolute values). ----------
+
+struct Characteristics {
+  double skewness;
+  double kdd;
+};
+
+Characteristics Measure(DatasetId id, bool shuffled = false) {
+  const Dataset d = MakeDataset(id, kN, 42, shuffled);
+  const auto c = MeasureDynamics(d.keys, TestOptions());
+  return {c.skewness, c.kdd};
+}
+
+TEST(DatasetCharacteristicsTest, UniformIsBaseline) {
+  const auto u = Measure(DatasetId::kUniform);
+  EXPECT_NEAR(u.skewness, 1.0, 0.5);
+  EXPECT_LT(u.kdd, 0.2);
+}
+
+TEST(DatasetCharacteristicsTest, ReviewHasHighSkewLowKdd) {
+  const auto rm = Measure(DatasetId::kReviewM);
+  const auto u = Measure(DatasetId::kUniform);
+  EXPECT_GT(rm.skewness, u.skewness * 5);
+  EXPECT_LT(rm.kdd, 1.0);
+}
+
+TEST(DatasetCharacteristicsTest, TaxiHasHighKdd) {
+  const auto tx = Measure(DatasetId::kTaxi);
+  const auto rm = Measure(DatasetId::kReviewM);
+  const auto u = Measure(DatasetId::kUniform);
+  EXPECT_GT(tx.kdd, rm.kdd * 2);
+  EXPECT_GT(tx.kdd, u.kdd + 1.0);
+}
+
+TEST(DatasetCharacteristicsTest, MapHasLowerSkewThanReview) {
+  const auto mm = Measure(DatasetId::kMapM);
+  const auto rm = Measure(DatasetId::kReviewM);
+  EXPECT_LT(mm.skewness, rm.skewness / 2);
+}
+
+TEST(DatasetCharacteristicsTest, MapHasModerateKdd) {
+  const auto mm = Measure(DatasetId::kMapM);
+  const auto u = Measure(DatasetId::kUniform);
+  EXPECT_GT(mm.kdd, u.kdd);
+}
+
+TEST(DatasetCharacteristicsTest, ShufflingLowersKddForTaxi) {
+  const auto tx = Measure(DatasetId::kTaxi);
+  const auto txs = Measure(DatasetId::kTaxi, /*shuffled=*/true);
+  EXPECT_LT(txs.kdd, tx.kdd / 2);
+  // Skewness is an order-free property: shuffling keeps it.
+  EXPECT_NEAR(txs.skewness, tx.skewness, tx.skewness * 0.2 + 0.5);
+}
+
+TEST(DatasetsTest, ShortNames) {
+  EXPECT_STREQ(DatasetShortName(DatasetId::kMapM), "MM");
+  EXPECT_STREQ(DatasetShortName(DatasetId::kTaxi), "TX");
+  const Dataset d = MakeDataset(DatasetId::kMapM, 100, 1, true);
+  EXPECT_EQ(d.name, "MM(s)");
+}
+
+TEST(DatasetsTest, RealWorldListHasFive) {
+  EXPECT_EQ(RealWorldDatasetIds().size(), 5u);
+}
+
+TEST(MakeUniqueTest, ResolvesDuplicatesPreservingOrder) {
+  std::vector<uint64_t> keys = {10, 10, 10, 20};
+  MakeUnique(keys, 1);
+  std::unordered_set<uint64_t> seen(keys.begin(), keys.end());
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(keys[0], 10u);  // first occurrence unchanged
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,116 @@
+#include "src/analysis/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DynamicsOptions SmallOptions() {
+  DynamicsOptions o;
+  o.keys_per_range = 10'000;  // smaller ranges so tests stay fast
+  return o;
+}
+
+TEST(SkewnessTest, UniformIsOneModel) {
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 50'000; i++) {
+    keys.push_back(rng.Next() >> 1);
+  }
+  EXPECT_NEAR(SkewnessMetric(keys, SmallOptions()), 1.0, 0.25);
+}
+
+TEST(SkewnessTest, ClusteredKeysAreSkewed) {
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (int c = 0; c < 500; c++) {
+    const uint64_t base = rng.Next() >> 4;
+    for (int i = 0; i < 100; i++) {
+      keys.push_back(base + rng.NextBelow(1 << 10));
+    }
+  }
+  EXPECT_GT(SkewnessMetric(keys, SmallOptions()), 5.0);
+}
+
+TEST(SkewnessTest, InsensitiveToInsertionOrder) {
+  // Skewness sorts internally, so shuffling must not change it.
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 30'000; i++) {
+    keys.push_back(rng.NextBelow(1000) * (uint64_t{1} << 40) +
+                   rng.NextBelow(1 << 20));
+  }
+  const double before = SkewnessMetric(keys, SmallOptions());
+  std::vector<uint64_t> shuffled = keys;
+  for (size_t i = shuffled.size(); i > 1; i--) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+  }
+  EXPECT_DOUBLE_EQ(before, SkewnessMetric(shuffled, SmallOptions()));
+}
+
+TEST(SkewnessTest, FewerKeysThanChunkStillWorks) {
+  std::vector<uint64_t> keys{1, 5, 9, 1000};
+  EXPECT_GE(SkewnessMetric(keys, SmallOptions()), 1.0);
+}
+
+TEST(SkewnessTest, EmptyIsZero) {
+  EXPECT_EQ(SkewnessMetric({}, SmallOptions()), 0.0);
+}
+
+TEST(KddTest, StationaryStreamHasLowKdd) {
+  Rng rng(4);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100'000; i++) {
+    keys.push_back(rng.Next() >> 1);  // same distribution all along
+  }
+  EXPECT_LT(KddMetric(keys, SmallOptions()), 0.2);
+}
+
+TEST(KddTest, DriftingStreamHasHighKdd) {
+  // Time-ordered keys: each sub-dataset occupies a fresh key range, the
+  // Taxi-dataset behaviour.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 100'000; i++) {
+    keys.push_back(i * 1000);
+  }
+  EXPECT_GT(KddMetric(keys, SmallOptions()), 2.0);
+}
+
+TEST(KddTest, ShufflingLowersKdd) {
+  // Shuffling a drifting stream removes the drift (Group 2 of Figure 1).
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 100'000; i++) {
+    keys.push_back(i * 1000);
+  }
+  const double original = KddMetric(keys, SmallOptions());
+  Rng rng(5);
+  for (size_t i = keys.size(); i > 1; i--) {
+    std::swap(keys[i - 1], keys[rng.NextBelow(i)]);
+  }
+  const double shuffled = KddMetric(keys, SmallOptions());
+  EXPECT_LT(shuffled, original / 4.0);
+}
+
+TEST(KddTest, TooFewChunksIsZero) {
+  std::vector<uint64_t> keys(5'000, 1);  // less than two chunks
+  EXPECT_EQ(KddMetric(keys, SmallOptions()), 0.0);
+}
+
+TEST(MeasureDynamicsTest, CombinesBothMetrics) {
+  Rng rng(6);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 50'000; i++) {
+    keys.push_back(rng.Next() >> 1);
+  }
+  const auto c = MeasureDynamics(keys, SmallOptions());
+  EXPECT_NEAR(c.skewness, 1.0, 0.25);
+  EXPECT_LT(c.kdd, 0.2);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,214 @@
+// Concurrency tests for the two-level-locked DyTIS build (Section 3.4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;  // 16 pairs per bucket
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+using Index = ConcurrentDyTIS<uint64_t>;
+
+TEST(DyTISConcurrencyTest, ParallelDisjointInserts) {
+  Index idx(SmallConfig());
+  const int kThreads = 4;
+  const size_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 7919 + 1);
+      for (size_t i = 0; i < kPerThread; i++) {
+        // Disjoint key spaces per thread (top bits).
+        const uint64_t key =
+            (static_cast<uint64_t>(t) << 60) | (rng.Next() >> 4);
+        idx.Insert(key, key + 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  // Re-run the exact same generators to verify presence.
+  for (int t = 0; t < kThreads; t++) {
+    Rng rng(static_cast<uint64_t>(t) * 7919 + 1);
+    for (size_t i = 0; i < kPerThread; i++) {
+      const uint64_t key = (static_cast<uint64_t>(t) << 60) | (rng.Next() >> 4);
+      uint64_t v = 0;
+      ASSERT_TRUE(idx.Find(key, &v));
+      ASSERT_EQ(v, key + 1);
+    }
+  }
+}
+
+TEST(DyTISConcurrencyTest, ParallelOverlappingInserts) {
+  // All threads hammer the same EHs: exercises split/doubling under the
+  // exclusive directory lock.
+  Index idx(SmallConfig());
+  const int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> new_keys{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 17);
+      for (size_t i = 0; i < 15'000; i++) {
+        if (idx.Insert(rng.NextBelow(40'000) << 40, 1)) {
+          new_keys.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  EXPECT_EQ(idx.size(), new_keys.load());
+}
+
+TEST(DyTISConcurrencyTest, ReadersDuringWrites) {
+  Index idx(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 40'000, 9);
+  // Pre-load half; readers query the preloaded half while writers add the
+  // rest.
+  const size_t half = d.keys.size() / 2;
+  for (size_t i = 0; i < half; i++) {
+    idx.Insert(d.keys[i], i);
+  }
+  std::atomic<bool> reader_failed{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; t++) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 31);
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t i = rng.NextBelow(half);
+        uint64_t v = 0;
+        if (!idx.Find(d.keys[i], &v) || v != i) {
+          reader_failed.store(true);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t i = half; i < d.keys.size(); i++) {
+      idx.Insert(d.keys[i], i);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_FALSE(reader_failed.load());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  EXPECT_EQ(idx.size(), d.keys.size());
+}
+
+TEST(DyTISConcurrencyTest, ScannersDuringWrites) {
+  Index idx(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kMapM, 30'000, 11);
+  const size_t half = d.keys.size() / 2;
+  for (size_t i = 0; i < half; i++) {
+    idx.Insert(d.keys[i], i);
+  }
+  std::atomic<bool> scan_failed{false};
+  std::atomic<bool> done{false};
+  std::thread scanner([&] {
+    Rng rng(51);
+    std::vector<std::pair<uint64_t, uint64_t>> out(100);
+    while (!done.load(std::memory_order_acquire)) {
+      const size_t got = idx.Scan(rng.Next(), 100, out.data());
+      for (size_t i = 1; i < got; i++) {
+        if (out[i].first <= out[i - 1].first) {
+          scan_failed.store(true);  // scans must always be sorted
+        }
+      }
+    }
+  });
+  std::thread writer([&] {
+    for (size_t i = half; i < d.keys.size(); i++) {
+      idx.Insert(d.keys[i], i);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_FALSE(scan_failed.load());
+}
+
+TEST(DyTISConcurrencyTest, MixedOpsStress) {
+  Index idx(SmallConfig());
+  const int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 101 + 7);
+      std::vector<std::pair<uint64_t, uint64_t>> out(50);
+      for (int i = 0; i < 20'000; i++) {
+        const uint64_t key = rng.NextBelow(10'000) << 38;
+        switch (rng.NextBelow(5)) {
+          case 0:
+          case 1:
+            idx.Insert(key, key);
+            break;
+          case 2:
+            idx.Erase(key);
+            break;
+          case 3: {
+            uint64_t v = 0;
+            if (idx.Find(key, &v) && v != key) {
+              failed.store(true);  // values are always key
+            }
+            break;
+          }
+          default:
+            idx.Scan(key, 50, out.data());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+TEST(DyTISConcurrencyTest, SingleThreadPolicyMatchesConcurrent) {
+  // The two builds must produce identical contents for identical inputs.
+  DyTIS<uint64_t> st(SmallConfig());
+  Index mt(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kTaxi, 20'000, 13);
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    ASSERT_EQ(st.Insert(d.keys[i], i), mt.Insert(d.keys[i], i));
+  }
+  EXPECT_EQ(st.size(), mt.size());
+  std::vector<std::pair<uint64_t, uint64_t>> a(d.keys.size());
+  std::vector<std::pair<uint64_t, uint64_t>> b(d.keys.size());
+  ASSERT_EQ(st.Scan(0, d.keys.size(), a.data()),
+            mt.Scan(0, d.keys.size(), b.data()));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dytis

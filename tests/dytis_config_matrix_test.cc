@@ -1,0 +1,129 @@
+// Property tests of the DyTIS index across a matrix of configurations:
+// every combination must preserve the full contract (model equivalence,
+// sorted scans, invariants) on a mixed random workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+// (first_level_bits, bucket_bytes, l_start, util_threshold).
+using ConfigParam = std::tuple<int, size_t, int, double>;
+
+class DyTISConfigMatrixTest : public testing::TestWithParam<ConfigParam> {
+ protected:
+  DyTISConfig MakeConfig() const {
+    DyTISConfig c;
+    c.first_level_bits = std::get<0>(GetParam());
+    c.bucket_bytes = std::get<1>(GetParam());
+    c.l_start = std::get<2>(GetParam());
+    c.util_threshold = std::get<3>(GetParam());
+    c.max_global_depth = 14;
+    return c;
+  }
+};
+
+TEST_P(DyTISConfigMatrixTest, MixedWorkloadMatchesStdMap) {
+  DyTIS<uint64_t> idx(MakeConfig());
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(0xfeed);
+  // Mixed key population: some uniform, some clustered, some boundary.
+  auto random_key = [&]() -> uint64_t {
+    switch (rng.NextBelow(4)) {
+      case 0:
+        return rng.Next();
+      case 1:
+        return (rng.NextBelow(64) << 50) | (rng.NextBelow(1024) << 36);
+      case 2:
+        return rng.NextBelow(4096) << 40;
+      default:
+        return rng.NextBelow(2) == 0 ? 0 : ~uint64_t{0} - rng.NextBelow(16);
+    }
+  };
+  for (int step = 0; step < 30'000; step++) {
+    const uint64_t key = random_key();
+    switch (rng.NextBelow(6)) {
+      case 0:
+      case 1:
+      case 2: {
+        const uint64_t value = rng.Next();
+        const bool expect_new = model.find(key) == model.end();
+        ASSERT_EQ(idx.Insert(key, value), expect_new) << "step " << step;
+        model[key] = value;
+        break;
+      }
+      case 3: {
+        ASSERT_EQ(idx.Erase(key), model.erase(key) > 0) << "step " << step;
+        break;
+      }
+      case 4: {
+        uint64_t v = 0;
+        const auto it = model.find(key);
+        ASSERT_EQ(idx.Find(key, &v), it != model.end()) << "step " << step;
+        if (it != model.end()) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+      default: {
+        const uint64_t value = rng.Next();
+        const auto it = model.find(key);
+        ASSERT_EQ(idx.Update(key, value), it != model.end());
+        if (it != model.end()) {
+          it->second = value;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(idx.size(), model.size());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  // Full-scan equivalence.
+  std::vector<std::pair<uint64_t, uint64_t>> out(model.size());
+  ASSERT_EQ(idx.Scan(0, model.size(), out.data()), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(out[i].first, k) << "scan mismatch at " << i;
+    ASSERT_EQ(out[i].second, v);
+    i++;
+  }
+  // Partial scans from random starts.
+  for (int s = 0; s < 20; s++) {
+    const uint64_t start = random_key();
+    std::vector<std::pair<uint64_t, uint64_t>> part(37);
+    const size_t got = idx.Scan(start, part.size(), part.data());
+    auto it = model.lower_bound(start);
+    for (size_t j = 0; j < got; j++, ++it) {
+      ASSERT_NE(it, model.end());
+      ASSERT_EQ(part[j].first, it->first);
+    }
+    if (got < part.size()) {
+      ASSERT_EQ(it, model.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DyTISConfigMatrixTest,
+    testing::Combine(
+        /*first_level_bits=*/testing::Values(0, 3, 6),
+        /*bucket_bytes=*/testing::Values(size_t{128}, size_t{2048}),
+        /*l_start=*/testing::Values(2, 6),
+        /*util_threshold=*/testing::Values(0.5, 0.7)),
+    [](const testing::TestParamInfo<ConfigParam>& info) {
+      return "R" + std::to_string(std::get<0>(info.param)) + "_B" +
+             std::to_string(std::get<1>(info.param)) + "_L" +
+             std::to_string(std::get<2>(info.param)) + "_U" +
+             std::to_string(static_cast<int>(std::get<3>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,418 @@
+#include "src/core/dytis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+// Small configuration that exercises every structural operation (splits,
+// remapping, expansion, doubling) with only thousands of keys.
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 2;
+  c.bucket_bytes = 128;  // 8 pairs per bucket
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+using Index = DyTIS<uint64_t>;
+
+TEST(DyTISCoreTest, EmptyIndex) {
+  Index idx(SmallConfig());
+  EXPECT_EQ(idx.size(), 0u);
+  uint64_t v = 0;
+  EXPECT_FALSE(idx.Find(123, &v));
+  EXPECT_FALSE(idx.Erase(123));
+  EXPECT_FALSE(idx.Update(123, 1));
+  std::pair<uint64_t, uint64_t> out[4];
+  EXPECT_EQ(idx.Scan(0, 4, out), 0u);
+  EXPECT_TRUE(idx.ValidateInvariants());
+}
+
+TEST(DyTISCoreTest, InsertFindSingle) {
+  Index idx(SmallConfig());
+  EXPECT_TRUE(idx.Insert(42, 4200));
+  EXPECT_EQ(idx.size(), 1u);
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(42, &v));
+  EXPECT_EQ(v, 4200u);
+  EXPECT_FALSE(idx.Find(43, &v));
+}
+
+TEST(DyTISCoreTest, InsertDuplicateUpdatesInPlace) {
+  Index idx(SmallConfig());
+  EXPECT_TRUE(idx.Insert(42, 1));
+  EXPECT_FALSE(idx.Insert(42, 2));  // in-place update, not a new key
+  EXPECT_EQ(idx.size(), 1u);
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(42, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(DyTISCoreTest, UpdateOnlyExisting) {
+  Index idx(SmallConfig());
+  idx.Insert(1, 10);
+  EXPECT_TRUE(idx.Update(1, 11));
+  EXPECT_FALSE(idx.Update(2, 20));
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(1, &v));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(DyTISCoreTest, BoundaryKeys) {
+  Index idx(SmallConfig());
+  const std::vector<uint64_t> keys = {0, 1, ~uint64_t{0}, (~uint64_t{0}) - 1,
+                                      uint64_t{1} << 63, (uint64_t{1} << 63) - 1};
+  for (uint64_t k : keys) {
+    EXPECT_TRUE(idx.Insert(k, k ^ 0xabc));
+  }
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(k, &v)) << "key " << k;
+    EXPECT_EQ(v, k ^ 0xabc);
+  }
+  EXPECT_TRUE(idx.ValidateInvariants());
+}
+
+TEST(DyTISCoreTest, ManySequentialKeys) {
+  // Time-ordered keys as in the Taxi dataset: the significant bits advance
+  // monotonically (here at bit 40).
+  Index idx(SmallConfig());
+  const uint64_t kN = 50'000;
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_TRUE(idx.Insert(k << 40, k * 2));
+  }
+  EXPECT_EQ(idx.size(), kN);
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (uint64_t k = 0; k < kN; k += 17) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(k << 40, &v)) << "key " << k;
+    ASSERT_EQ(v, k * 2);
+  }
+  // Sequential keys concentrate in few EHs -> must have triggered structure
+  // adaptation.
+  EXPECT_GT(idx.stats().StructuralOps(), 10u);
+}
+
+TEST(DyTISCoreTest, ManyRandomKeys) {
+  Index idx(SmallConfig());
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 50'000; i++) {
+    const uint64_t k = rng.Next();
+    const uint64_t v = rng.Next();
+    const bool is_new = model.emplace(k, v).second;
+    if (!is_new) {
+      model[k] = v;
+    }
+    ASSERT_EQ(idx.Insert(k, v), is_new);
+  }
+  EXPECT_EQ(idx.size(), model.size());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (const auto& [k, v] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(idx.Find(k, &got)) << "key " << k;
+    ASSERT_EQ(got, v);
+  }
+}
+
+TEST(DyTISCoreTest, SkewedClusterKeys) {
+  // Dense clusters at sparse positions: the remapping stress case.  Each
+  // cluster occupies 1/1024 of its segment's span, forcing the target
+  // sub-range to steal buckets.
+  Index idx(SmallConfig());
+  Rng rng(9);
+  std::vector<uint64_t> keys;
+  for (int c = 0; c < 40; c++) {
+    const uint64_t base = rng.Next() & ~LowMask(46);
+    for (int i = 0; i < 1000; i++) {
+      keys.push_back(base + (static_cast<uint64_t>(i) << 36));
+    }
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(idx.Insert(k, k + 1));
+  }
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(k, &v));
+    ASSERT_EQ(v, k + 1);
+  }
+  // Cluster shape must have exercised remapping.
+  EXPECT_GT(idx.stats().remappings.load(), 0u);
+}
+
+TEST(DyTISCoreTest, ScanReturnsSortedRange) {
+  Index idx(SmallConfig());
+  Rng rng(11);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  for (uint64_t k : keys) {
+    idx.Insert(k, k / 2);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  for (uint64_t start_idx : {size_t{0}, keys.size() / 3, keys.size() - 50}) {
+    const uint64_t start = keys[start_idx];
+    std::vector<std::pair<uint64_t, uint64_t>> out(100);
+    const size_t got = idx.Scan(start, 100, out.data());
+    const size_t expect = std::min<size_t>(100, keys.size() - start_idx);
+    ASSERT_EQ(got, expect);
+    for (size_t i = 0; i < got; i++) {
+      ASSERT_EQ(out[i].first, keys[start_idx + i]);
+      ASSERT_EQ(out[i].second, out[i].first / 2);
+    }
+  }
+}
+
+TEST(DyTISCoreTest, ScanFromNonExistingStart) {
+  Index idx(SmallConfig());
+  for (uint64_t k = 0; k < 1000; k++) {
+    idx.Insert(k * 10, k);
+  }
+  std::pair<uint64_t, uint64_t> out[5];
+  // Start between keys: must begin at the next larger key.
+  ASSERT_EQ(idx.Scan(15, 5, out), 5u);
+  EXPECT_EQ(out[0].first, 20u);
+  EXPECT_EQ(out[4].first, 60u);
+  // Start beyond all keys.
+  EXPECT_EQ(idx.Scan(10'000, 5, out), 0u);
+  // Scan crossing the end: fewer results than requested.
+  EXPECT_EQ(idx.Scan(9990, 5, out), 1u);
+  EXPECT_EQ(out[0].first, 9990u);
+}
+
+TEST(DyTISCoreTest, ScanCrossesEhBoundaries) {
+  // first_level_bits=2 -> 4 EHs; keys chosen in different EHs.
+  Index idx(SmallConfig());
+  std::vector<uint64_t> keys;
+  for (int eh = 0; eh < 4; eh++) {
+    for (int i = 0; i < 100; i++) {
+      keys.push_back((static_cast<uint64_t>(eh) << 62) +
+                     (static_cast<uint64_t>(i) << 40));
+    }
+  }
+  for (uint64_t k : keys) {
+    idx.Insert(k, 1);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(400);
+  ASSERT_EQ(idx.Scan(0, 400, out.data()), 400u);
+  for (size_t i = 0; i < 400; i++) {
+    ASSERT_EQ(out[i].first, keys[i]);  // keys were generated in sorted order
+  }
+}
+
+TEST(DyTISCoreTest, EraseBasics) {
+  Index idx(SmallConfig());
+  for (uint64_t k = 0; k < 1000; k++) {
+    idx.Insert(k << 40, k);
+  }
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(idx.Erase(k << 40));
+  }
+  EXPECT_EQ(idx.size(), 500u);
+  for (uint64_t k = 0; k < 1000; k++) {
+    uint64_t v = 0;
+    ASSERT_EQ(idx.Find(k << 40, &v), k % 2 == 1) << "key " << k;
+  }
+  EXPECT_FALSE(idx.Erase(0));  // double delete
+  EXPECT_TRUE(idx.ValidateInvariants());
+}
+
+TEST(DyTISCoreTest, EraseEverythingThenReinsert) {
+  Index idx(SmallConfig());
+  Rng rng(13);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  for (uint64_t k : keys) {
+    idx.Insert(k, 1);
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(idx.Erase(k));
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(idx.Insert(k, 2));
+  }
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(keys[0], &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(DyTISCoreTest, DeletionTriggersMerge) {
+  Index idx(SmallConfig());
+  // Load enough keys into one EH to grow segments, then delete most.
+  for (uint64_t k = 0; k < 30'000; k++) {
+    idx.Insert(k << 40, k);
+  }
+  const size_t mem_before = idx.MemoryBytes();
+  for (uint64_t k = 0; k < 30'000; k++) {
+    if (k % 16 != 0) {
+      idx.Erase(k << 40);
+    }
+  }
+  EXPECT_GT(idx.stats().merges.load(), 0u);
+  EXPECT_LT(idx.MemoryBytes(), mem_before);
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+TEST(DyTISCoreTest, ForEachVisitsInOrder) {
+  Index idx(SmallConfig());
+  Rng rng(17);
+  size_t n = 0;
+  for (int i = 0; i < 5000; i++) {
+    n += idx.Insert(rng.Next(), 7) ? 1 : 0;
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  size_t visited = 0;
+  idx.ForEach([&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, 7u);
+    if (!first) {
+      EXPECT_GT(k, prev);
+    }
+    prev = k;
+    first = false;
+    visited++;
+  });
+  EXPECT_EQ(visited, n);
+}
+
+TEST(DyTISCoreTest, PaperDefaultConfigWorks) {
+  Index idx;  // paper defaults: R=9, 2KB buckets, L_start=6
+  Rng rng(19);
+  for (int i = 0; i < 100'000; i++) {
+    idx.Insert(rng.Next(), static_cast<uint64_t>(i));
+  }
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  EXPECT_EQ(idx.size(), 100'000u);
+}
+
+TEST(DyTISCoreTest, StatsTrackStructuralOperations) {
+  Index idx(SmallConfig());
+  EXPECT_EQ(idx.stats().StructuralOps(), 0u);
+  // Enough keys in one EH to force splits/doublings and, with clustering,
+  // remapping.
+  for (uint64_t k = 0; k < 20'000; k++) {
+    idx.Insert(k << 40, k);
+  }
+  const auto& s = idx.stats();
+  EXPECT_GT(s.splits.load(), 0u);
+  EXPECT_GT(s.doublings.load(), 0u);
+  EXPECT_EQ(s.StructuralOps(),
+            s.splits.load() + s.expansions.load() + s.remappings.load() +
+                s.doublings.load());
+  const uint64_t before = s.StructuralOps();
+  idx.mutable_stats().Reset();
+  EXPECT_GT(before, 0u);
+  EXPECT_EQ(idx.stats().StructuralOps(), 0u);
+}
+
+TEST(DyTISCoreTest, MemoryGrowsWithKeys) {
+  Index idx(SmallConfig());
+  const size_t empty = idx.MemoryBytes();
+  for (uint64_t k = 0; k < 50'000; k++) {
+    idx.Insert(k * 1000, k);
+  }
+  EXPECT_GT(idx.MemoryBytes(), empty + 50'000 * 16 / 2);
+}
+
+TEST(DyTISCoreTest, StashDegradationOnAdversarialDensity) {
+  // Consecutive integers at the bottom of the key space share ~50 prefix
+  // bits: no MSB-based extendible hash can discriminate them without an
+  // exponentially large directory.  With the directory-depth cap the index
+  // must degrade to the overflow stash and stay fully correct.
+  DyTISConfig config = SmallConfig();
+  config.max_global_depth = 6;
+  Index idx(config);
+  const uint64_t kN = 3000;
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_TRUE(idx.Insert(k, k + 7));
+  }
+  EXPECT_GT(idx.stats().stash_inserts.load(), 0u);
+  EXPECT_EQ(idx.size(), kN);
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+
+  // Point lookups hit stash and buckets alike.
+  for (uint64_t k = 0; k < kN; k += 7) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(k, &v)) << "key " << k;
+    ASSERT_EQ(v, k + 7);
+  }
+  // In-place updates reach stashed keys.
+  ASSERT_FALSE(idx.Insert(kN - 1, 999));
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(kN - 1, &v));
+  EXPECT_EQ(v, 999u);
+  // Scans merge stash and buckets in sorted order.
+  std::vector<std::pair<uint64_t, uint64_t>> out(kN);
+  ASSERT_EQ(idx.Scan(0, kN, out.data()), kN);
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_EQ(out[k].first, k);
+  }
+  // Erase drains stashed keys too.
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_TRUE(idx.Erase(k));
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+// Property test over all dataset families: everything inserted is findable,
+// scans are sorted, invariants hold.
+class DyTISDatasetPropertyTest : public testing::TestWithParam<DatasetId> {};
+
+TEST_P(DyTISDatasetPropertyTest, LoadSearchScanRoundTrip) {
+  const Dataset d = MakeDataset(GetParam(), 40'000, 23);
+  Index idx(SmallConfig());
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(d.keys[i], i)) << "dup insert at " << i;
+  }
+  EXPECT_EQ(idx.size(), d.keys.size());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (size_t i = 0; i < d.keys.size(); i += 97) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(d.keys[i], &v));
+    ASSERT_EQ(v, i);
+  }
+  // Scan of the whole index returns the sorted key set.
+  std::vector<uint64_t> sorted = d.keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<uint64_t, uint64_t>> out(d.keys.size());
+  ASSERT_EQ(idx.Scan(0, d.keys.size(), out.data()), d.keys.size());
+  for (size_t i = 0; i < sorted.size(); i++) {
+    ASSERT_EQ(out[i].first, sorted[i]) << "scan order broken at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, DyTISDatasetPropertyTest, testing::ValuesIn(AllDatasetIds()),
+    [](const testing::TestParamInfo<DatasetId>& info) {
+      return std::string(DatasetShortName(info.param));
+    });
+
+}  // namespace
+}  // namespace dytis

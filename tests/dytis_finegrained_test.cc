@@ -1,0 +1,115 @@
+// Correctness tests for the fine-grained (bucket-locking) DyTIS build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+using Index = FineGrainedDyTIS<uint64_t>;
+
+TEST(FineGrainedDyTISTest, SingleThreadedContractHolds) {
+  Index idx(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 30'000, 3);
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(d.keys[i], i));
+  }
+  EXPECT_EQ(idx.size(), d.keys.size());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+  for (size_t i = 0; i < d.keys.size(); i += 31) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(d.keys[i], &v));
+    ASSERT_EQ(v, i);
+  }
+  // In-place updates through the fine path.
+  ASSERT_FALSE(idx.Insert(d.keys[0], 777));
+  uint64_t v = 0;
+  ASSERT_TRUE(idx.Find(d.keys[0], &v));
+  EXPECT_EQ(v, 777u);
+  ASSERT_TRUE(idx.Update(d.keys[1], 888));
+  ASSERT_TRUE(idx.Find(d.keys[1], &v));
+  EXPECT_EQ(v, 888u);
+  EXPECT_FALSE(idx.Update(~uint64_t{0}, 1));
+}
+
+TEST(FineGrainedDyTISTest, MatchesCoarseBuildExactly) {
+  Index fine(SmallConfig());
+  ConcurrentDyTIS<uint64_t> coarse(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kTaxi, 25'000, 5);
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    ASSERT_EQ(fine.Insert(d.keys[i], i), coarse.Insert(d.keys[i], i));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> a(d.keys.size());
+  std::vector<std::pair<uint64_t, uint64_t>> b(d.keys.size());
+  ASSERT_EQ(fine.Scan(0, a.size(), a.data()),
+            coarse.Scan(0, b.size(), b.data()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FineGrainedDyTISTest, ConcurrentMixedOps) {
+  Index idx(SmallConfig());
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 31 + 5);
+      std::vector<std::pair<uint64_t, uint64_t>> out(32);
+      for (int i = 0; i < 20'000; i++) {
+        const uint64_t key = rng.NextBelow(8'000) << 38;
+        switch (rng.NextBelow(4)) {
+          case 0:
+          case 1:
+            idx.Insert(key, key);
+            break;
+          case 2: {
+            uint64_t v = 0;
+            if (idx.Find(key, &v) && v != key) {
+              failed.store(true);
+            }
+            break;
+          }
+          default:
+            idx.Scan(key, 32, out.data());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+TEST(FineGrainedDyTISTest, UsesMoreMemoryThanCoarse) {
+  // The per-bucket locks are exactly the memory overhead the paper cites.
+  Index fine(SmallConfig());
+  ConcurrentDyTIS<uint64_t> coarse(SmallConfig());
+  const Dataset d = MakeDataset(DatasetId::kUniform, 30'000, 7);
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    fine.Insert(d.keys[i], i);
+    coarse.Insert(d.keys[i], i);
+  }
+  EXPECT_GT(fine.MemoryBytes(), coarse.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,224 @@
+// White-box tests for one Extendible-Hashing table of DyTIS's second level:
+// warm-up behaviour, Algorithm-1 action selection, segment-size limits, the
+// limit-raising heuristic, and sibling-chain/scan positioning.
+#include "src/core/eh_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/lock_policy.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Table = EhTable<uint64_t, NoLockPolicy>;
+
+DyTISConfig TinyConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 0;  // the EH sees full 64-bit keys in these tests
+  c.bucket_bytes = 128;    // 8 pairs per bucket
+  c.l_start = 2;
+  c.max_global_depth = 12;
+  return c;
+}
+
+struct TableFixture {
+  explicit TableFixture(DyTISConfig config = TinyConfig())
+      : config(config), table(config, &stats, /*key_bits=*/64) {}
+  DyTISConfig config;
+  DyTISStats stats;
+  Table table;
+};
+
+TEST(EhTableTest, StartsWithSingleSegment) {
+  TableFixture f;
+  EXPECT_EQ(f.table.global_depth(), 0);
+  EXPECT_EQ(f.table.NumSegments(), 1u);
+  EXPECT_EQ(f.table.NumKeys(), 0u);
+}
+
+TEST(EhTableTest, WarmupUsesPlainExtendibleHashing) {
+  // A deep L_start keeps the table in the warm-up phase for this whole
+  // test: overflows must be handled by doubling/split only.
+  DyTISConfig config = TinyConfig();
+  config.l_start = 8;
+  TableFixture f(config);
+  Rng rng(1);
+  for (int i = 0; i < 200; i++) {
+    f.table.Insert(rng.Next(), 1);
+  }
+  EXPECT_EQ(f.stats.remappings.load(), 0u);
+  EXPECT_EQ(f.stats.expansions.load(), 0u);
+  EXPECT_GT(f.stats.doublings.load() + f.stats.splits.load(), 0u);
+}
+
+TEST(EhTableTest, UniformKeysTriggerExpansion) {
+  TableFixture f;
+  Rng rng(2);
+  for (int i = 0; i < 30'000; i++) {
+    f.table.Insert(rng.Next(), 1);
+  }
+  EXPECT_GT(f.stats.expansions.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableTest, SkewedKeysTriggerRemapping) {
+  TableFixture f;
+  Rng rng(3);
+  // Clusters at sparse bases, spread inside (remapping-friendly shape).
+  for (int c = 0; c < 30; c++) {
+    const uint64_t base = rng.Next() & ~LowMask(44);
+    for (int i = 0; i < 600; i++) {
+      f.table.Insert(base + (static_cast<uint64_t>(i) << 34), 1);
+    }
+  }
+  EXPECT_GT(f.stats.remappings.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableTest, NumKeysMatchesInsertedCount) {
+  TableFixture f;
+  Rng rng(4);
+  size_t n = 0;
+  for (int i = 0; i < 10'000; i++) {
+    n += f.table.Insert(rng.NextBelow(5000) << 40, 1) ? 1 : 0;
+  }
+  EXPECT_EQ(f.table.NumKeys(), n);
+}
+
+TEST(EhTableTest, ScanPositionsInsideSegment) {
+  TableFixture f;
+  for (uint64_t k = 0; k < 2000; k++) {
+    f.table.Insert(k << 44, k);
+  }
+  std::pair<uint64_t, uint64_t> out[10];
+  // From an existing key.
+  ASSERT_EQ(f.table.Scan(uint64_t{100} << 44, false, 10, out), 10u);
+  EXPECT_EQ(out[0].first, uint64_t{100} << 44);
+  // From between keys.
+  ASSERT_EQ(f.table.Scan((uint64_t{100} << 44) + 1, false, 10, out), 10u);
+  EXPECT_EQ(out[0].first, uint64_t{101} << 44);
+  // From before everything, via from_begin.
+  ASSERT_EQ(f.table.Scan(0, true, 10, out), 10u);
+  EXPECT_EQ(out[0].first, 0u);
+  // Runs off the end.
+  ASSERT_EQ(f.table.Scan(uint64_t{1995} << 44, false, 10, out), 5u);
+}
+
+TEST(EhTableTest, ForEachVisitsAllInOrder) {
+  TableFixture f;
+  Rng rng(5);
+  size_t n = 0;
+  for (int i = 0; i < 20'000; i++) {
+    n += f.table.Insert(rng.Next(), 1) ? 1 : 0;
+  }
+  size_t visited = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  f.table.ForEach([&](uint64_t k, uint64_t) {
+    if (!first) {
+      EXPECT_GT(k, prev);
+    }
+    prev = k;
+    first = false;
+    visited++;
+  });
+  EXPECT_EQ(visited, n);
+}
+
+TEST(EhTableTest, LimitHeuristicRaisesMultiplierOnUniformData) {
+  // Uniform data drives expansions; by L' = L_start + delta the EH should
+  // adopt the large multiplier, which manifests as segments far bigger than
+  // the small-limit cap.
+  DyTISConfig config = TinyConfig();
+  config.limit_multiplier = 2;
+  config.limit_multiplier_large = 128;
+  TableFixture f(config);
+  Rng rng(6);
+  for (int i = 0; i < 120'000; i++) {
+    f.table.Insert(rng.Next(), 1);
+  }
+  // With multiplier 2 the cap at LD=L_start is 4 buckets; expansions beyond
+  // that imply the heuristic fired.  Indirect check: expansion count keeps
+  // growing well past the L' decision point and invariants hold.
+  EXPECT_GT(f.stats.expansions.load(), 10u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableTest, EraseAcrossStructures) {
+  TableFixture f;
+  Rng rng(7);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; i++) {
+    keys.push_back(rng.Next());
+    f.table.Insert(keys.back(), keys.back() >> 1);
+  }
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(f.table.Erase(keys[i]));
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    uint64_t v = 0;
+    const bool present = f.table.Find(keys[i], &v);
+    ASSERT_EQ(present, i % 2 == 1) << i;
+    if (present) {
+      ASSERT_EQ(v, keys[i] >> 1);
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableTest, MemoryAccountingGrowsAndShrinks) {
+  TableFixture f;
+  const size_t empty = f.table.MemoryBytes();
+  Rng rng(8);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 30'000; i++) {
+    keys.push_back(rng.Next());
+    f.table.Insert(keys.back(), 0);
+  }
+  const size_t loaded = f.table.MemoryBytes();
+  EXPECT_GT(loaded, empty + 30'000 * 8);
+  for (uint64_t k : keys) {
+    f.table.Erase(k);
+  }
+  EXPECT_LT(f.table.MemoryBytes(), loaded);  // merges reclaimed space
+}
+
+TEST(EhTableTest, StashOnlyAfterAllRepairsExhausted) {
+  // Uniform random keys never need the stash, even at a tiny depth cap.
+  DyTISConfig config = TinyConfig();
+  config.max_global_depth = 10;
+  TableFixture f(config);
+  Rng rng(9);
+  for (int i = 0; i < 50'000; i++) {
+    f.table.Insert(rng.Next(), 1);
+  }
+  EXPECT_EQ(f.stats.stash_inserts.load(), 0u);
+}
+
+TEST(EhTableTest, GlobalDepthCappedByConfig) {
+  DyTISConfig config = TinyConfig();
+  config.max_global_depth = 6;
+  TableFixture f(config);
+  for (uint64_t k = 0; k < 5000; k++) {
+    f.table.Insert(k, k);  // adversarial density
+  }
+  EXPECT_LE(f.table.global_depth(), 6);
+  EXPECT_GT(f.stats.stash_inserts.load(), 0u);
+  // Everything still findable.
+  for (uint64_t k = 0; k < 5000; k += 111) {
+    uint64_t v = 0;
+    ASSERT_TRUE(f.table.Find(k, &v));
+    ASSERT_EQ(v, k);
+  }
+}
+
+}  // namespace
+}  // namespace dytis

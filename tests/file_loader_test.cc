@@ -1,0 +1,131 @@
+#include "src/datasets/file_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dytis {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteText(const std::string& path, const char* content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(content, f);
+  std::fclose(f);
+}
+
+TEST(FileLoaderTest, CsvBasic) {
+  const std::string path = TempPath("basic.csv");
+  WriteText(path, "123\n456\n789\n");
+  const auto keys = LoadKeysFromCsv(path);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<uint64_t>{123, 456, 789}));
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, CsvSkipsHeadersAndTakesFirstColumn) {
+  const std::string path = TempPath("header.csv");
+  WriteText(path,
+            "key,value\n"
+            "42,ignored,cols\n"
+            "\n"
+            "# comment\n"
+            "  7,x\n");
+  const auto keys = LoadKeysFromCsv(path);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<uint64_t>{42, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, CsvLimit) {
+  const std::string path = TempPath("limit.csv");
+  WriteText(path, "1\n2\n3\n4\n5\n");
+  const auto keys = LoadKeysFromCsv(path, 3);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(keys->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, CsvHugeKeys) {
+  const std::string path = TempPath("huge.csv");
+  WriteText(path, "18446744073709551615\n");  // UINT64_MAX
+  const auto keys = LoadKeysFromCsv(path);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ((*keys)[0], ~uint64_t{0});
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, MissingOrEmptyFiles) {
+  EXPECT_FALSE(LoadKeysFromCsv("/no/such/file.csv").has_value());
+  const std::string path = TempPath("empty.csv");
+  WriteText(path, "no keys here\n");
+  EXPECT_FALSE(LoadKeysFromCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, CsvRoundTrip) {
+  const std::string path = TempPath("round.csv");
+  const std::vector<uint64_t> keys = {0, 1, 999, ~uint64_t{0}};
+  ASSERT_TRUE(SaveKeysToCsv(keys, path));
+  const auto loaded = LoadKeysFromCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, keys);
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, SosdRoundTrip) {
+  const std::string path = TempPath("round.sosd");
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 10'000; i++) {
+    keys.push_back(i * 977);
+  }
+  ASSERT_TRUE(SaveKeysToSosd(keys, path));
+  const auto loaded = LoadKeysFromSosd(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, keys);
+  // With a limit.
+  const auto partial = LoadKeysFromSosd(path, 100);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->size(), 100u);
+  EXPECT_EQ((*partial)[99], 99u * 977);
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, SosdTruncationDetected) {
+  const std::string path = TempPath("trunc.sosd");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint64_t claimed = 1000;  // but write only 10 keys
+  std::fwrite(&claimed, sizeof(claimed), 1, f);
+  for (uint64_t i = 0; i < 10; i++) {
+    std::fwrite(&i, sizeof(i), 1, f);
+  }
+  std::fclose(f);
+  EXPECT_FALSE(LoadKeysFromSosd(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(FileLoaderTest, DispatchByExtension) {
+  const std::string csv = TempPath("dispatch.csv");
+  WriteText(csv, "5\n6\n");
+  const auto a = LoadKeysFromFile(csv);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size(), 2u);
+  std::remove(csv.c_str());
+
+  const std::string sosd = TempPath("dispatch.bin");
+  ASSERT_TRUE(SaveKeysToSosd({9, 8, 7}, sosd));
+  const auto b = LoadKeysFromFile(sosd);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->size(), 3u);
+  std::remove(sosd.c_str());
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,157 @@
+// White-box tests for the synthetic key generators: each substitute must
+// exhibit the structural properties the corresponding real-world dataset is
+// known for (beyond the aggregate metrics checked in datasets_test).
+#include "src/datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/util/bitops.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+TEST(TaxiGenTest, PickupPrefixAdvancesMonotonically) {
+  const auto keys = GenerateTaxiKeys(50'000, 1);
+  // Pickup seconds live in the top 34 bits; they must be (weakly)
+  // increasing over the stream — trips arrive in time order.
+  uint64_t prev = 0;
+  size_t inversions = 0;
+  for (uint64_t k : keys) {
+    const uint64_t pickup = k >> 30;
+    if (pickup < prev) {
+      inversions++;
+    }
+    prev = pickup;
+  }
+  // MakeUnique may perturb low bits only, never the pickup prefix.
+  EXPECT_EQ(inversions, 0u);
+}
+
+TEST(TaxiGenTest, SpansSimulatedYears) {
+  TaxiGenOptions options;
+  const auto keys = GenerateTaxiKeys(50'000, 2, options);
+  const uint64_t first = keys.front() >> 30;
+  const uint64_t last = keys.back() >> 30;
+  // Roughly `years` of simulated seconds elapse (demand noise makes it
+  // inexact; accept a wide band).
+  const double span_years =
+      static_cast<double>(last - first) / (365.25 * 86400.0);
+  EXPECT_GT(span_years, options.years * 0.3);
+  EXPECT_LT(span_years, options.years * 4.0);
+}
+
+TEST(TaxiGenTest, DurationsAreBounded) {
+  const auto keys = GenerateTaxiKeys(20'000, 3);
+  for (uint64_t k : keys) {
+    const uint64_t duration = LowBits(k, 30);
+    EXPECT_LT(duration, Pow2(30));
+  }
+}
+
+TEST(MapGenTest, LongitudeMarginalIsBroad) {
+  const auto keys = GenerateMapKeys(60'000, 4);
+  // Keys = [lon:32][lat:31]; the longitude marginal must cover most of the
+  // range (a continent, not a city): count distinct top-6-bit prefixes.
+  std::set<uint64_t> prefixes;
+  for (uint64_t k : keys) {
+    prefixes.insert(k >> 57);
+  }
+  EXPECT_GT(prefixes.size(), 40u);  // of 64 possible
+}
+
+TEST(MapGenTest, InsertionOrderHasSpatialLocality) {
+  // Consecutive keys should often share a longitude region (the sweep):
+  // compare adjacent-pair prefix agreement against a shuffled control.
+  const auto keys = GenerateMapKeys(60'000, 5);
+  auto agreement = [](const std::vector<uint64_t>& ks) {
+    size_t same = 0;
+    for (size_t i = 1; i < ks.size(); i++) {
+      same += (ks[i] >> 58) == (ks[i - 1] >> 58) ? 1 : 0;
+    }
+    return static_cast<double>(same) / static_cast<double>(ks.size() - 1);
+  };
+  std::vector<uint64_t> shuffled(keys);
+  Rng rng(6);
+  for (size_t i = shuffled.size(); i > 1; i--) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+  }
+  EXPECT_GT(agreement(keys), agreement(shuffled) * 1.5);
+}
+
+TEST(ReviewGenTest, PopularItemsDominateButAreScattered) {
+  ReviewGenOptions options;
+  options.num_items = 5'000;
+  const auto keys = GenerateReviewKeys(60'000, 7, options);
+  // Count keys per item (top 24 bits).
+  std::map<uint64_t, size_t> per_item;
+  for (uint64_t k : keys) {
+    per_item[k >> 40]++;
+  }
+  // Zipf head: the hottest item carries far more than the mean...
+  size_t max_count = 0;
+  uint64_t hottest = 0;
+  for (const auto& [item, count] : per_item) {
+    if (count > max_count) {
+      max_count = count;
+      hottest = item;
+    }
+  }
+  const double mean =
+      static_cast<double>(keys.size()) / static_cast<double>(per_item.size());
+  EXPECT_GT(static_cast<double>(max_count), mean * 10);
+  // ...and popularity must not correlate with the id value: the hottest
+  // item should not systematically be the smallest id.
+  EXPECT_GT(hottest, 0u);
+}
+
+TEST(ReviewGenTest, TimeFieldIncreasesOverStream) {
+  const auto keys = GenerateReviewKeys(10'000, 8);
+  // Low 20 bits carry the timestamp; over the stream it trends upward
+  // (compare the first and last deciles' averages).
+  double head = 0;
+  double tail = 0;
+  const size_t d = keys.size() / 10;
+  for (size_t i = 0; i < d; i++) {
+    head += static_cast<double>(LowBits(keys[i], 20));
+    tail += static_cast<double>(LowBits(keys[keys.size() - 1 - i], 20));
+  }
+  EXPECT_GT(tail, head * 2);
+}
+
+TEST(SynthGenTest, LognormalIsHeavyTailed) {
+  const auto keys = GenerateLognormalKeys(50'000, 9);
+  std::vector<uint64_t> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  // Median far below mean: heavy right tail.
+  const uint64_t median = sorted[sorted.size() / 2];
+  double mean = 0;
+  for (uint64_t k : sorted) {
+    mean += static_cast<double>(k) / static_cast<double>(sorted.size());
+  }
+  EXPECT_GT(mean, static_cast<double>(median) * 2);
+}
+
+TEST(SynthGenTest, LongitudesStayInRange) {
+  const auto keys = GenerateLongitudesKeys(20'000, 10);
+  for (uint64_t k : keys) {
+    EXPECT_LT(k, static_cast<uint64_t>(360.0 * 1e15) + (1 << 16));
+  }
+}
+
+TEST(SynthGenTest, LonglatCompoundBounds) {
+  const auto keys = GenerateLonglatKeys(20'000, 11);
+  // compound = 180*(lon+180) + (lat+90) <= 180*360 + 180.
+  const uint64_t bound = static_cast<uint64_t>((180.0 * 360.0 + 181.0) * 1e12);
+  for (uint64_t k : keys) {
+    EXPECT_LE(k, bound);
+  }
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,149 @@
+// Tests for the Extendible-Hashing and CCEH baselines.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/baselines/cceh.h"
+#include "src/baselines/ext_hash.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+// ---------------- ExtendibleHash ----------------
+
+TEST(ExtendibleHashTest, Empty) {
+  ExtendibleHash<uint64_t> h;
+  uint64_t v;
+  EXPECT_FALSE(h.Find(1, &v));
+  EXPECT_FALSE(h.Erase(1));
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(ExtendibleHashTest, InsertFindUpdateErase) {
+  ExtendibleHash<uint64_t> h(4);
+  EXPECT_TRUE(h.Insert(1, 10));
+  EXPECT_FALSE(h.Insert(1, 20));  // in-place update
+  uint64_t v = 0;
+  ASSERT_TRUE(h.Find(1, &v));
+  EXPECT_EQ(v, 20u);
+  EXPECT_TRUE(h.Update(1, 30));
+  ASSERT_TRUE(h.Find(1, &v));
+  EXPECT_EQ(v, 30u);
+  EXPECT_TRUE(h.Erase(1));
+  EXPECT_FALSE(h.Find(1, &v));
+}
+
+TEST(ExtendibleHashTest, DirectoryDoublesUnderLoad) {
+  ExtendibleHash<uint64_t> h(8);
+  for (uint64_t k = 0; k < 10'000; k++) {
+    ASSERT_TRUE(h.Insert(k, k));
+  }
+  EXPECT_GT(h.global_depth(), 5);
+  for (uint64_t k = 0; k < 10'000; k++) {
+    uint64_t v;
+    ASSERT_TRUE(h.Find(k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  EXPECT_EQ(h.size(), 10'000u);
+}
+
+TEST(ExtendibleHashTest, SequentialAndRandomKeys) {
+  // Hash-based pseudo-keys make dense integers unproblematic.
+  ExtendibleHash<uint64_t> h(16);
+  Rng rng(1);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 30'000; i++) {
+    const uint64_t k = (i % 2 == 0) ? static_cast<uint64_t>(i) : rng.Next();
+    const uint64_t v = rng.Next();
+    ASSERT_EQ(h.Insert(k, v), model.emplace(k, v).second);
+    model[k] = v;
+  }
+  ASSERT_EQ(h.size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_TRUE(h.Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+}
+
+// ---------------- CCEH ----------------
+
+TEST(CcehTest, Empty) {
+  Cceh<uint64_t> h;
+  uint64_t v;
+  EXPECT_FALSE(h.Find(1, &v));
+  EXPECT_FALSE(h.Erase(1));
+}
+
+TEST(CcehTest, InsertFindUpdateErase) {
+  Cceh<uint64_t> h(4, 4);  // tiny segments to force splits
+  EXPECT_TRUE(h.Insert(42, 1));
+  EXPECT_FALSE(h.Insert(42, 2));
+  uint64_t v = 0;
+  ASSERT_TRUE(h.Find(42, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(h.Update(42, 3));
+  ASSERT_TRUE(h.Find(42, &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_TRUE(h.Erase(42));
+  EXPECT_FALSE(h.Erase(42));
+}
+
+TEST(CcehTest, SegmentSplitsPreserveKeys) {
+  Cceh<uint64_t> h(4, 4);
+  Rng rng(2);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 50'000; i++) {
+    const uint64_t k = rng.Next();
+    const uint64_t v = rng.Next();
+    ASSERT_EQ(h.Insert(k, v), model.emplace(k, v).second);
+    model[k] = v;
+  }
+  EXPECT_GT(h.global_depth(), 1);
+  ASSERT_EQ(h.size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_TRUE(h.Find(k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+}
+
+TEST(CcehTest, DenseSequentialKeys) {
+  Cceh<uint64_t> h(6, 4);
+  for (uint64_t k = 0; k < 20'000; k++) {
+    ASSERT_TRUE(h.Insert(k, k * 3));
+  }
+  for (uint64_t k = 0; k < 20'000; k += 13) {
+    uint64_t v;
+    ASSERT_TRUE(h.Find(k, &v));
+    ASSERT_EQ(v, k * 3);
+  }
+}
+
+TEST(CcehTest, EraseHalf) {
+  Cceh<uint64_t> h(4, 4);
+  for (uint64_t k = 0; k < 5000; k++) {
+    h.Insert(k, k);
+  }
+  for (uint64_t k = 0; k < 5000; k += 2) {
+    ASSERT_TRUE(h.Erase(k));
+  }
+  EXPECT_EQ(h.size(), 2500u);
+  for (uint64_t k = 0; k < 5000; k++) {
+    EXPECT_EQ(h.Find(k, nullptr), k % 2 == 1);
+  }
+}
+
+TEST(CcehTest, MemoryGrows) {
+  Cceh<uint64_t> h(4, 4);
+  const size_t empty = h.MemoryBytes();
+  for (uint64_t k = 0; k < 10'000; k++) {
+    h.Insert(k, k);
+  }
+  EXPECT_GT(h.MemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace dytis

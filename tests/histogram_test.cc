@@ -1,0 +1,106 @@
+#include "src/analysis/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dytis {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0, 99, 10);
+  h.Add(0);
+  h.Add(9);
+  h.Add(10);
+  h.Add(99);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(100, 200, 4);
+  h.Add(50);    // below lo -> first bin
+  h.Add(5000);  // above hi -> last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, DegenerateRange) {
+  Histogram h(42, 42, 8);  // single-point range must not divide by zero
+  h.Add(42);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(HistogramTest, FullKeyRange) {
+  Histogram h(0, ~uint64_t{0}, 16);
+  h.Add(0);
+  h.Add(~uint64_t{0});
+  h.Add(uint64_t{1} << 63);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(15), 1u);
+  EXPECT_EQ(h.count(8), 1u);
+}
+
+TEST(HistogramTest, Probability) {
+  Histogram h(0, 9, 2);
+  h.Add(1);
+  h.Add(2);
+  h.Add(7);
+  EXPECT_DOUBLE_EQ(h.Probability(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Probability(1), 1.0 / 3.0);
+}
+
+TEST(KlDivergenceTest, IdenticalDistributionsAreZero) {
+  Histogram p(0, 999, 10);
+  Histogram q(0, 999, 10);
+  for (uint64_t k = 0; k < 1000; k += 3) {
+    p.Add(k);
+    q.Add(k);
+  }
+  EXPECT_NEAR(KlDivergence(p, q), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, DisjointDistributionsAreLarge) {
+  Histogram p(0, 999, 10);
+  Histogram q(0, 999, 10);
+  for (uint64_t k = 0; k < 100; k++) {
+    p.Add(k);        // all mass in bin 0
+    q.Add(900 + k);  // all mass in bin 9
+  }
+  EXPECT_GT(KlDivergence(p, q), 10.0);  // log(1/eps) scale
+}
+
+TEST(KlDivergenceTest, AsymmetricAsDefined) {
+  Histogram p(0, 99, 2);
+  Histogram q(0, 99, 2);
+  for (int i = 0; i < 90; i++) {
+    p.Add(10);
+  }
+  for (int i = 0; i < 10; i++) {
+    p.Add(60);
+  }
+  for (int i = 0; i < 50; i++) {
+    q.Add(10);
+    q.Add(60);
+  }
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+TEST(KlDivergenceTest, NonNegativity) {
+  // Gibbs' inequality: KL >= 0 for arbitrary histograms.
+  Histogram p(0, 999, 20);
+  Histogram q(0, 999, 20);
+  for (uint64_t k = 0; k < 1000; k += 7) {
+    p.Add(k);
+  }
+  for (uint64_t k = 0; k < 1000; k += 3) {
+    q.Add(k * k % 1000);
+  }
+  EXPECT_GE(KlDivergence(p, q), 0.0);
+}
+
+}  // namespace
+}  // namespace dytis

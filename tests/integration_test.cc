@@ -1,0 +1,132 @@
+// End-to-end integration soak: one long scenario exercising every public
+// surface together — mixed inserts/updates/deletes across all dataset
+// shapes, cursors, bounded scans, snapshot round-trip, and invariant checks
+// at every phase boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/cursor.h"
+#include "src/core/dytis.h"
+#include "src/core/snapshot.h"
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+TEST(IntegrationTest, LifecycleAcrossAllDatasetShapes) {
+  DyTISConfig config;
+  config.first_level_bits = 3;
+  config.bucket_bytes = 512;
+  config.l_start = 3;
+  config.max_global_depth = 16;
+  DyTIS<uint64_t> index(config);
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(2026);
+
+  // Phase 1: interleave insert streams from every dataset family, as if
+  // several tenants share one index.
+  std::vector<Dataset> tenants;
+  for (DatasetId id : {DatasetId::kMapM, DatasetId::kReviewM,
+                       DatasetId::kTaxi, DatasetId::kUniform}) {
+    tenants.push_back(MakeDataset(id, 25'000, 7 + static_cast<uint64_t>(id)));
+  }
+  size_t cursor_pos[4] = {0, 0, 0, 0};
+  for (int round = 0; round < 100'000; round++) {
+    const size_t t = rng.NextBelow(tenants.size());
+    if (cursor_pos[t] >= tenants[t].keys.size()) {
+      continue;
+    }
+    const uint64_t k = tenants[t].keys[cursor_pos[t]++];
+    const uint64_t v = k ^ 0xabcdef;
+    ASSERT_EQ(index.Insert(k, v), model.emplace(k, v).second);
+  }
+  std::string err;
+  ASSERT_TRUE(index.ValidateInvariants(&err)) << "phase 1: " << err;
+  ASSERT_EQ(index.size(), model.size());
+
+  // Phase 2: update a zipf-ish hot set, delete a tenant's cold prefix.
+  {
+    std::vector<uint64_t> keys;
+    keys.reserve(model.size());
+    for (const auto& [k, v] : model) {
+      keys.push_back(k);
+    }
+    for (int i = 0; i < 20'000; i++) {
+      const uint64_t k = keys[rng.NextBelow(keys.size() / 10 + 1)];
+      ASSERT_TRUE(index.Update(k, i));
+      model[k] = static_cast<uint64_t>(i);
+    }
+    size_t deleted = 0;
+    for (uint64_t k : keys) {
+      if (k % 5 == 0) {
+        ASSERT_TRUE(index.Erase(k));
+        model.erase(k);
+        deleted++;
+      }
+    }
+    ASSERT_GT(deleted, 0u);
+  }
+  ASSERT_TRUE(index.ValidateInvariants(&err)) << "phase 2: " << err;
+  ASSERT_EQ(index.size(), model.size());
+
+  // Phase 3: cursor iteration equals the model exactly.
+  {
+    auto it = model.begin();
+    size_t visited = 0;
+    for (Cursor<uint64_t> c(index, 113); c.Valid(); c.Next(), ++it) {
+      ASSERT_NE(it, model.end());
+      ASSERT_EQ(c.key(), it->first);
+      ASSERT_EQ(c.value(), it->second);
+      visited++;
+    }
+    ASSERT_EQ(visited, model.size());
+  }
+
+  // Phase 4: bounded scans at random windows.
+  for (int i = 0; i < 50; i++) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    const uint64_t lo = std::min(a, b);
+    const uint64_t hi = std::max(a, b);
+    std::vector<std::pair<uint64_t, uint64_t>> out(200);
+    const size_t got = index.ScanRange(lo, hi, out.size(), out.data());
+    auto it = model.lower_bound(lo);
+    for (size_t j = 0; j < got; j++, ++it) {
+      ASSERT_NE(it, model.end());
+      ASSERT_EQ(out[j].first, it->first);
+      ASSERT_LT(out[j].first, hi);
+    }
+  }
+
+  // Phase 5: snapshot round-trip preserves everything.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/integration_snapshot.bin";
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  auto loaded = LoadSnapshot<uint64_t>(path);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->size(), model.size());
+  ASSERT_TRUE(loaded->ValidateInvariants(&err)) << "phase 5: " << err;
+  for (const auto& [k, v] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(loaded->Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  std::remove(path.c_str());
+
+  // Phase 6: drain everything; the index must come back to empty cleanly.
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(index.Erase(k));
+  }
+  EXPECT_EQ(index.size(), 0u);
+  ASSERT_TRUE(index.ValidateInvariants(&err)) << "phase 6: " << err;
+  std::pair<uint64_t, uint64_t> one[1];
+  EXPECT_EQ(index.Scan(0, 1, one), 0u);
+}
+
+}  // namespace
+}  // namespace dytis

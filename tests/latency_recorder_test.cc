@@ -1,0 +1,101 @@
+#include "src/util/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorder) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.MeanNanos(), 0.0);
+  EXPECT_EQ(rec.PercentileNanos(0.99), 0u);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder rec;
+  rec.Record(1000);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.MeanNanos(), 1000.0);
+  // Single-sample percentile must report that sample (within bucket error).
+  EXPECT_NEAR(rec.PercentileNanos(0.5), 1000.0, 20.0);
+  EXPECT_EQ(rec.MaxNanos(), 1000u);
+  EXPECT_EQ(rec.MinNanos(), 1000u);
+}
+
+TEST(LatencyRecorderTest, SmallValuesExact) {
+  LatencyRecorder rec;
+  for (uint64_t v = 0; v < 64; v++) {
+    rec.Record(v);
+  }
+  // Values below 64 are stored exactly.
+  EXPECT_EQ(rec.PercentileNanos(0.0), 0u);
+  EXPECT_EQ(rec.MaxNanos(), 63u);
+}
+
+TEST(LatencyRecorderTest, PercentilesMatchExactComputation) {
+  LatencyRecorder rec;
+  Rng rng(1);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 100'000; i++) {
+    // Log-uniform latencies between ~100ns and ~10ms.
+    const double v = 100.0 * std::pow(10.0, 5.0 * rng.NextDouble());
+    samples.push_back(static_cast<uint64_t>(v));
+    rec.Record(samples.back());
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99, 0.9999}) {
+    const uint64_t exact =
+        samples[static_cast<size_t>(q * (samples.size() - 1))];
+    const uint64_t approx = rec.PercentileNanos(q);
+    // Logarithmic buckets with 64 sub-buckets: <2% relative error.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.02 + 1.0)
+        << "quantile " << q;
+  }
+}
+
+TEST(LatencyRecorderTest, MeanExact) {
+  LatencyRecorder rec;
+  rec.Record(100);
+  rec.Record(200);
+  rec.Record(600);
+  EXPECT_DOUBLE_EQ(rec.MeanNanos(), 300.0);
+}
+
+TEST(LatencyRecorderTest, MergeCombines) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  for (int i = 0; i < 1000; i++) {
+    a.Record(100);
+    b.Record(10'000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_NEAR(a.MeanNanos(), 5050.0, 1.0);
+  EXPECT_EQ(a.MaxNanos(), 10'000u);
+  EXPECT_EQ(a.MinNanos(), 100u);
+}
+
+TEST(LatencyRecorderTest, ResetClears) {
+  LatencyRecorder rec;
+  rec.Record(123);
+  rec.Reset();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.PercentileNanos(0.99), 0u);
+}
+
+TEST(LatencyRecorderTest, VeryLargeValuesClamped) {
+  LatencyRecorder rec;
+  rec.Record(~uint64_t{0});  // absurd latency must not crash or misindex
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_GT(rec.PercentileNanos(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,91 @@
+#include "src/learned/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dytis {
+namespace {
+
+TEST(LinearModelTest, PredictBasics) {
+  LinearModel m{2.0, 10.0};
+  EXPECT_DOUBLE_EQ(m.Predict(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.Predict(5), 20.0);
+}
+
+TEST(LinearModelTest, PredictClampedBounds) {
+  LinearModel m{1.0, -100.0};
+  EXPECT_EQ(m.PredictClamped(0, 10), 0u);     // negative prediction -> 0
+  EXPECT_EQ(m.PredictClamped(50, 10), 0u);    // still negative -> 0
+  EXPECT_EQ(m.PredictClamped(1000, 10), 9u);  // too large -> size-1
+  EXPECT_EQ(m.PredictClamped(105, 10), 5u);   // in range
+  EXPECT_EQ(m.PredictClamped(0, 0), 0u);      // empty array stays 0
+}
+
+TEST(LinearModelBuilderTest, ExactLineRecovered) {
+  LinearModelBuilder b;
+  for (uint64_t x = 0; x < 100; x++) {
+    b.Add(x, 3.0 * static_cast<double>(x) + 7.0);
+  }
+  const LinearModel m = b.Fit();
+  EXPECT_NEAR(m.slope, 3.0, 1e-9);
+  EXPECT_NEAR(m.intercept, 7.0, 1e-6);
+}
+
+TEST(LinearModelBuilderTest, EmptyAndSingle) {
+  LinearModelBuilder b;
+  LinearModel m = b.Fit();
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept, 0.0);
+
+  b.Add(42, 17.0);
+  m = b.Fit();
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept, 17.0);
+}
+
+TEST(LinearModelBuilderTest, DuplicateKeysFallBackToMean) {
+  LinearModelBuilder b;
+  b.Add(5, 10.0);
+  b.Add(5, 20.0);
+  const LinearModel m = b.Fit();
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept, 15.0);
+}
+
+TEST(LinearModelBuilderTest, LeastSquaresBeatsNoise) {
+  LinearModelBuilder b;
+  // y = 0.5x with +-1 alternating noise; LS should land near 0.5.
+  for (uint64_t x = 0; x < 1000; x++) {
+    const double noise = (x % 2 == 0) ? 1.0 : -1.0;
+    b.Add(x, 0.5 * static_cast<double>(x) + noise);
+  }
+  const LinearModel m = b.Fit();
+  EXPECT_NEAR(m.slope, 0.5, 1e-3);
+  EXPECT_NEAR(m.intercept, 0.0, 1.0);
+}
+
+TEST(LinearModelBuilderTest, EndpointFit) {
+  LinearModelBuilder b;
+  b.Add(10, 0.0);
+  b.Add(20, 5.0);   // middle point ignored by endpoint fit
+  b.Add(30, 100.0);
+  const LinearModel m = b.FitEndpoints();
+  EXPECT_NEAR(m.slope, 5.0, 1e-9);
+  EXPECT_NEAR(m.Predict(10), 0.0, 1e-9);
+  EXPECT_NEAR(m.Predict(30), 100.0, 1e-9);
+}
+
+TEST(LinearModelBuilderTest, LargeKeysNoOverflow) {
+  LinearModelBuilder b;
+  const uint64_t base = uint64_t{1} << 62;
+  for (uint64_t i = 0; i < 100; i++) {
+    b.Add(base + i * 1000, static_cast<double>(i));
+  }
+  const LinearModel m = b.Fit();
+  EXPECT_NEAR(m.slope, 0.001, 1e-6);
+  EXPECT_NEAR(m.Predict(base), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dytis

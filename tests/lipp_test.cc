@@ -1,0 +1,168 @@
+#include "src/baselines/lipp/lipp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Lipp = LippIndex<uint64_t>;
+
+std::vector<std::pair<uint64_t, uint64_t>> SortedEntries(size_t n,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (size_t i = 0; i < n; i++) {
+    entries.push_back({rng.Next(), rng.Next()});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](auto& a, auto& b) { return a.first == b.first; }),
+                entries.end());
+  return entries;
+}
+
+TEST(LippTest, EmptyIndex) {
+  Lipp idx;
+  uint64_t v;
+  EXPECT_FALSE(idx.Find(1, &v));
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_FALSE(idx.BuildFailed());
+}
+
+TEST(LippTest, BulkLoadAndFind) {
+  const auto entries = SortedEntries(50'000, 1);
+  Lipp idx;
+  idx.BulkLoad(entries);
+  ASSERT_FALSE(idx.BuildFailed());
+  EXPECT_EQ(idx.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); i += 61) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(entries[i].first, &v)) << i;
+    ASSERT_EQ(v, entries[i].second);
+  }
+  EXPECT_FALSE(idx.Find(entries[0].first + 1, nullptr));
+}
+
+TEST(LippTest, InsertOnlyMatchesModel) {
+  Lipp idx;
+  Rng rng(2);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 50'000; i++) {
+    const uint64_t k = rng.Next();
+    const uint64_t v = rng.Next();
+    ASSERT_EQ(idx.Insert(k, v), model.emplace(k, v).second);
+    model[k] = v;
+  }
+  ASSERT_FALSE(idx.BuildFailed());
+  ASSERT_EQ(idx.size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_TRUE(idx.Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+}
+
+TEST(LippTest, UpdateAndErase) {
+  Lipp idx;
+  for (uint64_t k = 0; k < 5000; k++) {
+    idx.Insert(k * 37, k);
+  }
+  EXPECT_TRUE(idx.Update(37, 999));
+  uint64_t v;
+  ASSERT_TRUE(idx.Find(37, &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_FALSE(idx.Update(38, 1));
+  EXPECT_TRUE(idx.Erase(37));
+  EXPECT_FALSE(idx.Find(37, nullptr));
+  EXPECT_FALSE(idx.Erase(37));
+}
+
+TEST(LippTest, ScanSorted) {
+  const auto entries = SortedEntries(20'000, 3);
+  Lipp idx;
+  idx.BulkLoad(entries);
+  std::vector<std::pair<uint64_t, uint64_t>> out(300);
+  const size_t start = entries.size() / 3;
+  const size_t got = idx.Scan(entries[start].first, out.size(), out.data());
+  ASSERT_EQ(got, out.size());
+  for (size_t i = 0; i < got; i++) {
+    ASSERT_EQ(out[i].first, entries[start + i].first) << i;
+  }
+}
+
+TEST(LippTest, PreciseLookupsOnClusters) {
+  // Dense clusters force deep subtrees; everything must stay findable.
+  Lipp idx;
+  Rng rng(4);
+  std::vector<uint64_t> keys;
+  for (int c = 0; c < 20; c++) {
+    const uint64_t base = rng.Next() & ~((uint64_t{1} << 20) - 1);
+    for (int i = 0; i < 1000; i++) {
+      keys.push_back(base + static_cast<uint64_t>(i));
+    }
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i));
+  }
+  ASSERT_FALSE(idx.BuildFailed());
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(keys[i], &v)) << i;
+    ASSERT_EQ(v, i);
+  }
+  const auto shape = idx.ComputeShape();
+  EXPECT_GT(shape.max_depth, 1);  // clusters forced subtree creation
+}
+
+TEST(LippTest, BudgetExhaustionIsCleanNotFatal) {
+  Lipp::Options options;
+  options.max_total_slots = 4096;  // tiny budget
+  Lipp idx(options);
+  Rng rng(5);
+  size_t accepted = 0;
+  for (int i = 0; i < 50'000; i++) {
+    accepted += idx.Insert(rng.Next(), 1) ? 1 : 0;
+  }
+  EXPECT_TRUE(idx.BuildFailed());  // the paper's footnote-6 outcome
+  EXPECT_LE(idx.size(), accepted);
+  // Whatever it holds is still consistent.
+  std::vector<std::pair<uint64_t, uint64_t>> out(idx.size());
+  const size_t got = idx.Scan(0, out.size(), out.data());
+  EXPECT_EQ(got, idx.size());
+  for (size_t i = 1; i < got; i++) {
+    EXPECT_GT(out[i].first, out[i - 1].first);
+  }
+}
+
+TEST(LippTest, DatasetRoundTrips) {
+  for (DatasetId id : {DatasetId::kMapM, DatasetId::kTaxi}) {
+    const Dataset d = MakeDataset(id, 30'000, 6);
+    Lipp idx;
+    for (size_t i = 0; i < d.keys.size(); i++) {
+      if (!idx.Insert(d.keys[i], i)) {
+        // Budget loss is allowed (LIPP behaviour); correctness checked below.
+        continue;
+      }
+    }
+    for (size_t i = 0; i < d.keys.size(); i += 29) {
+      uint64_t v;
+      if (idx.Find(d.keys[i], &v)) {
+        ASSERT_EQ(v, i) << DatasetShortName(id);
+      } else {
+        // A missing key is acceptable only if the budget was exhausted.
+        ASSERT_TRUE(idx.BuildFailed()) << DatasetShortName(id);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,127 @@
+#include "src/learned/plr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+std::vector<uint64_t> LinearKeys(size_t n, uint64_t stride) {
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; i++) {
+    keys[i] = i * stride;
+  }
+  return keys;
+}
+
+TEST(PlrTest, PerfectLineIsOneSegment) {
+  EXPECT_EQ(CountPlrSegments(LinearKeys(10'000, 7), 1.0), 1u);
+}
+
+TEST(PlrTest, UniformRandomIsOneSegmentWithGenerousBound) {
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100'000; i++) {
+    keys.push_back(rng.Next() >> 1);
+  }
+  std::sort(keys.begin(), keys.end());
+  // Error bound = 1% of n, the calibration the paper's footnote 2 implies.
+  EXPECT_EQ(CountPlrSegments(keys, 1000.0), 1u);
+}
+
+TEST(PlrTest, TwoSlopesNeedTwoSegments) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; i++) {
+    keys.push_back(i);  // slope 1
+  }
+  for (uint64_t i = 0; i < 1000; i++) {
+    keys.push_back(1000 + i * 1000);  // slope 1/1000
+  }
+  const size_t segments = CountPlrSegments(keys, 5.0);
+  EXPECT_GE(segments, 2u);
+  EXPECT_LE(segments, 4u);
+}
+
+TEST(PlrTest, ClusteredKeysNeedManySegments) {
+  // Dense clusters separated by huge gaps (the Review-dataset shape).
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (int c = 0; c < 50; c++) {
+    const uint64_t base = static_cast<uint64_t>(c) << 40;
+    for (int i = 0; i < 1000; i++) {
+      keys.push_back(base + rng.NextBelow(1 << 16));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_GT(CountPlrSegments(keys, 50.0), 20u);
+}
+
+TEST(PlrTest, SegmentsPredictWithinBound) {
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10'000; i++) {
+    // Piecewise density: quadratic-ish CDF.
+    const double u = rng.NextDouble();
+    keys.push_back(static_cast<uint64_t>(u * u * 1e15));
+  }
+  std::sort(keys.begin(), keys.end());
+  const double kBound = 64.0;
+  PlrBuilder plr(kBound);
+  for (size_t i = 0; i < keys.size(); i++) {
+    plr.Add(keys[i], static_cast<double>(i));
+  }
+  const auto segments = plr.Finish();
+  ASSERT_FALSE(segments.empty());
+  // Every point must be predicted within the bound by its segment.
+  size_t seg = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    while (seg + 1 < segments.size() && segments[seg + 1].start_key <= keys[i]) {
+      // Advance only when the *next* segment starts at or before this key
+      // and this key belongs to it (start keys are first-covered keys).
+      if (keys[i] >= segments[seg + 1].start_key) {
+        seg++;
+      } else {
+        break;
+      }
+    }
+    const double predicted = segments[seg].model.Predict(keys[i]);
+    EXPECT_NEAR(predicted, static_cast<double>(i), kBound + 1e-6)
+        << "at index " << i;
+  }
+}
+
+TEST(PlrTest, DuplicateKeysHandled) {
+  std::vector<uint64_t> keys(100, 42);  // all identical
+  // Positions 0..99 at one key: a single segment can represent them only
+  // when the error bound covers the whole position spread from the segment
+  // origin (position 0), i.e. bound >= 99.
+  EXPECT_EQ(CountPlrSegments(keys, 100.0), 1u);
+  EXPECT_GE(CountPlrSegments(keys, 20.0), 2u);
+}
+
+TEST(PlrTest, SegmentCountMonotoneInErrorBound) {
+  Rng rng(4);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; i++) {
+    keys.push_back(static_cast<uint64_t>(
+        std::exp(rng.NextGaussian() * 2.0) * 1e12));
+  }
+  std::sort(keys.begin(), keys.end());
+  const size_t tight = CountPlrSegments(keys, 10.0);
+  const size_t loose = CountPlrSegments(keys, 1000.0);
+  EXPECT_GE(tight, loose);
+}
+
+TEST(PlrTest, SegmentCountDuringBuild) {
+  PlrBuilder plr(1.0);
+  EXPECT_EQ(plr.SegmentCount(), 0u);
+  plr.Add(1, 0.0);
+  EXPECT_EQ(plr.SegmentCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dytis

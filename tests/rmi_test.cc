@@ -1,0 +1,99 @@
+#include "src/baselines/rmi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Rmi = StaticRmi<uint64_t>;
+
+std::vector<std::pair<uint64_t, uint64_t>> SortedEntries(size_t n,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (size_t i = 0; i < n; i++) {
+    entries.push_back({rng.Next(), rng.Next()});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](auto& a, auto& b) { return a.first == b.first; }),
+                entries.end());
+  return entries;
+}
+
+TEST(RmiTest, EmptyIndex) {
+  Rmi rmi;
+  EXPECT_FALSE(rmi.Find(1, nullptr));
+  std::pair<uint64_t, uint64_t> out[2];
+  EXPECT_EQ(rmi.Scan(0, 2, out), 0u);
+}
+
+TEST(RmiTest, FindEveryKey) {
+  const auto entries = SortedEntries(100'000, 1);
+  Rmi rmi(512);
+  rmi.BulkLoad(entries);
+  EXPECT_EQ(rmi.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); i += 37) {
+    uint64_t v;
+    ASSERT_TRUE(rmi.Find(entries[i].first, &v)) << i;
+    ASSERT_EQ(v, entries[i].second);
+  }
+  EXPECT_FALSE(rmi.Find(entries[10].first + 1, nullptr));
+}
+
+TEST(RmiTest, UniformDataHasLowModelError) {
+  const auto entries = SortedEntries(200'000, 2);  // uniform random keys
+  Rmi rmi(1024);
+  rmi.BulkLoad(entries);
+  EXPECT_LT(rmi.MeanAbsoluteError(), 64.0);
+}
+
+TEST(RmiTest, SkewedDataHasHigherModelError) {
+  // Review-shaped keys: clusters raise the model error (Section 2.2's
+  // point about CDF complexity).
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 100'000, 3);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k : d.keys) {
+    entries.push_back({k, 1});
+  }
+  std::sort(entries.begin(), entries.end());
+  Rmi skewed(1024);
+  skewed.BulkLoad(entries);
+  const auto uniform_entries = SortedEntries(100'000, 4);
+  Rmi uniform(1024);
+  uniform.BulkLoad(uniform_entries);
+  EXPECT_GT(skewed.MeanAbsoluteError(), uniform.MeanAbsoluteError() * 2);
+}
+
+TEST(RmiTest, ScanSorted) {
+  const auto entries = SortedEntries(50'000, 5);
+  Rmi rmi;
+  rmi.BulkLoad(entries);
+  std::vector<std::pair<uint64_t, uint64_t>> out(100);
+  const size_t start = entries.size() / 2;
+  ASSERT_EQ(rmi.Scan(entries[start].first, 100, out.data()), 100u);
+  for (size_t i = 0; i < 100; i++) {
+    ASSERT_EQ(out[i].first, entries[start + i].first);
+  }
+  // Scan from a non-existing key starts at the next larger one.
+  ASSERT_GE(rmi.Scan(entries[start].first + 1, 1, out.data()), 1u);
+  EXPECT_EQ(out[0].first, entries[start + 1].first);
+}
+
+TEST(RmiTest, SingleModelDegenerate) {
+  const auto entries = SortedEntries(10'000, 6);
+  Rmi rmi(1);  // one second-stage model
+  rmi.BulkLoad(entries);
+  for (size_t i = 0; i < entries.size(); i += 101) {
+    ASSERT_TRUE(rmi.Find(entries[i].first, nullptr));
+  }
+}
+
+}  // namespace
+}  // namespace dytis

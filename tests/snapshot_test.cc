@@ -1,0 +1,117 @@
+#include "src/core/snapshot.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/dytis_snapshot_" + tag + ".bin";
+}
+
+TEST(SnapshotTest, RoundTripEmpty) {
+  const std::string path = TempPath("empty");
+  DyTIS<uint64_t> index;
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  auto loaded = LoadSnapshot<uint64_t>(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RoundTripPreservesContents) {
+  const std::string path = TempPath("contents");
+  DyTISConfig config;
+  config.first_level_bits = 3;
+  config.bucket_bytes = 256;
+  config.l_start = 3;
+  DyTIS<uint64_t> index(config);
+  Rng rng(1);
+  std::vector<std::pair<uint64_t, uint64_t>> inserted;
+  for (int i = 0; i < 30'000; i++) {
+    const uint64_t k = rng.Next();
+    const uint64_t v = rng.Next();
+    if (index.Insert(k, v)) {
+      inserted.push_back({k, v});
+    }
+  }
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  auto loaded = LoadSnapshot<uint64_t>(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->size(), index.size());
+  // Config round-trips.
+  EXPECT_EQ(loaded->config().first_level_bits, 3);
+  EXPECT_EQ(loaded->config().bucket_bytes, 256u);
+  // Every entry survives.
+  for (const auto& [k, v] : inserted) {
+    uint64_t got = 0;
+    ASSERT_TRUE(loaded->Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  // The loaded index is structurally valid and scan-identical.
+  std::string err;
+  ASSERT_TRUE(loaded->ValidateInvariants(&err)) << err;
+  std::vector<std::pair<uint64_t, uint64_t>> a(index.size());
+  std::vector<std::pair<uint64_t, uint64_t>> b(index.size());
+  ASSERT_EQ(index.Scan(0, a.size(), a.data()), a.size());
+  ASSERT_EQ(loaded->Scan(0, b.size(), b.data()), b.size());
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadIntoConcurrentBuild) {
+  const std::string path = TempPath("concurrent");
+  DyTIS<uint64_t> index;
+  for (uint64_t k = 0; k < 1000; k++) {
+    index.Insert(k << 40, k);
+  }
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  auto loaded = LoadSnapshot<uint64_t, SharedMutexPolicy>(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->size(), 1000u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsMissingFile) {
+  EXPECT_EQ(LoadSnapshot<uint64_t>("/nonexistent/dir/snap.bin"), nullptr);
+}
+
+TEST(SnapshotTest, RejectsCorruptMagic) {
+  const std::string path = TempPath("corrupt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t bad = 0xdeadbeef;
+  std::fwrite(&bad, sizeof(bad), 1, f);
+  std::fclose(f);
+  EXPECT_EQ(LoadSnapshot<uint64_t>(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("truncated");
+  DyTIS<uint64_t> index;
+  for (uint64_t k = 0; k < 100; k++) {
+    index.Insert(k << 40, k);
+  }
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  // Truncate the file mid-entries.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_EQ(LoadSnapshot<uint64_t>(path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dytis

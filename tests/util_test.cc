@@ -1,0 +1,64 @@
+// Tests for timer and memory-usage utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/memory_usage.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace {
+
+TEST(TimerTest, MonotonicNow) {
+  const uint64_t a = NowNanos();
+  const uint64_t b = NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, ElapsedGrows) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100'000; i++) {
+    sink += static_cast<uint64_t>(i);
+  }
+  EXPECT_GT(t.ElapsedNanos(), 0u);
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  const uint64_t before = t.ElapsedNanos();
+  t.Reset();
+  EXPECT_LE(t.ElapsedNanos(), before);
+}
+
+TEST(TimerTest, ScopedAccumulator) {
+  uint64_t sink_ns = 0;
+  {
+    ScopedAccumulator acc(&sink_ns);
+    volatile int x = 0;
+    for (int i = 0; i < 10'000; i++) {
+      x += i;
+    }
+  }
+  EXPECT_GT(sink_ns, 0u);
+}
+
+TEST(MemoryUsageTest, CurrentRssNonZero) {
+  EXPECT_GT(CurrentRssBytes(), 1024u * 1024u);  // any process has > 1 MiB
+}
+
+TEST(MemoryUsageTest, PeakAtLeastCurrent) {
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryUsageTest, ForkMeasurementSeesAllocation) {
+  const size_t quiet = RunAndMeasurePeakRss([] {});
+  ASSERT_GT(quiet, 0u);
+  const size_t big = RunAndMeasurePeakRss([] {
+    std::vector<uint64_t> v(8 * 1024 * 1024, 1);  // 64 MiB touched
+    volatile uint64_t sink = v[123];
+    (void)sink;
+  });
+  ASSERT_GT(big, 0u);
+  EXPECT_GT(big, quiet + 32 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace dytis

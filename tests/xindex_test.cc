@@ -1,0 +1,236 @@
+#include "src/baselines/xindex/xindex.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using XIndex = XIndexLike<uint64_t>;
+
+std::vector<std::pair<uint64_t, uint64_t>> SortedEntries(size_t n,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (size_t i = 0; i < n; i++) {
+    entries.push_back({rng.Next(), rng.Next()});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](auto& a, auto& b) { return a.first == b.first; }),
+                entries.end());
+  return entries;
+}
+
+TEST(XIndexTest, EmptyIndex) {
+  XIndex idx;
+  uint64_t v;
+  EXPECT_FALSE(idx.Find(1, &v));
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(XIndexTest, BulkLoadAndFind) {
+  const auto entries = SortedEntries(100'000, 1);
+  XIndex idx;
+  idx.BulkLoad(entries);
+  EXPECT_EQ(idx.size(), entries.size());
+  EXPECT_GT(idx.NumGroups(), 1u);
+  for (size_t i = 0; i < entries.size(); i += 97) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(entries[i].first, &v)) << i;
+    ASSERT_EQ(v, entries[i].second);
+  }
+  EXPECT_FALSE(idx.Find(entries[0].first + 1, nullptr));
+}
+
+TEST(XIndexTest, DeltaInsertsThenCompaction) {
+  const auto entries = SortedEntries(10'000, 2);
+  XIndex::Options options;
+  options.delta_slack = 16;  // frequent compactions
+  XIndex idx(options);
+  idx.BulkLoad(entries);
+  Rng rng(3);
+  std::vector<uint64_t> extra;
+  for (int i = 0; i < 20'000; i++) {
+    const uint64_t k = rng.Next() | 1;  // avoid collisions w/ entries (even)
+    extra.push_back(k);
+    idx.Insert(k, k + 1);
+  }
+  idx.FlushCompactions();
+  for (uint64_t k : extra) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(k, &v));
+    ASSERT_EQ(v, k + 1);
+  }
+  // Bulk entries still present after compactions.
+  for (size_t i = 0; i < entries.size(); i += 53) {
+    ASSERT_TRUE(idx.Find(entries[i].first, nullptr));
+  }
+}
+
+TEST(XIndexTest, InsertWithoutBulkLoad) {
+  XIndex idx;
+  for (uint64_t k = 0; k < 20'000; k++) {
+    ASSERT_TRUE(idx.Insert(k * 3, k));
+  }
+  EXPECT_EQ(idx.size(), 20'000u);
+  for (uint64_t k = 0; k < 20'000; k += 17) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(k * 3, &v));
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(XIndexTest, UpdateInPlace) {
+  XIndex idx;
+  idx.Insert(10, 1);
+  EXPECT_FALSE(idx.Insert(10, 2));  // update, not new
+  uint64_t v;
+  ASSERT_TRUE(idx.Find(10, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(idx.Update(10, 3));
+  ASSERT_TRUE(idx.Find(10, &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(idx.Update(11, 4));
+}
+
+TEST(XIndexTest, EraseTombstonesAndResurrection) {
+  const auto entries = SortedEntries(1000, 4);
+  XIndex idx;
+  idx.BulkLoad(entries);
+  const uint64_t k = entries[500].first;
+  EXPECT_TRUE(idx.Erase(k));
+  EXPECT_FALSE(idx.Find(k, nullptr));
+  EXPECT_FALSE(idx.Erase(k));
+  EXPECT_EQ(idx.size(), entries.size() - 1);
+  // Reinsert a deleted key.
+  EXPECT_TRUE(idx.Insert(k, 777));
+  uint64_t v;
+  ASSERT_TRUE(idx.Find(k, &v));
+  EXPECT_EQ(v, 777u);
+  EXPECT_EQ(idx.size(), entries.size());
+}
+
+TEST(XIndexTest, EraseFromDeltaToo) {
+  XIndex idx;
+  idx.Insert(42, 1);  // lives in delta (no compaction yet)
+  EXPECT_TRUE(idx.Erase(42));
+  EXPECT_FALSE(idx.Find(42, nullptr));
+  EXPECT_TRUE(idx.Insert(42, 2));
+  uint64_t v;
+  ASSERT_TRUE(idx.Find(42, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(XIndexTest, ScanMergesBaseAndDelta) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 1000; k++) {
+    entries.push_back({k * 10, k});
+  }
+  XIndex idx;
+  idx.BulkLoad(entries);
+  // Delta keys interleaved between base keys.
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    idx.Insert(k * 10 + 5, k);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(100);
+  ASSERT_EQ(idx.Scan(0, 100, out.data()), 100u);
+  for (size_t i = 1; i < 100; i++) {
+    ASSERT_GT(out[i].first, out[i - 1].first) << "scan order broken at " << i;
+  }
+  // First three: 0, 5, 10.
+  EXPECT_EQ(out[0].first, 0u);
+  EXPECT_EQ(out[1].first, 5u);
+  EXPECT_EQ(out[2].first, 10u);
+}
+
+TEST(XIndexTest, ScanSkipsTombstones) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 100; k++) {
+    entries.push_back({k, k});
+  }
+  XIndex idx;
+  idx.BulkLoad(entries);
+  idx.Erase(1);
+  idx.Erase(2);
+  std::vector<std::pair<uint64_t, uint64_t>> out(5);
+  ASSERT_EQ(idx.Scan(0, 5, out.data()), 5u);
+  EXPECT_EQ(out[0].first, 0u);
+  EXPECT_EQ(out[1].first, 3u);
+}
+
+TEST(XIndexTest, GroupSplitOnOversize) {
+  XIndex::Options options;
+  options.max_group_size = 2048;
+  options.delta_slack = 64;
+  XIndex idx(options);
+  const size_t before = idx.NumGroups();
+  for (uint64_t k = 0; k < 50'000; k++) {
+    idx.Insert(k << 20, k);
+  }
+  EXPECT_GT(idx.NumGroups(), before);
+  for (uint64_t k = 0; k < 50'000; k += 31) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(k << 20, &v));
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(XIndexTest, BackgroundCompactionThread) {
+  XIndex::Options options;
+  options.background_compaction = true;
+  options.delta_slack = 32;
+  XIndex idx(options);
+  Rng rng(5);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 30'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  for (uint64_t k : keys) {
+    idx.Insert(k, k ^ 7);
+  }
+  idx.FlushCompactions();
+  for (uint64_t k : keys) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Find(k, &v));
+    ASSERT_EQ(v, k ^ 7);
+  }
+}
+
+TEST(XIndexTest, ConcurrentReadersAndWriters) {
+  const auto entries = SortedEntries(50'000, 6);
+  XIndex idx;
+  idx.BulkLoad(entries);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 100);
+      for (int i = 0; i < 20'000; i++) {
+        if (t % 2 == 0) {
+          const auto& e = entries[rng.NextBelow(entries.size())];
+          uint64_t v;
+          if (!idx.Find(e.first, &v)) {
+            failed = true;
+          }
+        } else {
+          idx.Insert(rng.Next(), 1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,196 @@
+// Workload-harness tests plus cross-index integration checks.
+#include "src/workloads/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/datasets/dataset.h"
+#include "src/workloads/kv_index.h"
+
+namespace dytis {
+namespace {
+
+Dataset SmallDataset() { return MakeDataset(DatasetId::kTaxi, 20'000, 3); }
+
+YcsbOptions FastOptions() {
+  YcsbOptions o;
+  o.run_ops = 10'000;
+  return o;
+}
+
+TEST(YcsbTest, LoadInsertsEverything) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  const YcsbResult r = RunLoad(&index, d, FastOptions());
+  EXPECT_EQ(r.ops, d.keys.size());
+  EXPECT_EQ(index.size(), d.keys.size());
+  EXPECT_GT(r.throughput_mops, 0.0);
+  EXPECT_EQ(r.workload, "Load");
+}
+
+TEST(YcsbTest, BulkLoadFractionRespected) {
+  const Dataset d = SmallDataset();
+  AlexAdapter index;
+  YcsbOptions options = FastOptions();
+  options.bulk_load_fraction = 0.7;
+  const YcsbResult r = RunLoad(&index, d, options);
+  // Only the non-bulk 30% counts as measured inserts.
+  EXPECT_NEAR(static_cast<double>(r.ops),
+              0.3 * static_cast<double>(d.keys.size()),
+              static_cast<double>(d.keys.size()) * 0.02);
+  EXPECT_EQ(index.size(), d.keys.size());
+}
+
+TEST(YcsbTest, NonBulkIndexIgnoresBulkFraction) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;  // SupportsBulkLoad() == false
+  YcsbOptions options = FastOptions();
+  options.bulk_load_fraction = 0.7;
+  const YcsbResult r = RunLoad(&index, d, options);
+  EXPECT_EQ(r.ops, d.keys.size());  // everything inserted
+}
+
+class YcsbWorkloadTest : public testing::TestWithParam<YcsbWorkload> {};
+
+TEST_P(YcsbWorkloadTest, RunsOnDyTIS) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  const YcsbResult r = RunWorkload(&index, d, GetParam(), FastOptions());
+  ASSERT_TRUE(r.supported);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.throughput_mops, 0.0);
+  // D'/E must end with the full dataset inserted.
+  if (GetParam() == YcsbWorkload::kDPrime || GetParam() == YcsbWorkload::kE) {
+    EXPECT_EQ(index.size(), d.keys.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, YcsbWorkloadTest,
+    testing::Values(YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
+                    YcsbWorkload::kC, YcsbWorkload::kD, YcsbWorkload::kDPrime,
+                    YcsbWorkload::kE, YcsbWorkload::kF),
+    [](const testing::TestParamInfo<YcsbWorkload>& info) {
+      std::string name = YcsbWorkloadName(info.param);
+      std::replace(name.begin(), name.end(), '\'', 'p');
+      return name;
+    });
+
+TEST(YcsbTest, ScanWorkloadUnsupportedOnHashIndex) {
+  const Dataset d = SmallDataset();
+  CcehAdapter index;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kE, FastOptions());
+  EXPECT_FALSE(r.supported);
+}
+
+TEST(YcsbTest, UniformKeyDistributionRuns) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  YcsbOptions options = FastOptions();
+  options.key_distribution = KeyDistribution::kUniform;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kC, options);
+  EXPECT_TRUE(r.supported);
+  EXPECT_GT(r.throughput_mops, 0.0);
+}
+
+TEST(YcsbTest, WorkloadDInsertsEverything) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kD, FastOptions());
+  ASSERT_TRUE(r.supported);
+  EXPECT_EQ(index.size(), d.keys.size());
+  EXPECT_GT(r.ops, 0u);
+}
+
+TEST(YcsbTest, LatencyRecordingPopulates) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  YcsbOptions options = FastOptions();
+  options.record_latency = true;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kA, options);
+  EXPECT_EQ(r.latency.count(), r.ops);
+  EXPECT_GT(r.latency.PercentileNanos(0.99), 0u);
+}
+
+TEST(YcsbTest, ConcurrentHarnessRuns) {
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 20'000, 4);
+  ConcurrentDyTISAdapter index;
+  const ConcurrencyResult r = RunConcurrent(&index, d, 2, FastOptions());
+  EXPECT_GT(r.insert_mops, 0.0);
+  EXPECT_GT(r.search_mops, 0.0);
+  EXPECT_GT(r.scan_mops, 0.0);
+  EXPECT_EQ(index.size(), d.keys.size());
+}
+
+// --- Cross-index integration: every ordered index agrees with every other
+// on point lookups and scans after identical workloads. --------------------
+
+class CrossIndexTest : public testing::TestWithParam<IndexKind> {};
+
+TEST_P(CrossIndexTest, AgreesWithReferenceModel) {
+  const Dataset d = MakeDataset(DatasetId::kReviewL, 15'000, 5);
+  auto index = MakeIndex(GetParam());
+  ASSERT_NE(index, nullptr);
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    ASSERT_TRUE(index->Insert(d.keys[i], i)) << index->Name() << " at " << i;
+  }
+  ASSERT_EQ(index->size(), d.keys.size()) << index->Name();
+  for (size_t i = 0; i < d.keys.size(); i += 13) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index->Find(d.keys[i], &v)) << index->Name();
+    ASSERT_EQ(v, i) << index->Name();
+  }
+  // Erase a slice and re-check.
+  for (size_t i = 0; i < d.keys.size(); i += 10) {
+    ASSERT_TRUE(index->Erase(d.keys[i])) << index->Name();
+  }
+  for (size_t i = 0; i < d.keys.size(); i += 5) {
+    ASSERT_EQ(index->Find(d.keys[i], nullptr), i % 10 != 0) << index->Name();
+  }
+  // Ordered indexes: full scan is sorted and complete.
+  if (index->SupportsScan()) {
+    std::vector<uint64_t> remaining;
+    for (size_t i = 0; i < d.keys.size(); i++) {
+      if (i % 10 != 0) {
+        remaining.push_back(d.keys[i]);
+      }
+    }
+    std::sort(remaining.begin(), remaining.end());
+    std::vector<KVIndex::ScanEntry> out(remaining.size());
+    ASSERT_EQ(index->Scan(0, remaining.size(), out.data()), remaining.size())
+        << index->Name();
+    for (size_t i = 0; i < remaining.size(); i++) {
+      ASSERT_EQ(out[i].first, remaining[i]) << index->Name() << " at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Indexes, CrossIndexTest,
+    testing::Values(IndexKind::kDyTIS, IndexKind::kDyTISConcurrent,
+                    IndexKind::kBTree, IndexKind::kAlex, IndexKind::kXIndex,
+                    IndexKind::kEH, IndexKind::kCCEH),
+    [](const testing::TestParamInfo<IndexKind>& info) {
+      switch (info.param) {
+        case IndexKind::kDyTIS:
+          return std::string("DyTIS");
+        case IndexKind::kDyTISConcurrent:
+          return std::string("DyTISMT");
+        case IndexKind::kBTree:
+          return std::string("BTree");
+        case IndexKind::kAlex:
+          return std::string("ALEX");
+        case IndexKind::kXIndex:
+          return std::string("XIndex");
+        case IndexKind::kEH:
+          return std::string("EH");
+        case IndexKind::kCCEH:
+          return std::string("CCEH");
+      }
+      return std::string("unknown");
+    });
+
+}  // namespace
+}  // namespace dytis
