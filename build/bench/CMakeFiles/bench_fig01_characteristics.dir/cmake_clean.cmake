@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_characteristics.dir/bench_fig01_characteristics.cc.o"
+  "CMakeFiles/bench_fig01_characteristics.dir/bench_fig01_characteristics.cc.o.d"
+  "bench_fig01_characteristics"
+  "bench_fig01_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bulkload.dir/bench_fig10_bulkload.cc.o"
+  "CMakeFiles/bench_fig10_bulkload.dir/bench_fig10_bulkload.cc.o.d"
+  "bench_fig10_bulkload"
+  "bench_fig10_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finegrained.dir/bench_finegrained.cc.o"
+  "CMakeFiles/bench_finegrained.dir/bench_finegrained.cc.o.d"
+  "bench_finegrained"
+  "bench_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

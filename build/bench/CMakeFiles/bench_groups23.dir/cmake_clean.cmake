@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groups23.dir/bench_groups23.cc.o"
+  "CMakeFiles/bench_groups23.dir/bench_groups23.cc.o.d"
+  "bench_groups23"
+  "bench_groups23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groups23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

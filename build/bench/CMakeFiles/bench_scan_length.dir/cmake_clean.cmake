@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_length.dir/bench_scan_length.cc.o"
+  "CMakeFiles/bench_scan_length.dir/bench_scan_length.cc.o.d"
+  "bench_scan_length"
+  "bench_scan_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

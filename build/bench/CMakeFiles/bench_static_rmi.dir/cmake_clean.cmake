@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_rmi.dir/bench_static_rmi.cc.o"
+  "CMakeFiles/bench_static_rmi.dir/bench_static_rmi.cc.o.d"
+  "bench_static_rmi"
+  "bench_static_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

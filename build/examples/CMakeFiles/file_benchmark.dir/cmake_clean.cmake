@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_benchmark.dir/file_benchmark.cpp.o"
+  "CMakeFiles/file_benchmark.dir/file_benchmark.cpp.o.d"
+  "file_benchmark"
+  "file_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_scan.dir/geo_scan.cpp.o"
+  "CMakeFiles/geo_scan.dir/geo_scan.cpp.o.d"
+  "geo_scan"
+  "geo_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

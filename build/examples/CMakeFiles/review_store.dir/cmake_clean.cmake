@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_store.dir/review_store.cpp.o"
+  "CMakeFiles/review_store.dir/review_store.cpp.o.d"
+  "review_store"
+  "review_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_stream.dir/taxi_stream.cpp.o"
+  "CMakeFiles/taxi_stream.dir/taxi_stream.cpp.o.d"
+  "taxi_stream"
+  "taxi_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

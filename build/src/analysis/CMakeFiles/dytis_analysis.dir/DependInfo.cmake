@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dynamics.cc" "src/analysis/CMakeFiles/dytis_analysis.dir/dynamics.cc.o" "gcc" "src/analysis/CMakeFiles/dytis_analysis.dir/dynamics.cc.o.d"
+  "/root/repo/src/analysis/histogram.cc" "src/analysis/CMakeFiles/dytis_analysis.dir/histogram.cc.o" "gcc" "src/analysis/CMakeFiles/dytis_analysis.dir/histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/learned/CMakeFiles/dytis_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dytis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_analysis.dir/dynamics.cc.o"
+  "CMakeFiles/dytis_analysis.dir/dynamics.cc.o.d"
+  "CMakeFiles/dytis_analysis.dir/histogram.cc.o"
+  "CMakeFiles/dytis_analysis.dir/histogram.cc.o.d"
+  "libdytis_analysis.a"
+  "libdytis_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

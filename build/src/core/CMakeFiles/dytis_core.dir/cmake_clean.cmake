@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_core.dir/remap_function.cc.o"
+  "CMakeFiles/dytis_core.dir/remap_function.cc.o.d"
+  "libdytis_core.a"
+  "libdytis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_datasets.dir/dataset.cc.o"
+  "CMakeFiles/dytis_datasets.dir/dataset.cc.o.d"
+  "CMakeFiles/dytis_datasets.dir/file_loader.cc.o"
+  "CMakeFiles/dytis_datasets.dir/file_loader.cc.o.d"
+  "CMakeFiles/dytis_datasets.dir/generators.cc.o"
+  "CMakeFiles/dytis_datasets.dir/generators.cc.o.d"
+  "libdytis_datasets.a"
+  "libdytis_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_learned.dir/plr.cc.o"
+  "CMakeFiles/dytis_learned.dir/plr.cc.o.d"
+  "libdytis_learned.a"
+  "libdytis_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdytis_learned.a"
+)

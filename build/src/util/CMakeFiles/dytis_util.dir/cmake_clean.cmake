@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_util.dir/latency_recorder.cc.o"
+  "CMakeFiles/dytis_util.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/dytis_util.dir/memory_usage.cc.o"
+  "CMakeFiles/dytis_util.dir/memory_usage.cc.o.d"
+  "libdytis_util.a"
+  "libdytis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

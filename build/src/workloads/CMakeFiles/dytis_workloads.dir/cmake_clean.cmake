@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/dytis_workloads.dir/ycsb.cc.o.d"
+  "libdytis_workloads.a"
+  "libdytis_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

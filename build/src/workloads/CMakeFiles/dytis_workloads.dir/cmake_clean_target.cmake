@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdytis_workloads.a"
+)

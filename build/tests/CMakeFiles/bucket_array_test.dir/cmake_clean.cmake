@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_array_test.dir/bucket_array_test.cc.o"
+  "CMakeFiles/bucket_array_test.dir/bucket_array_test.cc.o.d"
+  "bucket_array_test"
+  "bucket_array_test.pdb"
+  "bucket_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

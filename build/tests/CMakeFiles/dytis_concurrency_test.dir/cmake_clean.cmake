@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_concurrency_test.dir/dytis_concurrency_test.cc.o"
+  "CMakeFiles/dytis_concurrency_test.dir/dytis_concurrency_test.cc.o.d"
+  "dytis_concurrency_test"
+  "dytis_concurrency_test.pdb"
+  "dytis_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

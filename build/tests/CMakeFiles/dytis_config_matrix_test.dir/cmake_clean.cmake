@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_config_matrix_test.dir/dytis_config_matrix_test.cc.o"
+  "CMakeFiles/dytis_config_matrix_test.dir/dytis_config_matrix_test.cc.o.d"
+  "dytis_config_matrix_test"
+  "dytis_config_matrix_test.pdb"
+  "dytis_config_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

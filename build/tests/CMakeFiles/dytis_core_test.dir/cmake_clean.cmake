@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_core_test.dir/dytis_core_test.cc.o"
+  "CMakeFiles/dytis_core_test.dir/dytis_core_test.cc.o.d"
+  "dytis_core_test"
+  "dytis_core_test.pdb"
+  "dytis_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

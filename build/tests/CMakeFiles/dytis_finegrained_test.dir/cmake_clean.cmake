@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dytis_finegrained_test.dir/dytis_finegrained_test.cc.o"
+  "CMakeFiles/dytis_finegrained_test.dir/dytis_finegrained_test.cc.o.d"
+  "dytis_finegrained_test"
+  "dytis_finegrained_test.pdb"
+  "dytis_finegrained_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dytis_finegrained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

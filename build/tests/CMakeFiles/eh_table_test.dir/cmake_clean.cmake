@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eh_table_test.dir/eh_table_test.cc.o"
+  "CMakeFiles/eh_table_test.dir/eh_table_test.cc.o.d"
+  "eh_table_test"
+  "eh_table_test.pdb"
+  "eh_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eh_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

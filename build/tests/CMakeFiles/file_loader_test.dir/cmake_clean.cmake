@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_loader_test.dir/file_loader_test.cc.o"
+  "CMakeFiles/file_loader_test.dir/file_loader_test.cc.o.d"
+  "file_loader_test"
+  "file_loader_test.pdb"
+  "file_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

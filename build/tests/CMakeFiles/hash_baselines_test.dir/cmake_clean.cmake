@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_baselines_test.dir/hash_baselines_test.cc.o"
+  "CMakeFiles/hash_baselines_test.dir/hash_baselines_test.cc.o.d"
+  "hash_baselines_test"
+  "hash_baselines_test.pdb"
+  "hash_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

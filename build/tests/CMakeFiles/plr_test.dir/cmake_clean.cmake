@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plr_test.dir/plr_test.cc.o"
+  "CMakeFiles/plr_test.dir/plr_test.cc.o.d"
+  "plr_test"
+  "plr_test.pdb"
+  "plr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_function_test.dir/remap_function_test.cc.o"
+  "CMakeFiles/remap_function_test.dir/remap_function_test.cc.o.d"
+  "remap_function_test"
+  "remap_function_test.pdb"
+  "remap_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

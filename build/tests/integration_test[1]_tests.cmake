@@ -1,0 +1,3 @@
+add_test([=[IntegrationTest.LifecycleAcrossAllDatasetShapes]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=IntegrationTest.LifecycleAcrossAllDatasetShapes]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IntegrationTest.LifecycleAcrossAllDatasetShapes]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  integration_test_TESTS IntegrationTest.LifecycleAcrossAllDatasetShapes)
