@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: build and test Release, ThreadSanitizer, and ASan/UBSan configs.
+#
+#   scripts/check.sh              # all three configs, full test suite
+#   JOBS=8 scripts/check.sh       # override parallelism
+#   FILTER=regex scripts/check.sh # restrict ctest to matching tests
+#   CONFIGS="release tsan" scripts/check.sh  # subset of configs
+#
+# Sanitizer configs take several times longer than Release; FILTER is useful
+# for quick local iterations (e.g. FILTER='Stress|Concurrency|Fault').
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FILTER="${FILTER:-}"
+CONFIGS="${CONFIGS:-release tsan asan}"
+
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+if [[ -n "${FILTER}" ]]; then
+  CTEST_ARGS+=(-R "${FILTER}")
+fi
+
+for config in ${CONFIGS}; do
+  case "${config}" in
+    release) dir=build;      cmake_args=(-DCMAKE_BUILD_TYPE=Release -DDYTIS_SANITIZE=) ;;
+    tsan)    dir=build-tsan; cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=thread) ;;
+    asan)    dir=build-asan; cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=address) ;;
+    *) echo "unknown config '${config}' (want: release tsan asan)" >&2; exit 2 ;;
+  esac
+  echo "=== [${config}] configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . "${cmake_args[@]}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${config}] ctest ==="
+  (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
+done
+
+echo "=== all configs passed: ${CONFIGS} ==="

@@ -118,6 +118,9 @@ class StaticRmi {
   // Exponential search around the stage-2 prediction.
   size_t LowerBound(uint64_t key) const {
     const size_t n = keys_.size();
+    if (n == 0) {
+      return 0;  // models_ is empty too before the first BulkLoad
+    }
     size_t pos = models_[RootDispatch(key)].PredictClamped(key, n);
     size_t lo;
     size_t hi;

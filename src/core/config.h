@@ -8,6 +8,54 @@
 
 namespace dytis {
 
+// Which structural operation of Algorithm 1 a fault-injection rule targets.
+enum class StructuralOp : uint8_t { kRemap, kExpand, kSplit, kDoubling };
+
+// Deterministic fault injection for the structural-overflow path (testing
+// hook).  When enabled, matching structural operations report failure
+// without touching the index, which drives the insert state machine down
+// its fallback chain (remap -> split/expand -> doubling -> stash) exactly
+// as if the operation had failed for real.  Attempts are numbered per EH
+// table in the order they match a rule (0-based); attempt n fails when
+// start_op <= n < start_op + fail_count.
+struct FaultPolicy {
+  static constexpr uint64_t kAlways = ~uint64_t{0};
+
+  bool fail_remap = false;
+  bool fail_expand = false;
+  bool fail_split = false;
+  bool fail_doubling = false;
+  // First matching structural attempt to fail (0-based).
+  uint64_t start_op = 0;
+  // Number of matching attempts to fail from start_op on; 0 disables the
+  // policy entirely, kAlways fails every matching attempt.
+  uint64_t fail_count = 0;
+
+  bool Enabled() const { return fail_count != 0; }
+
+  bool Matches(StructuralOp op) const {
+    switch (op) {
+      case StructuralOp::kRemap:
+        return fail_remap;
+      case StructuralOp::kExpand:
+        return fail_expand;
+      case StructuralOp::kSplit:
+        return fail_split;
+      case StructuralOp::kDoubling:
+        return fail_doubling;
+    }
+    return false;
+  }
+
+  // Convenience: a policy that fails every structural operation.
+  static FaultPolicy FailEverything() {
+    FaultPolicy p;
+    p.fail_remap = p.fail_expand = p.fail_split = p.fail_doubling = true;
+    p.fail_count = kAlways;
+    return p;
+  }
+};
+
 struct DyTISConfig {
   // R: number of key MSBs used by the static first level; the index holds
   // 2^R independent Extendible-Hashing tables.  Paper default: 9.
@@ -60,6 +108,27 @@ struct DyTISConfig {
   // slower; stats.stash_inserts counts how often it happens -- zero for all
   // of the paper's workloads).
   int max_global_depth = 24;
+
+  // Bound on full-bucket retry iterations of the insert state machine.  When
+  // the bound is exhausted (structure keeps changing without ever fitting
+  // the key) the insert terminates through the stash path instead of
+  // retrying further -- it can never fail silently.
+  int max_structural_retries = 256;
+
+  // Initial per-segment stash bound.  Purely observational: when a stash
+  // outgrows its bound the bound doubles and stats.stash_bound_growths is
+  // bumped, flagging workloads that degrade into the stash.
+  size_t stash_soft_limit = 64;
+
+  // Hard cap on per-segment stash entries; 0 = unbounded (default).  When a
+  // capped stash is full and every structural repair is exhausted, Insert
+  // reports InsertResult::kHardError instead of storing the key -- the only
+  // way an insert can fail, and it is always reported, never silent.
+  size_t stash_hard_limit = 0;
+
+  // Deterministic structural-failure injection (tests only; disabled by
+  // default).  See FaultPolicy.
+  FaultPolicy fault_policy;
 
   // Derived: key/value pairs per bucket.
   size_t BucketCapacity() const { return bucket_bytes / 16; }

@@ -33,6 +33,7 @@
 
 #include "src/core/config.h"
 #include "src/core/eh_table.h"
+#include "src/core/insert_result.h"
 #include "src/core/lock_policy.h"
 #include "src/core/stats.h"
 #include "src/util/bitops.h"
@@ -57,13 +58,22 @@ class BasicDyTIS {
   }
 
   // Inserts (key, value); if the key exists its value is updated in place.
-  // Returns true when the key is new.
+  // Returns true when the key is new.  Equivalent to IsNewKey(InsertEx());
+  // callers that must distinguish the stash fallback or a hard error from a
+  // duplicate should use InsertEx.
   bool Insert(uint64_t key, const V& value) {
-    const bool is_new = TableFor(key).Insert(key, value);
-    if (is_new) {
+    return IsNewKey(InsertEx(key, value));
+  }
+
+  // Insert with the full outcome (see InsertResult).  kHardError -- the
+  // only outcome that does not store the key -- is reachable only when
+  // config.stash_hard_limit caps the overflow stash.
+  InsertResult InsertEx(uint64_t key, const V& value) {
+    const InsertResult result = TableFor(key).InsertEx(key, value);
+    if (IsNewKey(result)) {
       size_.fetch_add(1, std::memory_order_relaxed);
     }
-    return is_new;
+    return result;
   }
 
   // Point lookup.  Returns false when the key is absent; otherwise stores

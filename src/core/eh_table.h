@@ -12,6 +12,16 @@
 // with a warm-up phase (LD < L_start) that behaves like plain Extendible
 // hashing (split / directory doubling only).
 //
+// The insert path is a guaranteed-progress state machine: when every
+// structural repair is exhausted (directory-depth cap, segment-size limits,
+// injected faults) or the retry budget runs out, the insert terminates
+// through TerminalInsert, which always ends in a durable outcome -- bucket
+// insert, in-place update, stash insert (growing the stash bound as
+// needed), or an explicitly reported InsertResult::kHardError when the
+// configured stash hard limit blocks storage.  A key is never silently
+// dropped.  DyTISConfig::fault_policy can deterministically fail any
+// structural operation so tests can drive every branch of this chain.
+//
 // Locking (Section 3.4): a per-EH shared_mutex guards the directory; every
 // operation enters with it held shared, so holding it exclusively gives a
 // structural operation the whole table.  Remapping and expansion mutate only
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/insert_result.h"
 #include "src/core/segment.h"
 #include "src/core/stats.h"
 #include "src/util/bitops.h"
@@ -54,6 +65,7 @@ class EhTable {
     auto* seg = new SegmentT(
         /*local_depth=*/0, RemapFunction(key_bits_, /*num_buckets=*/1),
         static_cast<uint32_t>(config_.BucketCapacity()));
+    seg->stash_bound = config_.stash_soft_limit;
     dir_.push_back(seg);
     global_depth_ = 0;
   }
@@ -73,16 +85,25 @@ class EhTable {
 
   // Inserts or updates in place.  Returns true when the key is new.
   bool Insert(uint64_t key, const V& value) {
+    return IsNewKey(InsertEx(key, value));
+  }
+
+  // Insert state machine with a guaranteed-progress contract: every call
+  // terminates in kInserted, kUpdated, kStashed, or kHardError.  The only
+  // non-storing outcome is kHardError, and it is only reachable when
+  // config.stash_hard_limit caps the stash.
+  InsertResult InsertEx(uint64_t key, const V& value) {
     const uint64_t eh_local = LowBits(key, key_bits_);
-    for (int attempt = 0; attempt < kMaxStructuralRetries; attempt++) {
+    for (int attempt = 0; attempt < config_.max_structural_retries;
+         attempt++) {
       if constexpr (Policy::kBucketLocks) {
         // Fine-grained fast path: shared segment lock + bucket spinlock.
         const FineOutcome fine = FineInsert(eh_local, key, value);
         if (fine == FineOutcome::kInsertedNew) {
-          return true;
+          return InsertResult::kInserted;
         }
         if (fine == FineOutcome::kUpdated) {
-          return false;
+          return InsertResult::kUpdated;
         }
         // kFallback: full bucket or active stash; use the coarse path.
       }
@@ -96,7 +117,7 @@ class EhTable {
           const int stash_slot = seg->StashFind(key);
           if (stash_slot >= 0) {
             seg->stash[static_cast<size_t>(stash_slot)].second = value;
-            return false;
+            return InsertResult::kUpdated;
           }
         }
         const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
@@ -107,11 +128,11 @@ class EhTable {
             seg->buckets.Insert(placement.bucket, key, value, hint, &slot);
         if (result == BucketArray<V>::InsertResult::kInserted) {
           seg->num_keys++;
-          return true;
+          return InsertResult::kInserted;
         }
         if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
           seg->buckets.MutableValueAt(placement.bucket, slot) = value;
-          return false;
+          return InsertResult::kUpdated;
         }
         // Bucket full.  Try the segment-local repairs (remap / expansion)
         // under the locks we already hold.
@@ -121,27 +142,17 @@ class EhTable {
       }
       // Split or directory doubling needed: re-enter exclusively.  A false
       // return means every structural option is exhausted (directory-depth
-      // cap + segment-size limits): fall back to the overflow stash.
+      // cap, segment-size limits, injected faults): terminal step.
       if (!HandleOverflowExclusive(eh_local)) {
-        typename Policy::SharedLock dir_lock(mutex_);
-        SegmentT* seg = SegmentFor(eh_local);
-        typename Policy::UniqueLock seg_lock(seg->mutex);
-        // State may have changed while re-locking: only stash when the
-        // target bucket is still full.
-        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-        if (!seg->buckets.IsFull(seg->remap.BucketIndexFor(local))) {
-          continue;
-        }
-        const bool is_new = seg->StashInsert(key, value);
-        if (is_new) {
-          seg->num_keys++;
-          stats_->Add(&DyTISStats::stash_inserts, 1);
-        }
-        return is_new;
+        stats_->Add(&DyTISStats::structural_exhaustions, 1);
+        return TerminalInsert(eh_local, key, value);
       }
     }
-    assert(false && "DyTIS insert exceeded structural retry bound");
-    return false;
+    // Retry budget exhausted: the structure kept changing without this key
+    // ever fitting (pathological churn).  The terminal path below still
+    // stores the key or reports a hard error -- never a silent drop.
+    stats_->Add(&DyTISStats::retry_exhaustions, 1);
+    return TerminalInsert(eh_local, key, value);
   }
 
   bool Find(uint64_t key, V* value) const {
@@ -452,8 +463,6 @@ class EhTable {
   }
 
  private:
-  static constexpr int kMaxStructuralRetries = 256;
-
   // Segment-level lock used by multi-bucket readers (scan / for-each /
   // validation / accounting).  With per-bucket locks active, point writers
   // hold the segment lock *shared*, so multi-bucket readers must take it
@@ -488,6 +497,75 @@ class EhTable {
       return FineOutcome::kUpdated;
     }
     return FineOutcome::kFallback;  // bucket full
+  }
+
+  // Terminal step of the insert state machine.  Runs when every structural
+  // repair is exhausted or the retry budget ran out; always ends in a
+  // durable outcome.  Re-checks the bucket first (the structure may have
+  // been repaired between lock releases), so a key is only stashed when its
+  // bucket is genuinely still full.
+  InsertResult TerminalInsert(uint64_t eh_local, uint64_t key,
+                              const V& value) {
+    typename Policy::SharedLock dir_lock(mutex_);
+    SegmentT* seg = SegmentFor(eh_local);
+    typename Policy::UniqueLock seg_lock(seg->mutex);
+    if (!seg->stash.empty()) {
+      const int stash_slot = seg->StashFind(key);
+      if (stash_slot >= 0) {
+        seg->stash[static_cast<size_t>(stash_slot)].second = value;
+        return InsertResult::kUpdated;
+      }
+    }
+    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
+    const auto placement = seg->remap.PlacementFor(local);
+    int slot = -1;
+    const auto result = seg->buckets.Insert(placement.bucket, key, value,
+                                            SearchHint(*seg, placement), &slot);
+    if (result == BucketArray<V>::InsertResult::kInserted) {
+      seg->num_keys++;
+      return InsertResult::kInserted;
+    }
+    if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
+      seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+      return InsertResult::kUpdated;
+    }
+    // Bucket still full: the stash is the last resort.
+    if (config_.stash_hard_limit != 0 &&
+        seg->stash.size() >= config_.stash_hard_limit) {
+      stats_->Add(&DyTISStats::hard_errors, 1);
+      return InsertResult::kHardError;
+    }
+    while (seg->stash.size() >= seg->stash_bound) {
+      seg->stash_bound = std::max<size_t>(1, seg->stash_bound) * 2;
+      stats_->Add(&DyTISStats::stash_bound_growths, 1);
+    }
+    const bool is_new = seg->StashInsert(key, value);
+    if (is_new) {
+      seg->num_keys++;
+      stats_->Add(&DyTISStats::stash_inserts, 1);
+      return InsertResult::kStashed;
+    }
+    return InsertResult::kUpdated;
+  }
+
+  // Fault-injection gate: true when config.fault_policy directs this
+  // structural attempt to fail.  Matching attempts are numbered per EH in
+  // arrival order, so single-threaded tests are fully deterministic.
+  bool FaultInjected(StructuralOp op) {
+    const FaultPolicy& fp = config_.fault_policy;
+    if (!fp.Enabled() || !fp.Matches(op)) {
+      return false;
+    }
+    const uint64_t n = fault_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (n < fp.start_op) {
+      return false;
+    }
+    if (fp.fail_count != FaultPolicy::kAlways &&
+        n - fp.start_op >= fp.fail_count) {
+      return false;
+    }
+    stats_->Add(&DyTISStats::injected_faults, 1);
+    return true;
   }
 
   SegmentT* SegmentFor(uint64_t eh_local) {
@@ -574,6 +652,9 @@ class EhTable {
   // i.e. double all slopes and rebuild.  Fails when the segment-size limit
   // would be exceeded.
   bool ExpandSegment(SegmentT* seg) {
+    if (FaultInjected(StructuralOp::kExpand)) {
+      return false;
+    }
     const uint64_t t0 = NowNanos();
     std::vector<uint32_t> counts = seg->remap.Counts();
     uint64_t total = 0;
@@ -582,9 +663,11 @@ class EhTable {
       total += c;
     }
     if (total > SegmentLimit(seg->local_depth)) {
+      stats_->Add(&DyTISStats::expand_failures, 1);
       return false;
     }
     if (!RebuildSegment(seg, std::move(counts), /*enforce_limit=*/true)) {
+      stats_->Add(&DyTISStats::expand_failures, 1);
       return false;  // overflow retries blew the size limit
     }
     stats_->Add(&DyTISStats::expansions, 1);
@@ -599,6 +682,9 @@ class EhTable {
   // growing the segment otherwise.  Fails when nothing can change (all
   // sub-ranges busy and the size limit is reached).
   bool RemapSegment(SegmentT* seg, uint64_t local) {
+    if (FaultInjected(StructuralOp::kRemap)) {
+      return false;
+    }
     const uint64_t t0 = NowNanos();
     const int key_bits = seg->remap.key_bits();
     const int max_p = std::min(config_.max_subrange_bits, key_bits);
@@ -807,6 +893,7 @@ class EhTable {
     seg->ResetBucketLocks();
     seg->stash.clear();
     seg->stash.shrink_to_fit();
+    seg->stash_bound = config_.stash_soft_limit;  // rebuild drained the stash
     return true;
   }
 
@@ -894,10 +981,16 @@ class EhTable {
       return true;
     }
     if (seg->local_depth < global_depth_) {
+      if (FaultInjected(StructuralOp::kSplit)) {
+        return false;  // forced split failure: degrade to the stash
+      }
       SplitSegment(seg, eh_local);  // Algorithm 1 lines 6/9 (+ warm-up splits)
       return true;
     }
     if (global_depth_ < config_.max_global_depth) {
+      if (FaultInjected(StructuralOp::kDoubling)) {
+        return false;  // forced doubling failure: degrade to the stash
+      }
       DoubleDirectory();  // Algorithm 1 line 18 (and warm-up doubling)
       return true;
     }
@@ -975,12 +1068,14 @@ class EhTable {
     left->ResetBucketLocks();
     left->num_keys = left_entries.size();
     left->stash = std::move(left_stash);
+    left->stash_bound = config_.stash_soft_limit;
     auto* right =
         new SegmentT(child_ld, std::move(right_built->first), capacity);
     right->buckets = std::move(right_built->second);
     right->ResetBucketLocks();
     right->num_keys = right_entries.size();
     right->stash = std::move(right_stash);
+    right->stash_bound = config_.stash_soft_limit;
 
     // Wire siblings: predecessor -> left -> right -> old sibling.
     left->sibling = right;
@@ -1035,6 +1130,10 @@ class EhTable {
   std::atomic<bool> limit_decided_{false};
   std::atomic<uint32_t> warm_expansions_{0};
   std::atomic<uint32_t> warm_structurals_{0};
+
+  // Sequence number of fault-policy-matched structural attempts (fault
+  // injection is disabled by default; see DyTISConfig::fault_policy).
+  std::atomic<uint64_t> fault_seq_{0};
 };
 
 }  // namespace dytis

@@ -1,0 +1,54 @@
+// Outcome of a DyTIS insert (Algorithm 1 plus this reproduction's
+// guaranteed-progress extensions).
+//
+// Every insert terminates in exactly one of these states.  The first three
+// mean the key is durably stored; kHardError is the only non-storing
+// outcome, and it is reported explicitly -- the index never silently drops
+// a key (the pre-hardening code could, when the structural retry bound was
+// exhausted in an NDEBUG build).
+#ifndef DYTIS_SRC_CORE_INSERT_RESULT_H_
+#define DYTIS_SRC_CORE_INSERT_RESULT_H_
+
+#include <cstdint>
+
+namespace dytis {
+
+enum class InsertResult : uint8_t {
+  // New key stored in a bucket (the normal path).
+  kInserted,
+  // Key already existed; its value was updated in place (bucket or stash).
+  kUpdated,
+  // New key durably stored in the segment's overflow stash because every
+  // structural repair (remap / split / expand / doubling) was exhausted.
+  kStashed,
+  // Key NOT stored: structural repairs are exhausted and the stash has hit
+  // DyTISConfig::stash_hard_limit.  Unreachable with the default config
+  // (hard limit 0 = unbounded stash).
+  kHardError,
+};
+
+// True when the insert added a key that was not present before.
+constexpr bool IsNewKey(InsertResult r) {
+  return r == InsertResult::kInserted || r == InsertResult::kStashed;
+}
+
+// True when the key is durably stored (new or updated) after the call.
+constexpr bool IsStored(InsertResult r) { return r != InsertResult::kHardError; }
+
+constexpr const char* InsertResultName(InsertResult r) {
+  switch (r) {
+    case InsertResult::kInserted:
+      return "inserted";
+    case InsertResult::kUpdated:
+      return "updated";
+    case InsertResult::kStashed:
+      return "stashed";
+    case InsertResult::kHardError:
+      return "hard-error";
+  }
+  return "?";
+}
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_CORE_INSERT_RESULT_H_

@@ -60,11 +60,33 @@ struct FineGrainedPolicy : SharedMutexPolicy {
   static constexpr bool kBucketLocks = true;
 };
 
-// Tiny test-and-set spinlock for the per-bucket locks.
+// Pauses the CPU inside a spin-wait loop: lowers power, frees the sibling
+// hyperthread, and (on x86) avoids the memory-order-violation flush when
+// the awaited line finally changes.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Tiny test-and-test-and-set spinlock for the per-bucket locks.  Waiters
+// spin on a plain load (shared cache line state) and only attempt the
+// exclusive-state RMW when the lock looks free; a bare test_and_set loop
+// would ping-pong the line between contending cores.
 class SpinLock {
  public:
   void lock() {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
+    for (;;) {
+      if (!flag_.test_and_set(std::memory_order_acquire)) {
+        return;
+      }
+      while (flag_.test(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
     }
   }
   void unlock() { flag_.clear(std::memory_order_release); }

@@ -100,6 +100,10 @@ struct Segment {
   std::atomic<size_t> num_keys{0};
   Segment* sibling = nullptr;  // next segment in key order within the EH
   std::vector<std::pair<uint64_t, V>> stash;
+  // Current stash bound (starts at DyTISConfig::stash_soft_limit, doubled
+  // on overflow with a stats bump; reset when a rebuild drains the stash).
+  // Mutated under the segment lock only.
+  size_t stash_bound = 0;
   // Per-bucket spinlocks (FineGrainedPolicy only; null otherwise).
   std::unique_ptr<SpinLock[]> bucket_locks;
   mutable typename Policy::Mutex mutex;

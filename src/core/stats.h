@@ -23,9 +23,24 @@ struct DyTISStats {
   std::atomic<uint64_t> remap_failures{0};
   std::atomic<uint64_t> doublings{0};
   std::atomic<uint64_t> merges{0};
+  // Expansion attempts blocked by the segment-size limit (the fallback to
+  // remapping/doubling in Algorithm 1 line 13).
+  std::atomic<uint64_t> expand_failures{0};
   // Last-resort overflow-stash inserts (graceful degradation on
   // adversarially dense key ranges; see DyTISConfig::max_global_depth).
   std::atomic<uint64_t> stash_inserts{0};
+  // Inserts that exhausted every structural repair (depth cap, size limits,
+  // or injected faults) and entered the terminal stash path.
+  std::atomic<uint64_t> structural_exhaustions{0};
+  // Inserts that ran out of DyTISConfig::max_structural_retries full-bucket
+  // retries and were forced through the terminal path.
+  std::atomic<uint64_t> retry_exhaustions{0};
+  // Times a segment's stash outgrew its bound and the bound was doubled.
+  std::atomic<uint64_t> stash_bound_growths{0};
+  // Inserts reported as InsertResult::kHardError (stash_hard_limit hit).
+  std::atomic<uint64_t> hard_errors{0};
+  // Structural operations failed by DyTISConfig::fault_policy.
+  std::atomic<uint64_t> injected_faults{0};
 
   // Nanoseconds spent inside each structural operation (breakdown bench).
   std::atomic<uint64_t> split_ns{0};
@@ -46,7 +61,9 @@ struct DyTISStats {
 
   void Reset() {
     splits = expansions = remappings = remap_failures = doublings = merges = 0;
-    stash_inserts = 0;
+    expand_failures = 0;
+    stash_inserts = structural_exhaustions = retry_exhaustions = 0;
+    stash_bound_growths = hard_errors = injected_faults = 0;
     split_ns = expansion_ns = remap_ns = doubling_ns = 0;
   }
 };

@@ -38,6 +38,12 @@ class KVIndex {
   virtual void BulkLoad(std::span<const ScanEntry> /*sorted_entries*/) {}
 
   virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  // Insert with the full DyTIS outcome (stash fallback / hard error).
+  // Indexes without a degradation path report kInserted/kUpdated only.
+  virtual InsertResult InsertEx(uint64_t key, uint64_t value) {
+    return Insert(key, value) ? InsertResult::kInserted
+                              : InsertResult::kUpdated;
+  }
   virtual bool Find(uint64_t key, uint64_t* value) const = 0;
   virtual bool Update(uint64_t key, uint64_t value) = 0;
   virtual bool Erase(uint64_t key) = 0;
@@ -64,6 +70,14 @@ class OrderedIndexAdapter : public KVIndex {
   std::string Name() const override { return name_; }
   bool Insert(uint64_t key, uint64_t value) override {
     return index_.Insert(key, value);
+  }
+  InsertResult InsertEx(uint64_t key, uint64_t value) override {
+    if constexpr (requires { index_.InsertEx(key, value); }) {
+      return index_.InsertEx(key, value);
+    } else {
+      return index_.Insert(key, value) ? InsertResult::kInserted
+                                       : InsertResult::kUpdated;
+    }
   }
   bool Find(uint64_t key, uint64_t* value) const override {
     return index_.Find(key, value);

@@ -185,6 +185,9 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
         const uint64_t key = dataset.keys[next_insert++];
         index->Insert(key, ValueFor(key));
         zipf.GrowTo(next_insert);
+        // Workload D's recency ranks must cover the new key, or "latest"
+        // reads would stay concentrated on the preload prefix.
+        latest.GrowTo(next_insert);
       } else {
         uint64_t value;
         index->Find(pick_key(), &value);
@@ -211,11 +214,34 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
   return result;
 }
 
+namespace {
+
+// Thread t's share when `ops` total ops are distributed across `threads`
+// threads as evenly as possible (the first `ops % threads` threads take one
+// extra op); the shares always sum to exactly `ops`.
+size_t ThreadShare(size_t ops, int threads, int t) {
+  const size_t base = ops / static_cast<size_t>(threads);
+  const size_t extra =
+      static_cast<size_t>(t) < ops % static_cast<size_t>(threads) ? 1 : 0;
+  return base + extra;
+}
+
+}  // namespace
+
 ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
                                 int num_threads, const YcsbOptions& options) {
   assert(num_threads >= 1);
   ConcurrencyResult result;
   const size_t n = dataset.keys.size();
+  // One recorder per thread, merged after each phase's joins, so recording
+  // stays lock-free on the workload threads.
+  std::vector<LatencyRecorder> recorders(static_cast<size_t>(num_threads));
+  const auto merge_into = [&recorders](LatencyRecorder* phase) {
+    for (LatencyRecorder& rec : recorders) {
+      phase->Merge(rec);
+      rec.Reset();
+    }
+  };
 
   // Insertion: keys striped round-robin across threads.
   {
@@ -224,20 +250,32 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
     threads.reserve(num_threads);
     for (int t = 0; t < num_threads; t++) {
       threads.emplace_back([&, t] {
-        for (size_t i = static_cast<size_t>(t); i < n;
-             i += static_cast<size_t>(num_threads)) {
-          index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+        LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
+        if (options.record_latency) {
+          for (size_t i = static_cast<size_t>(t); i < n;
+               i += static_cast<size_t>(num_threads)) {
+            const uint64_t t0 = NowNanos();
+            index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+            rec.Record(NowNanos() - t0);
+          }
+        } else {
+          for (size_t i = static_cast<size_t>(t); i < n;
+               i += static_cast<size_t>(num_threads)) {
+            index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+          }
         }
       });
     }
     for (auto& th : threads) {
       th.join();
     }
+    result.insert_ops = n;
     result.insert_mops =
-        static_cast<double>(n) / timer.ElapsedSeconds() / 1e6;
+        static_cast<double>(result.insert_ops) / timer.ElapsedSeconds() / 1e6;
+    merge_into(&result.insert_latency);
   }
 
-  // Search: zipfian reads, ops split across threads.
+  // Search: zipfian reads, ops distributed exactly across threads.
   const size_t search_ops = options.run_ops != 0 ? options.run_ops : n / 2;
   {
     Timer timer;
@@ -247,18 +285,29 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
       threads.emplace_back([&, t] {
         ScrambledZipfianGenerator zipf(n, options.zipf_theta,
                                        options.seed + static_cast<uint64_t>(t));
+        LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
+        const size_t share = ThreadShare(search_ops, num_threads, t);
         uint64_t value;
-        for (size_t i = 0; i < search_ops / static_cast<size_t>(num_threads);
-             i++) {
-          index->Find(dataset.keys[zipf.Next()], &value);
+        if (options.record_latency) {
+          for (size_t i = 0; i < share; i++) {
+            const uint64_t t0 = NowNanos();
+            index->Find(dataset.keys[zipf.Next()], &value);
+            rec.Record(NowNanos() - t0);
+          }
+        } else {
+          for (size_t i = 0; i < share; i++) {
+            index->Find(dataset.keys[zipf.Next()], &value);
+          }
         }
       });
     }
     for (auto& th : threads) {
       th.join();
     }
-    result.search_mops = static_cast<double>(search_ops) /
-                         timer.ElapsedSeconds() / 1e6;
+    result.search_ops = search_ops;
+    result.search_mops =
+        static_cast<double>(result.search_ops) / timer.ElapsedSeconds() / 1e6;
+    merge_into(&result.search_latency);
   }
 
   // Scan-100: number of scan ops scaled down by the scan length.
@@ -273,19 +322,31 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
         ScrambledZipfianGenerator zipf(n, options.zipf_theta,
                                        options.seed + 77 +
                                            static_cast<uint64_t>(t));
+        LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
+        const size_t share = ThreadShare(scan_ops, num_threads, t);
         std::vector<KVIndex::ScanEntry> buf(options.scan_length);
-        for (size_t i = 0; i < scan_ops / static_cast<size_t>(num_threads) + 1;
-             i++) {
-          index->Scan(dataset.keys[zipf.Next()], options.scan_length,
-                      buf.data());
+        if (options.record_latency) {
+          for (size_t i = 0; i < share; i++) {
+            const uint64_t t0 = NowNanos();
+            index->Scan(dataset.keys[zipf.Next()], options.scan_length,
+                        buf.data());
+            rec.Record(NowNanos() - t0);
+          }
+        } else {
+          for (size_t i = 0; i < share; i++) {
+            index->Scan(dataset.keys[zipf.Next()], options.scan_length,
+                        buf.data());
+          }
         }
       });
     }
     for (auto& th : threads) {
       th.join();
     }
+    result.scan_ops = scan_ops;
     result.scan_mops =
-        static_cast<double>(scan_ops) / timer.ElapsedSeconds() / 1e6;
+        static_cast<double>(result.scan_ops) / timer.ElapsedSeconds() / 1e6;
+    merge_into(&result.scan_latency);
   }
   return result;
 }

@@ -83,11 +83,23 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
 
 // Multi-threaded run of Load / C-style searches / scans for the
 // concurrency experiment (Figure 12).  Requests are assigned to threads
-// round-robin.  The index must be ThreadSafe().
+// round-robin; per-phase throughput is computed over the ops *actually
+// executed* (op counts are distributed exactly across threads).  The index
+// must be ThreadSafe().  When options.record_latency is set, each thread
+// records into its own LatencyRecorder and the recorders are merged into
+// the per-phase fields below after the joins.
 struct ConcurrencyResult {
   double insert_mops = 0.0;
   double search_mops = 0.0;
   double scan_mops = 0.0;  // scan ops (each of scan_length keys) per second
+  // Ops actually executed per phase (sums of the per-thread shares).
+  size_t insert_ops = 0;
+  size_t search_ops = 0;
+  size_t scan_ops = 0;
+  // Merged per-thread latency samples (populated when record_latency).
+  LatencyRecorder insert_latency;
+  LatencyRecorder search_latency;
+  LatencyRecorder scan_latency;
 };
 ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
                                 int num_threads, const YcsbOptions& options);

@@ -1,0 +1,174 @@
+// Multi-threaded stress tests exercising concurrent insert / erase / find /
+// scan while structural operations (remap, split, expand, doubling, terminal
+// stash) fire constantly.  Small buckets and a low l_start force repairs at
+// high frequency; the fault-injection variants push every overflow into the
+// stash path concurrently.
+//
+// These are the primary targets for the sanitizer builds:
+//   cmake -B build-tsan -S . -DDYTIS_SANITIZE=thread
+//   cmake -B build-asan -S . -DDYTIS_SANITIZE=address
+//   (cd build-tsan && ctest -R Stress)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/core/insert_result.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+DyTISConfig StressConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 2;  // a few EH tables so threads collide within one
+  c.bucket_bytes = 128;    // 8 pairs per bucket: structural ops fire early
+  c.l_start = 2;
+  c.max_global_depth = 8;
+  return c;
+}
+
+// Each thread owns a disjoint key slice (bits spread across the key space by
+// multiplying with a large odd constant) so value checks are exact; finds and
+// scans deliberately cross slices to create read/write contention.
+constexpr uint64_t Spread(uint64_t i) { return i * 0x9e3779b97f4a7c15ULL; }
+
+template <typename Index>
+void RunMixedThreads(Index* index, int num_threads, uint64_t ops_per_thread) {
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xabcd + t);
+      const uint64_t base = static_cast<uint64_t>(t) << 56;
+      for (uint64_t i = 0; i < ops_per_thread && !failed.load(); i++) {
+        const uint64_t key = base | (Spread(i) >> 8);
+        switch (rng.Next() % 8) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: {  // 50% insert: must be durably stored, never dropped
+            if (!IsStored(index->InsertEx(key, key))) {
+              failed.store(true);
+            }
+            break;
+          }
+          case 4: {  // erase a key from this thread's own past
+            if (i > 16) {
+              index->Erase(base | (Spread(rng.Next() % i) >> 8));
+            }
+            break;
+          }
+          case 5:
+          case 6: {  // find across all slices; value must equal key if found
+            const uint64_t probe =
+                (static_cast<uint64_t>(rng.Next() % num_threads) << 56) |
+                (Spread(rng.Next() % ops_per_thread) >> 8);
+            uint64_t value = 0;
+            if (index->Find(probe, &value) && value != probe) {
+              failed.store(true);
+            }
+            break;
+          }
+          default: {  // short scan from a random point
+            std::pair<uint64_t, uint64_t> out[16];
+            const size_t n = index->Scan(rng.Next(), 16, out);
+            for (size_t j = 0; j + 1 < n; j++) {
+              if (out[j].first >= out[j + 1].first) {
+                failed.store(true);
+              }
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load())
+      << "a concurrent op returned an impossible result";
+}
+
+TEST(DyTISStressTest, StressMixedOpsSmallBuckets) {
+  ConcurrentDyTIS<uint64_t> index(StressConfig());
+  RunMixedThreads(&index, /*num_threads=*/4, /*ops_per_thread=*/8000);
+  // Structural churn actually happened under contention.
+  EXPECT_GT(index.stats().splits.load() + index.stats().doublings.load() +
+                index.stats().expansions.load() + index.stats().remappings.load(),
+            0u);
+  // Post-run sequential audit: counts and invariants are coherent.
+  size_t count = 0;
+  index.ForEach([&](uint64_t key, uint64_t value) {
+    EXPECT_EQ(key, value);
+    count++;
+  });
+  EXPECT_EQ(count, index.size());
+  std::string err;
+  EXPECT_TRUE(index.ValidateInvariants(&err)) << err;
+}
+
+TEST(DyTISStressTest, StressFineGrainedPolicy) {
+  BasicDyTIS<uint64_t, FineGrainedPolicy> index(StressConfig());
+  RunMixedThreads(&index, /*num_threads=*/4, /*ops_per_thread=*/8000);
+  size_t count = 0;
+  index.ForEach([&](uint64_t key, uint64_t value) {
+    EXPECT_EQ(key, value);
+    count++;
+  });
+  EXPECT_EQ(count, index.size());
+  std::string err;
+  EXPECT_TRUE(index.ValidateInvariants(&err)) << err;
+}
+
+TEST(DyTISStressTest, StressForcedStashAllStructuralOpsFail) {
+  // Every structural op fails, so every overflow races into TerminalInsert
+  // and the stash grows without bound under concurrency.
+  DyTISConfig config = StressConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  ConcurrentDyTIS<uint64_t> index(config);
+  RunMixedThreads(&index, /*num_threads=*/4, /*ops_per_thread=*/2000);
+  EXPECT_GT(index.stats().stash_inserts.load(), 0u);
+  EXPECT_GT(index.stats().structural_exhaustions.load(), 0u);
+  EXPECT_EQ(index.stats().splits.load(), 0u);
+  EXPECT_EQ(index.stats().doublings.load(), 0u);
+  size_t count = 0;
+  index.ForEach([&](uint64_t key, uint64_t value) {
+    EXPECT_EQ(key, value);
+    count++;
+  });
+  EXPECT_EQ(count, index.size());
+  std::string err;
+  EXPECT_TRUE(index.ValidateInvariants(&err)) << err;
+}
+
+TEST(DyTISStressTest, StressFaultWindowMidRun) {
+  // Structural ops start failing partway through the run: the index must
+  // transition from normal growth to stash degradation without losing keys.
+  DyTISConfig config = StressConfig();
+  config.fault_policy.fail_split = true;
+  config.fault_policy.fail_doubling = true;
+  config.fault_policy.fail_expand = true;
+  config.fault_policy.fail_remap = true;
+  config.fault_policy.start_op = 20;
+  config.fault_policy.fail_count = FaultPolicy::kAlways;
+  ConcurrentDyTIS<uint64_t> index(config);
+  RunMixedThreads(&index, /*num_threads=*/4, /*ops_per_thread=*/4000);
+  EXPECT_GT(index.stats().injected_faults.load(), 0u);
+  size_t count = 0;
+  index.ForEach([&](uint64_t key, uint64_t value) {
+    EXPECT_EQ(key, value);
+    count++;
+  });
+  EXPECT_EQ(count, index.size());
+  std::string err;
+  EXPECT_TRUE(index.ValidateInvariants(&err)) << err;
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,365 @@
+// Fault-injection tests for the guaranteed-progress insert state machine.
+//
+// DyTISConfig::fault_policy deterministically fails remap / expand / split /
+// directory-doubling attempts so every fallback branch of Algorithm 1 --
+// including the directory-depth cap and the terminal stash -- is reachable
+// from a test.  The central contract: a key inserted while every structural
+// operation is forced to fail is either durably stored (bucket or stash) or
+// reported as InsertResult::kHardError.  It is never silently lost.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/core/eh_table.h"
+#include "src/core/insert_result.h"
+#include "src/core/lock_policy.h"
+#include "src/util/rng.h"
+#include "src/workloads/kv_index.h"
+
+namespace dytis {
+namespace {
+
+using Table = EhTable<uint64_t, NoLockPolicy>;
+
+DyTISConfig TinyConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 0;  // the EH sees full 64-bit keys in these tests
+  c.bucket_bytes = 128;    // 8 pairs per bucket
+  c.l_start = 2;
+  c.max_global_depth = 12;
+  return c;
+}
+
+struct TableFixture {
+  explicit TableFixture(DyTISConfig config = TinyConfig())
+      : config(config), table(config, &stats, /*key_bits=*/64) {}
+  DyTISConfig config;
+  DyTISStats stats;
+  Table table;
+};
+
+// --- Per-branch fallbacks ---------------------------------------------------
+
+TEST(EhTableFaultTest, RemapFaultFallsBackToSplitOrDoubling) {
+  DyTISConfig config = TinyConfig();
+  config.fault_policy.fail_remap = true;
+  config.fault_policy.fail_count = FaultPolicy::kAlways;
+  TableFixture f(config);
+  Rng rng(3);
+  // Remap-friendly shape: clusters at sparse bases (same generator as the
+  // SkewedKeysTriggerRemapping test, which does observe remappings).
+  for (int c = 0; c < 30; c++) {
+    const uint64_t base = rng.Next() & ~LowMask(44);
+    for (int i = 0; i < 600; i++) {
+      f.table.Insert(base + (static_cast<uint64_t>(i) << 34), 1);
+    }
+  }
+  EXPECT_EQ(f.stats.remappings.load(), 0u);
+  EXPECT_GT(f.stats.injected_faults.load(), 0u);
+  // The overflows remapping would have absorbed go to split/doubling.
+  EXPECT_GT(f.stats.splits.load() + f.stats.doublings.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+  // Nothing lost: replay the generator.
+  Rng replay(3);
+  for (int c = 0; c < 30; c++) {
+    const uint64_t base = replay.Next() & ~LowMask(44);
+    for (int i = 0; i < 600; i += 37) {
+      ASSERT_TRUE(
+          f.table.Find(base + (static_cast<uint64_t>(i) << 34), nullptr));
+    }
+  }
+}
+
+TEST(EhTableFaultTest, ExpandFaultFallsBackToDoubling) {
+  DyTISConfig config = TinyConfig();
+  config.fault_policy.fail_expand = true;
+  config.fault_policy.fail_count = FaultPolicy::kAlways;
+  TableFixture f(config);
+  Rng rng(2);
+  // Uniform keys drive expansion in the unfaulted table.
+  for (int i = 0; i < 30'000; i++) {
+    f.table.Insert(rng.Next(), 1);
+  }
+  EXPECT_EQ(f.stats.expansions.load(), 0u);
+  EXPECT_GT(f.stats.injected_faults.load(), 0u);
+  EXPECT_GT(f.stats.doublings.load() + f.stats.splits.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+  Rng replay(2);
+  for (int i = 0; i < 30'000; i += 101) {
+    const uint64_t key = replay.Next();
+    for (int skip = 1; skip < 101 && i + skip < 30'000; skip++) {
+      replay.Next();
+    }
+    ASSERT_TRUE(f.table.Find(key, nullptr));
+  }
+}
+
+TEST(EhTableFaultTest, AllFaultsEveryInsertStoredInStash) {
+  // Every structural operation fails from the first attempt on: the table
+  // can never grow past its initial single bucket, so all overflow must
+  // land in the stash -- and no insert may be lost or mis-reported.
+  DyTISConfig config = TinyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  TableFixture f(config);
+  Rng rng(11);
+  std::vector<uint64_t> keys;
+  size_t new_keys = 0;
+  for (int i = 0; i < 3000; i++) {
+    keys.push_back(rng.Next());
+    const InsertResult r = f.table.InsertEx(keys.back(), keys.back() ^ 1);
+    ASSERT_TRUE(IsStored(r)) << "insert " << i << " lost: "
+                             << InsertResultName(r);
+    if (IsNewKey(r)) {
+      new_keys++;
+    }
+  }
+  EXPECT_EQ(f.table.global_depth(), 0);
+  EXPECT_EQ(f.table.NumSegments(), 1u);
+  EXPECT_EQ(f.table.NumKeys(), new_keys);
+  EXPECT_GT(f.stats.stash_inserts.load(), 0u);
+  EXPECT_GT(f.stats.structural_exhaustions.load(), 0u);
+  // 3000 entries blew through the default 64-entry soft bound.
+  EXPECT_GT(f.stats.stash_bound_growths.load(), 0u);
+  EXPECT_EQ(f.stats.splits.load(), 0u);
+  EXPECT_EQ(f.stats.doublings.load(), 0u);
+  EXPECT_EQ(f.stats.expansions.load(), 0u);
+  EXPECT_EQ(f.stats.remappings.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+  for (uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(f.table.Find(k, &v));
+    ASSERT_EQ(v, k ^ 1);
+  }
+  // Scans still work over a stash-dominated segment, in sorted order.
+  std::vector<std::pair<uint64_t, uint64_t>> out(new_keys);
+  ASSERT_EQ(f.table.Scan(0, /*from_begin=*/true, new_keys, out.data()),
+            new_keys);
+  for (size_t i = 1; i < new_keys; i++) {
+    ASSERT_GT(out[i].first, out[i - 1].first);
+  }
+}
+
+TEST(EhTableFaultTest, FaultWindowIsDeterministic) {
+  // Failing exactly one structural attempt (the third) must be reproducible
+  // run to run: identical stats and identical table contents.
+  DyTISConfig config = TinyConfig();
+  config.fault_policy.fail_doubling = true;
+  config.fault_policy.fail_split = true;
+  config.fault_policy.start_op = 2;
+  config.fault_policy.fail_count = 1;
+  TableFixture a(config);
+  TableFixture b(config);
+  for (uint64_t k = 0; k < 4000; k++) {
+    a.table.Insert(k << 40, k);
+    b.table.Insert(k << 40, k);
+  }
+  EXPECT_EQ(a.stats.injected_faults.load(), 1u);
+  EXPECT_EQ(b.stats.injected_faults.load(), 1u);
+  EXPECT_EQ(a.stats.splits.load(), b.stats.splits.load());
+  EXPECT_EQ(a.stats.doublings.load(), b.stats.doublings.load());
+  EXPECT_EQ(a.stats.stash_inserts.load(), b.stats.stash_inserts.load());
+  EXPECT_EQ(a.table.NumKeys(), b.table.NumKeys());
+  std::vector<std::pair<uint64_t, uint64_t>> sa(4000);
+  std::vector<std::pair<uint64_t, uint64_t>> sb(4000);
+  ASSERT_EQ(a.table.Scan(0, true, 4000, sa.data()),
+            b.table.Scan(0, true, 4000, sb.data()));
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(EhTableFaultTest, DepthCapExhaustionReportsStashOutcome) {
+  // Dense keys against a tiny directory-depth cap: once the cap is hit and
+  // segment repairs are exhausted, InsertEx must report kStashed (not
+  // pretend the key was a plain insert, and not lose it).
+  DyTISConfig config = TinyConfig();
+  config.max_global_depth = 2;
+  TableFixture f(config);
+  size_t stashed = 0;
+  for (uint64_t k = 0; k < 2000; k++) {
+    const InsertResult r = f.table.InsertEx(k, k);
+    ASSERT_TRUE(IsStored(r));
+    if (r == InsertResult::kStashed) {
+      stashed++;
+    }
+  }
+  EXPECT_GT(stashed, 0u);
+  EXPECT_EQ(f.stats.stash_inserts.load(), stashed);
+  EXPECT_GT(f.stats.structural_exhaustions.load(), 0u);
+  EXPECT_LE(f.table.global_depth(), 2);
+  for (uint64_t k = 0; k < 2000; k += 97) {
+    uint64_t v = 0;
+    ASSERT_TRUE(f.table.Find(k, &v));
+    ASSERT_EQ(v, k);
+  }
+}
+
+// --- Hard-error path --------------------------------------------------------
+
+TEST(EhTableFaultTest, HardErrorWhenStashCapped) {
+  DyTISConfig config = TinyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  config.stash_soft_limit = 2;
+  config.stash_hard_limit = 4;
+  TableFixture f(config);
+  // Bucket capacity 8 + stash cap 4: exactly 12 keys fit, the rest must be
+  // explicit hard errors.
+  std::vector<InsertResult> results;
+  for (uint64_t k = 0; k < 30; k++) {
+    results.push_back(f.table.InsertEx(k, k * 10));
+  }
+  size_t stored = 0;
+  for (size_t k = 0; k < results.size(); k++) {
+    if (IsStored(results[k])) {
+      stored++;
+      uint64_t v = 0;
+      ASSERT_TRUE(f.table.Find(k, &v)) << k;
+      ASSERT_EQ(v, k * 10);
+    } else {
+      ASSERT_FALSE(f.table.Find(k, nullptr)) << k;
+    }
+  }
+  EXPECT_EQ(stored, 12u);
+  EXPECT_EQ(f.table.NumKeys(), 12u);
+  EXPECT_EQ(f.stats.hard_errors.load(), 30u - 12u);
+  // Updates of already-stored keys still succeed at the cap, in place.
+  EXPECT_EQ(f.table.InsertEx(0, 999), InsertResult::kUpdated);
+  uint64_t v = 0;
+  ASSERT_TRUE(f.table.Find(0, &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_EQ(f.table.NumKeys(), 12u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+// --- Retry exhaustion (regression for the old silent-drop bug) -------------
+
+TEST(EhTableFaultTest, RetryExhaustionNeverDropsAKey) {
+  // The pre-hardening code hit `assert(false); return false;` when the
+  // structural retry bound was exhausted -- in an NDEBUG build the key was
+  // reported as a duplicate and silently lost.  With the retry budget
+  // forced to zero every insert takes that exact path and must still be
+  // durably stored.
+  DyTISConfig config = TinyConfig();
+  config.max_structural_retries = 0;
+  TableFixture f(config);
+  for (uint64_t k = 0; k < 500; k++) {
+    const InsertResult r = f.table.InsertEx(k << 40, k);
+    ASSERT_TRUE(IsStored(r)) << k;
+    ASSERT_TRUE(IsNewKey(r)) << k;
+  }
+  EXPECT_EQ(f.stats.retry_exhaustions.load(), 500u);
+  EXPECT_EQ(f.table.NumKeys(), 500u);
+  for (uint64_t k = 0; k < 500; k++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(f.table.Find(k << 40, &v));
+    ASSERT_EQ(v, k);
+  }
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableFaultTest, SingleRetryBudgetStoresEverything) {
+  // With one retry, an insert whose first attempt hits a full bucket falls
+  // through to the terminal path even though the structural repair
+  // succeeded; the terminal path must then use the repaired bucket.
+  DyTISConfig config = TinyConfig();
+  config.max_structural_retries = 1;
+  TableFixture f(config);
+  Rng rng(13);
+  std::vector<uint64_t> keys;
+  size_t new_keys = 0;
+  for (int i = 0; i < 20'000; i++) {
+    keys.push_back(rng.Next());
+    new_keys += f.table.Insert(keys.back(), 7) ? 1 : 0;
+  }
+  EXPECT_GT(f.stats.retry_exhaustions.load(), 0u);
+  EXPECT_EQ(f.table.NumKeys(), new_keys);
+  for (size_t i = 0; i < keys.size(); i += 71) {
+    ASSERT_TRUE(f.table.Find(keys[i], nullptr));
+  }
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+// --- Stash update-in-place through the insert path --------------------------
+
+TEST(EhTableFaultTest, StashInsertThenReinsertUpdatesInPlace) {
+  DyTISConfig config = TinyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  TableFixture f(config);
+  // Fill the single bucket, then overflow into the stash.
+  for (uint64_t k = 0; k < 20; k++) {
+    ASSERT_TRUE(IsStored(f.table.InsertEx(k, k)));
+  }
+  ASSERT_GT(f.stats.stash_inserts.load(), 0u);
+  const size_t before = f.table.NumKeys();
+  // Re-inserting a stash-resident key must update in place: same count, new
+  // value, no bucket duplicate (ValidateInvariants checks disjointness).
+  const uint64_t stashed_key = 19;  // last inserted, certainly in the stash
+  EXPECT_EQ(f.table.InsertEx(stashed_key, 4242), InsertResult::kUpdated);
+  EXPECT_EQ(f.table.NumKeys(), before);
+  uint64_t v = 0;
+  ASSERT_TRUE(f.table.Find(stashed_key, &v));
+  EXPECT_EQ(v, 4242u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+// --- Surfacing through BasicDyTIS and KVIndex -------------------------------
+
+TEST(EhTableFaultTest, InsertExSurfacesThroughDyTIS) {
+  DyTISConfig config;
+  config.first_level_bits = 2;
+  config.bucket_bytes = 128;
+  config.l_start = 2;
+  config.fault_policy = FaultPolicy::FailEverything();
+  config.stash_hard_limit = 4;
+  DyTIS<uint64_t> idx(config);
+  size_t stored = 0;
+  bool saw_stash = false;
+  bool saw_hard_error = false;
+  for (uint64_t k = 0; k < 64; k++) {
+    const InsertResult r = idx.InsertEx(k, k);
+    if (IsNewKey(r)) {
+      stored++;
+    }
+    saw_stash |= r == InsertResult::kStashed;
+    saw_hard_error |= r == InsertResult::kHardError;
+  }
+  EXPECT_TRUE(saw_stash);
+  EXPECT_TRUE(saw_hard_error);
+  // size() counts only keys actually stored -- hard errors excluded.
+  EXPECT_EQ(idx.size(), stored);
+  EXPECT_GT(idx.stats().hard_errors.load(), 0u);
+}
+
+TEST(EhTableFaultTest, InsertExSurfacesThroughKVIndex) {
+  DyTISConfig config;
+  config.first_level_bits = 2;
+  config.bucket_bytes = 128;
+  config.l_start = 2;
+  config.fault_policy = FaultPolicy::FailEverything();
+  ConcurrentDyTISAdapter dytis_index(config);
+  KVIndex* as_kv = &dytis_index;
+  bool saw_stash = false;
+  for (uint64_t k = 0; k < 64; k++) {
+    const InsertResult r = as_kv->InsertEx(k, k);
+    ASSERT_TRUE(IsStored(r));
+    saw_stash |= r == InsertResult::kStashed;
+  }
+  EXPECT_TRUE(saw_stash);
+  EXPECT_EQ(as_kv->InsertEx(0, 1), InsertResult::kUpdated);
+
+  // Indexes without a degradation path report the basic outcomes.
+  BTreeAdapter btree;
+  KVIndex* btree_kv = &btree;
+  EXPECT_EQ(btree_kv->InsertEx(1, 1), InsertResult::kInserted);
+  EXPECT_EQ(btree_kv->InsertEx(1, 2), InsertResult::kUpdated);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -220,5 +220,31 @@ TEST(EhTableTest, GlobalDepthCappedByConfig) {
   }
 }
 
+TEST(EhTableTest, StashResidentKeysUpdateInPlace) {
+  // Drive dense keys past a tiny depth cap so some land in the stash via
+  // the natural (non-fault-injected) exhaustion path, then re-insert every
+  // key: each must update in place, never duplicate into a bucket or count
+  // as a new key.
+  DyTISConfig config = TinyConfig();
+  config.max_global_depth = 2;
+  TableFixture f(config);
+  for (uint64_t k = 0; k < 1500; k++) {
+    f.table.Insert(k, k);
+  }
+  ASSERT_GT(f.stats.stash_inserts.load(), 0u);
+  const size_t before = f.table.NumKeys();
+  for (uint64_t k = 0; k < 1500; k++) {
+    EXPECT_FALSE(f.table.Insert(k, k + 1'000'000)) << k;  // update, not insert
+  }
+  EXPECT_EQ(f.table.NumKeys(), before);
+  for (uint64_t k = 0; k < 1500; k += 41) {
+    uint64_t v = 0;
+    ASSERT_TRUE(f.table.Find(k, &v));
+    ASSERT_EQ(v, k + 1'000'000);
+  }
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
 }  // namespace
 }  // namespace dytis

@@ -82,6 +82,61 @@ TEST(LatencyRecorderTest, MergeCombines) {
   EXPECT_EQ(a.MinNanos(), 100u);
 }
 
+TEST(LatencyRecorderTest, MergeWithEmptyIsIdentity) {
+  LatencyRecorder populated;
+  populated.Record(500);
+  populated.Record(700);
+  LatencyRecorder empty;
+  // Populated <- empty: nothing changes.
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), 2u);
+  EXPECT_EQ(populated.MinNanos(), 500u);
+  EXPECT_EQ(populated.MaxNanos(), 700u);
+  EXPECT_DOUBLE_EQ(populated.MeanNanos(), 600.0);
+  // Empty <- populated: adopts the samples, including min/max.
+  empty.Merge(populated);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.MinNanos(), 500u);
+  EXPECT_EQ(empty.MaxNanos(), 700u);
+  EXPECT_DOUBLE_EQ(empty.MeanNanos(), 600.0);
+}
+
+TEST(LatencyRecorderTest, MergedPercentilesMatchCombinedPopulation) {
+  // Two disjoint populations merged must report the percentiles of the
+  // union, not of either half.
+  LatencyRecorder low;
+  LatencyRecorder high;
+  for (int i = 0; i < 3000; i++) {
+    low.Record(1000);
+  }
+  for (int i = 0; i < 1000; i++) {
+    high.Record(100'000);
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 4000u);
+  // p50 falls in the low population, p90 in the high one.
+  EXPECT_NEAR(low.PercentileNanos(0.50), 1000.0, 1000.0 * 0.02);
+  EXPECT_NEAR(low.PercentileNanos(0.90), 100'000.0, 100'000.0 * 0.02);
+  EXPECT_EQ(low.MinNanos(), 1000u);
+  EXPECT_EQ(low.MaxNanos(), 100'000u);
+}
+
+TEST(LatencyRecorderTest, BucketBoundariesAround64ns) {
+  // The recorder stores values below 128 exactly (64 linear slots plus the
+  // first 64-wide log decade at unit precision); 128 is the first value
+  // subject to bucket rounding, reported at its bucket midpoint.
+  for (uint64_t v : {62u, 63u, 64u, 65u, 127u}) {
+    LatencyRecorder rec;
+    rec.Record(v);
+    EXPECT_EQ(rec.PercentileNanos(1.0), v) << v;
+  }
+  LatencyRecorder rec;
+  rec.Record(128);
+  const uint64_t reported = rec.PercentileNanos(1.0);
+  EXPECT_GE(reported, 128u);
+  EXPECT_NEAR(static_cast<double>(reported), 128.0, 128.0 * 0.02);
+}
+
 TEST(LatencyRecorderTest, ResetClears) {
   LatencyRecorder rec;
   rec.Record(123);

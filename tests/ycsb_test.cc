@@ -124,6 +124,30 @@ TEST(YcsbTest, ConcurrentHarnessRuns) {
   EXPECT_EQ(index.size(), d.keys.size());
 }
 
+TEST(YcsbTest, ConcurrentHarnessReportsExecutedOpsAndLatency) {
+  // Regression: search/scan throughput used to be computed over the
+  // *requested* op count while each thread executed a truncated share
+  // (search) or an inflated one (scan).  The result must now report the ops
+  // actually executed, and with record_latency the merged per-thread
+  // recorders must account for exactly those ops.
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 20'000, 4);
+  ConcurrentDyTISAdapter index;
+  YcsbOptions options = FastOptions();
+  options.record_latency = true;
+  const int num_threads = 3;  // deliberately not a divisor of the op counts
+  const ConcurrencyResult r = RunConcurrent(&index, d, num_threads, options);
+  EXPECT_EQ(r.insert_ops, d.keys.size());
+  EXPECT_EQ(r.search_ops, options.run_ops);
+  const size_t expected_scans =
+      std::max<size_t>(1, options.run_ops / options.scan_length);
+  EXPECT_EQ(r.scan_ops, expected_scans);
+  EXPECT_EQ(r.insert_latency.count(), r.insert_ops);
+  EXPECT_EQ(r.search_latency.count(), r.search_ops);
+  EXPECT_EQ(r.scan_latency.count(), r.scan_ops);
+  EXPECT_GT(r.insert_latency.PercentileNanos(0.99), 0u);
+  EXPECT_GT(r.insert_mops, 0.0);
+}
+
 // --- Cross-index integration: every ordered index agrees with every other
 // on point lookups and scans after identical workloads. --------------------
 
