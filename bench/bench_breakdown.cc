@@ -10,6 +10,7 @@
 
 #include "bench/common.h"
 #include "src/core/dytis.h"
+#include "src/obs/snapshot.h"
 #include "src/util/timer.h"
 
 namespace dytis {
@@ -18,6 +19,9 @@ namespace {
 int Main() {
   const size_t n = bench::BenchKeys();
   bench::PrintScale("Insertion breakdown (Section 4.3)");
+  bench::TraceSession trace("breakdown");
+  JsonValue root = obs::BenchEnvelope("breakdown", n, bench::BenchOps());
+  JsonValue& results = root["results"];
   std::printf("%-8s %10s %8s %8s %8s %8s | %8s %8s %8s %8s %7s\n", "dataset",
               "load-ms", "splits", "expand", "remap", "double", "split%",
               "expand%", "remap%", "double%", "stash");
@@ -49,9 +53,18 @@ int Main() {
         pct(s.remap_ns.load()), pct(s.doubling_ns.load()),
         static_cast<unsigned long long>(s.stash_inserts.load()));
     std::fflush(stdout);
+    JsonValue row = JsonValue::Object();
+    row["dataset"] = d.name;
+    row["load_ms"] = total_ms;
+    row["snapshot"] = obs::TakeSnapshot(index).ToJson();
+    results.Append(std::move(row));
   }
   std::printf("# structural-time shares sum to 100%% of structural time, not "
               "of total load time\n");
+  const std::string path = obs::WriteBenchJson("breakdown", root);
+  if (!path.empty()) {
+    std::printf("# json: %s\n", path.c_str());
+  }
   return 0;
 }
 

@@ -18,6 +18,9 @@ namespace {
 int Main() {
   const size_t n = bench::BenchKeys();
   bench::PrintScale("Figure 8: YCSB-style workload throughput (Mops/s)");
+  bench::TraceSession trace("fig08_ycsb");
+  JsonValue root = obs::BenchEnvelope("fig08_ycsb", n, bench::BenchOps());
+  JsonValue& results = root["results"];
   const auto candidates = bench::PaperCandidates();
   const YcsbWorkload workloads[] = {
       YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
@@ -46,9 +49,16 @@ int Main() {
           std::printf(" %10s", "n/a");
         }
         std::fflush(stdout);
+        JsonValue row = bench::YcsbResultJson(r);
+        row["dataset"] = d.name;
+        results.Append(std::move(row));
       }
       std::printf("\n");
     }
+  }
+  const std::string path = obs::WriteBenchJson("fig08_ycsb", root);
+  if (!path.empty()) {
+    std::printf("# json: %s\n", path.c_str());
   }
   return 0;
 }

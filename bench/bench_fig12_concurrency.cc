@@ -16,17 +16,36 @@
 namespace dytis {
 namespace {
 
+// JSON row for one index's phases at one thread count.
+JsonValue PhasesJson(const ConcurrencyResult& r) {
+  JsonValue j = JsonValue::Object();
+  j["insert_mops"] = r.insert_mops;
+  j["search_mops"] = r.search_mops;
+  j["update_mops"] = r.update_mops;
+  j["scan_mops"] = r.scan_mops;
+  j["insert_ops"] = r.insert_ops;
+  j["search_ops"] = r.search_ops;
+  j["update_ops"] = r.update_ops;
+  j["scan_ops"] = r.scan_ops;
+  return j;
+}
+
 int Main() {
   const size_t n = bench::BenchKeys();
   bench::PrintScale("Figure 12: multi-threaded throughput (Mops/s)");
+  bench::TraceSession trace("fig12_concurrency");
+  JsonValue root = obs::BenchEnvelope("fig12_concurrency", n,
+                                      bench::BenchOps());
+  JsonValue& results = root["results"];
   std::printf("# hardware threads available: %u\n",
               std::thread::hardware_concurrency());
   const int thread_counts[] = {1, 2, 4, 8};
   for (DatasetId id : {DatasetId::kReviewL, DatasetId::kTaxi}) {
     const Dataset& d = bench::CachedDataset(id, n);
-    std::printf("\n(%s)\n%-8s %12s %12s %12s %12s %12s %12s\n",
+    std::printf("\n(%s)\n%-8s %12s %12s %12s %12s %12s %12s %12s %12s\n",
                 d.name.c_str(), "threads", "DyTIS-ins", "XIndex-ins",
-                "DyTIS-srch", "XIndex-srch", "DyTIS-scan", "XIndex-scan");
+                "DyTIS-srch", "XIndex-srch", "DyTIS-upd", "XIndex-upd",
+                "DyTIS-scan", "XIndex-scan");
     for (int t : thread_counts) {
       YcsbOptions options;
       options.run_ops = bench::BenchOps();
@@ -36,11 +55,22 @@ int Main() {
       xopts.background_compaction = true;
       XIndexAdapter xindex(xopts);
       const ConcurrencyResult rx = RunConcurrent(&xindex, d, t, options);
-      std::printf("%-8d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n", t,
-                  rd.insert_mops, rx.insert_mops, rd.search_mops,
-                  rx.search_mops, rd.scan_mops, rx.scan_mops);
+      std::printf(
+          "%-8d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+          t, rd.insert_mops, rx.insert_mops, rd.search_mops, rx.search_mops,
+          rd.update_mops, rx.update_mops, rd.scan_mops, rx.scan_mops);
       std::fflush(stdout);
+      JsonValue row = JsonValue::Object();
+      row["dataset"] = d.name;
+      row["threads"] = t;
+      row["dytis"] = PhasesJson(rd);
+      row["xindex"] = PhasesJson(rx);
+      results.Append(std::move(row));
     }
+  }
+  const std::string path = obs::WriteBenchJson("fig12_concurrency", root);
+  if (!path.empty()) {
+    std::printf("# json: %s\n", path.c_str());
   }
   return 0;
 }

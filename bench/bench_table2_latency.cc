@@ -26,6 +26,9 @@ void PrintRow(const YcsbResult& r) {
 int Main() {
   const size_t n = bench::BenchKeys();
   bench::PrintScale("Table 2: avg/p99/p99.99 latency in ns (Load and A)");
+  bench::TraceSession trace("table2_latency");
+  JsonValue root = obs::BenchEnvelope("table2_latency", n, bench::BenchOps());
+  JsonValue& results = root["results"];
   const auto candidates = bench::PaperCandidates();
   for (YcsbWorkload w : {YcsbWorkload::kLoad, YcsbWorkload::kA}) {
     std::printf("\n(%s)  cells: avg/p99/p99.99 ns\n%-8s",
@@ -43,12 +46,21 @@ int Main() {
         options.bulk_load_fraction = c.bulk_fraction;
         options.run_ops = bench::BenchOps();
         options.record_latency = true;
+        options.latency_sample_every =
+            bench::EnvSize("DYTIS_LATENCY_SAMPLE_EVERY", 1);
         const YcsbResult r = RunWorkload(index.get(), d, w, options);
         PrintRow(r);
         std::fflush(stdout);
+        JsonValue row = bench::YcsbResultJson(r);
+        row["dataset"] = d.name;
+        results.Append(std::move(row));
       }
       std::printf("\n");
     }
+  }
+  const std::string path = obs::WriteBenchJson("table2_latency", root);
+  if (!path.empty()) {
+    std::printf("# json: %s\n", path.c_str());
   }
   return 0;
 }

@@ -15,11 +15,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/datasets/dataset.h"
+#include "src/obs/bench_export.h"
+#include "src/obs/trace.h"
 #include "src/util/bitops.h"
+#include "src/util/json.h"
 #include "src/workloads/kv_index.h"
 #include "src/workloads/ycsb.h"
 
@@ -32,7 +36,14 @@ inline size_t EnvSize(const char* name, size_t fallback) {
     return fallback;
   }
   const long long parsed = std::atoll(v);
-  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+  if (parsed <= 0) {
+    std::fprintf(stderr,
+                 "# warning: ignoring %s=\"%s\" (not a positive integer); "
+                 "using default %zu\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
 }
 
 inline size_t BenchKeys() { return EnvSize("DYTIS_BENCH_KEYS", 200'000); }
@@ -124,6 +135,70 @@ inline void PrintScale(const char* experiment) {
   std::printf("# %s | keys/dataset=%zu ops=%zu", experiment, BenchKeys(),
               BenchOps());
   std::printf(" (override with DYTIS_BENCH_KEYS / DYTIS_BENCH_OPS)\n");
+}
+
+// Structural tracing for a bench run: when $DYTIS_TRACE names a directory,
+// the global tracer records for the session's lifetime and a
+// chrome://tracing file `<dir>/<name>.trace.json` is written on
+// destruction.  Unset/empty DYTIS_TRACE makes this a no-op.  Construct one
+// at the top of a bench Main(), after any index warm-up that should stay
+// out of the trace.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string name) : name_(std::move(name)) {
+    if (!obs::TraceDir().empty()) {
+      active_ = true;
+      obs::StructuralTracer::Global().Enable();
+    }
+  }
+  ~TraceSession() {
+    if (!active_) {
+      return;
+    }
+    obs::StructuralTracer::Global().Disable();
+    const std::string path = obs::WriteBenchTrace(name_);
+    if (!path.empty()) {
+      std::fprintf(stderr, "# structural trace: %s\n", path.c_str());
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+};
+
+// Standard JSON summary of one YcsbResult (throughput + per-op-kind counts,
+// plus latency percentiles when recorded).
+inline JsonValue YcsbResultJson(const YcsbResult& r) {
+  JsonValue j = JsonValue::Object();
+  j["workload"] = r.workload;
+  j["index"] = r.index_name;
+  j["supported"] = r.supported;
+  j["ops"] = r.ops;
+  j["seconds"] = r.seconds;
+  j["throughput_mops"] = r.throughput_mops;
+  JsonValue counts = JsonValue::Object();
+  for (int i = 0; i < kNumYcsbOpTypes; i++) {
+    const auto t = static_cast<YcsbOpType>(i);
+    if (r.op_counts[static_cast<size_t>(i)] > 0) {
+      counts[YcsbOpTypeName(t)] = r.op_counts[static_cast<size_t>(i)];
+    }
+  }
+  j["op_counts"] = std::move(counts);
+  if (r.latency.count() > 0) {
+    j["latency"] = r.latency.ToJson();
+    JsonValue per_op = JsonValue::Object();
+    for (int i = 0; i < kNumYcsbOpTypes; i++) {
+      const auto& rec = r.op_latency[static_cast<size_t>(i)];
+      if (rec.count() > 0) {
+        per_op[YcsbOpTypeName(static_cast<YcsbOpType>(i))] = rec.ToJson();
+      }
+    }
+    j["op_latency"] = std::move(per_op);
+  }
+  return j;
 }
 
 }  // namespace bench

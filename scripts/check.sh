@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: build and test Release, ThreadSanitizer, and ASan/UBSan configs.
+# CI gate: build and test Release, ThreadSanitizer, ASan/UBSan, and the
+# observability-disabled (DYTIS_OBS=OFF) configs, then smoke-test the
+# machine-readable bench export.
 #
-#   scripts/check.sh              # all three configs, full test suite
+#   scripts/check.sh              # all four configs + bench-JSON smoke
 #   JOBS=8 scripts/check.sh       # override parallelism
 #   FILTER=regex scripts/check.sh # restrict ctest to matching tests
 #   CONFIGS="release tsan" scripts/check.sh  # subset of configs
@@ -13,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 FILTER="${FILTER:-}"
-CONFIGS="${CONFIGS:-release tsan asan}"
+CONFIGS="${CONFIGS:-release tsan asan obsoff}"
 
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
 if [[ -n "${FILTER}" ]]; then
@@ -21,11 +23,14 @@ if [[ -n "${FILTER}" ]]; then
 fi
 
 for config in ${CONFIGS}; do
+  # DYTIS_OBS is set explicitly per config so a cached build directory never
+  # carries a stale value across runs.
   case "${config}" in
-    release) dir=build;      cmake_args=(-DCMAKE_BUILD_TYPE=Release -DDYTIS_SANITIZE=) ;;
-    tsan)    dir=build-tsan; cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=thread) ;;
-    asan)    dir=build-asan; cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=address) ;;
-    *) echo "unknown config '${config}' (want: release tsan asan)" >&2; exit 2 ;;
+    release) dir=build;        cmake_args=(-DCMAKE_BUILD_TYPE=Release -DDYTIS_SANITIZE= -DDYTIS_OBS=ON) ;;
+    tsan)    dir=build-tsan;   cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=thread -DDYTIS_OBS=ON) ;;
+    asan)    dir=build-asan;   cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYTIS_SANITIZE=address -DDYTIS_OBS=ON) ;;
+    obsoff)  dir=build-obsoff; cmake_args=(-DCMAKE_BUILD_TYPE=Release -DDYTIS_SANITIZE= -DDYTIS_OBS=OFF) ;;
+    *) echo "unknown config '${config}' (want: release tsan asan obsoff)" >&2; exit 2 ;;
   esac
   echo "=== [${config}] configure + build (${dir}) ==="
   cmake -B "${dir}" -S . "${cmake_args[@]}"
@@ -33,5 +38,20 @@ for config in ${CONFIGS}; do
   echo "=== [${config}] ctest ==="
   (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
 done
+
+# Bench-export smoke: one bench binary end to end must produce JSON that a
+# strict parser accepts, for both the result file and the Chrome trace.
+if [[ " ${CONFIGS} " == *" release "* ]]; then
+  echo "=== [release] bench JSON + trace smoke ==="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  DYTIS_BENCH_KEYS=20000 \
+  DYTIS_BENCH_JSON_DIR="${smoke_dir}/bench_results" \
+  DYTIS_TRACE="${smoke_dir}/traces" \
+    ./build/bench/bench_breakdown > "${smoke_dir}/stdout.txt"
+  python3 -m json.tool "${smoke_dir}/bench_results/breakdown.json" > /dev/null
+  python3 -m json.tool "${smoke_dir}/traces/breakdown.trace.json" > /dev/null
+  echo "bench JSON + chrome trace are valid JSON"
+fi
 
 echo "=== all configs passed: ${CONFIGS} ==="

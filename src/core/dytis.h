@@ -24,6 +24,7 @@
 #ifndef DYTIS_SRC_CORE_DYTIS_H_
 #define DYTIS_SRC_CORE_DYTIS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -53,7 +54,7 @@ class BasicDyTIS {
     tables_.reserve(tables);
     for (size_t i = 0; i < tables; i++) {
       tables_.push_back(std::make_unique<EhTable<V, Policy>>(
-          config_, stats_.get(), eh_key_bits));
+          config_, stats_.get(), eh_key_bits, static_cast<uint32_t>(i)));
     }
   }
 
@@ -186,6 +187,54 @@ class BasicDyTIS {
       n += table->NumSegments();
     }
     return n;
+  }
+
+  // --- Observability gauges (see src/obs/snapshot.h) -----------------------
+
+  // Deepest first-level table's global depth.
+  int MaxGlobalDepth() const {
+    int depth = 0;
+    for (const auto& table : tables_) {
+      depth = std::max(depth, table->global_depth());
+    }
+    return depth;
+  }
+
+  // Total directory entries (sum of 2^GD over the first-level tables).
+  size_t DirectoryEntries() const {
+    size_t n = 0;
+    for (const auto& table : tables_) {
+      n += table->DirectoryEntries();
+    }
+    return n;
+  }
+
+  // Total overflow-stash occupancy (zero unless structural repair was ever
+  // exhausted; see DyTISConfig::max_global_depth).
+  size_t StashEntries() const {
+    size_t n = 0;
+    for (const auto& table : tables_) {
+      n += table->StashEntries();
+    }
+    return n;
+  }
+
+  // Total key/value slot capacity of all buckets.
+  size_t BucketSlots() const {
+    size_t n = 0;
+    for (const auto& table : tables_) {
+      n += table->BucketSlots();
+    }
+    return n;
+  }
+
+  // Stored keys over bucket slots (stash-resident keys push this above the
+  // bucket occupancy, but the stash is bounded and normally empty).
+  double LoadFactor() const {
+    const size_t slots = BucketSlots();
+    return slots > 0 ? static_cast<double>(size()) /
+                           static_cast<double>(slots)
+                     : 0.0;
   }
 
   // Checks every structural invariant (directory alignment, sorted order,

@@ -45,6 +45,7 @@
 #include "src/core/insert_result.h"
 #include "src/core/segment.h"
 #include "src/core/stats.h"
+#include "src/obs/trace.h"
 #include "src/util/bitops.h"
 #include "src/util/timer.h"
 
@@ -56,11 +57,14 @@ class EhTable {
   using SegmentT = Segment<V, Policy>;
   using ScanEntry = std::pair<uint64_t, V>;
 
-  // key_bits: width of the EH-local key (n - R).
-  EhTable(const DyTISConfig& config, DyTISStats* stats, int key_bits)
+  // key_bits: width of the EH-local key (n - R).  table_id identifies this
+  // EH within its first level in structural-trace events.
+  EhTable(const DyTISConfig& config, DyTISStats* stats, int key_bits,
+          uint32_t table_id = 0)
       : config_(config),
         stats_(stats),
         key_bits_(key_bits),
+        table_id_(table_id),
         limit_multiplier_(config.limit_multiplier) {
     auto* seg = new SegmentT(
         /*local_depth=*/0, RemapFunction(key_bits_, /*num_buckets=*/1),
@@ -330,6 +334,45 @@ class EhTable {
   }
 
   int global_depth() const { return global_depth_; }
+  uint32_t table_id() const { return table_id_; }
+
+  // Directory entries (2^GD) — an observability gauge.
+  size_t DirectoryEntries() const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    return dir_.size();
+  }
+
+  // Total overflow-stash occupancy across segments — an observability gauge
+  // (non-zero only when structural repair has been exhausted somewhere).
+  size_t StashEntries() const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    size_t n = 0;
+    const SegmentT* prev = nullptr;
+    for (const SegmentT* seg : dir_) {
+      if (seg != prev) {
+        SegmentScanLock seg_lock(seg->mutex);
+        n += seg->stash.size();
+        prev = seg;
+      }
+    }
+    return n;
+  }
+
+  // Total key/value slot capacity of all buckets (load-factor denominator).
+  size_t BucketSlots() const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    size_t n = 0;
+    const SegmentT* prev = nullptr;
+    for (const SegmentT* seg : dir_) {
+      if (seg != prev) {
+        SegmentScanLock seg_lock(seg->mutex);
+        n += static_cast<size_t>(seg->buckets.num_buckets()) *
+             seg->buckets.capacity();
+        prev = seg;
+      }
+    }
+    return n;
+  }
 
   size_t NumSegments() const {
     typename Policy::SharedLock dir_lock(mutex_);
@@ -543,6 +586,11 @@ class EhTable {
     if (is_new) {
       seg->num_keys++;
       stats_->Add(&DyTISStats::stash_inserts, 1);
+#if DYTIS_OBS_ENABLED
+      const uint64_t now = NowNanos();
+      DYTIS_OBS_TRACE(obs::TraceOp::kStashInsert, now, now, table_id_,
+                      seg->local_depth);
+#endif
       return InsertResult::kStashed;
     }
     return InsertResult::kUpdated;
@@ -565,6 +613,10 @@ class EhTable {
       return false;
     }
     stats_->Add(&DyTISStats::injected_faults, 1);
+#if DYTIS_OBS_ENABLED
+    const uint64_t now = NowNanos();
+    DYTIS_OBS_TRACE(obs::TraceOp::kFault, now, now, table_id_, -1);
+#endif
     return true;
   }
 
@@ -670,8 +722,11 @@ class EhTable {
       stats_->Add(&DyTISStats::expand_failures, 1);
       return false;  // overflow retries blew the size limit
     }
+    const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::expansions, 1);
-    stats_->Add(&DyTISStats::expansion_ns, NowNanos() - t0);
+    stats_->Add(&DyTISStats::expansion_ns, t1 - t0);
+    DYTIS_OBS_TRACE(obs::TraceOp::kExpansion, t0, t1, table_id_,
+                    seg->local_depth);
     NoteStructuralOp(/*was_expansion=*/true, seg->local_depth);
     return true;
   }
@@ -791,8 +846,11 @@ class EhTable {
       stats_->Add(&DyTISStats::remap_failures, 1);
       return false;
     }
+    const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::remappings, 1);
-    stats_->Add(&DyTISStats::remap_ns, NowNanos() - t0);
+    stats_->Add(&DyTISStats::remap_ns, t1 - t0);
+    DYTIS_OBS_TRACE(obs::TraceOp::kRemap, t0, t1, table_id_,
+                    seg->local_depth);
     NoteStructuralOp(/*was_expansion=*/false, seg->local_depth);
     return true;
   }
@@ -830,8 +888,11 @@ class EhTable {
     }
     // enforce_limit keeps the shrink bounded; if the compact allocation
     // cannot hold the remaining keys the merge is simply skipped.
+    const uint64_t t0 = NowNanos();
     if (RebuildSegment(seg, std::move(new_counts), /*enforce_limit=*/true)) {
       stats_->Add(&DyTISStats::merges, 1);
+      DYTIS_OBS_TRACE(obs::TraceOp::kMerge, t0, NowNanos(), table_id_,
+                      seg->local_depth);
     }
   }
 
@@ -1095,8 +1156,10 @@ class EhTable {
     }
     delete seg;
 
+    const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::splits, 1);
-    stats_->Add(&DyTISStats::split_ns, NowNanos() - t0);
+    stats_->Add(&DyTISStats::split_ns, t1 - t0);
+    DYTIS_OBS_TRACE(obs::TraceOp::kSplit, t0, t1, table_id_, parent_ld);
     if (child_ld > config_.l_start) {
       NoteStructuralOp(/*was_expansion=*/false, parent_ld);
     }
@@ -1111,13 +1174,17 @@ class EhTable {
     }
     dir_ = std::move(bigger);
     global_depth_++;
+    const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::doublings, 1);
-    stats_->Add(&DyTISStats::doubling_ns, NowNanos() - t0);
+    stats_->Add(&DyTISStats::doubling_ns, t1 - t0);
+    DYTIS_OBS_TRACE(obs::TraceOp::kDoubling, t0, t1, table_id_,
+                    global_depth_);
   }
 
   DyTISConfig config_;
   DyTISStats* stats_;
   const int key_bits_;
+  const uint32_t table_id_;
 
   mutable typename Policy::Mutex mutex_;
   std::vector<SegmentT*> dir_;

@@ -12,6 +12,29 @@
 
 namespace dytis {
 
+// Plain-struct copy of every DyTISStats counter, taken with relaxed loads.
+// The observability layer snapshots and serialises this (src/obs/snapshot.h)
+// without touching atomics again.
+struct DyTISStatsView {
+  uint64_t splits = 0;
+  uint64_t expansions = 0;
+  uint64_t remappings = 0;
+  uint64_t remap_failures = 0;
+  uint64_t doublings = 0;
+  uint64_t merges = 0;
+  uint64_t expand_failures = 0;
+  uint64_t stash_inserts = 0;
+  uint64_t structural_exhaustions = 0;
+  uint64_t retry_exhaustions = 0;
+  uint64_t stash_bound_growths = 0;
+  uint64_t hard_errors = 0;
+  uint64_t injected_faults = 0;
+  uint64_t split_ns = 0;
+  uint64_t expansion_ns = 0;
+  uint64_t remap_ns = 0;
+  uint64_t doubling_ns = 0;
+};
+
 // Only *structural* operations are counted: per-operation counters (every
 // insert/search) would put an atomic increment on the hot path and distort
 // the head-to-head comparisons the benchmarks make.
@@ -50,6 +73,30 @@ struct DyTISStats {
 
   void Add(std::atomic<uint64_t> DyTISStats::*field, uint64_t v) {
     (this->*field).fetch_add(v, std::memory_order_relaxed);
+  }
+
+  DyTISStatsView View() const {
+    DyTISStatsView v;
+    v.splits = splits.load(std::memory_order_relaxed);
+    v.expansions = expansions.load(std::memory_order_relaxed);
+    v.remappings = remappings.load(std::memory_order_relaxed);
+    v.remap_failures = remap_failures.load(std::memory_order_relaxed);
+    v.doublings = doublings.load(std::memory_order_relaxed);
+    v.merges = merges.load(std::memory_order_relaxed);
+    v.expand_failures = expand_failures.load(std::memory_order_relaxed);
+    v.stash_inserts = stash_inserts.load(std::memory_order_relaxed);
+    v.structural_exhaustions =
+        structural_exhaustions.load(std::memory_order_relaxed);
+    v.retry_exhaustions = retry_exhaustions.load(std::memory_order_relaxed);
+    v.stash_bound_growths =
+        stash_bound_growths.load(std::memory_order_relaxed);
+    v.hard_errors = hard_errors.load(std::memory_order_relaxed);
+    v.injected_faults = injected_faults.load(std::memory_order_relaxed);
+    v.split_ns = split_ns.load(std::memory_order_relaxed);
+    v.expansion_ns = expansion_ns.load(std::memory_order_relaxed);
+    v.remap_ns = remap_ns.load(std::memory_order_relaxed);
+    v.doubling_ns = doubling_ns.load(std::memory_order_relaxed);
+    return v;
   }
 
   uint64_t StructuralOps() const {

@@ -1,0 +1,90 @@
+#include "src/obs/bench_export.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/trace.h"
+
+namespace dytis {
+namespace obs {
+
+std::string BenchJsonDir() {
+  const char* dir = std::getenv("DYTIS_BENCH_JSON_DIR");
+  if (dir == nullptr) {
+    return "bench_results";
+  }
+  return dir;  // may be "", which disables export
+}
+
+JsonValue BenchEnvelope(const std::string& bench_name, size_t keys,
+                        size_t ops) {
+  JsonValue root = JsonValue::Object();
+  root["bench"] = bench_name;
+  root["keys_per_dataset"] = keys;
+  root["ops"] = ops;
+  root["obs_enabled"] = DYTIS_OBS_ENABLED != 0;
+  return root;
+}
+
+namespace {
+
+// Ensures `dir` exists (one level, like the rest of the bench tooling).
+bool EnsureDir(const std::string& dir) {
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "warning: cannot create %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WriteBenchJson(const std::string& name, const JsonValue& root) {
+  const std::string dir = BenchJsonDir();
+  if (dir.empty() || !EnsureDir(dir)) {
+    return "";
+  }
+  const std::string path = dir + "/" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return "";
+  }
+  const std::string doc = root.Dump(/*indent=*/2);
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  const bool ok = std::fclose(f) == 0 && written == doc.size();
+  if (!ok) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+std::string TraceDir() {
+  const char* dir = std::getenv("DYTIS_TRACE");
+  return dir == nullptr ? "" : dir;
+}
+
+std::string WriteBenchTrace(const std::string& name) {
+  const std::string dir = TraceDir();
+  if (dir.empty() || !EnsureDir(dir)) {
+    return "";
+  }
+  const std::string path = dir + "/" + name + ".trace.json";
+  if (!StructuralTracer::Global().WriteChromeTrace(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+}  // namespace obs
+}  // namespace dytis

@@ -1,0 +1,49 @@
+// Machine-readable bench-result export.
+//
+// Every bench binary that opts in writes one JSON document per run to
+// `<dir>/<name>.json`, where <dir> is DYTIS_BENCH_JSON_DIR (default
+// "bench_results", created on demand).  The envelope records the bench
+// name, the scale it ran at, and the build's observability mode, so result
+// files are self-describing; the bench appends its own measurements under
+// free-form keys.  Setting DYTIS_BENCH_JSON_DIR to the empty string
+// disables export entirely.
+#ifndef DYTIS_SRC_OBS_BENCH_EXPORT_H_
+#define DYTIS_SRC_OBS_BENCH_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace dytis {
+namespace obs {
+
+// Export directory: $DYTIS_BENCH_JSON_DIR if set, else "bench_results".
+// Empty string means export is disabled.
+std::string BenchJsonDir();
+
+// Standard result envelope: {"bench": name, "keys_per_dataset": keys,
+// "ops": ops, "obs_enabled": ...}.  Benches fill in the rest.
+JsonValue BenchEnvelope(const std::string& bench_name, size_t keys,
+                        size_t ops);
+
+// Writes `root` (pretty-printed) to `<BenchJsonDir()>/<name>.json`,
+// creating the directory if needed.  Returns the path written, or "" when
+// export is disabled or the write failed (a warning goes to stderr on
+// failure, never on disabled).
+std::string WriteBenchJson(const std::string& name, const JsonValue& root);
+
+// Trace directory: $DYTIS_TRACE.  Unset or empty disables structural
+// tracing in the bench binaries.
+std::string TraceDir();
+
+// Writes the global StructuralTracer's chrome://tracing document to
+// `<TraceDir()>/<name>.trace.json` (directory created on demand).  Call at
+// quiescence (see src/obs/trace.h).  Returns the path, or "" when tracing
+// is disabled or the write failed.
+std::string WriteBenchTrace(const std::string& name);
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_BENCH_EXPORT_H_

@@ -1,0 +1,80 @@
+#include "src/obs/metrics.h"
+
+namespace dytis {
+namespace obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue root = JsonValue::Object();
+  JsonValue& counters = root["counters"];
+  counters = JsonValue::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter->Value();
+  }
+  JsonValue& gauges = root["gauges"];
+  gauges = JsonValue::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = gauge->Value();
+  }
+  JsonValue& histograms = root["histograms"];
+  histograms = JsonValue::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyRecorder rec = histogram->Snapshot();
+    JsonValue& h = histograms[name];
+    h["count"] = rec.count();
+    h["mean"] = rec.MeanNanos();
+    h["min"] = rec.MinNanos();
+    h["max"] = rec.MaxNanos();
+    h["p50"] = rec.PercentileNanos(0.50);
+    h["p99"] = rec.PercentileNanos(0.99);
+    h["p9999"] = rec.PercentileNanos(0.9999);
+  }
+  return root;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace obs
+}  // namespace dytis

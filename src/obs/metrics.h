@@ -1,0 +1,113 @@
+// Typed metrics registry for the observability layer.
+//
+// Three metric kinds:
+//   Counter   — monotonically increasing relaxed-atomic u64 (ops executed,
+//               events exported, ...).
+//   Gauge     — last-write-wins i64 (live structure sizes: segment count,
+//               directory entries, resident bytes, ...).
+//   Histogram — value distribution backed by LatencyRecorder's logarithmic
+//               buckets; mutex-guarded, so Record() is for harness-side
+//               paths (per-phase summaries), not per-operation hot paths --
+//               use a thread-local LatencyRecorder and Merge for those.
+//
+// Metrics are registered by name on first use and live for the process
+// lifetime; references returned by the registry never dangle.  ToJson()
+// dumps every metric for the bench exporters.
+#ifndef DYTIS_SRC_OBS_METRICS_H_
+#define DYTIS_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/latency_recorder.h"
+
+namespace dytis {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorder_.Record(value);
+  }
+  void Merge(const LatencyRecorder& other) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorder_.Merge(other);
+  }
+  uint64_t Count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorder_.count();
+  }
+  uint64_t Percentile(double q) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorder_.PercentileNanos(q);
+  }
+  // Consistent copy for export.
+  LatencyRecorder Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorder_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyRecorder recorder_;
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry used by the workload harness and benches.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name.  Returned references stay valid until Reset().
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.
+  // Histogram summaries carry count/mean/min/max and p50/p99/p99.99.
+  JsonValue ToJson() const;
+
+  // Drops every metric (tests / between bench phases).
+  void Reset();
+
+  size_t NumMetrics() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+// StatsSnapshot: a cheap, plain-struct view of a DyTIS instance's counters
+// and live structural gauges, taken at one point in time.
+//
+// The counters come from DyTISStats (relaxed-atomic copies); the gauges walk
+// the index under its read locks (segment count, directory size, stash
+// occupancy, load factor) and read /proc for resident memory.  Taking a
+// snapshot costs one pass over the segments — fine between bench phases,
+// not meant for per-operation use.
+#ifndef DYTIS_SRC_OBS_SNAPSHOT_H_
+#define DYTIS_SRC_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "src/core/stats.h"
+#include "src/util/json.h"
+#include "src/util/memory_usage.h"
+
+namespace dytis {
+namespace obs {
+
+struct StatsSnapshot {
+  // Structural-operation counters (plain copies of DyTISStats).
+  DyTISStatsView counters;
+
+  // Live gauges.
+  uint64_t num_keys = 0;
+  uint64_t num_segments = 0;
+  uint64_t directory_entries = 0;  // sum of 2^GD over the first-level tables
+  uint64_t stash_entries = 0;      // total overflow-stash occupancy
+  uint64_t bucket_slots = 0;       // total key/value capacity of all buckets
+  int max_global_depth = 0;        // deepest first-level table
+  double load_factor = 0.0;        // num_keys / bucket_slots
+  uint64_t index_bytes = 0;        // index.MemoryBytes() (structure only)
+  uint64_t resident_bytes = 0;     // process VmRSS at snapshot time
+
+  JsonValue ToJson() const {
+    JsonValue root = JsonValue::Object();
+    JsonValue& c = root["structural"];
+    c["splits"] = counters.splits;
+    c["expansions"] = counters.expansions;
+    c["remappings"] = counters.remappings;
+    c["remap_failures"] = counters.remap_failures;
+    c["doublings"] = counters.doublings;
+    c["merges"] = counters.merges;
+    c["expand_failures"] = counters.expand_failures;
+    c["stash_inserts"] = counters.stash_inserts;
+    c["structural_exhaustions"] = counters.structural_exhaustions;
+    c["retry_exhaustions"] = counters.retry_exhaustions;
+    c["stash_bound_growths"] = counters.stash_bound_growths;
+    c["hard_errors"] = counters.hard_errors;
+    c["injected_faults"] = counters.injected_faults;
+    JsonValue& t = root["structural_ns"];
+    t["split_ns"] = counters.split_ns;
+    t["expansion_ns"] = counters.expansion_ns;
+    t["remap_ns"] = counters.remap_ns;
+    t["doubling_ns"] = counters.doubling_ns;
+    JsonValue& g = root["gauges"];
+    g["num_keys"] = num_keys;
+    g["num_segments"] = num_segments;
+    g["directory_entries"] = directory_entries;
+    g["stash_entries"] = stash_entries;
+    g["bucket_slots"] = bucket_slots;
+    g["max_global_depth"] = max_global_depth;
+    g["load_factor"] = load_factor;
+    g["index_bytes"] = index_bytes;
+    g["resident_bytes"] = resident_bytes;
+    return root;
+  }
+};
+
+// Builds a snapshot from any BasicDyTIS instantiation (or an adapter's
+// underlying index) via its public accessors.
+template <typename IndexT>
+StatsSnapshot TakeSnapshot(const IndexT& index) {
+  StatsSnapshot snap;
+  snap.counters = index.stats().View();
+  snap.num_keys = index.size();
+  snap.num_segments = index.NumSegments();
+  snap.directory_entries = index.DirectoryEntries();
+  snap.stash_entries = index.StashEntries();
+  snap.bucket_slots = index.BucketSlots();
+  snap.max_global_depth = index.MaxGlobalDepth();
+  snap.load_factor =
+      snap.bucket_slots > 0
+          ? static_cast<double>(snap.num_keys) /
+                static_cast<double>(snap.bucket_slots)
+          : 0.0;
+  snap.index_bytes = index.MemoryBytes();
+  snap.resident_bytes = CurrentRssBytes();
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_SNAPSHOT_H_

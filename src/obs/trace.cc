@@ -1,0 +1,201 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dytis {
+namespace obs {
+
+const char* TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kSplit:
+      return "split";
+    case TraceOp::kExpansion:
+      return "expansion";
+    case TraceOp::kRemap:
+      return "remap";
+    case TraceOp::kDoubling:
+      return "doubling";
+    case TraceOp::kMerge:
+      return "merge";
+    case TraceOp::kFault:
+      return "fault";
+    case TraceOp::kStashInsert:
+      return "stash_insert";
+  }
+  return "?";
+}
+
+void TraceRing::CollectInto(std::vector<TraceEvent>* out) const {
+  const uint64_t h = head_.load(std::memory_order_acquire);
+  const uint64_t n = std::min<uint64_t>(h, events_.size());
+  const uint64_t first = h - n;  // oldest retained sequence number
+  for (uint64_t i = 0; i < n; i++) {
+    out->push_back(events_[(first + i) % events_.size()]);
+  }
+}
+
+StructuralTracer& StructuralTracer::Global() {
+  static StructuralTracer* tracer = new StructuralTracer();
+  return *tracer;
+}
+
+void StructuralTracer::Enable(size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void StructuralTracer::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  rings_.clear();
+  // Invalidate every thread's cached ring pointer.
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+TraceRing* StructuralTracer::RingForThisThread() {
+  struct Cached {
+    StructuralTracer* owner = nullptr;
+    uint64_t epoch = 0;
+    TraceRing* ring = nullptr;
+  };
+  static thread_local Cached cached;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (cached.owner == this && cached.epoch == epoch) {
+    return cached.ring;
+  }
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  rings_.push_back(std::make_unique<TraceRing>(
+      ring_capacity_, static_cast<uint32_t>(rings_.size())));
+  cached = {this, epoch, rings_.back().get()};
+  return cached.ring;
+}
+
+void StructuralTracer::RecordImpl(TraceOp op, uint64_t begin_ns,
+                                  uint64_t end_ns, uint32_t table_id,
+                                  int32_t depth) {
+  TraceEvent e;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns;
+  e.table_id = table_id;
+  e.depth = depth;
+  e.op = op;
+  TraceRing* ring = RingForThisThread();
+  e.thread_id = ring->thread_id();
+  ring->Push(e);
+}
+
+std::vector<TraceEvent> StructuralTracer::Collect() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& ring : rings_) {
+      ring->CollectInto(&events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  return events;
+}
+
+std::array<uint64_t, kNumTraceOps> StructuralTracer::EventCounts() const {
+  std::array<uint64_t, kNumTraceOps> counts{};
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings_) {
+    events.clear();
+    ring->CollectInto(&events);
+    for (const TraceEvent& e : events) {
+      counts[static_cast<size_t>(e.op)]++;
+    }
+  }
+  return counts;
+}
+
+uint64_t StructuralTracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    dropped += ring->dropped();
+  }
+  return dropped;
+}
+
+size_t StructuralTracer::num_threads() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  return rings_.size();
+}
+
+std::string StructuralTracer::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  // Streamed by hand instead of via JsonValue: traces can hold 10^5+ events
+  // and the flat format never nests beyond the per-event args object.
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); i++) {
+    const TraceEvent& e = events[i];
+    if (i > 0) {
+      out += ",";
+    }
+    // trace_event "X" (complete) slices; ts/dur are microseconds (double).
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"structural\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u,"
+        "\"args\":{\"table\":%u,\"depth\":%d}}",
+        TraceOpName(e.op), static_cast<double>(e.begin_ns) / 1e3,
+        static_cast<double>(e.end_ns - e.begin_ns) / 1e3, e.thread_id,
+        e.table_id, e.depth);
+    out += buf;
+  }
+  out += "],\"otherData\":{\"source\":\"dytis structural tracer\",";
+  out += "\"dropped_events\":" + std::to_string(dropped_events()) + "}}";
+  return out;
+}
+
+std::string StructuralTracer::TextLog() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out;
+  out.reserve(events.size() * 64);
+  char buf[160];
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%llu %-12s dur_ns=%llu table=%u depth=%d tid=%u\n",
+                  static_cast<unsigned long long>(e.begin_ns), TraceOpName(e.op),
+                  static_cast<unsigned long long>(e.end_ns - e.begin_ns),
+                  e.table_id, e.depth, e.thread_id);
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace
+
+bool StructuralTracer::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, ChromeTraceJson());
+}
+
+bool StructuralTracer::WriteTextLog(const std::string& path) const {
+  return WriteFile(path, TextLog());
+}
+
+}  // namespace obs
+}  // namespace dytis

@@ -1,0 +1,189 @@
+// Structural-event tracer for the DyTIS core (observability layer).
+//
+// Every structural operation of Algorithm 1 (split / expansion / remapping /
+// directory doubling / merge) plus the degradation events (injected faults,
+// overflow-stash inserts) is recorded as a TraceEvent with begin/end
+// timestamps, the owning first-level table, and the segment's depth.  The
+// recording path is lock-free: each thread writes to its own fixed-capacity
+// ring buffer, so a structural operation never blocks on another thread's
+// tracing.  When a ring wraps, the oldest events are overwritten and counted
+// in dropped_events() — tracing degrades, it never stalls the index.
+//
+// Exports:
+//   * ChromeTraceJson() — a `trace_event`-format JSON document loadable in
+//     chrome://tracing / https://ui.perfetto.dev (one row per recording
+//     thread, one "X" slice per structural operation).
+//   * TextLog() — a compact line-per-event log for terminals and grep.
+//
+// Lifecycle contract: Record() may be called concurrently from any number of
+// threads while enabled; Collect/Export/Clear must only run when no thread
+// is concurrently recording (after Disable() + joining workload threads, or
+// single-threaded).  This keeps the writer path free of synchronisation.
+//
+// Compile-time gate: building with -DDYTIS_OBS=OFF (CMake) defines
+// DYTIS_OBS_ENABLED=0, which turns the DYTIS_OBS_TRACE macro used by the
+// core into a no-op — the tracer code vanishes from the insert path
+// entirely.  The tracer class itself stays available so exporters and tests
+// still link; it simply never sees events.
+#ifndef DYTIS_SRC_OBS_TRACE_H_
+#define DYTIS_SRC_OBS_TRACE_H_
+
+#ifndef DYTIS_OBS_ENABLED
+#define DYTIS_OBS_ENABLED 1
+#endif
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dytis {
+namespace obs {
+
+// One entry per DyTISStats structural counter that the tracer mirrors; the
+// trace/stats equivalence is asserted by the test suite.
+enum class TraceOp : uint8_t {
+  kSplit = 0,
+  kExpansion,
+  kRemap,
+  kDoubling,
+  kMerge,
+  kFault,
+  kStashInsert,
+};
+inline constexpr int kNumTraceOps = 7;
+
+const char* TraceOpName(TraceOp op);
+
+struct TraceEvent {
+  uint64_t begin_ns = 0;  // NowNanos() at operation start
+  uint64_t end_ns = 0;    // NowNanos() at operation end (== begin: instant)
+  uint32_t table_id = 0;  // first-level EH table index
+  uint32_t thread_id = 0; // tracer-assigned recording-thread id
+  int32_t depth = -1;     // segment local depth (or global depth; -1 n/a)
+  TraceOp op = TraceOp::kSplit;
+};
+
+// Fixed-capacity single-writer ring.  The owning thread pushes; readers only
+// look after quiescence (see the lifecycle contract above).
+class TraceRing {
+ public:
+  TraceRing(size_t capacity, uint32_t thread_id)
+      : events_(capacity), thread_id_(thread_id) {}
+
+  void Push(const TraceEvent& e) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    events_[h % events_.size()] = e;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  uint32_t thread_id() const { return thread_id_; }
+  // Events overwritten by ring wrap-around.
+  uint64_t dropped() const {
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    return h > events_.size() ? h - events_.size() : 0;
+  }
+  // Retained events, oldest first.
+  void CollectInto(std::vector<TraceEvent>* out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<uint64_t> head_{0};
+  uint32_t thread_id_;
+};
+
+class StructuralTracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;
+
+  // Process-wide tracer instance the DYTIS_OBS_TRACE macro records into.
+  static StructuralTracer& Global();
+
+  StructuralTracer() = default;
+  StructuralTracer(const StructuralTracer&) = delete;
+  StructuralTracer& operator=(const StructuralTracer&) = delete;
+
+  // Starts recording.  Existing rings are kept (Enable after Disable
+  // resumes); call Clear() first for a fresh session.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  void Disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded events and rings.  Quiescence required.
+  void Clear();
+
+  // Hot-path entry (only structural operations reach it, so the cost is a
+  // relaxed load when tracing is off and a ring push when on).
+  void Record(TraceOp op, uint64_t begin_ns, uint64_t end_ns,
+              uint32_t table_id, int32_t depth) {
+#if DYTIS_OBS_ENABLED
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    RecordImpl(op, begin_ns, end_ns, table_id, depth);
+#else
+    (void)op;
+    (void)begin_ns;
+    (void)end_ns;
+    (void)table_id;
+    (void)depth;
+#endif
+  }
+
+  // --- Quiescent-side API -------------------------------------------------
+
+  // All retained events across every ring, sorted by begin timestamp.
+  std::vector<TraceEvent> Collect() const;
+
+  // Retained-event count per TraceOp (indexed by the enum value).
+  std::array<uint64_t, kNumTraceOps> EventCounts() const;
+
+  // Events lost to ring wrap-around across all rings.
+  uint64_t dropped_events() const;
+
+  // Number of threads that have recorded since the last Clear().
+  size_t num_threads() const;
+
+  // Chrome trace_event JSON ("X" duration slices; ts/dur in microseconds).
+  std::string ChromeTraceJson() const;
+
+  // Compact text log: one "begin_ns op dur_ns table=.. depth=.. tid=.." line
+  // per event.
+  std::string TextLog() const;
+
+  // Writes the given export to `path`.  Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+  bool WriteTextLog(const std::string& path) const;
+
+ private:
+  void RecordImpl(TraceOp op, uint64_t begin_ns, uint64_t end_ns,
+                  uint32_t table_id, int32_t depth);
+  TraceRing* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  // Bumped on Clear() so cached thread-local ring pointers are re-resolved.
+  std::atomic<uint64_t> epoch_{1};
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+};
+
+}  // namespace obs
+}  // namespace dytis
+
+// Core-side tracing hook.  Compiles to nothing with -DDYTIS_OBS=OFF.
+#if DYTIS_OBS_ENABLED
+#define DYTIS_OBS_TRACE(op, begin_ns, end_ns, table_id, depth)             \
+  ::dytis::obs::StructuralTracer::Global().Record((op), (begin_ns),        \
+                                                  (end_ns), (table_id),    \
+                                                  (depth))
+#else
+#define DYTIS_OBS_TRACE(op, begin_ns, end_ns, table_id, depth) \
+  do {                                                         \
+  } while (false)
+#endif
+
+#endif  // DYTIS_SRC_OBS_TRACE_H_

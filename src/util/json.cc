@@ -1,0 +1,159 @@
+#include "src/util/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dytis {
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+  }
+  assert(type_ == Type::kObject);
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  members_.emplace_back(key, JsonValue());
+  return members_.back().second;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kArray;
+  }
+  assert(type_ == Type::kArray);
+  elements_.push_back(std::move(v));
+  return elements_.back();
+}
+
+size_t JsonValue::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return elements_.size();
+    case Type::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+void JsonValue::EscapeTo(const std::string& raw, std::string* out) {
+  out->push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";  // NaN/inf are not valid JSON
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc{});
+  out->append(buf, ptr);
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  }
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      AppendNumber(double_, out);
+      break;
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); i++) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) {
+        Newline(out, indent, depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); i++) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        EscapeTo(members_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) {
+        Newline(out, indent, depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace dytis

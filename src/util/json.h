@@ -1,0 +1,83 @@
+// Minimal JSON document builder for machine-readable exports (bench result
+// files, Chrome trace_event streams, metrics dumps).
+//
+// This is a *writer*, not a parser: benches and the observability layer
+// compose a JsonValue tree and Dump() it.  Object key order is preserved so
+// exported files diff cleanly across runs.  Numbers are emitted losslessly
+// (int64/uint64 as integers, doubles with round-trip precision); non-finite
+// doubles are emitted as null, so the output is always standard JSON that
+// `python3 -m json.tool` and chrome://tracing accept.
+#ifndef DYTIS_SRC_UTIL_JSON_H_
+#define DYTIS_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dytis {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}                    // NOLINT
+  JsonValue(long v) : type_(Type::kInt), int_(v) {}                   // NOLINT
+  JsonValue(long long v) : type_(Type::kInt), int_(v) {}              // NOLINT
+  JsonValue(unsigned v) : type_(Type::kUint), uint_(v) {}             // NOLINT
+  JsonValue(unsigned long v) : type_(Type::kUint), uint_(v) {}        // NOLINT
+  JsonValue(unsigned long long v) : type_(Type::kUint), uint_(v) {}   // NOLINT
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}           // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static JsonValue Object() { return JsonValue(Type::kObject); }
+  static JsonValue Array() { return JsonValue(Type::kArray); }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // Object access: inserts the key (null value) when absent.  A null value
+  // silently becomes an object on first use, so nested paths compose:
+  //   root["config"]["keys"] = 42;
+  JsonValue& operator[](const std::string& key);
+
+  // Array append.  A null value silently becomes an array on first use.
+  JsonValue& Append(JsonValue v);
+
+  // Number of object members / array elements (0 for scalars).
+  size_t size() const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  // Serialises the tree.  indent == 0 emits a compact single line;
+  // indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  // JSON string escaping (shared with the streaming trace exporter).
+  static void EscapeTo(const std::string& raw, std::string* out);
+
+ private:
+  explicit JsonValue(Type t) : type_(t) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_JSON_H_

@@ -76,6 +76,38 @@ uint64_t LatencyRecorder::PercentileNanos(double quantile) const {
   return max_;
 }
 
+std::vector<LatencyRecorder::Bucket> LatencyRecorder::ExportBuckets() const {
+  std::vector<Bucket> out;
+  for (int b = 0; b < kNumBuckets; b++) {
+    const uint64_t c = buckets_[static_cast<size_t>(b)];
+    if (c != 0) {
+      out.push_back({BucketMidpoint(b), c});
+    }
+  }
+  return out;
+}
+
+JsonValue LatencyRecorder::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j["count"] = count_;
+  j["mean_ns"] = MeanNanos();
+  j["min_ns"] = MinNanos();
+  j["max_ns"] = MaxNanos();
+  j["p50_ns"] = PercentileNanos(0.5);
+  j["p90_ns"] = PercentileNanos(0.9);
+  j["p99_ns"] = PercentileNanos(0.99);
+  j["p9999_ns"] = PercentileNanos(0.9999);
+  JsonValue buckets = JsonValue::Array();
+  for (const Bucket& b : ExportBuckets()) {
+    JsonValue e = JsonValue::Object();
+    e["midpoint_ns"] = b.midpoint_nanos;
+    e["count"] = b.count;
+    buckets.Append(std::move(e));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
 void LatencyRecorder::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/json.h"
+
 namespace dytis {
 
 class LatencyRecorder {
@@ -29,6 +31,22 @@ class LatencyRecorder {
   uint64_t PercentileNanos(double quantile) const;
   uint64_t MaxNanos() const { return max_; }
   uint64_t MinNanos() const { return count_ == 0 ? 0 : min_; }
+
+  // One non-empty histogram bucket.  midpoint_nanos is chosen so that
+  // Record()ing it lands back in the same bucket: a recorder rebuilt by
+  // replaying the export reproduces count() and every percentile exactly.
+  struct Bucket {
+    uint64_t midpoint_nanos = 0;
+    uint64_t count = 0;
+  };
+
+  // Non-empty buckets in ascending latency order.
+  std::vector<Bucket> ExportBuckets() const;
+
+  // JSON object with the summary statistics (count, mean/min/max,
+  // p50/p90/p99/p99.99 in ns) plus the non-empty buckets, e.g.
+  //   {"count": 3, ..., "buckets": [{"midpoint_ns": 100, "count": 2}, ...]}
+  JsonValue ToJson() const;
 
   void Reset();
 

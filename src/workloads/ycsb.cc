@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/util/timer.h"
 #include "src/util/zipf.h"
 
 namespace dytis {
 namespace {
+
+constexpr size_t OpIdx(YcsbOpType t) { return static_cast<size_t>(t); }
 
 // Loads the index: bulk fraction (sorted) + the remainder inserted in
 // dataset order.  Returns the number of keys inserted (not bulk loaded).
@@ -32,10 +37,18 @@ size_t LoadIndex(KVIndex* index, const Dataset& dataset, double bulk_fraction,
   }
   Timer timer;
   if (result != nullptr && options.record_latency) {
+    obs::OpSampler sampler(options.latency_sample_every);
+    LatencyRecorder& inserts = result->op_latency[OpIdx(YcsbOpType::kInsert)];
     for (size_t i = bulk; i < total; i++) {
-      const uint64_t t0 = NowNanos();
-      index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
-      result->latency.Record(NowNanos() - t0);
+      if (sampler.Sample()) {
+        const uint64_t t0 = NowNanos();
+        index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+        const uint64_t dt = NowNanos() - t0;
+        result->latency.Record(dt);
+        inserts.Record(dt);
+      } else {
+        index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+      }
     }
   } else {
     for (size_t i = bulk; i < total; i++) {
@@ -44,6 +57,7 @@ size_t LoadIndex(KVIndex* index, const Dataset& dataset, double bulk_fraction,
   }
   if (result != nullptr) {
     result->ops = total - bulk;
+    result->op_counts[OpIdx(YcsbOpType::kInsert)] += total - bulk;
     result->seconds = timer.ElapsedSeconds();
     result->throughput_mops =
         result->seconds > 0.0
@@ -54,6 +68,22 @@ size_t LoadIndex(KVIndex* index, const Dataset& dataset, double bulk_fraction,
 }
 
 }  // namespace
+
+const char* YcsbOpTypeName(YcsbOpType t) {
+  switch (t) {
+    case YcsbOpType::kRead:
+      return "read";
+    case YcsbOpType::kUpdate:
+      return "update";
+    case YcsbOpType::kInsert:
+      return "insert";
+    case YcsbOpType::kScan:
+      return "scan";
+    case YcsbOpType::kReadModifyWrite:
+      return "rmw";
+  }
+  return "?";
+}
 
 const char* YcsbWorkloadName(YcsbWorkload w) {
   switch (w) {
@@ -167,43 +197,68 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
   };
 
   Timer timer;
+  obs::OpSampler sampler(options.latency_sample_every);
   // D/D'/E run until every dataset key is inserted (Section 4.3); the
   // other workloads run a fixed op count.
   for (size_t i = 0;
        inserting ? next_insert < dataset.keys.size() : i < ops; i++) {
     const int dice = static_cast<int>(op_rng.NextBelow(100));
-    const uint64_t t0 = options.record_latency ? NowNanos() : 0;
+    // Resolve the op kind before timing so the dice roll (and the
+    // exhausted-dataset fallback decision) stay outside the measured span.
+    YcsbOpType op;
     if (dice < read_pct) {
-      const uint64_t key = pick_key();
-      uint64_t value;
-      index->Find(key, &value);
+      op = YcsbOpType::kRead;
     } else if (dice < read_pct + update_pct) {
-      const uint64_t key = pick_key();
-      index->Update(key, ValueFor(key) + i);
+      op = YcsbOpType::kUpdate;
     } else if (dice < read_pct + update_pct + insert_pct) {
-      if (next_insert < dataset.keys.size()) {
+      // An insert slot after the dataset is exhausted executes a read.
+      op = next_insert < dataset.keys.size() ? YcsbOpType::kInsert
+                                             : YcsbOpType::kRead;
+    } else if (dice < read_pct + update_pct + insert_pct + scan_pct) {
+      op = YcsbOpType::kScan;
+    } else {
+      op = YcsbOpType::kReadModifyWrite;
+    }
+    const bool timed = options.record_latency && sampler.Sample();
+    const uint64_t t0 = timed ? NowNanos() : 0;
+    switch (op) {
+      case YcsbOpType::kRead: {
+        uint64_t value;
+        index->Find(pick_key(), &value);
+        break;
+      }
+      case YcsbOpType::kUpdate: {
+        const uint64_t key = pick_key();
+        index->Update(key, ValueFor(key) + i);
+        break;
+      }
+      case YcsbOpType::kInsert: {
         const uint64_t key = dataset.keys[next_insert++];
         index->Insert(key, ValueFor(key));
         zipf.GrowTo(next_insert);
         // Workload D's recency ranks must cover the new key, or "latest"
         // reads would stay concentrated on the preload prefix.
         latest.GrowTo(next_insert);
-      } else {
-        uint64_t value;
-        index->Find(pick_key(), &value);
+        break;
       }
-    } else if (dice < read_pct + update_pct + insert_pct + scan_pct) {
-      index->Scan(pick_key(), options.scan_length, scan_buf.data());
-    } else {
-      // Read-modify-write (workload F).
-      const uint64_t key = pick_key();
-      uint64_t value = 0;
-      index->Find(key, &value);
-      index->Update(key, value + 1);
+      case YcsbOpType::kScan:
+        index->Scan(pick_key(), options.scan_length, scan_buf.data());
+        break;
+      case YcsbOpType::kReadModifyWrite: {
+        // Read-modify-write (workload F).
+        const uint64_t key = pick_key();
+        uint64_t value = 0;
+        index->Find(key, &value);
+        index->Update(key, value + 1);
+        break;
+      }
     }
-    if (options.record_latency) {
-      result.latency.Record(NowNanos() - t0);
+    if (timed) {
+      const uint64_t dt = NowNanos() - t0;
+      result.latency.Record(dt);
+      result.op_latency[OpIdx(op)].Record(dt);
     }
+    result.op_counts[OpIdx(op)]++;
     result.ops++;
   }
   result.seconds = timer.ElapsedSeconds();
@@ -211,6 +266,9 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
       result.seconds > 0.0
           ? static_cast<double>(result.ops) / result.seconds / 1e6
           : 0.0;
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("ycsb.ops.") + result.workload)
+      .Add(result.ops);
   return result;
 }
 
@@ -252,11 +310,16 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
       threads.emplace_back([&, t] {
         LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
         if (options.record_latency) {
+          obs::OpSampler sampler(options.latency_sample_every);
           for (size_t i = static_cast<size_t>(t); i < n;
                i += static_cast<size_t>(num_threads)) {
-            const uint64_t t0 = NowNanos();
-            index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
-            rec.Record(NowNanos() - t0);
+            if (sampler.Sample()) {
+              const uint64_t t0 = NowNanos();
+              index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+              rec.Record(NowNanos() - t0);
+            } else {
+              index->Insert(dataset.keys[i], ValueFor(dataset.keys[i]));
+            }
           }
         } else {
           for (size_t i = static_cast<size_t>(t); i < n;
@@ -289,10 +352,15 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
         const size_t share = ThreadShare(search_ops, num_threads, t);
         uint64_t value;
         if (options.record_latency) {
+          obs::OpSampler sampler(options.latency_sample_every);
           for (size_t i = 0; i < share; i++) {
-            const uint64_t t0 = NowNanos();
-            index->Find(dataset.keys[zipf.Next()], &value);
-            rec.Record(NowNanos() - t0);
+            if (sampler.Sample()) {
+              const uint64_t t0 = NowNanos();
+              index->Find(dataset.keys[zipf.Next()], &value);
+              rec.Record(NowNanos() - t0);
+            } else {
+              index->Find(dataset.keys[zipf.Next()], &value);
+            }
           }
         } else {
           for (size_t i = 0; i < share; i++) {
@@ -308,6 +376,49 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
     result.search_mops =
         static_cast<double>(result.search_ops) / timer.ElapsedSeconds() / 1e6;
     merge_into(&result.search_latency);
+  }
+
+  // Update: zipfian in-place updates of loaded keys, same op budget as the
+  // search phase.
+  const size_t update_ops = search_ops;
+  {
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; t++) {
+      threads.emplace_back([&, t] {
+        ScrambledZipfianGenerator zipf(n, options.zipf_theta,
+                                       options.seed + 153 +
+                                           static_cast<uint64_t>(t));
+        LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
+        const size_t share = ThreadShare(update_ops, num_threads, t);
+        if (options.record_latency) {
+          obs::OpSampler sampler(options.latency_sample_every);
+          for (size_t i = 0; i < share; i++) {
+            const uint64_t key = dataset.keys[zipf.Next()];
+            if (sampler.Sample()) {
+              const uint64_t t0 = NowNanos();
+              index->Update(key, ValueFor(key) + i);
+              rec.Record(NowNanos() - t0);
+            } else {
+              index->Update(key, ValueFor(key) + i);
+            }
+          }
+        } else {
+          for (size_t i = 0; i < share; i++) {
+            const uint64_t key = dataset.keys[zipf.Next()];
+            index->Update(key, ValueFor(key) + i);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    result.update_ops = update_ops;
+    result.update_mops =
+        static_cast<double>(result.update_ops) / timer.ElapsedSeconds() / 1e6;
+    merge_into(&result.update_latency);
   }
 
   // Scan-100: number of scan ops scaled down by the scan length.
@@ -326,11 +437,17 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
         const size_t share = ThreadShare(scan_ops, num_threads, t);
         std::vector<KVIndex::ScanEntry> buf(options.scan_length);
         if (options.record_latency) {
+          obs::OpSampler sampler(options.latency_sample_every);
           for (size_t i = 0; i < share; i++) {
-            const uint64_t t0 = NowNanos();
-            index->Scan(dataset.keys[zipf.Next()], options.scan_length,
-                        buf.data());
-            rec.Record(NowNanos() - t0);
+            if (sampler.Sample()) {
+              const uint64_t t0 = NowNanos();
+              index->Scan(dataset.keys[zipf.Next()], options.scan_length,
+                          buf.data());
+              rec.Record(NowNanos() - t0);
+            } else {
+              index->Scan(dataset.keys[zipf.Next()], options.scan_length,
+                          buf.data());
+            }
           }
         } else {
           for (size_t i = 0; i < share; i++) {
@@ -348,6 +465,13 @@ ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,
         static_cast<double>(result.scan_ops) / timer.ElapsedSeconds() / 1e6;
     merge_into(&result.scan_latency);
   }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ycsb.concurrent.insert_ops").Add(result.insert_ops);
+  registry.GetCounter("ycsb.concurrent.search_ops").Add(result.search_ops);
+  registry.GetCounter("ycsb.concurrent.update_ops").Add(result.update_ops);
+  registry.GetCounter("ycsb.concurrent.scan_ops").Add(result.scan_ops);
+  registry.GetGauge("ycsb.concurrent.threads").Set(num_threads);
   return result;
 }
 

@@ -18,6 +18,7 @@
 #ifndef DYTIS_SRC_WORKLOADS_YCSB_H_
 #define DYTIS_SRC_WORKLOADS_YCSB_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,6 +41,18 @@ const char* YcsbWorkloadName(YcsbWorkload w);
 // Zipfian(0.99) and reports that uniform gives similar results.
 enum class KeyDistribution { kZipfian, kUniform };
 
+// Primitive operation kinds a mixed workload executes.  Results report
+// executed counts (and sampled latency) per kind, not just the aggregate.
+enum class YcsbOpType : uint8_t {
+  kRead = 0,
+  kUpdate,
+  kInsert,
+  kScan,
+  kReadModifyWrite,
+};
+inline constexpr int kNumYcsbOpTypes = 5;
+const char* YcsbOpTypeName(YcsbOpType t);
+
 struct YcsbOptions {
   // Fraction of the dataset bulk-loaded before the Load phase (learned
   // indexes; 0 = insert everything).
@@ -54,6 +67,12 @@ struct YcsbOptions {
   size_t scan_length = 100;
   // When true, per-op latencies are recorded (Table 2).
   bool record_latency = false;
+  // Latency sampling rate: 1 times every operation (exact percentiles, the
+  // Table 2 protocol); N > 1 times only every N-th operation, keeping the
+  // clock calls and histogram updates off most iterations.  Rates > 1
+  // require an observability build (DYTIS_OBS=ON, the default) — with
+  // DYTIS_OBS=OFF the sampled path compiles out and no latency is recorded.
+  uint64_t latency_sample_every = 1;
   uint64_t seed = 0xc0ffee;
 };
 
@@ -65,6 +84,13 @@ struct YcsbResult {
   double throughput_mops = 0.0;
   LatencyRecorder latency;  // populated when record_latency
   bool supported = true;    // false: index cannot run this workload
+  // Executed-operation counts per primitive kind (always populated; index
+  // with YcsbOpType).  A D'/E insert slot that finds the dataset exhausted
+  // executes — and is counted as — a read.
+  std::array<size_t, kNumYcsbOpTypes> op_counts{};
+  // Per-kind latency (populated when record_latency, subject to
+  // latency_sample_every).
+  std::array<LatencyRecorder, kNumYcsbOpTypes> op_latency;
 };
 
 // Value stored for a key (arbitrary but deterministic).
@@ -91,14 +117,18 @@ YcsbResult RunWorkload(KVIndex* index, const Dataset& dataset,
 struct ConcurrencyResult {
   double insert_mops = 0.0;
   double search_mops = 0.0;
+  double update_mops = 0.0;
   double scan_mops = 0.0;  // scan ops (each of scan_length keys) per second
   // Ops actually executed per phase (sums of the per-thread shares).
   size_t insert_ops = 0;
   size_t search_ops = 0;
+  size_t update_ops = 0;
   size_t scan_ops = 0;
-  // Merged per-thread latency samples (populated when record_latency).
+  // Merged per-thread latency samples (populated when record_latency;
+  // sampled 1-in-N when latency_sample_every > 1).
   LatencyRecorder insert_latency;
   LatencyRecorder search_latency;
+  LatencyRecorder update_latency;
   LatencyRecorder scan_latency;
 };
 ConcurrencyResult RunConcurrent(KVIndex* index, const Dataset& dataset,

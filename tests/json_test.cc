@@ -1,0 +1,101 @@
+// JsonValue writer tests: the exporters (bench results, Chrome traces,
+// metrics dumps) rely on standard-JSON output, preserved key order, and
+// lossless number formatting.
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dytis {
+namespace {
+
+TEST(JsonTest, ScalarsDumpAsJson) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(-42).Dump(), "-42");
+  EXPECT_EQ(JsonValue(uint64_t{18446744073709551615ULL}).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(int64_t{-9223372036854775807LL}).Dump(),
+            "-9223372036854775807");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue(std::string("hi")).Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoublesRoundTripLosslessly) {
+  const double v = 0.1 + 0.2;  // classic non-representable sum
+  const std::string dumped = JsonValue(v).Dump();
+  EXPECT_EQ(std::stod(dumped), v);
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+}
+
+TEST(JsonTest, StringsAreEscaped) {
+  EXPECT_EQ(JsonValue("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("a\\b").Dump(), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue("a\nb\tc\r").Dump(), "\"a\\nb\\tc\\r\"");
+  EXPECT_EQ(JsonValue(std::string("a\x01z")).Dump(), "\"a\\u0001z\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mango"] = 3;
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(JsonTest, ObjectKeyReassignmentUpdatesInPlace) {
+  JsonValue obj = JsonValue::Object();
+  obj["k"] = 1;
+  obj["k"] = 2;
+  EXPECT_EQ(obj.Dump(), "{\"k\":2}");
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(JsonTest, NullBecomesObjectOrArrayOnFirstUse) {
+  JsonValue root;
+  root["nested"]["deep"] = true;  // null -> object, twice
+  root["list"].Append(1);  // null -> array
+  root["list"].Append(2);
+  EXPECT_EQ(root.Dump(), "{\"nested\":{\"deep\":true},\"list\":[1,2]}");
+}
+
+TEST(JsonTest, EmptyContainersDump) {
+  EXPECT_EQ(JsonValue::Object().Dump(), "{}");
+  EXPECT_EQ(JsonValue::Array().Dump(), "[]");
+  EXPECT_EQ(JsonValue::Object().Dump(2), "{}");
+  EXPECT_EQ(JsonValue::Array().Dump(2), "[]");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  JsonValue root = JsonValue::Object();
+  root["a"] = 1;
+  root["b"].Append("x");
+  EXPECT_EQ(root.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+}
+
+TEST(JsonTest, ArrayOfObjects) {
+  JsonValue arr = JsonValue::Array();
+  for (int i = 0; i < 3; i++) {
+    JsonValue row = JsonValue::Object();
+    row["i"] = i;
+    arr.Append(std::move(row));
+  }
+  EXPECT_EQ(arr.Dump(), "[{\"i\":0},{\"i\":1},{\"i\":2}]");
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
+#include "src/util/json.h"
 #include "src/util/rng.h"
 
 namespace dytis {
@@ -150,6 +153,76 @@ TEST(LatencyRecorderTest, VeryLargeValuesClamped) {
   rec.Record(~uint64_t{0});  // absurd latency must not crash or misindex
   EXPECT_EQ(rec.count(), 1u);
   EXPECT_GT(rec.PercentileNanos(1.0), 0u);
+}
+
+TEST(LatencyRecorderTest, ExportBucketsAreSortedAndSumToCount) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(rec.ExportBuckets().empty());
+  rec.Record(100);
+  rec.Record(100);
+  rec.Record(50'000);
+  const auto buckets = rec.ExportBuckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_LT(buckets[0].midpoint_nanos, buckets[1].midpoint_nanos);
+  EXPECT_EQ(buckets[0].count + buckets[1].count, rec.count());
+}
+
+TEST(LatencyRecorderTest, ExportBucketsRoundTrip) {
+  // Replaying an export (Record() the midpoint, `count` times per bucket)
+  // must land every sample in its original bucket, so the rebuilt recorder
+  // reproduces count and percentiles.
+  LatencyRecorder rec;
+  Rng rng(7);
+  for (int i = 0; i < 50'000; i++) {
+    const double v = 50.0 * std::pow(10.0, 5.0 * rng.NextDouble());
+    rec.Record(static_cast<uint64_t>(v));
+  }
+  LatencyRecorder rebuilt;
+  for (const LatencyRecorder::Bucket& b : rec.ExportBuckets()) {
+    for (uint64_t i = 0; i < b.count; i++) {
+      rebuilt.Record(b.midpoint_nanos);
+    }
+  }
+  EXPECT_EQ(rebuilt.count(), rec.count());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.9999, 1.0}) {
+    const double expected = static_cast<double>(rec.PercentileNanos(q));
+    // Bucket-identical except for the min/max clamps at the extremes, which
+    // move by at most one bucket width (<2%).
+    EXPECT_NEAR(static_cast<double>(rebuilt.PercentileNanos(q)), expected,
+                expected * 0.02 + 1.0)
+        << "quantile " << q;
+  }
+}
+
+TEST(LatencyRecorderTest, ToJsonRoundTripsSummaryAndBuckets) {
+  LatencyRecorder rec;
+  rec.Record(100);
+  rec.Record(100);
+  rec.Record(3'000);
+  const JsonValue j = rec.ToJson();
+  const std::string dump = j.Dump();
+  EXPECT_NE(dump.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(dump.find("\"min_ns\":100"), std::string::npos);
+  EXPECT_NE(dump.find("\"max_ns\":3000"), std::string::npos);
+  EXPECT_NE(dump.find("\"buckets\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"midpoint_ns\""), std::string::npos);
+
+  // The buckets member mirrors ExportBuckets() exactly.
+  const auto exported = rec.ExportBuckets();
+  const JsonValue* buckets = nullptr;
+  for (const auto& [key, value] : j.members()) {
+    if (key == "buckets") {
+      buckets = &value;
+    }
+  }
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->size(), exported.size());
+}
+
+TEST(LatencyRecorderTest, EmptyToJsonIsWellFormed) {
+  const std::string dump = LatencyRecorder().ToJson().Dump();
+  EXPECT_NE(dump.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(dump.find("\"buckets\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,389 @@
+// Observability-layer tests: structural-event tracer (including the
+// trace-counts == DyTISStats-counters equivalence the exporters rely on),
+// metrics registry, stats snapshot, and the op sampler.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/datasets/dataset.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+#include "src/obs/snapshot.h"
+#include "src/workloads/ycsb.h"
+
+namespace dytis {
+namespace {
+
+using obs::StructuralTracer;
+using obs::TraceEvent;
+using obs::TraceOp;
+using obs::TraceRing;
+
+// A config that forces plenty of structural activity at test scale: few
+// first-level tables, small buckets, early exit from the warm-up phase.
+DyTISConfig BusyConfig() {
+  DyTISConfig config;
+  config.first_level_bits = 2;
+  config.bucket_bytes = 256;
+  config.l_start = 3;
+  return config;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    count++;
+  }
+  return count;
+}
+
+// Clears the global tracer before and after each test so tests stay
+// independent (the tracer is process-wide).
+class TracerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    StructuralTracer::Global().Disable();
+    StructuralTracer::Global().Clear();
+  }
+  void TearDown() override {
+    StructuralTracer::Global().Disable();
+    StructuralTracer::Global().Clear();
+  }
+};
+
+TEST(TraceRingTest, WrapKeepsNewestAndCountsDropped) {
+  TraceRing ring(4, /*thread_id=*/7);
+  for (uint64_t i = 0; i < 10; i++) {
+    TraceEvent e;
+    e.begin_ns = i;
+    e.end_ns = i;
+    ring.Push(e);
+  }
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.thread_id(), 7u);
+  std::vector<TraceEvent> out;
+  ring.CollectInto(&out);
+  ASSERT_EQ(out.size(), 4u);
+  // Oldest retained first.
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i].begin_ns, 6 + i);
+  }
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  auto& tracer = StructuralTracer::Global();
+  ASSERT_FALSE(tracer.enabled());
+  tracer.Record(TraceOp::kSplit, 1, 2, 0, 0);
+  EXPECT_TRUE(tracer.Collect().empty());
+  EXPECT_EQ(tracer.num_threads(), 0u);
+}
+
+TEST_F(TracerTest, RecordCollectClear) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+  tracer.Record(TraceOp::kSplit, 10, 20, 3, 2);
+  tracer.Record(TraceOp::kRemap, 30, 45, 3, 2);
+  tracer.Record(TraceOp::kFault, 50, 50, 1, -1);
+  tracer.Disable();
+
+  const std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 3u);
+  // Collect() sorts by begin timestamp.
+  EXPECT_EQ(events[0].begin_ns, 10u);
+  EXPECT_EQ(events[0].op, TraceOp::kSplit);
+  EXPECT_EQ(events[0].table_id, 3u);
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[2].op, TraceOp::kFault);
+  EXPECT_EQ(events[2].depth, -1);
+
+  const auto counts = tracer.EventCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kSplit)], 1u);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kRemap)], 1u);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kFault)], 1u);
+  EXPECT_EQ(tracer.num_threads(), 1u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Collect().empty());
+  EXPECT_EQ(tracer.num_threads(), 0u);
+}
+
+TEST_F(TracerTest, PerThreadRingsCollectAcrossThreads) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&tracer, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        tracer.Record(TraceOp::kExpansion, i, i + 1,
+                      static_cast<uint32_t>(t), 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.num_threads(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(tracer.Collect().size(), kThreads * kPerThread);
+  EXPECT_EQ(tracer.EventCounts()[static_cast<size_t>(TraceOp::kExpansion)],
+            kThreads * kPerThread);
+}
+
+// The acceptance property of the tracing layer: the trace hooks sit at
+// exactly the sites that bump the DyTISStats structural counters, so the
+// per-op event counts and the stats counters must agree — both in
+// EventCounts() and in the exported Chrome trace document.
+TEST_F(TracerTest, TraceCountsMatchStatsCounters) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+
+  const Dataset d = MakeDataset(DatasetId::kTaxi, 30'000, 11);
+  DyTIS<uint64_t> index(BusyConfig());
+  for (uint64_t k : d.keys) {
+    index.Insert(k, k);
+  }
+  // Erase most keys to drive utilization below the merge threshold.
+  for (size_t i = 0; i < d.keys.size(); i++) {
+    if (i % 8 != 0) {
+      index.Erase(d.keys[i]);
+    }
+  }
+  tracer.Disable();
+
+  const DyTISStatsView v = index.stats().View();
+  ASSERT_GT(v.splits, 0u);
+  ASSERT_GT(v.expansions + v.remappings, 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+
+  const auto counts = tracer.EventCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kSplit)], v.splits);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kExpansion)], v.expansions);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kRemap)], v.remappings);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kDoubling)], v.doublings);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kMerge)], v.merges);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kFault)], v.injected_faults);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kStashInsert)],
+            v.stash_inserts);
+
+  // The Chrome export carries every event: named slices per op kind.
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"split\""), v.splits);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"expansion\""), v.expansions);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"remap\""), v.remappings);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"doubling\""), v.doublings);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"merge\""), v.merges);
+}
+
+TEST_F(TracerTest, FaultAndStashEventsMatchCounters) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+
+  DyTISConfig config = BusyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  DyTIS<uint64_t> index(config);
+  for (uint64_t k = 0; k < 4'000; k++) {
+    index.Insert(k * 37, k);
+  }
+  tracer.Disable();
+
+  const DyTISStatsView v = index.stats().View();
+  ASSERT_GT(v.injected_faults, 0u);
+  ASSERT_GT(v.stash_inserts, 0u);
+  const auto counts = tracer.EventCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kFault)], v.injected_faults);
+  EXPECT_EQ(counts[static_cast<size_t>(TraceOp::kStashInsert)],
+            v.stash_inserts);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonEnvelope) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+  tracer.Record(TraceOp::kSplit, 1'000, 2'500, 0, 1);
+  tracer.Disable();
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+TEST_F(TracerTest, TextLogOneLinePerEvent) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable();
+  tracer.Record(TraceOp::kSplit, 1, 5, 0, 1);
+  tracer.Record(TraceOp::kMerge, 6, 9, 2, 3);
+  tracer.Disable();
+  const std::string log = tracer.TextLog();
+  EXPECT_EQ(CountOccurrences(log, "\n"), 2u);
+  EXPECT_NE(log.find("split"), std::string::npos);
+  EXPECT_NE(log.find("merge"), std::string::npos);
+}
+
+// --- OpSampler -------------------------------------------------------------
+
+TEST(OpSamplerTest, RateOneAlwaysSamples) {
+  // Rates 0 and 1 record everything in every build mode — the Table 2
+  // protocol must not depend on the observability gate.
+  for (uint64_t rate : {uint64_t{0}, uint64_t{1}}) {
+    obs::OpSampler sampler(rate);
+    for (int i = 0; i < 100; i++) {
+      EXPECT_TRUE(sampler.Sample());
+    }
+  }
+}
+
+TEST(OpSamplerTest, RateNSamplesOneInN) {
+  obs::OpSampler sampler(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; i++) {
+    if (sampler.Sample()) {
+      sampled++;
+    }
+  }
+#if DYTIS_OBS_ENABLED
+  EXPECT_EQ(sampled, 25);
+#else
+  EXPECT_EQ(sampled, 0);  // sampled paths compile out
+#endif
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+class MetricsTest : public testing::Test {
+ protected:
+  void SetUp() override { obs::MetricsRegistry::Global().Reset(); }
+  void TearDown() override { obs::MetricsRegistry::Global().Reset(); }
+};
+
+TEST_F(MetricsTest, CounterGaugeHistogramBasics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& counter = registry.GetCounter("test.counter");
+  counter.Add();
+  counter.Add(9);
+  EXPECT_EQ(counter.Value(), 10u);
+  // Find-or-create: the same name returns the same metric.
+  EXPECT_EQ(&registry.GetCounter("test.counter"), &counter);
+
+  auto& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(-5);
+  gauge.Add(2);
+  EXPECT_EQ(gauge.Value(), -3);
+
+  auto& histogram = registry.GetHistogram("test.histogram");
+  for (uint64_t v = 1; v <= 100; v++) {
+    histogram.Record(v * 1000);
+  }
+  EXPECT_EQ(histogram.Count(), 100u);
+  EXPECT_NEAR(static_cast<double>(histogram.Percentile(0.5)), 50'000.0,
+              50'000.0 * 0.02);
+  EXPECT_EQ(registry.NumMetrics(), 3u);
+}
+
+TEST_F(MetricsTest, ToJsonCarriesEveryMetric) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ops.total").Add(42);
+  registry.GetGauge("live.segments").Set(7);
+  registry.GetHistogram("lat.insert").Record(1234);
+  const std::string dump = registry.ToJson().Dump();
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ops.total\":42"), std::string::npos);
+  EXPECT_NE(dump.find("\"live.segments\":7"), std::string::npos);
+  EXPECT_NE(dump.find("\"lat.insert\""), std::string::npos);
+  EXPECT_NE(dump.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetDropsMetrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("gone").Add(1);
+  ASSERT_GE(registry.NumMetrics(), 1u);
+  registry.Reset();
+  EXPECT_EQ(registry.NumMetrics(), 0u);
+  // Re-creating after Reset starts from zero.
+  EXPECT_EQ(registry.GetCounter("gone").Value(), 0u);
+}
+
+TEST_F(MetricsTest, ConcurrentHarnessPopulatesRegistry) {
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 5'000, 4);
+  ConcurrentDyTISAdapter index;
+  YcsbOptions options;
+  options.run_ops = 2'000;
+  const ConcurrencyResult r = RunConcurrent(&index, d, 2, options);
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("ycsb.concurrent.insert_ops").Value(),
+            r.insert_ops);
+  EXPECT_EQ(registry.GetCounter("ycsb.concurrent.update_ops").Value(),
+            r.update_ops);
+  EXPECT_EQ(registry.GetGauge("ycsb.concurrent.threads").Value(), 2);
+}
+
+// --- StatsSnapshot ---------------------------------------------------------
+
+TEST(SnapshotObsTest, ReflectsIndexState) {
+  const Dataset d = MakeDataset(DatasetId::kReviewM, 20'000, 9);
+  DyTIS<uint64_t> index(BusyConfig());
+  for (uint64_t k : d.keys) {
+    index.Insert(k, k);
+  }
+  const obs::StatsSnapshot snap = obs::TakeSnapshot(index);
+  EXPECT_EQ(snap.num_keys, index.size());
+  EXPECT_EQ(snap.num_segments, index.NumSegments());
+  EXPECT_GT(snap.num_segments, 0u);
+  EXPECT_GT(snap.directory_entries, 0u);
+  EXPECT_GT(snap.bucket_slots, snap.num_keys / 2);
+  EXPECT_GT(snap.load_factor, 0.0);
+  EXPECT_LE(snap.load_factor, 1.5);
+  EXPECT_GE(snap.max_global_depth, 1);
+  EXPECT_GT(snap.index_bytes, 0u);
+  EXPECT_GT(snap.resident_bytes, 0u);  // /proc-backed RSS gauge
+  EXPECT_EQ(snap.counters.splits, index.stats().View().splits);
+}
+
+TEST(SnapshotObsTest, ToJsonHasAllSections) {
+  const Dataset d = MakeDataset(DatasetId::kMapM, 5'000, 9);
+  DyTIS<uint64_t> index(BusyConfig());
+  for (uint64_t k : d.keys) {
+    index.Insert(k, k);
+  }
+  const std::string dump = obs::TakeSnapshot(index).ToJson().Dump();
+  EXPECT_NE(dump.find("\"structural\""), std::string::npos);
+  EXPECT_NE(dump.find("\"structural_ns\""), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(dump.find("\"splits\""), std::string::npos);
+  EXPECT_NE(dump.find("\"load_factor\""), std::string::npos);
+  EXPECT_NE(dump.find("\"resident_bytes\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dytis

@@ -114,6 +114,80 @@ TEST(YcsbTest, LatencyRecordingPopulates) {
   EXPECT_GT(r.latency.PercentileNanos(0.99), 0u);
 }
 
+TEST(YcsbTest, OpCountsBreakDownByKind) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  const YcsbResult r =
+      RunWorkload(&index, d, YcsbWorkload::kA, FastOptions());
+  const size_t reads = r.op_counts[static_cast<size_t>(YcsbOpType::kRead)];
+  const size_t updates =
+      r.op_counts[static_cast<size_t>(YcsbOpType::kUpdate)];
+  // Workload A is a 50/50 read/update mix; both kinds execute and nothing
+  // else does.
+  EXPECT_GT(reads, 0u);
+  EXPECT_GT(updates, 0u);
+  EXPECT_EQ(reads + updates, r.ops);
+  EXPECT_EQ(r.op_counts[static_cast<size_t>(YcsbOpType::kInsert)], 0u);
+  EXPECT_EQ(r.op_counts[static_cast<size_t>(YcsbOpType::kScan)], 0u);
+}
+
+TEST(YcsbTest, OpCountsCoverScansAndInserts) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  const YcsbResult r =
+      RunWorkload(&index, d, YcsbWorkload::kE, FastOptions());
+  ASSERT_TRUE(r.supported);
+  const size_t scans = r.op_counts[static_cast<size_t>(YcsbOpType::kScan)];
+  const size_t inserts =
+      r.op_counts[static_cast<size_t>(YcsbOpType::kInsert)];
+  const size_t reads = r.op_counts[static_cast<size_t>(YcsbOpType::kRead)];
+  EXPECT_GT(scans, 0u);
+  EXPECT_GT(inserts, 0u);
+  // E finishes when every key is inserted; the run part inserts the
+  // post-preload remainder (insert slots that found the dataset exhausted
+  // count as the reads they executed).
+  EXPECT_EQ(inserts, d.keys.size() -
+                         static_cast<size_t>(0.8 * static_cast<double>(
+                                                       d.keys.size())));
+  EXPECT_EQ(scans + inserts + reads, r.ops);
+}
+
+TEST(YcsbTest, PerOpLatencySumsToAggregate) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  YcsbOptions options = FastOptions();
+  options.record_latency = true;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kF, options);
+  uint64_t per_op_total = 0;
+  for (int i = 0; i < kNumYcsbOpTypes; i++) {
+    const auto& rec = r.op_latency[static_cast<size_t>(i)];
+    per_op_total += rec.count();
+    // Each per-kind recorder accounts for exactly that kind's executions.
+    EXPECT_EQ(rec.count(), r.op_counts[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(per_op_total, r.latency.count());
+  EXPECT_GT(
+      r.op_latency[static_cast<size_t>(YcsbOpType::kReadModifyWrite)].count(),
+      0u);
+}
+
+TEST(YcsbTest, LatencySamplingRecordsOneInN) {
+  const Dataset d = SmallDataset();
+  DyTISAdapter index;
+  YcsbOptions options = FastOptions();
+  options.record_latency = true;
+  options.latency_sample_every = 10;
+  const YcsbResult r = RunWorkload(&index, d, YcsbWorkload::kC, options);
+  // Sampling reduces recorded ops 10x; op counts stay exact.  With
+  // DYTIS_OBS=OFF the sampled path compiles out entirely.
+  EXPECT_EQ(r.op_counts[static_cast<size_t>(YcsbOpType::kRead)], r.ops);
+#if DYTIS_OBS_ENABLED
+  EXPECT_EQ(r.latency.count(), (r.ops + 9) / 10);
+#else
+  EXPECT_EQ(r.latency.count(), 0u);
+#endif
+}
+
 TEST(YcsbTest, ConcurrentHarnessRuns) {
   const Dataset d = MakeDataset(DatasetId::kReviewM, 20'000, 4);
   ConcurrentDyTISAdapter index;
@@ -138,14 +212,18 @@ TEST(YcsbTest, ConcurrentHarnessReportsExecutedOpsAndLatency) {
   const ConcurrencyResult r = RunConcurrent(&index, d, num_threads, options);
   EXPECT_EQ(r.insert_ops, d.keys.size());
   EXPECT_EQ(r.search_ops, options.run_ops);
+  EXPECT_EQ(r.update_ops, options.run_ops);
   const size_t expected_scans =
       std::max<size_t>(1, options.run_ops / options.scan_length);
   EXPECT_EQ(r.scan_ops, expected_scans);
   EXPECT_EQ(r.insert_latency.count(), r.insert_ops);
   EXPECT_EQ(r.search_latency.count(), r.search_ops);
+  EXPECT_EQ(r.update_latency.count(), r.update_ops);
   EXPECT_EQ(r.scan_latency.count(), r.scan_ops);
   EXPECT_GT(r.insert_latency.PercentileNanos(0.99), 0u);
+  EXPECT_GT(r.update_latency.PercentileNanos(0.99), 0u);
   EXPECT_GT(r.insert_mops, 0.0);
+  EXPECT_GT(r.update_mops, 0.0);
 }
 
 // --- Cross-index integration: every ordered index agrees with every other
