@@ -1,0 +1,193 @@
+// Durability overhead and recovery speed (robustness extension; not a paper
+// figure).
+//
+// Three questions, one row each:
+//   1. What does the WAL cost the insert path?  Throughput with durability
+//      off vs. buffered logging (no fsync) vs. group commit vs. synchronous
+//      logging — the off row is the fig08-comparable baseline and must stay
+//      within noise of the plain index (the wrapper is a pass-through).
+//   2. What does a checkpoint cost?  Wall time and bytes for a full v2
+//      snapshot of the loaded index.
+//   3. How fast is recovery?  Wall time to reopen the directory, replay the
+//      WAL tail onto the checkpoint, and verify invariants.
+//
+// JSON export (src/obs/bench_export.h): one document with a "modes" array
+// plus "checkpoint" and "recovery" objects, so EXPERIMENTS.md rows are
+// machine-checkable.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/recovery/durable_dytis.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace {
+
+using recovery::DurableDyTIS;
+using recovery::RecoveryConfig;
+
+struct ModeRow {
+  std::string name;
+  uint64_t sync_every = 0;
+  bool durable = false;
+  size_t ops = 0;
+  double seconds = 0.0;
+  double mops = 0.0;
+};
+
+uint64_t DirFileBytes(const std::string& path) {
+  struct ::stat st {};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+void RemoveDurabilityFiles(const std::string& dir) {
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/checkpoint.dytis").c_str());
+  std::remove(dir.c_str());
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  bench::PrintScale("Durability overhead & recovery (robustness extension)");
+  JsonValue root = obs::BenchEnvelope("recovery", n, n);
+
+  // Insert workload: n random keys, same distribution for every mode.
+  std::vector<ModeRow> modes = {
+      {"durability-off", 0, false, n},
+      {"wal-buffered", 0, true, n},
+      {"wal-group-64", 64, true, n},
+      // fsync-per-op is orders of magnitude slower; keep the row honest but
+      // affordable by capping its op count.
+      {"wal-sync-1", 1, true, std::min<size_t>(n, 20'000)},
+  };
+  JsonValue mode_rows = JsonValue::Array();
+  std::printf("%-16s %12s %10s %12s\n", "mode", "ops", "seconds", "Mops/s");
+  for (ModeRow& mode : modes) {
+    std::string tmpl = "/tmp/dytis_bench_recovery_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl.data());
+    RecoveryConfig rc;
+    if (mode.durable) {
+      rc.dir = dir != nullptr ? tmpl : "/tmp/dytis_bench_recovery_fallback";
+      rc.wal_sync_every = mode.sync_every;
+    }
+    std::string error;
+    auto db = DurableDyTIS<uint64_t>::Open(
+        rc, bench::ScaledDyTISConfig(mode.ops), &error);
+    if (db == nullptr) {
+      std::fprintf(stderr, "open failed for %s: %s\n", mode.name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    Rng rng(42);
+    Timer timer;
+    for (size_t i = 0; i < mode.ops; i++) {
+      db->Put(rng.Next(), i);
+    }
+    db->Sync(&error);
+    mode.seconds = timer.ElapsedSeconds();
+    mode.mops = static_cast<double>(mode.ops) / mode.seconds / 1e6;
+    std::printf("%-16s %12zu %10.3f %12.2f\n", mode.name.c_str(), mode.ops,
+                mode.seconds, mode.mops);
+    std::fflush(stdout);
+    JsonValue row = JsonValue::Object();
+    row["mode"] = mode.name;
+    row["ops"] = static_cast<uint64_t>(mode.ops);
+    row["seconds"] = mode.seconds;
+    row["mops"] = mode.mops;
+    mode_rows.Append(std::move(row));
+    db.reset();
+    if (mode.durable) {
+      RemoveDurabilityFiles(rc.dir);
+    } else if (dir != nullptr) {
+      std::remove(tmpl.c_str());
+    }
+  }
+  root["modes"] = std::move(mode_rows);
+
+  // Checkpoint cost + recovery speed, on one durable instance: load n keys
+  // buffered, checkpoint, append a WAL tail of n/4 more ops, then reopen.
+  std::string tmpl = "/tmp/dytis_bench_recovery_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  RecoveryConfig rc;
+  rc.dir = tmpl;
+  std::string error;
+  {
+    auto db =
+        DurableDyTIS<uint64_t>::Open(rc, bench::ScaledDyTISConfig(n), &error);
+    if (db == nullptr) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    Rng rng(43);
+    for (size_t i = 0; i < n; i++) {
+      db->Put(rng.Next(), i);
+    }
+    Timer ckpt_timer;
+    if (!db->Checkpoint(&error)) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
+      return 1;
+    }
+    const double ckpt_seconds = ckpt_timer.ElapsedSeconds();
+    const uint64_t ckpt_bytes = DirFileBytes(rc.CheckpointPath());
+    std::printf("checkpoint: %zu keys, %.1f MiB, %.3f s (%.1f MiB/s)\n",
+                db->size(), static_cast<double>(ckpt_bytes) / (1 << 20),
+                ckpt_seconds,
+                static_cast<double>(ckpt_bytes) / (1 << 20) / ckpt_seconds);
+    JsonValue ckpt = JsonValue::Object();
+    ckpt["keys"] = static_cast<uint64_t>(db->size());
+    ckpt["bytes"] = ckpt_bytes;
+    ckpt["seconds"] = ckpt_seconds;
+    root["checkpoint"] = std::move(ckpt);
+    // WAL tail past the checkpoint.
+    for (size_t i = 0; i < n / 4; i++) {
+      db->Put(rng.Next(), i);
+    }
+    db->Sync(&error);
+  }
+  Timer recovery_timer;
+  auto db =
+      DurableDyTIS<uint64_t>::Open(rc, bench::ScaledDyTISConfig(n), &error);
+  if (db == nullptr) {
+    std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
+    return 1;
+  }
+  const double rec_seconds = recovery_timer.ElapsedSeconds();
+  const auto& stats = db->recovery_stats();
+  std::printf(
+      "recovery: %zu keys (%llu from checkpoint + %llu WAL records), "
+      "%.3f s (%.2f Mkeys/s)\n",
+      db->size(), static_cast<unsigned long long>(stats.checkpoint_entries),
+      static_cast<unsigned long long>(stats.wal_records_replayed), rec_seconds,
+      static_cast<double>(db->size()) / rec_seconds / 1e6);
+  JsonValue rec = JsonValue::Object();
+  rec["keys"] = static_cast<uint64_t>(db->size());
+  rec["checkpoint_entries"] = stats.checkpoint_entries;
+  rec["wal_records_replayed"] = stats.wal_records_replayed;
+  rec["seconds"] = rec_seconds;
+  root["recovery"] = std::move(rec);
+  db.reset();
+  RemoveDurabilityFiles(rc.dir);
+
+  const std::string json = obs::WriteBenchJson("recovery", root);
+  if (!json.empty()) {
+    std::printf("# json: %s\n", json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

@@ -22,6 +22,24 @@ if [[ -n "${FILTER}" ]]; then
   CTEST_ARGS+=(-R "${FILTER}")
 fi
 
+# Per-config widening of the durability robustness suites: the release
+# config runs the full crash-kill matrix and a longer corruption-fuzz
+# campaign; sanitizer configs run a smaller matrix (each killed child and
+# every fuzz round re-runs recovery, which is slow under ASan/TSan) but gain
+# the memory-safety checking that the fuzz contract depends on.
+crash_points_for() {
+  case "$1" in
+    release) echo 6 ;;
+    *)       echo 2 ;;
+  esac
+}
+fuzz_rounds_for() {
+  case "$1" in
+    release) echo 120 ;;
+    *)       echo 30 ;;
+  esac
+}
+
 for config in ${CONFIGS}; do
   # DYTIS_OBS is set explicitly per config so a cached build directory never
   # carries a stale value across runs.
@@ -37,6 +55,18 @@ for config in ${CONFIGS}; do
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${config}] ctest ==="
   (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
+  # Crash-matrix + corruption-fuzz stage: re-run the durability suites with
+  # the widened kill-point matrix and fuzz campaign for this config.  tsan
+  # is excluded from the crash matrix: the helper dies by design, and TSan's
+  # at-exit machinery makes fork/SIGKILL churn disproportionately slow
+  # without adding coverage (the recovery path itself is single-threaded).
+  if [[ -z "${FILTER}" && "${config}" != "tsan" ]]; then
+    echo "=== [${config}] crash matrix + corruption fuzz ==="
+    (cd "${dir}" && \
+      DYTIS_CRASH_POINTS="$(crash_points_for "${config}")" \
+      DYTIS_FUZZ_ROUNDS="$(fuzz_rounds_for "${config}")" \
+      ctest --output-on-failure -j "${JOBS}" -R 'RecoveryCrashTest|RecoveryFuzzTest')
+  fi
 done
 
 # Bench-export smoke: one bench binary end to end must produce JSON that a

@@ -30,6 +30,12 @@ struct FaultPolicy {
   // Number of matching attempts to fail from start_op on; 0 disables the
   // policy entirely, kAlways fails every matching attempt.
   uint64_t fail_count = 0;
+  // Crash-injection harness hook: a matching attempt raises SIGKILL (dying
+  // mid-structural-op with no cleanup, exactly like a real crash) instead of
+  // reporting failure.  Used by the recovery crash tests to place
+  // deterministic kill points inside split/expansion/remap/doubling; see
+  // tests/dytis_crashkill.cc.
+  bool crash_instead = false;
 
   bool Enabled() const { return fail_count != 0; }
 

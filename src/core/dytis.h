@@ -248,6 +248,87 @@ class BasicDyTIS {
     return true;
   }
 
+  // Outcome of CheckInvariants(): every violation found, not just the first.
+  struct InvariantReport {
+    std::vector<std::string> violations;
+    uint64_t keys_visited = 0;  // entries seen by the global-order walk
+
+    bool ok() const { return violations.empty(); }
+    // One line per violation, for error messages and logs.
+    std::string Describe() const {
+      std::string out;
+      for (const std::string& v : violations) {
+        out += v;
+        out += '\n';
+      }
+      return out;
+    }
+  };
+
+  // Online invariant verifier (durability subsystem; see src/recovery/).
+  // Runs the full per-table structural validation (directory<->segment
+  // consistency, sibling-chain connectivity and ordering, sorted buckets,
+  // remap placement, per-segment key counts) plus the cross-table checks a
+  // single table cannot see: global ascending key order, the size() counter
+  // against the per-segment accounting, and overflow-stash occupancy
+  // against the stats counters.  Invoked after every recovery; cheap enough
+  // (one ordered walk) for tests and benches to call between phases.
+  InvariantReport CheckInvariants() const {
+    InvariantReport report;
+    for (size_t t = 0; t < tables_.size(); t++) {
+      std::string err;
+      if (!tables_[t]->ValidateInvariants(&err)) {
+        report.violations.push_back("table " + std::to_string(t) + ": " + err);
+      }
+    }
+    // Global order: keys must be strictly ascending across table boundaries
+    // (tables partition the key space by MSB, so any inversion is a key
+    // filed under the wrong first-level table).
+    uint64_t prev_key = 0;
+    bool have_prev = false;
+    bool order_ok = true;
+    uint64_t visited = 0;
+    ForEach([&](uint64_t key, const V&) {
+      if (have_prev && key <= prev_key && order_ok) {
+        report.violations.push_back(
+            "global key order violated near key " + std::to_string(key));
+        order_ok = false;
+      }
+      prev_key = key;
+      have_prev = true;
+      visited++;
+    });
+    report.keys_visited = visited;
+    // Accounting: the relaxed size_ counter, the per-segment num_keys sums,
+    // and the ordered walk must all agree.
+    size_t table_keys = 0;
+    for (const auto& table : tables_) {
+      table_keys += table->NumKeys();
+    }
+    if (visited != size() || table_keys != size()) {
+      report.violations.push_back(
+          "key accounting out of sync: size()=" + std::to_string(size()) +
+          " walk=" + std::to_string(visited) +
+          " segments=" + std::to_string(table_keys));
+    }
+    // Stash accounting vs. stats: stash entries only ever appear through a
+    // counted stash insert or a split spill, so a populated stash with
+    // neither counter moved means lost accounting.
+    const size_t stash = StashEntries();
+    const DyTISStatsView v = stats_->View();
+    if (stash > 0 && v.stash_inserts == 0 && v.splits == 0) {
+      report.violations.push_back(
+          "stash holds " + std::to_string(stash) +
+          " entries but stats recorded no stash inserts or splits");
+    }
+    if (stash > size()) {
+      report.violations.push_back(
+          "stash occupancy " + std::to_string(stash) +
+          " exceeds total key count " + std::to_string(size()));
+    }
+    return report;
+  }
+
  private:
   size_t TableIndexFor(uint64_t key) const {
     if (config_.first_level_bits == 0) {

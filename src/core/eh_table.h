@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <optional>
 #include <type_traits>
@@ -611,6 +612,11 @@ class EhTable {
     if (fp.fail_count != FaultPolicy::kAlways &&
         n - fp.start_op >= fp.fail_count) {
       return false;
+    }
+    if (fp.crash_instead) {
+      // Crash-injection harness: die mid-structural-op, with locks held and
+      // no cleanup — indistinguishable from a real crash at this point.
+      std::raise(SIGKILL);
     }
     stats_->Add(&DyTISStats::injected_faults, 1);
 #if DYTIS_OBS_ENABLED

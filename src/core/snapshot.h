@@ -1,12 +1,36 @@
-// Snapshot persistence for DyTIS (library extension; not part of the paper).
+// Snapshot / checkpoint persistence for DyTIS (library extension; not part
+// of the paper).
 //
-// Format (little-endian, version 1):
-//   magic "DYTS"   u32
-//   version        u32
-//   config         first_level_bits/l_start/... (the knobs that shape the
-//                  rebuilt index)
-//   num_entries    u64
-//   entries        num_entries * (key u64, value V) in ascending key order
+// Version 2 format (little-endian) — the checkpoint half of the durability
+// layer (src/recovery/):
+//
+//   magic "DYTS"       u32
+//   version            u32  (2)
+//   header section:
+//     config           the knobs that shape the rebuilt index (fault_policy
+//                      is cleared on write: injection is a live-test hook,
+//                      never a persistent property)
+//     num_entries      u64
+//     wal_lsn          u64  WAL epoch watermark: the highest log sequence
+//                           number whose effects this checkpoint contains;
+//                           recovery replays only records with lsn > this
+//     created_unix_ns  u64  wall-clock write time (checkpoint age metric)
+//     header_crc       u32  CRC32C over the header section
+//   entries section:
+//     entries          num_entries * (key u64, value V), ascending keys
+//     entries_crc      u32  CRC32C over all entry bytes
+//
+// Saving writes to `path + ".tmp"` and renames into place after fsync, so a
+// crash mid-checkpoint can never destroy the previous valid checkpoint.
+// Every fwrite/fflush/fclose is checked.  Loading verifies both section
+// CRCs and the ascending-key order and returns nullptr (with a reason
+// through *error) on any mismatch — a corrupt or truncated file is always a
+// clean error, never a partially built index.
+//
+// Version-1 files (no checksums, no watermark) written by earlier builds
+// still load through a compat path; truncation and out-of-order corruption
+// are detected, but bit flips inside entry values are not (v1 carried no
+// checksum — that is why v2 exists).
 //
 // Loading replays the sorted entries through the normal insert path, which
 // is DyTIS's fast path (buckets fill in append order) and guarantees the
@@ -15,6 +39,9 @@
 #ifndef DYTIS_SRC_CORE_SNAPSHOT_H_
 #define DYTIS_SRC_CORE_SNAPSHOT_H_
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -22,11 +49,22 @@
 #include <type_traits>
 
 #include "src/core/dytis.h"
+#include "src/util/crc32.h"
 
 namespace dytis {
 
 inline constexpr uint32_t kSnapshotMagic = 0x53545944;  // "DYTS"
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Current write version.  Readable versions: 1 (legacy, unchecksummed), 2.
+inline constexpr uint32_t kSnapshotVersion = 2;
+
+// Header metadata surfaced to callers that care about the durability chain
+// (recovery wants the WAL watermark and the checkpoint age).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t num_entries = 0;
+  uint64_t wal_lsn = 0;          // 0 for v1 files (no watermark recorded)
+  uint64_t created_unix_ns = 0;  // 0 for v1 files
+};
 
 namespace snapshot_detail {
 
@@ -49,69 +87,200 @@ bool ReadOne(std::FILE* f, T* v) {
   static_assert(std::is_trivially_copyable_v<T>);
   return std::fread(v, sizeof(T), 1, f) == 1;
 }
+// Checksummed variants: extend *crc with the object representation.
+template <typename T>
+bool WriteCrc(std::FILE* f, const T& v, uint32_t* crc) {
+  *crc = Crc32cExtend(*crc, &v, sizeof(T));
+  return WriteOne(f, v);
+}
+template <typename T>
+bool ReadCrc(std::FILE* f, T* v, uint32_t* crc) {
+  if (!ReadOne(f, v)) {
+    return false;
+  }
+  *crc = Crc32cExtend(*crc, v, sizeof(T));
+  return true;
+}
+
+inline bool Fail(std::string* error, const char* reason) {
+  if (error != nullptr) {
+    *error = reason;
+  }
+  return false;
+}
+
+inline uint64_t WallClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace snapshot_detail
 
-// Writes the index contents to `path`.  Returns false on I/O failure.
+// Writes the index contents to `path` (v2 format, atomically via a .tmp
+// rename).  `wal_lsn` is the WAL epoch watermark to record — 0 when the
+// snapshot is not part of a WAL-backed durability chain.  Returns false on
+// I/O failure with a reason through *error.
 template <typename V, typename Policy>
-bool SaveSnapshot(const BasicDyTIS<V, Policy>& index, const std::string& path) {
+bool SaveSnapshot(const BasicDyTIS<V, Policy>& index, const std::string& path,
+                  uint64_t wal_lsn = 0, std::string* error = nullptr) {
   static_assert(std::is_trivially_copyable_v<V>,
                 "snapshots support trivially copyable values only");
+  using snapshot_detail::Fail;
+  using snapshot_detail::WriteCrc;
   using snapshot_detail::WriteOne;
-  snapshot_detail::File f(std::fopen(path.c_str(), "wb"));
+  const std::string tmp_path = path + ".tmp";
+  snapshot_detail::File f(std::fopen(tmp_path.c_str(), "wb"));
   if (f == nullptr) {
-    return false;
+    return Fail(error, "cannot open snapshot file for writing");
   }
-  const DyTISConfig& config = index.config();
-  bool ok = WriteOne(f.get(), kSnapshotMagic) &&
-            WriteOne(f.get(), kSnapshotVersion) &&
-            WriteOne(f.get(), config) &&
-            WriteOne(f.get(), static_cast<uint64_t>(index.size()));
-  if (!ok) {
-    return false;
+  // Header section.  Fault injection is a live-testing hook; persisting it
+  // would re-arm the policy (or re-trigger a crash hook) on every load.
+  DyTISConfig config = index.config();
+  config.fault_policy = FaultPolicy{};
+  const uint64_t num_entries = index.size();
+  const uint64_t created_unix_ns = snapshot_detail::WallClockNanos();
+  uint32_t header_crc = 0;
+  if (!WriteOne(f.get(), kSnapshotMagic) ||
+      !WriteOne(f.get(), kSnapshotVersion) ||
+      !WriteCrc(f.get(), config, &header_crc) ||
+      !WriteCrc(f.get(), num_entries, &header_crc) ||
+      !WriteCrc(f.get(), wal_lsn, &header_crc) ||
+      !WriteCrc(f.get(), created_unix_ns, &header_crc) ||
+      !WriteOne(f.get(), header_crc)) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "short write in snapshot header");
   }
+  // Entries section, checksummed as a stream.
+  uint32_t entries_crc = 0;
+  uint64_t written = 0;
   bool write_failed = false;
   index.ForEach([&](uint64_t key, const V& value) {
     if (write_failed) {
       return;
     }
-    if (!WriteOne(f.get(), key) || !WriteOne(f.get(), value)) {
+    if (!WriteCrc(f.get(), key, &entries_crc) ||
+        !WriteCrc(f.get(), value, &entries_crc)) {
       write_failed = true;
+      return;
     }
+    written++;
   });
-  if (write_failed) {
-    return false;
+  if (write_failed || written != num_entries ||
+      !WriteOne(f.get(), entries_crc)) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "short write in snapshot entries");
   }
-  return std::fflush(f.get()) == 0;
+  // Durability: flush user buffers, fsync, and check the close before the
+  // rename makes the file visible under its final name.
+  if (std::fflush(f.get()) != 0 || ::fsync(fileno(f.get())) != 0) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "snapshot flush/fsync failed");
+  }
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "snapshot close failed");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Fail(error, "snapshot rename failed");
+  }
+  return true;
 }
 
-// Loads a snapshot into a fresh index.  Returns nullptr on I/O failure,
-// magic/version mismatch, or corrupt entry counts.
+// Loads a snapshot into a fresh index.  Returns nullptr — with a reason
+// through *error — on I/O failure, magic/version mismatch, checksum
+// mismatch, truncation, trailing garbage, or out-of-order entries; a bad
+// file never yields a partially built index.  *info (optional) receives the
+// header metadata (version, entry count, WAL watermark, creation time).
 template <typename V, typename Policy = NoLockPolicy>
-std::unique_ptr<BasicDyTIS<V, Policy>> LoadSnapshot(const std::string& path) {
+std::unique_ptr<BasicDyTIS<V, Policy>> LoadSnapshot(
+    const std::string& path, std::string* error = nullptr,
+    SnapshotInfo* info = nullptr) {
   static_assert(std::is_trivially_copyable_v<V>);
+  using snapshot_detail::ReadCrc;
   using snapshot_detail::ReadOne;
+  auto fail = [error](const char* reason) {
+    if (error != nullptr) {
+      *error = reason;
+    }
+    return nullptr;
+  };
   snapshot_detail::File f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
-    return nullptr;
+    return fail("cannot open snapshot file");
   }
   uint32_t magic = 0;
   uint32_t version = 0;
+  if (!ReadOne(f.get(), &magic) || magic != kSnapshotMagic) {
+    return fail("bad snapshot magic");
+  }
+  if (!ReadOne(f.get(), &version) || (version != 1 && version != 2)) {
+    return fail("unsupported snapshot version");
+  }
   DyTISConfig config;
   uint64_t count = 0;
-  if (!ReadOne(f.get(), &magic) || magic != kSnapshotMagic ||
-      !ReadOne(f.get(), &version) || version != kSnapshotVersion ||
-      !ReadOne(f.get(), &config) || !ReadOne(f.get(), &count)) {
-    return nullptr;
+  uint64_t wal_lsn = 0;
+  uint64_t created_unix_ns = 0;
+  if (version == 1) {
+    if (!ReadOne(f.get(), &config) || !ReadOne(f.get(), &count)) {
+      return fail("truncated snapshot header");
+    }
+  } else {
+    uint32_t header_crc = 0;
+    uint32_t stored_header_crc = 0;
+    if (!ReadCrc(f.get(), &config, &header_crc) ||
+        !ReadCrc(f.get(), &count, &header_crc) ||
+        !ReadCrc(f.get(), &wal_lsn, &header_crc) ||
+        !ReadCrc(f.get(), &created_unix_ns, &header_crc) ||
+        !ReadOne(f.get(), &stored_header_crc)) {
+      return fail("truncated snapshot header");
+    }
+    if (stored_header_crc != header_crc) {
+      return fail("snapshot header checksum mismatch");
+    }
+  }
+  if (info != nullptr) {
+    info->version = version;
+    info->num_entries = count;
+    info->wal_lsn = wal_lsn;
+    info->created_unix_ns = created_unix_ns;
   }
   auto index = std::make_unique<BasicDyTIS<V, Policy>>(config);
+  uint32_t entries_crc = 0;
+  uint64_t prev_key = 0;
   for (uint64_t i = 0; i < count; i++) {
     uint64_t key = 0;
     V value{};
-    if (!ReadOne(f.get(), &key) || !ReadOne(f.get(), &value)) {
-      return nullptr;
+    if (!ReadCrc(f.get(), &key, &entries_crc) ||
+        !ReadCrc(f.get(), &value, &entries_crc)) {
+      return fail("truncated snapshot entries");
     }
+    // Entries are written in ascending key order; anything else is
+    // corruption (and catches many unchecksummed v1 bit flips too).
+    if (i > 0 && key <= prev_key) {
+      return fail("snapshot entries out of order");
+    }
+    prev_key = key;
     index->Insert(key, value);
+  }
+  if (version == 2) {
+    uint32_t stored_entries_crc = 0;
+    if (!ReadOne(f.get(), &stored_entries_crc)) {
+      return fail("truncated snapshot entries checksum");
+    }
+    if (stored_entries_crc != entries_crc) {
+      return fail("snapshot entries checksum mismatch");
+    }
+  }
+  // The format ends here; trailing bytes mean the file is not what the
+  // header claims (e.g. a larger file truncated into a smaller valid one
+  // cannot happen, but concatenation/garbage can).
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, f.get()) != 0) {
+    return fail("trailing garbage after snapshot entries");
   }
   return index;
 }

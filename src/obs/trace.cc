@@ -22,6 +22,12 @@ const char* TraceOpName(TraceOp op) {
       return "fault";
     case TraceOp::kStashInsert:
       return "stash_insert";
+    case TraceOp::kCheckpoint:
+      return "checkpoint";
+    case TraceOp::kWalReplay:
+      return "wal_replay";
+    case TraceOp::kRecovery:
+      return "recovery";
   }
   return "?";
 }

@@ -43,8 +43,10 @@
 namespace dytis {
 namespace obs {
 
-// One entry per DyTISStats structural counter that the tracer mirrors; the
-// trace/stats equivalence is asserted by the test suite.
+// One entry per DyTISStats structural counter that the tracer mirrors (the
+// trace/stats equivalence is asserted by the test suite), plus the
+// durability-lifecycle events recorded by src/recovery/ (checkpoint writes,
+// WAL replay, whole recoveries).
 enum class TraceOp : uint8_t {
   kSplit = 0,
   kExpansion,
@@ -53,8 +55,11 @@ enum class TraceOp : uint8_t {
   kMerge,
   kFault,
   kStashInsert,
+  kCheckpoint,
+  kWalReplay,
+  kRecovery,
 };
-inline constexpr int kNumTraceOps = 7;
+inline constexpr int kNumTraceOps = 10;
 
 const char* TraceOpName(TraceOp op);
 

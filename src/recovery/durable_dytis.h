@@ -1,0 +1,460 @@
+// Crash-consistent durability wrapper around BasicDyTIS (WAL + checkpoint).
+//
+// DurableDyTIS mirrors the BasicDyTIS API and adds redo logging: every
+// mutating operation (put / erase) is appended to a CRC32C-framed
+// write-ahead log (src/recovery/wal.h) *before* it is applied to the
+// in-memory index.  Checkpoint() persists the full index as a v2 snapshot
+// (src/core/snapshot.h) carrying the WAL epoch watermark, then truncates
+// the log.  Open() recovers: load the last valid checkpoint, replay the
+// WAL tail (skipping records at or below the watermark, physically
+// truncating a torn tail), and run the online invariant verifier
+// (DyTIS::CheckInvariants) before handing the index back.
+//
+// Cost model: with durability disabled (RecoveryConfig::dir empty) every
+// operation forwards through one predictable branch — no log, no locks, no
+// allocation; the hot path pays nothing.  With durability on, the WAL
+// append cost is controlled by RecoveryConfig::wal_sync_every (group
+// commit): 1 fsyncs per record, N amortises one fsync over N records, 0
+// never fsyncs automatically (data still reaches the OS on a byte
+// threshold and survives a process kill, though not power loss).
+//
+// Concurrency: WAL appends are serialised by an internal mutex, so the log
+// order is a valid linearisation of the operations as logged.  For the
+// concurrent index policies, Checkpoint() and Open() require quiescence
+// (no concurrent writers), like the tracer's collect side.  Recovery
+// replays records in LSN order.
+//
+// Every recovery and checkpoint emits observability signals: trace events
+// (TraceOp::kRecovery / kWalReplay / kCheckpoint) and MetricsRegistry
+// counters/gauges under "recovery.*" (records replayed, torn bytes
+// truncated, checkpoint age).
+#ifndef DYTIS_SRC_RECOVERY_DURABLE_DYTIS_H_
+#define DYTIS_SRC_RECOVERY_DURABLE_DYTIS_H_
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/core/dytis.h"
+#include "src/core/insert_result.h"
+#include "src/core/snapshot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/recovery/wal.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace recovery {
+
+struct RecoveryConfig {
+  // Durability directory (created on demand, one level).  Empty = durability
+  // off: the wrapper is a zero-cost pass-through and writes no files.
+  std::string dir;
+  // Group-commit cadence: fsync the WAL after every Nth logged op.  1 =
+  // synchronous logging, 0 = no automatic fsync (see file comment).
+  uint64_t wal_sync_every = 0;
+  // Automatic checkpoint after every N logged ops (0 = manual only).
+  uint64_t checkpoint_every = 0;
+  // Run DyTIS::CheckInvariants() at the end of Open(); violations fail the
+  // recovery with the report in *error.
+  bool verify_after_recovery = true;
+
+  bool enabled() const { return !dir.empty(); }
+  std::string WalPath() const { return dir + "/wal.log"; }
+  std::string CheckpointPath() const { return dir + "/checkpoint.dytis"; }
+};
+
+// What Open() found and did; exact counts, for tests and metrics.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_entries = 0;
+  uint64_t checkpoint_wal_lsn = 0;  // watermark read from the checkpoint
+  uint64_t checkpoint_age_ns = 0;   // now - checkpoint creation time
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_records_skipped = 0;  // lsn <= watermark (stale duplicates)
+  uint64_t torn_bytes_truncated = 0;
+  uint64_t last_lsn = 0;  // highest LSN reflected in the recovered index
+  uint64_t recovery_ns = 0;
+};
+
+template <typename V, typename Policy = NoLockPolicy>
+class DurableDyTIS {
+ public:
+  static_assert(std::is_trivially_copyable_v<V>,
+                "the WAL logs raw value bytes; V must be trivially copyable");
+  using Index = BasicDyTIS<V, Policy>;
+  using ScanEntry = typename Index::ScanEntry;
+  using InvariantReport = typename Index::InvariantReport;
+
+  // Opens (recovering if durability files exist) a durable index.  `config`
+  // shapes a fresh index; when a checkpoint exists its stored config wins
+  // (the structure on disk was built with it).  Returns nullptr with a
+  // reason through *error on unreadable/corrupt files or a failed
+  // post-recovery invariant check.
+  static std::unique_ptr<DurableDyTIS> Open(const RecoveryConfig& recovery,
+                                            const DyTISConfig& config =
+                                                DyTISConfig{},
+                                            std::string* error = nullptr) {
+    auto fail = [error](const std::string& reason) {
+      if (error != nullptr) {
+        *error = reason;
+      }
+      return nullptr;
+    };
+    std::unique_ptr<DurableDyTIS> db(new DurableDyTIS(recovery));
+    if (!recovery.enabled()) {
+      db->index_ = std::make_unique<Index>(config);
+      return db;
+    }
+    const uint64_t t0 = NowNanos();
+    if (::mkdir(recovery.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return fail("cannot create durability dir '" + recovery.dir +
+                  "': " + std::strerror(errno));
+    }
+    // 1. Checkpoint: absent is a fresh start; present-but-bad is an error
+    // (silently starting empty would resurrect deleted data or lose the
+    // dataset without anyone noticing).
+    struct ::stat st {};
+    const bool have_checkpoint =
+        ::stat(recovery.CheckpointPath().c_str(), &st) == 0;
+    SnapshotInfo snap_info;
+    if (have_checkpoint) {
+      std::string snap_error;
+      db->index_ = LoadSnapshot<V, Policy>(recovery.CheckpointPath(),
+                                           &snap_error, &snap_info);
+      if (db->index_ == nullptr) {
+        return fail("checkpoint '" + recovery.CheckpointPath() +
+                    "': " + snap_error);
+      }
+      db->stats_.checkpoint_loaded = true;
+      db->stats_.checkpoint_entries = snap_info.num_entries;
+      db->stats_.checkpoint_wal_lsn = snap_info.wal_lsn;
+      if (snap_info.created_unix_ns != 0) {
+        const uint64_t now = snapshot_detail::WallClockNanos();
+        db->stats_.checkpoint_age_ns =
+            now > snap_info.created_unix_ns ? now - snap_info.created_unix_ns
+                                            : 0;
+      }
+    } else {
+      db->index_ = std::make_unique<Index>(config);
+    }
+    // 2. WAL tail: replay records past the watermark, in LSN order.
+    const uint64_t replay_t0 = NowNanos();
+    WalReadResult wal;
+    std::string wal_error;
+    if (!ReadWal(recovery.WalPath(), &wal, &wal_error)) {
+      return fail("wal '" + recovery.WalPath() + "': " + wal_error);
+    }
+    uint64_t last_lsn = snap_info.wal_lsn;
+    for (const WalRecord& record : wal.records) {
+      if (record.lsn <= snap_info.wal_lsn) {
+        db->stats_.wal_records_skipped++;
+        continue;
+      }
+      if (!db->ApplyRecord(record)) {
+        return fail("wal '" + recovery.WalPath() + "': record " +
+                    std::to_string(record.lsn) + " has a malformed payload");
+      }
+      db->stats_.wal_records_replayed++;
+      last_lsn = record.lsn;
+    }
+    DYTIS_OBS_TRACE(obs::TraceOp::kWalReplay, replay_t0, NowNanos(), 0, -1);
+    // 3. Torn tail: physically drop it so appending resumes from a clean
+    // frame boundary.  An expected crash outcome, not an error.
+    if (wal.torn_bytes > 0) {
+      std::string trunc_error;
+      if (!TruncateFile(recovery.WalPath(), wal.valid_bytes, &trunc_error)) {
+        return fail(trunc_error);
+      }
+      db->stats_.torn_bytes_truncated = wal.torn_bytes;
+    }
+    db->stats_.last_lsn = last_lsn;
+    // 4. Reopen the log for appending where the recovered state ends.
+    WalOptions options;
+    options.sync_every = recovery.wal_sync_every;
+    std::string open_error;
+    if (!db->wal_.Open(recovery.WalPath(), last_lsn + 1, options,
+                       &open_error)) {
+      return fail(open_error);
+    }
+    // 5. Online invariant verification of the recovered structure.
+    if (recovery.verify_after_recovery) {
+      const InvariantReport report = db->index_->CheckInvariants();
+      if (!report.ok()) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("recovery.invariant_violations")
+            .Add(report.violations.size());
+        return fail("post-recovery invariant check failed:\n" +
+                    report.Describe());
+      }
+    }
+    db->stats_.recovery_ns = NowNanos() - t0;
+    db->ExportRecoveryMetrics();
+    DYTIS_OBS_TRACE(obs::TraceOp::kRecovery, t0, NowNanos(), 0, -1);
+    return db;
+  }
+
+  ~DurableDyTIS() {
+    // Best-effort: push buffered frames to the OS so an orderly shutdown
+    // loses nothing (callers wanting power-loss durability call Sync()).
+    std::string ignored;
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_.Flush(&ignored);
+  }
+
+  DurableDyTIS(const DurableDyTIS&) = delete;
+  DurableDyTIS& operator=(const DurableDyTIS&) = delete;
+
+  // --- Mutations (logged before applied) ----------------------------------
+
+  // Insert-or-update with the full outcome.  kHardError additionally covers
+  // a WAL append failure (the op is NOT applied when it cannot be logged —
+  // an unlogged mutation would silently vanish on the next recovery).
+  InsertResult PutEx(uint64_t key, const V& value) {
+    if (wal_.is_open() && !LogPut(key, value)) {
+      return InsertResult::kHardError;
+    }
+    const InsertResult result = index_->InsertEx(key, value);
+    MaybeAutoCheckpoint();
+    return result;
+  }
+  bool Put(uint64_t key, const V& value) { return IsNewKey(PutEx(key, value)); }
+  // BasicDyTIS API parity.
+  bool Insert(uint64_t key, const V& value) { return Put(key, value); }
+  InsertResult InsertEx(uint64_t key, const V& value) {
+    return PutEx(key, value);
+  }
+
+  // In-place update of an existing key; false when absent (nothing logged).
+  bool Update(uint64_t key, const V& value) {
+    if (!index_->Find(key, nullptr)) {
+      return false;
+    }
+    if (wal_.is_open() && !LogPut(key, value)) {
+      return false;
+    }
+    const bool updated = index_->Update(key, value);
+    MaybeAutoCheckpoint();
+    return updated;
+  }
+
+  // Deletes a key.  Returns false when absent (an absent-key delete is not
+  // logged: replaying it would be a no-op, so the log stays minimal).
+  bool Erase(uint64_t key) {
+    if (!index_->Find(key, nullptr)) {
+      return false;
+    }
+    if (wal_.is_open() && !LogErase(key)) {
+      return false;
+    }
+    const bool erased = index_->Erase(key);
+    MaybeAutoCheckpoint();
+    return erased;
+  }
+
+  // --- Reads (pass-through) -----------------------------------------------
+
+  bool Find(uint64_t key, V* value) const { return index_->Find(key, value); }
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    return index_->Scan(start_key, count, out);
+  }
+  size_t ScanRange(uint64_t start_key, uint64_t end_key, size_t count,
+                   ScanEntry* out) const {
+    return index_->ScanRange(start_key, end_key, count, out);
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    index_->ForEach(std::forward<Fn>(fn));
+  }
+  size_t size() const { return index_->size(); }
+  const DyTISConfig& config() const { return index_->config(); }
+  const DyTISStats& stats() const { return index_->stats(); }
+
+  // --- Durability control -------------------------------------------------
+
+  // Persists the full index as a v2 checkpoint carrying the current WAL
+  // watermark, then truncates the log.  Requires quiescence under the
+  // concurrent policies (see file comment).
+  bool Checkpoint(std::string* error = nullptr) {
+    if (!wal_.is_open()) {
+      if (error != nullptr) {
+        *error = "durability is disabled";
+      }
+      return false;
+    }
+    const uint64_t t0 = NowNanos();
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    // Everything logged so far must be on disk before the checkpoint that
+    // supersedes it claims the watermark.
+    if (!wal_.Sync(error)) {
+      return false;
+    }
+    const uint64_t watermark = wal_.next_lsn() - 1;
+    if (!SaveSnapshot(*index_, recovery_.CheckpointPath(), watermark, error)) {
+      return false;
+    }
+    // Crash window here (checkpoint renamed, log not yet reset) is safe:
+    // replay skips records at or below the watermark.
+    if (!wal_.Reset(error)) {
+      return false;
+    }
+    ops_since_checkpoint_ = 0;
+    obs::MetricsRegistry::Global()
+        .GetCounter("recovery.checkpoints_written")
+        .Add(1);
+    DYTIS_OBS_TRACE(obs::TraceOp::kCheckpoint, t0, NowNanos(), 0, -1);
+    return true;
+  }
+
+  // Flush + fsync the WAL: everything acknowledged so far survives power
+  // loss, regardless of the group-commit cadence.
+  bool Sync(std::string* error = nullptr) {
+    if (!wal_.is_open()) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    return wal_.Sync(error);
+  }
+
+  InvariantReport CheckInvariants() const { return index_->CheckInvariants(); }
+
+  const RecoveryStats& recovery_stats() const { return stats_; }
+  bool durable() const { return wal_.is_open(); }
+  // Highest LSN assigned so far (0 = nothing logged since the epoch).
+  uint64_t last_lsn() const {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    return wal_.is_open() ? wal_.next_lsn() - 1 : 0;
+  }
+
+  // The wrapped index, for stats/obs snapshots and tests.
+  Index& index() { return *index_; }
+  const Index& index() const { return *index_; }
+
+ private:
+  static constexpr uint8_t kOpPut = 1;
+  static constexpr uint8_t kOpErase = 2;
+  static constexpr size_t kPutPayloadBytes = 1 + sizeof(uint64_t) + sizeof(V);
+  static constexpr size_t kErasePayloadBytes = 1 + sizeof(uint64_t);
+
+  explicit DurableDyTIS(RecoveryConfig recovery)
+      : recovery_(std::move(recovery)) {}
+
+  bool LogPut(uint64_t key, const V& value) {
+    unsigned char payload[kPutPayloadBytes];
+    payload[0] = kOpPut;
+    std::memcpy(payload + 1, &key, sizeof(key));
+    std::memcpy(payload + 1 + sizeof(key), &value, sizeof(V));
+    return LogPayload(payload, sizeof(payload));
+  }
+
+  bool LogErase(uint64_t key) {
+    unsigned char payload[kErasePayloadBytes];
+    payload[0] = kOpErase;
+    std::memcpy(payload + 1, &key, sizeof(key));
+    return LogPayload(payload, sizeof(payload));
+  }
+
+  bool LogPayload(const void* payload, size_t size) {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    std::string error;
+    if (!wal_.Append(payload, static_cast<uint32_t>(size), nullptr, &error)) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("recovery.wal_append_failures")
+          .Add(1);
+      return false;
+    }
+    if (recovery_.checkpoint_every > 0 &&
+        ++ops_since_checkpoint_ >= recovery_.checkpoint_every) {
+      checkpoint_due_ = true;
+    }
+    return true;
+  }
+
+  // Runs an automatic checkpoint if the op cadence says one is due.  Called
+  // by the mutators after the index has absorbed the op (so the checkpoint
+  // contains it) and without wal_mutex_ held (Checkpoint takes it).
+  // Best-effort: a failed auto-checkpoint does not fail the op — the WAL
+  // already holds it, the log just keeps growing until a checkpoint lands.
+  void MaybeAutoCheckpoint() {
+    bool due = false;
+    {
+      std::lock_guard<std::mutex> lock(wal_mutex_);
+      due = checkpoint_due_;
+      checkpoint_due_ = false;
+    }
+    if (due) {
+      std::string error;
+      if (!Checkpoint(&error)) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("recovery.checkpoint_failures")
+            .Add(1);
+      }
+    }
+  }
+
+  // Decodes and applies one replayed WAL record.  False on a CRC-valid but
+  // semantically malformed payload (wrong size/tag — e.g. a log written
+  // with a different value type).
+  bool ApplyRecord(const WalRecord& record) {
+    if (record.payload.empty()) {
+      return false;
+    }
+    const uint8_t tag = record.payload[0];
+    if (tag == kOpPut && record.payload.size() == kPutPayloadBytes) {
+      uint64_t key = 0;
+      V value{};
+      std::memcpy(&key, record.payload.data() + 1, sizeof(key));
+      std::memcpy(&value, record.payload.data() + 1 + sizeof(key), sizeof(V));
+      index_->Insert(key, value);
+      return true;
+    }
+    if (tag == kOpErase && record.payload.size() == kErasePayloadBytes) {
+      uint64_t key = 0;
+      std::memcpy(&key, record.payload.data() + 1, sizeof(key));
+      index_->Erase(key);
+      return true;
+    }
+    return false;
+  }
+
+  void ExportRecoveryMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("recovery.recoveries").Add(1);
+    registry.GetCounter("recovery.wal_records_replayed")
+        .Add(stats_.wal_records_replayed);
+    registry.GetCounter("recovery.wal_records_skipped")
+        .Add(stats_.wal_records_skipped);
+    registry.GetCounter("recovery.torn_bytes_truncated")
+        .Add(stats_.torn_bytes_truncated);
+    registry.GetGauge("recovery.last_checkpoint_age_ns")
+        .Set(static_cast<int64_t>(stats_.checkpoint_age_ns));
+    registry.GetGauge("recovery.last_lsn")
+        .Set(static_cast<int64_t>(stats_.last_lsn));
+    registry.GetHistogram("recovery.recovery_ns").Record(stats_.recovery_ns);
+  }
+
+  RecoveryConfig recovery_;
+  std::unique_ptr<Index> index_;
+  WalWriter wal_;
+  mutable std::mutex wal_mutex_;
+  uint64_t ops_since_checkpoint_ = 0;
+  bool checkpoint_due_ = false;
+  RecoveryStats stats_;
+};
+
+// Single-threaded durable DyTIS.
+template <typename V>
+using DurableIndex = DurableDyTIS<V, NoLockPolicy>;
+
+}  // namespace recovery
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_RECOVERY_DURABLE_DYTIS_H_

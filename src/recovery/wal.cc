@@ -1,0 +1,240 @@
+#include "src/recovery/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace dytis {
+namespace recovery {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+// write(2) with EINTR/short-write handling.
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+bool WalWriter::Open(const std::string& path, uint64_t next_lsn,
+                     const WalOptions& options, std::string* error) {
+  Close();
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    SetError(error, "open '" + path + "'");
+    return false;
+  }
+  options_ = options;
+  next_lsn_ = next_lsn == 0 ? 1 : next_lsn;
+  appended_ = 0;
+  unsynced_ = 0;
+  buffer_.clear();
+  return true;
+}
+
+bool WalWriter::Append(const void* payload, uint32_t size, uint64_t* lsn,
+                       std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "wal writer is not open";
+    }
+    return false;
+  }
+  if (size > kMaxWalPayloadBytes) {
+    if (error != nullptr) {
+      *error = "wal payload exceeds kMaxWalPayloadBytes";
+    }
+    return false;
+  }
+  const uint64_t this_lsn = next_lsn_;
+  // Frame body first (size, lsn, payload), then the CRC over it.
+  std::string body;
+  body.reserve(kWalFrameHeaderBytes - sizeof(uint32_t) + size);
+  AppendRaw(&body, &size, sizeof(size));
+  AppendRaw(&body, &this_lsn, sizeof(this_lsn));
+  AppendRaw(&body, payload, size);
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  AppendRaw(&buffer_, &crc, sizeof(crc));
+  buffer_ += body;
+  next_lsn_++;
+  appended_++;
+  unsynced_++;
+  if (options_.sync_every > 0) {
+    if (unsynced_ >= options_.sync_every && !Sync(error)) {
+      return false;
+    }
+  } else if (buffer_.size() >= options_.buffer_bytes) {
+    if (!Flush(error)) {
+      return false;
+    }
+  }
+  if (lsn != nullptr) {
+    *lsn = this_lsn;
+  }
+  return true;
+}
+
+bool WalWriter::Flush(std::string* error) {
+  if (fd_ < 0 || buffer_.empty()) {
+    return true;
+  }
+  if (!WriteAll(fd_, buffer_.data(), buffer_.size())) {
+    SetError(error, "wal write");
+    return false;
+  }
+  buffer_.clear();
+  return true;
+}
+
+bool WalWriter::Sync(std::string* error) {
+  if (!Flush(error)) {
+    return false;
+  }
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    SetError(error, "wal fsync");
+    return false;
+  }
+  unsynced_ = 0;
+  return true;
+}
+
+bool WalWriter::Reset(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "wal writer is not open";
+    }
+    return false;
+  }
+  buffer_.clear();  // buffered-but-unwritten frames are covered upstream
+  if (::ftruncate(fd_, 0) != 0) {
+    SetError(error, "wal ftruncate");
+    return false;
+  }
+  unsynced_ = 0;
+  return true;
+}
+
+void WalWriter::Close() {
+  if (fd_ < 0) {
+    return;
+  }
+  Flush(nullptr);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+bool ReadWal(const std::string& path, WalReadResult* out, std::string* error) {
+  *out = WalReadResult{};
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return true;  // no log yet: empty, successful result
+    }
+    SetError(error, "open '" + path + "'");
+    return false;
+  }
+  out->found = true;
+  std::string data;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SetError(error, "read '" + path + "'");
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    data.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  out->file_bytes = data.size();
+
+  size_t pos = 0;
+  uint64_t prev_lsn = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalFrameHeaderBytes) {
+      out->torn_reason = "partial frame header";
+      break;
+    }
+    uint32_t crc = 0;
+    uint32_t size = 0;
+    uint64_t lsn = 0;
+    std::memcpy(&crc, data.data() + pos, sizeof(crc));
+    std::memcpy(&size, data.data() + pos + 4, sizeof(size));
+    std::memcpy(&lsn, data.data() + pos + 8, sizeof(lsn));
+    if (size > kMaxWalPayloadBytes) {
+      out->torn_reason = "frame size out of bounds";
+      break;
+    }
+    if (data.size() - pos - kWalFrameHeaderBytes < size) {
+      out->torn_reason = "partial frame payload";
+      break;
+    }
+    // CRC covers [size, lsn, payload].
+    const uint32_t actual =
+        Crc32c(data.data() + pos + 4, sizeof(size) + sizeof(lsn) + size);
+    if (actual != crc) {
+      out->torn_reason = "frame checksum mismatch";
+      break;
+    }
+    if (lsn <= prev_lsn) {
+      out->torn_reason = "non-monotonic lsn";
+      break;
+    }
+    WalRecord record;
+    record.lsn = lsn;
+    const auto* payload = reinterpret_cast<const uint8_t*>(data.data() + pos +
+                                                           kWalFrameHeaderBytes);
+    record.payload.assign(payload, payload + size);
+    out->records.push_back(std::move(record));
+    prev_lsn = lsn;
+    pos += kWalFrameHeaderBytes + size;
+  }
+  out->valid_bytes = pos;
+  out->torn_bytes = out->file_bytes - pos;
+  return true;
+}
+
+bool TruncateFile(const std::string& path, uint64_t bytes, std::string* error) {
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
+    SetError(error, "truncate '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace recovery
+}  // namespace dytis

@@ -1,0 +1,122 @@
+// Append-only, CRC32C-framed write-ahead log (durability subsystem).
+//
+// The WAL is the redo log of the durability layer (src/recovery/
+// durable_dytis.h): every mutating operation is appended *before* it is
+// applied to the in-memory index, so after a crash the sequence
+// last-valid-checkpoint + WAL-tail reconstructs the index exactly.
+//
+// On-disk frame format (little-endian), one frame per record:
+//
+//   crc   u32   CRC32C over [size, lsn, payload]
+//   size  u32   payload length in bytes (bounded by kMaxWalPayloadBytes)
+//   lsn   u64   log sequence number, strictly increasing within a file
+//   payload     `size` opaque bytes (the typed layer encodes ops here)
+//
+// Torn-tail semantics: a crash can leave a partial or corrupt frame at the
+// end of the file.  WalReadResult reports the longest well-formed prefix;
+// recovery truncates the file to that prefix and continues appending — a
+// torn tail is an expected outcome of a crash, never a fatal error.  A CRC
+// mismatch, an over-bound size, or a non-monotonic LSN all end the prefix
+// the same way.
+//
+// Group commit: WalWriter buffers frames in user space and flushes + fsyncs
+// once per `sync_every` records (sync_every == 1 is classic synchronous
+// logging; 0 never fsyncs and flushes on a byte threshold only).  Records
+// that were flushed survive a process kill (page cache); records that were
+// also fsynced survive power loss.
+#ifndef DYTIS_SRC_RECOVERY_WAL_H_
+#define DYTIS_SRC_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dytis {
+namespace recovery {
+
+// Frame header: crc u32 + size u32 + lsn u64.
+inline constexpr size_t kWalFrameHeaderBytes = 16;
+// Upper bound on a single record's payload; a frame claiming more is treated
+// as corruption (it bounds what a bit-flipped size field can make us read).
+inline constexpr uint32_t kMaxWalPayloadBytes = 1u << 20;
+
+struct WalOptions {
+  // fsync after every Nth appended record (group commit).  1 = every record,
+  // 0 = never fsync automatically (Sync() still available).
+  uint64_t sync_every = 0;
+  // Flush-to-OS threshold for the user-space buffer when no fsync cadence
+  // forces it earlier.
+  size_t buffer_bytes = 256 * 1024;
+};
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens (creating if needed) the log for appending.  `next_lsn` seeds the
+  // sequence numbering — recovery passes 1 + the highest LSN it replayed.
+  bool Open(const std::string& path, uint64_t next_lsn,
+            const WalOptions& options, std::string* error);
+  bool is_open() const { return fd_ >= 0; }
+
+  // Appends one record, assigning it the next LSN (returned through *lsn
+  // when non-null).  Honors the group-commit cadence.  False on I/O failure.
+  bool Append(const void* payload, uint32_t size, uint64_t* lsn,
+              std::string* error);
+
+  // Pushes buffered frames to the OS (no fsync).
+  bool Flush(std::string* error);
+  // Flush + fsync: everything appended so far survives power loss.
+  bool Sync(std::string* error);
+
+  // Truncates the log to zero length (after a successful checkpoint).  LSNs
+  // keep increasing across resets; stale frames are filtered by LSN anyway.
+  bool Reset(std::string* error);
+
+  // Flushes (without fsync) and closes the descriptor.
+  void Close();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  // Records appended since Open.
+  uint64_t appended() const { return appended_; }
+
+ private:
+  int fd_ = -1;
+  WalOptions options_;
+  std::string buffer_;
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_ = 0;
+  uint64_t unsynced_ = 0;  // records appended since the last fsync
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  // the well-formed prefix, in LSN order
+  bool found = false;              // the file existed
+  uint64_t file_bytes = 0;
+  uint64_t valid_bytes = 0;  // length of the well-formed prefix
+  uint64_t torn_bytes = 0;   // file_bytes - valid_bytes
+  std::string torn_reason;   // why parsing stopped ("" = clean end)
+};
+
+// Reads the well-formed prefix of the log at `path`.  Corruption is not an
+// error — parsing stops and the result reports where and why.  Returns
+// false only for real I/O failures (the file exists but cannot be read).
+// A missing file yields found == false and an empty, successful result.
+bool ReadWal(const std::string& path, WalReadResult* out, std::string* error);
+
+// Truncates `path` to `bytes` — used to physically drop a torn tail so the
+// writer can continue appending from a clean boundary.
+bool TruncateFile(const std::string& path, uint64_t bytes, std::string* error);
+
+}  // namespace recovery
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_RECOVERY_WAL_H_

@@ -1,0 +1,40 @@
+#include "src/util/crc32.h"
+
+namespace dytis {
+namespace {
+
+// Builds the byte-at-a-time lookup table for the reflected CRC32C polynomial.
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    // Reflected form of 0x1EDC6F41.
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; bit++) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32cTable& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < len; i++) {
+    crc = table.entries[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace dytis

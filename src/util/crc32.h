@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum framing used by
+// the durability layer (WAL record frames, checkpoint sections).
+//
+// Software table-driven implementation: byte-at-a-time over a 256-entry
+// table, no CPU-feature dependence, deterministic across platforms.  The
+// durability paths checksum tens of bytes per record / one streaming pass
+// per checkpoint, so this is nowhere near a hot path.
+//
+// The incremental form composes:  Crc32c(a+b) == Crc32cExtend(Crc32c(a), b).
+#ifndef DYTIS_SRC_UTIL_CRC32_H_
+#define DYTIS_SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dytis {
+
+// Extends a running CRC32C with `len` bytes.  Pass the previous return value
+// as `crc` to checksum data in pieces; start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+// One-shot CRC32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_UTIL_CRC32_H_

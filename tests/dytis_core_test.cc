@@ -380,6 +380,42 @@ TEST(DyTISCoreTest, StashDegradationOnAdversarialDensity) {
   ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
 }
 
+TEST(DyTISCoreTest, CheckInvariantsCleanThroughMixedWorkload) {
+  Index idx(SmallConfig());
+  Rng rng(99);
+  std::map<uint64_t, uint64_t> model;
+  // Mixed inserts/updates/erases over a bounded universe, with the full
+  // verifier (per-table structure + global order + accounting) run at
+  // several structural stages of the index's life.
+  for (int phase = 0; phase < 4; phase++) {
+    for (int i = 0; i < 5'000; i++) {
+      const uint64_t k = rng.Next() % 20'000 * 0x9E3779B97F4A7C15ULL;
+      if (rng.NextBelow(10) < 7) {
+        idx.Insert(k, k ^ 1);
+        model[k] = k ^ 1;
+      } else {
+        idx.Erase(k);
+        model.erase(k);
+      }
+    }
+    const auto report = idx.CheckInvariants();
+    ASSERT_TRUE(report.ok()) << "phase " << phase << ":\n"
+                             << report.Describe();
+    ASSERT_EQ(report.keys_visited, model.size()) << "phase " << phase;
+  }
+}
+
+TEST(DyTISCoreTest, CheckInvariantsReportsAllKeysVisited) {
+  Index idx(SmallConfig());
+  for (uint64_t k = 0; k < 10'000; k++) {
+    idx.Insert(k << 20, k);
+  }
+  const auto report = idx.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Describe();
+  EXPECT_EQ(report.keys_visited, 10'000u);
+  EXPECT_TRUE(report.Describe().empty());
+}
+
 // Property test over all dataset families: everything inserted is findable,
 // scans are sorted, invariants hold.
 class DyTISDatasetPropertyTest : public testing::TestWithParam<DatasetId> {};

@@ -1,0 +1,143 @@
+// Crash-injection helper for the recovery tests (not a gtest binary).
+//
+// Runs the deterministic recovery workload (tests/recovery_test_util.h)
+// against a DurableDyTIS and dies by SIGKILL at a requested point — either
+// between two operations (--mode opcount) or *inside* a structural
+// operation, with the index half-modified and locks held, via the
+// FaultPolicy::crash_instead hook (--mode split/doubling/remap/expand).
+// The parent test then recovers the durability directory in its own
+// process and checks the result against the model.
+//
+//   dytis_crashkill --dir DIR --ops N --seed S
+//       [--mode none|opcount|split|doubling|remap|expand]
+//       [--kill-at K]            op index (opcount) or structural-attempt
+//                                ordinal (structural modes)
+//       [--sync-every N]         WAL group-commit cadence
+//       [--checkpoint-every N]   auto-checkpoint cadence
+//       [--checkpoint-at K]      explicit checkpoint after op K
+//
+// Exit codes: 0 = workload completed (no kill hit), 2 = bad usage,
+// 3 = open/recovery failed, 4 = an operation failed.  A successful kill
+// never returns at all — the test asserts WIFSIGNALED(SIGKILL).
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/recovery/durable_dytis.h"
+#include "tests/recovery_test_util.h"
+
+namespace {
+
+using dytis::FaultPolicy;
+using dytis::recovery::DurableDyTIS;
+using dytis::recovery::RecoveryConfig;
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "dytis_crashkill: %s\n", msg);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string mode = "none";
+  uint64_t ops = 0;
+  uint64_t seed = 1;
+  uint64_t kill_at = 0;
+  uint64_t sync_every = 1;
+  uint64_t checkpoint_every = 0;
+  uint64_t checkpoint_at = ~uint64_t{0};
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto next = [&](uint64_t* out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (arg == "--ops") {
+      if (!next(&ops)) return Usage("--ops needs a value");
+    } else if (arg == "--seed") {
+      if (!next(&seed)) return Usage("--seed needs a value");
+    } else if (arg == "--kill-at") {
+      if (!next(&kill_at)) return Usage("--kill-at needs a value");
+    } else if (arg == "--sync-every") {
+      if (!next(&sync_every)) return Usage("--sync-every needs a value");
+    } else if (arg == "--checkpoint-every") {
+      if (!next(&checkpoint_every)) return Usage("--checkpoint-every needs a value");
+    } else if (arg == "--checkpoint-at") {
+      if (!next(&checkpoint_at)) return Usage("--checkpoint-at needs a value");
+    } else {
+      return Usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  if (dir.empty() || ops == 0) {
+    return Usage("--dir and --ops are required");
+  }
+
+  dytis::DyTISConfig config = dytis::recovery_test::BusyRecoveryConfig();
+  // Structural kill modes: arm the fault-injection matcher so the kill_at-th
+  // matching structural attempt raises SIGKILL mid-operation.
+  if (mode != "none" && mode != "opcount") {
+    FaultPolicy policy;
+    if (mode == "split") {
+      policy.fail_split = true;
+    } else if (mode == "doubling") {
+      policy.fail_doubling = true;
+    } else if (mode == "remap") {
+      policy.fail_remap = true;
+    } else if (mode == "expand") {
+      policy.fail_expand = true;
+    } else {
+      return Usage(("unknown mode: " + mode).c_str());
+    }
+    policy.start_op = kill_at;
+    policy.fail_count = 1;
+    policy.crash_instead = true;
+    config.fault_policy = policy;
+  }
+
+  RecoveryConfig recovery;
+  recovery.dir = dir;
+  recovery.wal_sync_every = sync_every;
+  recovery.checkpoint_every = checkpoint_every;
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(recovery, config, &error);
+  if (db == nullptr) {
+    std::fprintf(stderr, "dytis_crashkill: open failed: %s\n", error.c_str());
+    return 3;
+  }
+
+  for (uint64_t i = 0; i < ops; i++) {
+    if (mode == "opcount" && i == kill_at) {
+      std::raise(SIGKILL);
+    }
+    const dytis::recovery_test::Op op = dytis::recovery_test::NthOp(seed, i);
+    if (op.is_erase) {
+      db->Erase(op.key);  // false (absent key) is a valid outcome
+    } else if (db->PutEx(op.key, op.value) == dytis::InsertResult::kHardError) {
+      std::fprintf(stderr, "dytis_crashkill: put failed at op %llu\n",
+                   static_cast<unsigned long long>(i));
+      return 4;
+    }
+    if (i == checkpoint_at && !db->Checkpoint(&error)) {
+      std::fprintf(stderr, "dytis_crashkill: checkpoint failed: %s\n",
+                   error.c_str());
+      return 4;
+    }
+  }
+  if (!db->Sync(&error)) {
+    std::fprintf(stderr, "dytis_crashkill: sync failed: %s\n", error.c_str());
+    return 4;
+  }
+  return 0;
+}

@@ -1,0 +1,327 @@
+// Crash-injection recovery tests (durability subsystem).
+//
+// Each test forks the dytis_crashkill helper (tests/dytis_crashkill.cc),
+// which runs the deterministic workload of tests/recovery_test_util.h
+// against a durability directory and dies by SIGKILL — either between two
+// operations or in the middle of a structural operation (split / doubling /
+// remap / expansion), via the FaultPolicy::crash_instead hook.  The test
+// then recovers the directory in-process and asserts *exact* equality
+// against the reference model at the recovered LSN, plus a clean
+// CheckInvariants() report.
+//
+// The kill-point matrix is widened with DYTIS_CRASH_POINTS=<n> (structural
+// kill ordinals per mode; default 3) — scripts/check.sh raises it for the
+// crash-matrix CI stage.
+#include "src/recovery/durable_dytis.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tests/recovery_test_util.h"
+
+#ifndef DYTIS_CRASHKILL_PATH
+#error "DYTIS_CRASHKILL_PATH must point at the dytis_crashkill binary"
+#endif
+
+namespace dytis {
+namespace {
+
+using recovery::DurableDyTIS;
+using recovery::RecoveryConfig;
+using recovery_test::BusyRecoveryConfig;
+using recovery_test::CountLoggedOps;
+using recovery_test::KeyForSlot;
+using recovery_test::Model;
+using recovery_test::ModelAtLsn;
+
+constexpr uint64_t kSeed = 20260807;
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl =
+      std::string(::testing::TempDir()) + "/dytis_crash_" + tag + "_XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+struct HelperResult {
+  bool signaled = false;
+  int signal = 0;
+  bool exited = false;
+  int exit_code = -1;
+};
+
+// Forks + execs the helper so WIFSIGNALED sees the SIGKILL directly (a
+// shell in between would fold it into exit code 137).
+HelperResult RunHelper(const std::vector<std::string>& args) {
+  HelperResult result;
+  std::vector<std::string> argv_store;
+  argv_store.push_back(DYTIS_CRASHKILL_PATH);
+  argv_store.insert(argv_store.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  for (std::string& a : argv_store) {
+    argv.push_back(a.data());
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+RecoveryConfig RecoveryFor(const std::string& dir, uint64_t sync_every = 1) {
+  RecoveryConfig rc;
+  rc.dir = dir;
+  rc.wal_sync_every = sync_every;
+  return rc;
+}
+
+// Recovered index must equal the model exactly: same size, same ordered
+// (key, value) sequence, and a clean invariant report.
+void ExpectMatchesModel(const DurableDyTIS<uint64_t>& db, const Model& model) {
+  ASSERT_EQ(db.size(), model.size());
+  std::vector<std::pair<uint64_t, uint64_t>> got(model.size());
+  ASSERT_EQ(db.Scan(0, got.size(), got.data()), got.size());
+  size_t i = 0;
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(got[i].first, key) << "at scan position " << i;
+    ASSERT_EQ(got[i].second, value) << "for key " << key;
+    i++;
+  }
+  const auto report = db.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Describe();
+}
+
+int CrashPointsPerMode() {
+  const char* env = std::getenv("DYTIS_CRASH_POINTS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 3;
+}
+
+// --- Kill between operations ----------------------------------------------
+
+TEST(RecoveryCrashTest, OpcountKillSyncEveryOneRecoversExactPrefix) {
+  for (const uint64_t kill_at : {1ull, 157ull, 1500ull, 4321ull}) {
+    const std::string dir = MakeTempDir("opcount");
+    const HelperResult run = RunHelper(
+        {"--dir", dir, "--ops", "6000", "--seed", std::to_string(kSeed),
+         "--mode", "opcount", "--kill-at", std::to_string(kill_at),
+         "--sync-every", "1"});
+    ASSERT_TRUE(run.signaled) << "exit_code=" << run.exit_code;
+    ASSERT_EQ(run.signal, SIGKILL);
+
+    std::string error;
+    auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                           BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    // Synchronous logging: every op that was applied was logged and synced
+    // first, so the recovered LSN is exactly the logged-op count at the
+    // kill point — nothing lost, nothing extra.
+    const uint64_t expected_lsn = CountLoggedOps(kSeed, kill_at);
+    EXPECT_EQ(db->recovery_stats().last_lsn, expected_lsn);
+    ExpectMatchesModel(*db, ModelAtLsn(kSeed, expected_lsn));
+  }
+}
+
+// --- Kill inside structural operations ------------------------------------
+
+TEST(RecoveryCrashTest, StructuralKillPointsRecoverConsistently) {
+  const int points = CrashPointsPerMode();
+  int kills = 0;
+  for (const char* mode : {"split", "doubling", "remap", "expand"}) {
+    for (int p = 0; p < points; p++) {
+      // Spread the ordinals out so later attempts (deeper structure) are
+      // covered too, not just the first few.
+      const uint64_t kill_at = static_cast<uint64_t>(p) * (p + 3) / 2;
+      const std::string dir = MakeTempDir(mode);
+      const HelperResult run = RunHelper(
+          {"--dir", dir, "--ops", "6000", "--seed", std::to_string(kSeed),
+           "--mode", mode, "--kill-at", std::to_string(kill_at),
+           "--sync-every", "1"});
+      // The workload may finish before attempt #kill_at of this op type
+      // happens; that run still must recover to the full workload state.
+      if (run.signaled) {
+        ASSERT_EQ(run.signal, SIGKILL) << mode << " kill_at=" << kill_at;
+        kills++;
+      } else {
+        ASSERT_TRUE(run.exited && run.exit_code == 0)
+            << mode << " kill_at=" << kill_at
+            << " exit_code=" << run.exit_code;
+      }
+
+      std::string error;
+      auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                             BusyRecoveryConfig(), &error);
+      ASSERT_NE(db, nullptr) << mode << " kill_at=" << kill_at << ": "
+                             << error;
+      // The op that triggered the structural operation was logged before
+      // the index was touched, so the durable prefix always includes it;
+      // the model at the recovered LSN is the exact expected state.
+      ExpectMatchesModel(*db, ModelAtLsn(kSeed, db->recovery_stats().last_lsn));
+    }
+  }
+  // The matrix is only meaningful if kills actually happened.
+  EXPECT_GT(kills, 0);
+}
+
+// --- Group commit ----------------------------------------------------------
+
+TEST(RecoveryCrashTest, GroupCommitRecoversAConsistentPrefix) {
+  const uint64_t kill_at = 3000;
+  const std::string dir = MakeTempDir("group");
+  const HelperResult run = RunHelper(
+      {"--dir", dir, "--ops", "6000", "--seed", std::to_string(kSeed),
+       "--mode", "opcount", "--kill-at", std::to_string(kill_at),
+       "--sync-every", "64"});
+  ASSERT_TRUE(run.signaled);
+  ASSERT_EQ(run.signal, SIGKILL);
+
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir, 64),
+                                         BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  // Group commit may lose the buffered tail, never reorder or corrupt: the
+  // recovered state is the model at *some* LSN no later than the kill.
+  const uint64_t last_lsn = db->recovery_stats().last_lsn;
+  EXPECT_LE(last_lsn, CountLoggedOps(kSeed, kill_at));
+  ExpectMatchesModel(*db, ModelAtLsn(kSeed, last_lsn));
+}
+
+// --- Checkpoint + WAL-tail interaction -------------------------------------
+
+TEST(RecoveryCrashTest, KillAfterCheckpointReplaysOnlyTheTail) {
+  const uint64_t checkpoint_at = 2000;
+  const uint64_t kill_at = 4500;
+  const std::string dir = MakeTempDir("ckpt");
+  const HelperResult run = RunHelper(
+      {"--dir", dir, "--ops", "6000", "--seed", std::to_string(kSeed),
+       "--mode", "opcount", "--kill-at", std::to_string(kill_at),
+       "--sync-every", "1", "--checkpoint-at", std::to_string(checkpoint_at)});
+  ASSERT_TRUE(run.signaled);
+  ASSERT_EQ(run.signal, SIGKILL);
+
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                         BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  const auto& stats = db->recovery_stats();
+  EXPECT_TRUE(stats.checkpoint_loaded);
+  // The checkpoint covers ops [0, checkpoint_at]; replay starts after it.
+  const uint64_t watermark = CountLoggedOps(kSeed, checkpoint_at + 1);
+  const uint64_t expected_lsn = CountLoggedOps(kSeed, kill_at);
+  EXPECT_EQ(stats.checkpoint_wal_lsn, watermark);
+  EXPECT_EQ(stats.wal_records_replayed, expected_lsn - watermark);
+  EXPECT_EQ(stats.last_lsn, expected_lsn);
+  ExpectMatchesModel(*db, ModelAtLsn(kSeed, expected_lsn));
+}
+
+// --- Recovery is idempotent and the index stays usable ---------------------
+
+TEST(RecoveryCrashTest, ReopenIsIdempotentAndWritable) {
+  const std::string dir = MakeTempDir("reopen");
+  const HelperResult run = RunHelper(
+      {"--dir", dir, "--ops", "6000", "--seed", std::to_string(kSeed),
+       "--mode", "opcount", "--kill-at", "2500", "--sync-every", "1"});
+  ASSERT_TRUE(run.signaled);
+
+  std::string error;
+  uint64_t first_lsn = 0;
+  Model model;
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                           BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    first_lsn = db->recovery_stats().last_lsn;
+    model = ModelAtLsn(kSeed, first_lsn);
+    ExpectMatchesModel(*db, model);
+  }
+  // Recovering again (nothing written in between) lands on the same state.
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                           BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    EXPECT_EQ(db->recovery_stats().last_lsn, first_lsn);
+    ExpectMatchesModel(*db, model);
+    // The recovered index accepts new work, checkpoints, and round-trips.
+    for (uint64_t s = 0; s < 500; s++) {
+      const uint64_t key = KeyForSlot(recovery_test::kKeyUniverse + s);
+      ASSERT_NE(db->PutEx(key, s), InsertResult::kHardError);
+      model[key] = s;
+    }
+    ASSERT_TRUE(db->Checkpoint(&error)) << error;
+  }
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                           BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    EXPECT_TRUE(db->recovery_stats().checkpoint_loaded);
+    // Everything is in the checkpoint; the log was reset.
+    EXPECT_EQ(db->recovery_stats().wal_records_replayed, 0u);
+    ExpectMatchesModel(*db, model);
+  }
+}
+
+// --- Torn tail --------------------------------------------------------------
+
+TEST(RecoveryCrashTest, TornTailIsTruncatedAndCounted) {
+  const std::string dir = MakeTempDir("torn");
+  const HelperResult run = RunHelper(
+      {"--dir", dir, "--ops", "3000", "--seed", std::to_string(kSeed),
+       "--mode", "none", "--sync-every", "1"});
+  ASSERT_TRUE(run.exited);
+  ASSERT_EQ(run.exit_code, 0);
+
+  // Simulate a crash mid-append: garbage (a torn frame) at the end of the
+  // log.
+  const std::string wal_path = dir + "/wal.log";
+  std::FILE* f = std::fopen(wal_path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "torn-frame-bytes";
+  ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+  ASSERT_EQ(std::fclose(f), 0);
+  struct ::stat before {};
+  ASSERT_EQ(::stat(wal_path.c_str(), &before), 0);
+
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(RecoveryFor(dir),
+                                         BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_EQ(db->recovery_stats().torn_bytes_truncated, sizeof(junk));
+  const uint64_t full_lsn = CountLoggedOps(kSeed, 3000);
+  EXPECT_EQ(db->recovery_stats().last_lsn, full_lsn);
+  ExpectMatchesModel(*db, ModelAtLsn(kSeed, full_lsn));
+  // The tail was physically removed.
+  struct ::stat after {};
+  ASSERT_EQ(::stat(wal_path.c_str(), &after), 0);
+  EXPECT_EQ(static_cast<uint64_t>(after.st_size),
+            static_cast<uint64_t>(before.st_size) - sizeof(junk));
+}
+
+}  // namespace
+}  // namespace dytis

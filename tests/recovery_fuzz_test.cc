@@ -1,0 +1,212 @@
+// Corruption fuzzing for the durability loaders (checkpoint + WAL).
+//
+// Builds one pristine durability directory, then repeatedly copies it and
+// mutilates the copy — random bit flips, truncations, appended junk — in
+// either the checkpoint or the WAL.  The contract under test: Open() on a
+// damaged directory either fails cleanly (nullptr + non-empty error) or
+// recovers an index that passes CheckInvariants() and exactly equals the
+// reference model at the recovered LSN.  It must never crash, hang, or
+// return a half-loaded index — run this under ASan/UBSan (scripts/check.sh
+// does) to catch the memory-safety half of that claim.
+//
+// DYTIS_FUZZ_ROUNDS=<n> widens the campaign (default 60).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/recovery/durable_dytis.h"
+#include "src/util/rng.h"
+#include "tests/recovery_test_util.h"
+
+namespace dytis {
+namespace {
+
+using recovery::DurableDyTIS;
+using recovery::RecoveryConfig;
+using recovery_test::BusyRecoveryConfig;
+using recovery_test::Model;
+using recovery_test::ModelAtLsn;
+using recovery_test::NthOp;
+
+constexpr uint64_t kSeed = 424242;
+constexpr uint64_t kOps = 12000;
+constexpr uint64_t kCheckpointAt = 6000;
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl =
+      std::string(::testing::TempDir()) + "/dytis_fuzz_" + tag + "_XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<uint8_t> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+int FuzzRounds() {
+  const char* env = std::getenv("DYTIS_FUZZ_ROUNDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 60;
+}
+
+// One shared pristine durability directory (checkpoint mid-history + WAL
+// tail), built once; every fuzz round starts from a byte-exact copy.
+class RecoveryFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pristine_dir_ = new std::string(MakeTempDir("pristine"));
+    RecoveryConfig rc;
+    rc.dir = *pristine_dir_;
+    std::string error;
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    for (uint64_t i = 0; i < kOps; i++) {
+      const auto op = NthOp(kSeed, i);
+      if (op.is_erase) {
+        db->Erase(op.key);
+      } else {
+        ASSERT_NE(db->PutEx(op.key, op.value), InsertResult::kHardError);
+      }
+      if (i == kCheckpointAt) {
+        ASSERT_TRUE(db->Checkpoint(&error)) << error;
+      }
+    }
+    ASSERT_TRUE(db->Sync(&error)) << error;
+  }
+
+  void CopyPristineTo(const std::string& dir) {
+    for (const char* name : {"/checkpoint.dytis", "/wal.log"}) {
+      WriteFile(dir + name, ReadFile(*pristine_dir_ + name));
+    }
+  }
+
+  // Random byte-level damage: flips, truncation, or appended junk.
+  void Mutilate(const std::string& path, Rng* rng) {
+    std::vector<uint8_t> bytes = ReadFile(path);
+    switch (rng->NextBelow(3)) {
+      case 0: {  // flip 1..8 random bits
+        if (bytes.empty()) {
+          break;
+        }
+        const int flips = 1 + static_cast<int>(rng->NextBelow(8));
+        for (int i = 0; i < flips; i++) {
+          bytes[rng->NextBelow(bytes.size())] ^=
+              static_cast<uint8_t>(1u << rng->NextBelow(8));
+        }
+        break;
+      }
+      case 1: {  // truncate to a random prefix
+        bytes.resize(rng->NextBelow(bytes.size() + 1));
+        break;
+      }
+      default: {  // append 1..64 junk bytes
+        const int extra = 1 + static_cast<int>(rng->NextBelow(64));
+        for (int i = 0; i < extra; i++) {
+          bytes.push_back(static_cast<uint8_t>(rng->Next()));
+        }
+        break;
+      }
+    }
+    WriteFile(path, bytes);
+  }
+
+  static std::string* pristine_dir_;
+};
+
+std::string* RecoveryFuzzTest::pristine_dir_ = nullptr;
+
+TEST_F(RecoveryFuzzTest, DamagedFilesNeverCrashOrHalfLoad) {
+  const int rounds = FuzzRounds();
+  const std::string dir = MakeTempDir("victim");
+  Rng rng(0xF022);
+  int clean_errors = 0;
+  int recoveries = 0;
+  for (int round = 0; round < rounds; round++) {
+    CopyPristineTo(dir);
+    // Damage the checkpoint, the WAL, or both.
+    const uint64_t target = rng.NextBelow(3);
+    if (target != 1) {
+      Mutilate(dir + "/checkpoint.dytis", &rng);
+    }
+    if (target != 0) {
+      Mutilate(dir + "/wal.log", &rng);
+    }
+    RecoveryConfig rc;
+    rc.dir = dir;
+    std::string error;
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    if (db == nullptr) {
+      // Clean refusal: must come with a reason.
+      EXPECT_FALSE(error.empty()) << "round " << round;
+      clean_errors++;
+      continue;
+    }
+    recoveries++;
+    // Accepted: the recovered state must be internally consistent and equal
+    // the model at whatever LSN survived (WAL damage legitimately shortens
+    // the durable prefix; it may never corrupt it).
+    const auto report = db->CheckInvariants();
+    ASSERT_TRUE(report.ok()) << "round " << round << ":\n"
+                             << report.Describe();
+    const Model model = ModelAtLsn(kSeed, db->recovery_stats().last_lsn);
+    ASSERT_EQ(db->size(), model.size()) << "round " << round;
+    std::vector<std::pair<uint64_t, uint64_t>> got(model.size());
+    ASSERT_EQ(db->Scan(0, got.size(), got.data()), got.size());
+    size_t i = 0;
+    for (const auto& [k, v] : model) {
+      ASSERT_EQ(got[i].first, k) << "round " << round << " pos " << i;
+      ASSERT_EQ(got[i].second, v) << "round " << round << " key " << k;
+      i++;
+    }
+  }
+  // Both outcomes must actually occur across a campaign, or the fuzzer is
+  // not exercising the boundary (e.g. every mutation is fatal or harmless).
+  EXPECT_GT(clean_errors, 0);
+  EXPECT_GT(recoveries, 0);
+}
+
+// The undamaged directory recovers the exact full model (fuzz baseline).
+TEST_F(RecoveryFuzzTest, PristineCopyRecoversFullModel) {
+  const std::string dir = MakeTempDir("baseline");
+  CopyPristineTo(dir);
+  RecoveryConfig rc;
+  rc.dir = dir;
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_TRUE(db->recovery_stats().checkpoint_loaded);
+  const uint64_t full_lsn = recovery_test::CountLoggedOps(kSeed, kOps);
+  EXPECT_EQ(db->recovery_stats().last_lsn, full_lsn);
+  const Model model = ModelAtLsn(kSeed, full_lsn);
+  EXPECT_EQ(db->size(), model.size());
+  const auto report = db->CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Describe();
+}
+
+}  // namespace
+}  // namespace dytis

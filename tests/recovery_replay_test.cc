@@ -1,0 +1,394 @@
+// Unit tests for the WAL (frame format, torn-tail semantics, group commit)
+// and for checkpoint+replay round trips through the durable layer —
+// including the delete-heavy path where WAL replay must drive segment
+// merges and still land on an invariant-clean index.
+#include "src/recovery/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/insert_result.h"
+#include "src/obs/metrics.h"
+#include "src/recovery/durable_dytis.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "tests/recovery_test_util.h"
+
+namespace dytis {
+namespace recovery {
+namespace {
+
+using recovery_test::BusyRecoveryConfig;
+using recovery_test::KeyForSlot;
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl =
+      std::string(::testing::TempDir()) + "/dytis_replay_" + tag + "_XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+std::string TempWal(const char* tag) {
+  return MakeTempDir(tag) + "/wal.log";
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return static_cast<uint64_t>(size);
+}
+
+// Hand-crafts one frame (valid unless the caller corrupts it afterwards)
+// and appends it to `path` — for cases WalWriter refuses to produce.
+void AppendRawFrame(const std::string& path, uint64_t lsn,
+                    const std::string& payload) {
+  std::string body;
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  body.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  body.append(reinterpret_cast<const char*>(&lsn), sizeof(lsn));
+  body.append(payload);
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&crc, sizeof(crc), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(body.data(), 1, body.size(), f), body.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// --- CRC32C -----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswer) {
+  // RFC 3720 test vector for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const char data[] = "the quick brown fox";
+  const uint32_t whole = Crc32c(data, sizeof(data));
+  uint32_t split = Crc32cExtend(0, data, 7);
+  split = Crc32cExtend(split, data + 7, sizeof(data) - 7);
+  EXPECT_EQ(split, whole);
+}
+
+// --- WAL framing ------------------------------------------------------------
+
+TEST(WalTest, RoundTripsRecordsInOrder) {
+  const std::string path = TempWal("roundtrip");
+  WalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, 1, WalOptions{}, &error)) << error;
+  std::vector<std::string> payloads = {"alpha", "", "gamma-with-longer-body"};
+  for (const std::string& p : payloads) {
+    uint64_t lsn = 0;
+    ASSERT_TRUE(writer.Append(p.data(), static_cast<uint32_t>(p.size()), &lsn,
+                              &error))
+        << error;
+  }
+  ASSERT_TRUE(writer.Flush(&error)) << error;
+  EXPECT_EQ(writer.appended(), payloads.size());
+  EXPECT_EQ(writer.next_lsn(), 1 + payloads.size());
+
+  WalReadResult result;
+  ASSERT_TRUE(ReadWal(path, &result, &error)) << error;
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.torn_bytes, 0u);
+  ASSERT_EQ(result.records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); i++) {
+    EXPECT_EQ(result.records[i].lsn, i + 1);
+    const std::string got(result.records[i].payload.begin(),
+                          result.records[i].payload.end());
+    EXPECT_EQ(got, payloads[i]);
+  }
+}
+
+TEST(WalTest, MissingFileIsEmptyNotError) {
+  WalReadResult result;
+  std::string error;
+  ASSERT_TRUE(ReadWal("/nonexistent/dir/wal.log", &result, &error)) << error;
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.records.empty());
+}
+
+TEST(WalTest, StopsAtCorruptFrameAndReportsTornBytes) {
+  const std::string path = TempWal("crc");
+  AppendRawFrame(path, 1, "good-frame");
+  AppendRawFrame(path, 2, "frame-to-corrupt");
+  const uint64_t size = FileSize(path);
+  // Flip one payload byte of the second frame.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -2, SEEK_END);
+  unsigned char byte = 0;
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  std::fseek(f, -2, SEEK_END);
+  byte ^= 0x40;
+  ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  WalReadResult result;
+  std::string error;
+  ASSERT_TRUE(ReadWal(path, &result, &error)) << error;
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].lsn, 1u);
+  EXPECT_GT(result.torn_bytes, 0u);
+  EXPECT_EQ(result.valid_bytes + result.torn_bytes, size);
+  EXPECT_FALSE(result.torn_reason.empty());
+}
+
+TEST(WalTest, StopsAtPartialFrame) {
+  const std::string path = TempWal("partial");
+  AppendRawFrame(path, 1, "complete");
+  AppendRawFrame(path, 2, "this frame will be cut in half");
+  const uint64_t size = FileSize(path);
+  std::string error;
+  ASSERT_TRUE(TruncateFile(path, size - 10, &error)) << error;
+
+  WalReadResult result;
+  ASSERT_TRUE(ReadWal(path, &result, &error)) << error;
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.torn_bytes, size - 10 - result.valid_bytes);
+}
+
+TEST(WalTest, StopsAtNonMonotonicLsn) {
+  const std::string path = TempWal("lsn");
+  AppendRawFrame(path, 5, "five");
+  AppendRawFrame(path, 3, "stale-three");  // CRC-valid but LSN goes backward
+  WalReadResult result;
+  std::string error;
+  ASSERT_TRUE(ReadWal(path, &result, &error)) << error;
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].lsn, 5u);
+  EXPECT_GT(result.torn_bytes, 0u);
+}
+
+TEST(WalTest, StopsAtOversizeFrame) {
+  const std::string path = TempWal("oversize");
+  AppendRawFrame(path, 1, "ok");
+  // A frame whose size field claims more than the payload bound: must end
+  // the prefix rather than attempt a giant read.
+  std::string body;
+  const uint32_t size = kMaxWalPayloadBytes + 1;
+  const uint64_t lsn = 2;
+  body.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  body.append(reinterpret_cast<const char*>(&lsn), sizeof(lsn));
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&crc, sizeof(crc), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(body.data(), 1, body.size(), f), body.size());
+  ASSERT_EQ(std::fclose(f), 0);
+
+  WalReadResult result;
+  std::string error;
+  ASSERT_TRUE(ReadWal(path, &result, &error)) << error;
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_GT(result.torn_bytes, 0u);
+}
+
+TEST(WalTest, WriterRejectsOversizePayload) {
+  const std::string path = TempWal("reject");
+  WalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, 1, WalOptions{}, &error)) << error;
+  std::vector<uint8_t> huge(kMaxWalPayloadBytes + 1);
+  EXPECT_FALSE(writer.Append(huge.data(), static_cast<uint32_t>(huge.size()),
+                             nullptr, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WalTest, GroupCommitBuffersUntilCadence) {
+  const std::string path = TempWal("group");
+  WalOptions options;
+  options.sync_every = 4;
+  WalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, 1, options, &error)) << error;
+  const char payload[] = "xxxxxxxx";
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(writer.Append(payload, sizeof(payload), nullptr, &error));
+  }
+  // Three records < cadence: still in the user-space buffer.
+  EXPECT_EQ(FileSize(path), 0u);
+  ASSERT_TRUE(writer.Append(payload, sizeof(payload), nullptr, &error));
+  // Fourth record hits the cadence: the whole batch is on disk.
+  EXPECT_EQ(FileSize(path), 4 * (kWalFrameHeaderBytes + sizeof(payload)));
+}
+
+TEST(WalTest, ResetTruncatesButLsnsKeepCounting) {
+  const std::string path = TempWal("reset");
+  WalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, 1, WalOptions{}, &error)) << error;
+  ASSERT_TRUE(writer.Append("a", 1, nullptr, &error));
+  ASSERT_TRUE(writer.Flush(&error));
+  ASSERT_TRUE(writer.Reset(&error)) << error;
+  EXPECT_EQ(FileSize(path), 0u);
+  uint64_t lsn = 0;
+  ASSERT_TRUE(writer.Append("b", 1, &lsn, &error));
+  EXPECT_EQ(lsn, 2u);  // LSNs are never reused across resets
+}
+
+// --- Durable layer: replay, merges, pass-through ---------------------------
+
+TEST(DurableDyTISTest, DurabilityOffIsPassThroughWithNoFiles) {
+  const std::string dir = MakeTempDir("off");
+  RecoveryConfig off;  // dir empty = disabled
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(off, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_FALSE(db->durable());
+  for (uint64_t k = 0; k < 2000; k++) {
+    ASSERT_NE(db->PutEx(KeyForSlot(k), k), InsertResult::kHardError);
+  }
+  EXPECT_EQ(db->size(), 2000u);
+  EXPECT_EQ(db->last_lsn(), 0u);
+  EXPECT_FALSE(db->Checkpoint(&error));  // nothing to checkpoint into
+  // No stray durability files appear anywhere.
+  EXPECT_NE(::access((dir + "/wal.log").c_str(), F_OK), 0);
+}
+
+// Deletions that trigger segment merges must round-trip through
+// checkpoint + WAL replay: recovery replays the erases, re-runs the merges,
+// and still satisfies every structural invariant.
+TEST(DurableDyTISTest, DeleteHeavyReplayDrivesMergesAndStaysConsistent) {
+  const std::string dir = MakeTempDir("merge");
+  RecoveryConfig rc;
+  rc.dir = dir;
+  rc.wal_sync_every = 0;  // buffered; SIGKILL is not part of this test
+  std::map<uint64_t, uint64_t> model;
+  std::string error;
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    Rng rng(7);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 30'000; i++) {
+      const uint64_t k = rng.Next();
+      ASSERT_NE(db->PutEx(k, k ^ 0x5555), InsertResult::kHardError);
+      model[k] = k ^ 0x5555;
+      keys.push_back(k);
+    }
+    // Checkpoint mid-history so recovery exercises checkpoint + tail.
+    ASSERT_TRUE(db->Checkpoint(&error)) << error;
+    // Erase ~85%: drives utilization under merge_threshold across segments.
+    for (size_t i = 0; i < keys.size(); i++) {
+      if (i % 7 != 0) {
+        db->Erase(keys[i]);
+        model.erase(keys[i]);
+      }
+    }
+    EXPECT_GT(db->stats().merges, 0u) << "workload never merged a segment";
+    // A few fresh inserts after the deletes land in the WAL tail.
+    for (uint64_t s = 0; s < 1000; s++) {
+      const uint64_t k = KeyForSlot(s);
+      ASSERT_NE(db->PutEx(k, s), InsertResult::kHardError);
+      model[k] = s;
+    }
+    ASSERT_TRUE(db->Sync(&error)) << error;
+  }
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_TRUE(db->recovery_stats().checkpoint_loaded);
+  EXPECT_GT(db->recovery_stats().wal_records_replayed, 0u);
+  ASSERT_EQ(db->size(), model.size());
+  std::vector<std::pair<uint64_t, uint64_t>> got(model.size());
+  ASSERT_EQ(db->Scan(0, got.size(), got.data()), got.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(got[i].first, k);
+    ASSERT_EQ(got[i].second, v);
+    i++;
+  }
+  const auto report = db->CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Describe();
+}
+
+TEST(DurableDyTISTest, AutoCheckpointTruncatesTheLog) {
+  const std::string dir = MakeTempDir("auto");
+  RecoveryConfig rc;
+  rc.dir = dir;
+  rc.checkpoint_every = 1000;
+  std::string error;
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    for (uint64_t s = 0; s < 3500; s++) {
+      ASSERT_NE(db->PutEx(KeyForSlot(s), s), InsertResult::kHardError);
+    }
+    ASSERT_TRUE(db->Sync(&error)) << error;
+  }
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  const auto& stats = db->recovery_stats();
+  EXPECT_TRUE(stats.checkpoint_loaded);
+  // 3 auto-checkpoints happened; only the tail past the last one replays.
+  EXPECT_LT(stats.wal_records_replayed, 1000u);
+  EXPECT_EQ(stats.last_lsn, 3500u);
+  EXPECT_EQ(db->size(), 3500u);
+}
+
+TEST(DurableDyTISTest, UpdateIsLoggedAndErasedAbsentKeyIsNot) {
+  const std::string dir = MakeTempDir("update");
+  RecoveryConfig rc;
+  rc.dir = dir;
+  std::string error;
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    ASSERT_TRUE(db->Put(100, 1));
+    EXPECT_FALSE(db->Update(999, 5));  // absent: not applied, not logged
+    EXPECT_FALSE(db->Erase(999));      // absent: not logged
+    EXPECT_TRUE(db->Update(100, 2));
+    EXPECT_EQ(db->last_lsn(), 2u);  // put + update only
+    ASSERT_TRUE(db->Sync(&error)) << error;
+  }
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  uint64_t v = 0;
+  ASSERT_TRUE(db->Find(100, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(db->size(), 1u);
+}
+
+TEST(DurableDyTISTest, RecoveryExportsMetrics) {
+  const std::string dir = MakeTempDir("metrics");
+  RecoveryConfig rc;
+  rc.dir = dir;
+  std::string error;
+  {
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    for (uint64_t s = 0; s < 100; s++) {
+      ASSERT_TRUE(db->Put(KeyForSlot(s), s));
+    }
+    ASSERT_TRUE(db->Sync(&error)) << error;
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t recoveries_before =
+      registry.GetCounter("recovery.recoveries").Value();
+  const uint64_t replayed_before =
+      registry.GetCounter("recovery.wal_records_replayed").Value();
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BusyRecoveryConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_EQ(registry.GetCounter("recovery.recoveries").Value(),
+            recoveries_before + 1);
+  EXPECT_EQ(registry.GetCounter("recovery.wal_records_replayed").Value(),
+            replayed_before + 100);
+  EXPECT_EQ(registry.GetGauge("recovery.last_lsn").Value(), 100);
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dytis

@@ -1,0 +1,110 @@
+// Shared workload machinery for the durability tests and the crash-injection
+// helper binary (tests/dytis_crashkill.cc).
+//
+// The recovery tests compare a recovered index against a reference model.
+// That only works if the killed process and the checking process agree on
+// the exact operation sequence, so the workload is a *pure function* of
+// (seed, op index): NthOp(seed, i) is stateless and reproducible across
+// processes, builds, and sanitizers.
+//
+// LSN bookkeeping: the durable layer logs every put, but an erase of an
+// absent key is a no-op and is not logged.  The model therefore tracks how
+// many WAL records the op prefix produces (ModelAtLsn / CountLoggedOps), so
+// a recovered index reporting last_lsn == L can be checked against the
+// model state after exactly L *logged* operations — the durable prefix —
+// regardless of how many absent-key erases the workload happened to draw.
+#ifndef DYTIS_TESTS_RECOVERY_TEST_UTIL_H_
+#define DYTIS_TESTS_RECOVERY_TEST_UTIL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/core/config.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace recovery_test {
+
+// Bounded key universe: erases frequently hit live keys (exercising delete
+// paths) while new slots keep arriving long enough to drive structural ops.
+inline constexpr uint64_t kKeyUniverse = 1 << 16;
+
+struct Op {
+  bool is_erase = false;
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+// Stable 64-bit key for a universe slot, spread over the full key space so
+// every first-level table and many segments see traffic.
+inline uint64_t KeyForSlot(uint64_t slot) {
+  SplitMix64 sm(slot ^ 0xABCDEF0123456789ULL);
+  return sm.Next();
+}
+
+// The i-th operation of the workload with the given seed.  Pure function:
+// no generator state is carried between calls.  ~80% put / ~20% erase.
+inline Op NthOp(uint64_t seed, uint64_t i) {
+  SplitMix64 sm(seed * 0x9E3779B97F4A7C15ULL + i);
+  const uint64_t a = sm.Next();
+  const uint64_t b = sm.Next();
+  Op op;
+  op.key = KeyForSlot(a % kKeyUniverse);
+  op.is_erase = (b % 10) >= 8;
+  op.value = b;
+  return op;
+}
+
+using Model = std::map<uint64_t, uint64_t>;
+
+// Applies one op to the model.  Returns true when the durable layer would
+// have logged it (puts always; erases only when the key was present).
+inline bool ApplyToModel(Model* model, const Op& op) {
+  if (op.is_erase) {
+    return model->erase(op.key) > 0;
+  }
+  (*model)[op.key] = op.value;
+  return true;
+}
+
+// WAL records produced by ops [0, n) — the LSN the log reaches after them.
+inline uint64_t CountLoggedOps(uint64_t seed, uint64_t n) {
+  Model model;
+  uint64_t logged = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    const Op op = NthOp(seed, i);
+    if (ApplyToModel(&model, op)) {
+      logged++;
+    }
+  }
+  return logged;
+}
+
+// Reference state after exactly `lsn` logged operations (the durable
+// prefix a recovery reporting last_lsn == lsn must reproduce).
+inline Model ModelAtLsn(uint64_t seed, uint64_t lsn) {
+  Model model;
+  uint64_t logged = 0;
+  for (uint64_t i = 0; logged < lsn; i++) {
+    const Op op = NthOp(seed, i);
+    if (ApplyToModel(&model, op)) {
+      logged++;
+    }
+  }
+  return model;
+}
+
+// Small tables + shallow l_start so splits/expansions/remaps/doublings all
+// fire within a few thousand inserts (same shape the fault tests use).
+inline DyTISConfig BusyRecoveryConfig() {
+  DyTISConfig config;
+  config.first_level_bits = 2;
+  config.bucket_bytes = 256;
+  config.l_start = 3;
+  return config;
+}
+
+}  // namespace recovery_test
+}  // namespace dytis
+
+#endif  // DYTIS_TESTS_RECOVERY_TEST_UTIL_H_
