@@ -5,9 +5,18 @@
 // operation; TX insertion scales poorly beyond 4 threads (temporal key
 // locality concentrates concurrent inserts on few segments).
 //
+// A second section measures read scaling of the two read paths on the SAME
+// build: per-segment shared locks vs. the optimistic (seqlock-validated,
+// lock-free) probe, pure-search phase, 1..16 threads.  The optimistic path
+// touches no shared cache line on an uncontended read, so its advantage
+// grows with reader count; the JSON rows carry the conflict counters
+// (read.optimistic_retries / read.fallback_locks) so a run can verify the
+// lock-free path actually served the traffic.
+//
 // NOTE (DESIGN.md Section 5): on a single-hardware-core host this measures
 // locking overhead and fairness, not parallel speedup; the DyTIS-vs-XIndex
-// ordering is still meaningful, absolute scaling is not.
+// ordering (and locked-vs-optimistic ordering) is still meaningful,
+// absolute scaling is not.
 #include <cstdio>
 #include <thread>
 
@@ -71,6 +80,69 @@ int Main() {
   const std::string path = obs::WriteBenchJson("fig12_concurrency", root);
   if (!path.empty()) {
     std::printf("# json: %s\n", path.c_str());
+  }
+
+  // --- Read scaling: shared-lock vs. optimistic read path -------------------
+  // The pure-search phase is cheap per op, so it needs far more ops than the
+  // mixed section for a stable measurement (at bench-default ops an 8-thread
+  // share is single-digit milliseconds — scheduler noise).  Defaults to
+  // 10 x BenchOps, overridable with DYTIS_BENCH_READ_OPS.
+  const size_t read_ops =
+      bench::EnvSize("DYTIS_BENCH_READ_OPS", bench::BenchOps() * 10);
+  bench::PrintScale("Figure 12b: read scaling, locked vs optimistic (Mops/s)");
+  JsonValue scaling = obs::BenchEnvelope("fig12_read_scaling", n, read_ops);
+  JsonValue& rows = scaling["results"];
+  const Dataset& d = bench::CachedDataset(DatasetId::kReviewL, n);
+  std::printf("\n(%s, pure-search phase)\n%-8s %12s %12s %10s %12s %12s\n",
+              d.name.c_str(), "threads", "locked", "optimistic", "speedup",
+              "opt-retries", "fallbacks");
+  // Best-of-3 with the mode order alternating per repetition: on an
+  // oversubscribed host, whichever mode runs while the scheduler is warm
+  // wins by far more than the read paths differ, so a single ordered pair
+  // measures run order, not the lock protocol.
+  constexpr int kReps = 3;
+  for (int t : {1, 2, 4, 8, 16}) {
+    double mops[2] = {0.0, 0.0};
+    uint64_t retries = 0;
+    uint64_t fallbacks = 0;
+    for (int rep = 0; rep < kReps; rep++) {
+      for (int m = 0; m < 2; m++) {
+        const bool optimistic = (m == 0) == (rep % 2 == 0);
+        YcsbOptions options;
+        options.run_ops = read_ops;
+        DyTISConfig cfg = bench::ScaledDyTISConfig(n);
+        cfg.optimistic_reads = optimistic;
+        ConcurrentDyTISAdapter index(cfg);
+        const ConcurrencyResult r = RunConcurrent(&index, d, t, options);
+        const int slot = optimistic ? 1 : 0;
+        if (r.search_mops > mops[slot]) {
+          mops[slot] = r.search_mops;
+        }
+        if (optimistic) {
+          const DyTISStatsView v = index.index().stats().View();
+          retries += v.optimistic_read_retries;
+          fallbacks += v.optimistic_read_fallbacks;
+        }
+      }
+    }
+    const double speedup = mops[0] > 0.0 ? mops[1] / mops[0] : 0.0;
+    std::printf("%-8d %12.3f %12.3f %9.2fx %12llu %12llu\n", t, mops[0],
+                mops[1], speedup, static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(fallbacks));
+    std::fflush(stdout);
+    JsonValue row = JsonValue::Object();
+    row["dataset"] = d.name;
+    row["threads"] = t;
+    row["locked_mops"] = mops[0];
+    row["optimistic_mops"] = mops[1];
+    row["speedup"] = speedup;
+    row["optimistic_retries"] = retries;
+    row["fallback_locks"] = fallbacks;
+    rows.Append(std::move(row));
+  }
+  const std::string spath = obs::WriteBenchJson("fig12_read_scaling", scaling);
+  if (!spath.empty()) {
+    std::printf("# json: %s\n", spath.c_str());
   }
   return 0;
 }

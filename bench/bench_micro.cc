@@ -68,6 +68,29 @@ void BM_Scan100(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 100));
 }
 
+// Single-threaded read-path cost on the concurrent build: the same loaded
+// index probed through the per-segment shared lock (Arg 0) and the
+// optimistic lock-free probe (Arg 1).  Guards the "optimistic reads are
+// free when uncontended" property: the two must stay within a few percent
+// of each other — the optimistic path's version validation and atomic
+// element loads must not tax the common case.
+void BM_ConcurrentFind(benchmark::State& state) {
+  DyTISConfig cfg = bench::ScaledDyTISConfig(kKeys);
+  cfg.optimistic_reads = state.range(0) != 0;
+  ConcurrentDyTIS<uint64_t> index(cfg);
+  for (uint64_t k : Data().keys) {
+    index.Insert(k, ValueFor(k));
+  }
+  ScrambledZipfianGenerator zipf(kKeys, 0.99, 5);
+  const auto& keys = Data().keys;
+  uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Find(keys[zipf.Next()], &value));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) != 0 ? "optimistic" : "locked");
+}
+
 void IndexArgs(benchmark::internal::Benchmark* b) {
   for (IndexKind kind :
        {IndexKind::kDyTIS, IndexKind::kBTree, IndexKind::kAlex,
@@ -79,6 +102,7 @@ void IndexArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_Insert)->Apply(IndexArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Find)->Apply(IndexArgs);
 BENCHMARK(BM_Scan100)->Apply(IndexArgs);
+BENCHMARK(BM_ConcurrentFind)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace dytis

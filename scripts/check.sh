@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
 # CI gate: build and test Release, ThreadSanitizer, ASan/UBSan, and the
 # observability-disabled (DYTIS_OBS=OFF) configs, then smoke-test the
-# machine-readable bench export.
+# machine-readable bench export and print a line-coverage summary for the
+# core.
 #
-#   scripts/check.sh              # all four configs + bench-JSON smoke
+#   scripts/check.sh              # all four configs + bench smoke + coverage
 #   JOBS=8 scripts/check.sh       # override parallelism
 #   FILTER=regex scripts/check.sh # restrict ctest to matching tests
 #   CONFIGS="release tsan" scripts/check.sh  # subset of configs
+#   COVERAGE=0 scripts/check.sh   # skip the coverage build
+#   STRESS_TIMEOUT=900 ...        # override the per-config stress cap
+#
+# Tests are tiered by ctest label: `fast` (deterministic, seconds), `stress`
+# (thread-interleaved, minutes — the tier that can hang when a scheduling
+# pathology starves a writer), and `crash` (fork/SIGKILL durability
+# suites).  The stress tier runs under a hard timeout with one retry so a
+# wedged interleaving fails the matrix loudly instead of hanging it; a
+# second consecutive failure is treated as real, never retried away.
 #
 # Sanitizer configs take several times longer than Release; FILTER is useful
 # for quick local iterations (e.g. FILTER='Stress|Concurrency|Fault').
@@ -16,11 +26,58 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 FILTER="${FILTER:-}"
 CONFIGS="${CONFIGS:-release tsan asan obsoff}"
+COVERAGE="${COVERAGE:-1}"
 
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
 if [[ -n "${FILTER}" ]]; then
   CTEST_ARGS+=(-R "${FILTER}")
 fi
+
+# Hard wall-clock cap for one attempt of the stress tier.  TSan serialises
+# the interleavings it checks, so its tier runs several times longer.
+stress_timeout_for() {
+  if [[ -n "${STRESS_TIMEOUT:-}" ]]; then
+    echo "${STRESS_TIMEOUT}"
+    return
+  fi
+  case "$1" in
+    tsan) echo 5400 ;;
+    asan) echo 3600 ;;
+    *)    echo 1800 ;;
+  esac
+}
+
+# Runs the stress-labelled tests with a timeout and exactly one retry.
+# A timeout (exit 124) usually means a starved-writer interleaving on a
+# loaded box, so one clean re-run is allowed; any second failure — timeout
+# or assertion — fails the whole matrix.  Flakes are never silently eaten:
+# every failed attempt is reported even when the retry passes.
+run_stress_tier() {
+  local dir="$1" config="$2"
+  local tmo attempt rc
+  tmo="$(stress_timeout_for "${config}")"
+  for attempt in 1 2; do
+    rc=0
+    (cd "${dir}" && timeout --kill-after=30 "${tmo}" \
+      ctest --output-on-failure -j "${JOBS}" -L stress) || rc=$?
+    if [[ ${rc} -eq 0 ]]; then
+      if [[ ${attempt} -eq 2 ]]; then
+        echo "!!! [${config}] stress tier passed only on retry -- flaky," \
+             "investigate before merging" >&2
+      fi
+      return 0
+    fi
+    if [[ ${rc} -eq 124 ]]; then
+      echo "!!! [${config}] stress tier TIMED OUT after ${tmo}s" \
+           "(attempt ${attempt}/2)" >&2
+    else
+      echo "!!! [${config}] stress tier FAILED rc=${rc}" \
+           "(attempt ${attempt}/2)" >&2
+    fi
+  done
+  echo "!!! [${config}] stress tier failed twice -- failing the matrix" >&2
+  return 1
+}
 
 # Per-config widening of the durability robustness suites: the release
 # config runs the full crash-kill matrix and a longer corruption-fuzz
@@ -53,8 +110,15 @@ for config in ${CONFIGS}; do
   echo "=== [${config}] configure + build (${dir}) ==="
   cmake -B "${dir}" -S . "${cmake_args[@]}"
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== [${config}] ctest ==="
-  (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
+  if [[ -n "${FILTER}" ]]; then
+    echo "=== [${config}] ctest (filter: ${FILTER}) ==="
+    (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
+  else
+    echo "=== [${config}] ctest: fast + crash tiers ==="
+    (cd "${dir}" && ctest "${CTEST_ARGS[@]}" -LE stress)
+    echo "=== [${config}] ctest: stress tier (timeout + single retry) ==="
+    run_stress_tier "${dir}" "${config}"
+  fi
   # Crash-matrix + corruption-fuzz stage: re-run the durability suites with
   # the widened kill-point matrix and fuzz campaign for this config.  tsan
   # is excluded from the crash matrix: the helper dies by design, and TSan's
@@ -82,6 +146,21 @@ if [[ " ${CONFIGS} " == *" release "* ]]; then
   python3 -m json.tool "${smoke_dir}/bench_results/breakdown.json" > /dev/null
   python3 -m json.tool "${smoke_dir}/traces/breakdown.trace.json" > /dev/null
   echo "bench JSON + chrome trace are valid JSON"
+fi
+
+# Coverage stage: instrumented build (-DDYTIS_COVERAGE=ON), fast tier only
+# (the stress tier adds runtime, not lines), then a per-file line-coverage
+# table for src/core/.  The image has gcov but not lcov/gcovr, so the
+# summary is computed by scripts/coverage_summary.py from gcov's JSON
+# intermediate output.
+if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
+  echo "=== [coverage] instrumented build + fast tier ==="
+  cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DDYTIS_COVERAGE=ON \
+    -DDYTIS_SANITIZE= -DDYTIS_OBS=ON
+  cmake --build build-cov -j "${JOBS}"
+  find build-cov -name '*.gcda' -delete  # stale counters skew the summary
+  (cd build-cov && ctest --output-on-failure -j "${JOBS}" -L fast)
+  python3 scripts/coverage_summary.py build-cov src/core/
 fi
 
 echo "=== all configs passed: ${CONFIGS} ==="

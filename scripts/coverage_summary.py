@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Line-coverage summary from gcov JSON, filtered to a source prefix.
+
+Replacement for the usual `lcov --summary` step: the CI image ships gcov
+(part of gcc) but not lcov/gcovr, and the summary we gate on is small enough
+to compute directly.  Walks a --coverage build tree for .gcda files, asks
+gcov for JSON intermediate output, merges execution counts per source line
+across translation units (headers like eh_table.h are compiled into many
+TUs; a line is covered if ANY TU executed it), and prints a per-file table
+plus a total for the requested prefix.
+
+Usage: coverage_summary.py [build_dir] [source_prefix]
+Defaults: build-cov src/core/
+"""
+import collections
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json_docs(gcda_path):
+    """Yields parsed gcov JSON documents for one .gcda file."""
+    try:
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", gcda_path],
+            capture_output=True,
+            check=True,
+        )
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    build_dir = sys.argv[1] if len(sys.argv) > 1 else "build-cov"
+    prefix = sys.argv[2] if len(sys.argv) > 2 else "src/core/"
+    gcda_files = glob.glob(
+        os.path.join(build_dir, "**", "*.gcda"), recursive=True
+    )
+    if not gcda_files:
+        print(f"coverage: no .gcda files under {build_dir} "
+              "(build with -DDYTIS_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 1
+
+    # file -> line_number -> max execution count across TUs.
+    lines = collections.defaultdict(dict)
+    for gcda in gcda_files:
+        for doc in gcov_json_docs(gcda):
+            for f in doc.get("files", []):
+                name = os.path.normpath(f.get("file", ""))
+                if prefix not in name:
+                    continue
+                # Normalise to the repo-relative path.
+                name = name[name.index(prefix):]
+                per_file = lines[name]
+                for ln in f.get("lines", []):
+                    no = ln.get("line_number")
+                    count = ln.get("count", 0)
+                    if no is not None:
+                        per_file[no] = max(per_file.get(no, 0), count)
+
+    if not lines:
+        print(f"coverage: no instrumented lines matched prefix '{prefix}'",
+              file=sys.stderr)
+        return 1
+
+    total_cov = total_lines = 0
+    width = max(len(n) for n in lines) + 2
+    print(f"\n=== line coverage for {prefix} ({build_dir}) ===")
+    for name in sorted(lines):
+        per_file = lines[name]
+        covered = sum(1 for c in per_file.values() if c > 0)
+        n = len(per_file)
+        total_cov += covered
+        total_lines += n
+        pct = 100.0 * covered / n if n else 0.0
+        print(f"  {name:<{width}} {covered:>5}/{n:<5} {pct:6.1f}%")
+    pct = 100.0 * total_cov / total_lines if total_lines else 0.0
+    print(f"  {'TOTAL':<{width}} {total_cov:>5}/{total_lines:<5} {pct:6.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,18 @@
 //
 // Lookups use exponential search around a predicted slot (the hint supplied
 // by the remapping function), the same in-node search ALEX uses.
+//
+// Optimistic-read support: point mutators (Insert / Erase / SetValue and the
+// size counters) publish every element store with a relaxed __atomic store.
+// On x86/ARM an aligned relaxed atomic store of a machine word compiles to a
+// plain mov/str, so the locked paths pay nothing — but the stores become
+// visible, tear-free and sanitizer-clean to the version-validated lock-free
+// probe (OptimisticProbe below), which reads the same words with atomic
+// loads and lets the caller's seqlock validation discard any value read
+// concurrently with a writer.  AppendSorted intentionally keeps plain
+// stores: it only ever runs on freshly built bucket arrays that have not
+// been published to readers yet (rebuilds), where the publication
+// release-store provides the ordering.
 #ifndef DYTIS_SRC_CORE_BUCKET_ARRAY_H_
 #define DYTIS_SRC_CORE_BUCKET_ARRAY_H_
 
@@ -18,12 +30,48 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <type_traits>
+
+// The SIMD bucket probe reads racing memory with vector loads, which are
+// only element-wise atomic in practice, not to ThreadSanitizer — under TSan
+// the probe always uses the scalar __atomic path so the race detector sees
+// properly annotated accesses.
+#if defined(__SANITIZE_THREAD__)
+#define DYTIS_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DYTIS_TSAN_BUILD 1
+#endif
+#endif
+#ifndef DYTIS_TSAN_BUILD
+#define DYTIS_TSAN_BUILD 0
+#endif
+
+// Overridable (-DDYTIS_SIMD_PROBE=0) for A/B probe measurements.
+#ifndef DYTIS_SIMD_PROBE
+#if defined(__AVX2__) && !DYTIS_TSAN_BUILD
+#define DYTIS_SIMD_PROBE 1
+#else
+#define DYTIS_SIMD_PROBE 0
+#endif
+#endif
+#if DYTIS_SIMD_PROBE
+#include <immintrin.h>
+#endif
 
 namespace dytis {
 
 template <typename V>
 class BucketArray {
  public:
+  // True when the value type can be read by the lock-free probe: a relaxed
+  // atomic load needs a lock-free machine access, i.e. a trivially copyable
+  // power-of-two size up to 8 bytes.  Larger/non-trivial values disable the
+  // optimistic read path at compile time (the locked paths are unaffected).
+  static constexpr bool kOptimisticProbeSafe =
+      std::is_trivially_copyable_v<V> &&
+      (sizeof(V) == 1 || sizeof(V) == 2 || sizeof(V) == 4 || sizeof(V) == 8);
+
   BucketArray(uint32_t num_buckets, uint32_t capacity)
       : num_buckets_(num_buckets),
         capacity_(capacity),
@@ -73,6 +121,13 @@ class BucketArray {
     return keys_[Base(b) + static_cast<size_t>(slot)];
   }
 
+  // In-place value update, published atomically so a concurrent optimistic
+  // probe never observes a torn value.  Writers must hold the segment lock
+  // exclusively (as for every mutator).
+  void SetValue(uint32_t b, int slot, const V& value) {
+    AtomicStore(values_.get() + Base(b) + static_cast<size_t>(slot), value);
+  }
+
   // Slot of the first key >= `key` in bucket b (may equal BucketSize(b)).
   int LowerBoundSlot(uint32_t b, uint64_t key, uint32_t hint) const {
     return LowerBound(keys_.get() + Base(b), sizes_[b], key, hint);
@@ -102,18 +157,22 @@ class BucketArray {
       return InsertResult::kFull;
     }
     // Shift the tail up by one (values may be non-trivially copyable).
+    // Element stores are atomic so a concurrent optimistic probe reads
+    // tear-free words; the probe's version validation discards any mixture
+    // of old and new positions it may observe mid-shift.
     for (int i = n; i > pos; i--) {
-      keys[i] = keys[i - 1];
-      values[i] = std::move(values[i - 1]);
+      AtomicStore(&keys[i], keys[i - 1]);
+      AtomicStore(&values[i], std::move(values[i - 1]));
     }
-    keys[pos] = key;
-    values[pos] = value;
-    sizes_[b]++;
+    AtomicStore(&keys[pos], key);
+    AtomicStore(&values[pos], value);
+    StoreSize(b, static_cast<uint16_t>(n + 1));
     return InsertResult::kInserted;
   }
 
   // Appends without searching; caller guarantees key > all keys in bucket b
-  // and the bucket has space.  Used by rebuilds, which feed keys in order.
+  // and the bucket has space.  Used by rebuilds, which feed keys in order
+  // into bucket arrays that are not yet visible to any reader.
   void AppendSorted(uint32_t b, uint64_t key, const V& value) {
     const int n = sizes_[b];
     assert(n < static_cast<int>(capacity_));
@@ -133,10 +192,52 @@ class BucketArray {
       return false;
     }
     for (int i = pos; i + 1 < n; i++) {
-      keys[i] = keys[i + 1];
-      values[i] = std::move(values[i + 1]);
+      AtomicStore(&keys[i], keys[i + 1]);
+      AtomicStore(&values[i], std::move(values[i + 1]));
     }
-    sizes_[b]--;
+    StoreSize(b, static_cast<uint16_t>(n - 1));
+    return true;
+  }
+
+  // --- Lock-free probe (optimistic read path) ------------------------------
+
+  // Bucket size as seen by a lock-free reader.  Acquire so the subsequent
+  // element loads cannot be hoisted above it.
+  uint16_t AcquireBucketSize(uint32_t b) const {
+    return __atomic_load_n(&sizes_[b], __ATOMIC_ACQUIRE);
+  }
+
+  // Equality probe of bucket b used by the optimistic read path: scans the
+  // first `n` slots (the caller passes an AcquireBucketSize() result) for
+  // `key` without any lock, reading through atomic (or element-wise-atomic
+  // SIMD) loads so racing writers can never produce undefined behaviour —
+  // only stale or torn *positions*, which the caller's version validation
+  // rejects.  Returns true and stores the matching value through *value on
+  // a hit.  `hint` is the predicted slot; the scalar path gallops around
+  // it, the SIMD path scans branch-free in 4-key strides.
+  bool OptimisticProbe(uint32_t b, int n, uint64_t key, uint32_t hint,
+                       V* value) const
+    requires(kOptimisticProbeSafe)
+  {
+    const uint64_t* keys = keys_.get() + Base(b);
+    const V* values = values_.get() + Base(b);
+    if (n <= 0) {
+      return false;
+    }
+    if (n > static_cast<int>(capacity_)) {
+      n = static_cast<int>(capacity_);  // torn size: clamp, validation retries
+    }
+#if DYTIS_SIMD_PROBE
+    const int slot = SimdProbe(keys, n, key, hint);
+#else
+    const int slot = AtomicLowerBoundProbe(keys, n, key, hint);
+#endif
+    if (slot < 0) {
+      return false;
+    }
+    V tmp;
+    __atomic_load(values + slot, &tmp, __ATOMIC_RELAXED);
+    *value = tmp;
     return true;
   }
 
@@ -150,6 +251,139 @@ class BucketArray {
  private:
   size_t Base(uint32_t b) const {
     return static_cast<size_t>(b) * capacity_;
+  }
+
+  // Relaxed atomic element store; compiles to a plain mov for word-sized
+  // trivially copyable types, plain assignment otherwise (types that cannot
+  // race with the optimistic probe, which kOptimisticProbeSafe excludes).
+  template <typename T>
+  static void AtomicStore(T* p, const T& v) {
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                   sizeof(T) == 8)) {
+      __atomic_store(p, const_cast<T*>(&v), __ATOMIC_RELAXED);
+    } else {
+      *p = v;
+    }
+  }
+  template <typename T>
+  static void AtomicStore(T* p, T&& v) {
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                   sizeof(T) == 8)) {
+      __atomic_store(p, &v, __ATOMIC_RELAXED);
+    } else {
+      *p = std::move(v);
+    }
+  }
+
+  void StoreSize(uint32_t b, uint16_t n) {
+    __atomic_store_n(&sizes_[b], n, __ATOMIC_RELEASE);
+  }
+
+#if DYTIS_SIMD_PROBE
+  // Branch-free-strided AVX2 equality scan: 4 keys per compare, one branch
+  // per stride on the combined equal/greater masks.  Keys are sorted, so a
+  // stride whose minimum exceeds `key` ends the scan.  The sign-bit bias
+  // turns AVX2's signed 64-bit compare into an unsigned one.  The scan
+  // starts near the remap-predicted `hint` slot, galloping backward first
+  // until keys[start] <= key: sorted + unique keys mean no earlier slot can
+  // match, so the forward scan from there is exhaustive without touching
+  // the whole bucket.  (Racing writers can break sortedness transiently;
+  // that only mis-positions the probe, and the caller's version validation
+  // rejects the attempt.)
+  static int SimdProbe(const uint64_t* keys, int n, uint64_t key,
+                       uint32_t hint) {
+    int i = static_cast<int>(hint);
+    if (i >= n) {
+      i = n - 1;  // top-of-range predictions land on the last slot
+    }
+    for (int step = 4; i > 0; step <<= 1) {
+      if (__atomic_load_n(keys + i, __ATOMIC_RELAXED) <= key) {
+        break;
+      }
+      i = i > step ? i - step : 0;
+    }
+    const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(key));
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    const __m256i needle_biased = _mm256_xor_si256(needle, bias);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + i));
+      const __m256i eq = _mm256_cmpeq_epi64(v, needle);
+      const int eq_mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+      if (eq_mask != 0) {
+        return i + __builtin_ctz(static_cast<unsigned>(eq_mask));
+      }
+      const __m256i gt = _mm256_cmpgt_epi64(_mm256_xor_si256(v, bias),
+                                            needle_biased);
+      if (_mm256_movemask_pd(_mm256_castsi256_pd(gt)) != 0) {
+        return -1;  // sorted: every later key is larger still
+      }
+    }
+    for (; i < n; i++) {
+      const uint64_t k = __atomic_load_n(keys + i, __ATOMIC_RELAXED);
+      if (k == key) {
+        return i;
+      }
+      if (k > key) {
+        return -1;
+      }
+    }
+    return -1;
+  }
+#endif
+
+  // Scalar fallback: the hint-guided exponential search of the locked path,
+  // but every key load is a relaxed atomic so TSan sees annotated accesses
+  // and racing writers cannot introduce undefined behaviour.
+  static int AtomicLowerBoundProbe(const uint64_t* keys, int n, uint64_t key,
+                                   uint32_t hint) {
+    auto load = [keys](int i) {
+      return __atomic_load_n(keys + i, __ATOMIC_RELAXED);
+    };
+    int pos = static_cast<int>(hint);
+    if (pos >= n) {
+      pos = n - 1;
+    }
+    int lo;
+    int hi;
+    if (load(pos) < key) {
+      int step = 1;
+      lo = pos + 1;
+      hi = lo;
+      while (hi < n && load(hi) < key) {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, n);
+    } else {
+      int step = 1;
+      hi = pos;
+      lo = hi;
+      while (lo > 0 && load(lo - 1) >= key) {
+        hi = lo;
+        lo -= step;
+        step <<= 1;
+        if (lo < 0) {
+          lo = 0;
+        }
+      }
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (load(mid) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < n && load(lo) == key) {
+      return lo;
+    }
+    return -1;
   }
 
   // Exponential search for the lower bound of `key`, starting from `hint`.

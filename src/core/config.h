@@ -37,6 +37,18 @@ struct FaultPolicy {
   // tests/dytis_crashkill.cc.
   bool crash_instead = false;
 
+  // Observation hook: called for every matching attempt *before* the
+  // fail/crash decision, from inside the structural operation's critical
+  // section (segment lock held; split/doubling additionally hold the
+  // directory lock).  Its return value decides whether the attempt also
+  // fails (true = fail as usual, false = observe only, operation proceeds).
+  // Raw function pointer rather than std::function: DyTISConfig must stay
+  // trivially copyable because snapshots serialize it as raw bytes.  The
+  // concurrency tests use this to pin a writer mid-structural-op while
+  // readers hammer the segment (tests/optimistic_read_test.cc).
+  bool (*on_match)(void* arg, StructuralOp op) = nullptr;
+  void* on_match_arg = nullptr;
+
   bool Enabled() const { return fail_count != 0; }
 
   bool Matches(StructuralOp op) const {
@@ -131,6 +143,19 @@ struct DyTISConfig {
   // reports InsertResult::kHardError instead of storing the key -- the only
   // way an insert can fail, and it is always reported, never silent.
   size_t stash_hard_limit = 0;
+
+  // Version-validated lock-free point lookups (Get / Contains) on
+  // thread-safe builds.  When on, readers probe segments without taking the
+  // per-segment lock, validating the segment's seqlock version around the
+  // probe and retrying on writer overlap; when off (or when the policy /
+  // value type cannot support it) every lookup takes the per-segment shared
+  // lock exactly as before.  Per-index toggle so the same binary can bench
+  // both paths (bench_fig12_concurrency read-scaling section).
+  bool optimistic_reads = true;
+
+  // Bounded optimistic retries per lookup before falling back to the
+  // pessimistic shared-lock path (counted in stats.optimistic_read_*).
+  int optimistic_read_retries = 8;
 
   // Deterministic structural-failure injection (tests only; disabled by
   // default).  See FaultPolicy.

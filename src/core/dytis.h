@@ -83,6 +83,18 @@ class BasicDyTIS {
     return TableFor(key).Find(key, value);
   }
 
+  // Existence test; same path as Find (including the optimistic lock-free
+  // probe on concurrent builds with DyTISConfig::optimistic_reads).
+  bool Contains(uint64_t key) const { return Find(key, nullptr); }
+
+  // True when point lookups on this index can take the version-validated
+  // lock-free path (policy + value type + config all permit it).
+  static constexpr bool kOptimisticCapable =
+      EhTable<V, Policy>::kOptimisticCapable;
+  bool OptimisticReadsEnabled() const {
+    return kOptimisticCapable && config_.optimistic_reads;
+  }
+
   // In-place update of an existing key.  Returns false when absent.
   bool Update(uint64_t key, const V& value) {
     return TableFor(key).Update(key, value);

@@ -27,6 +27,17 @@
 // structural operation the whole table.  Remapping and expansion mutate only
 // segment-internal state and run under the segment lock; split and doubling
 // re-enter with the directory lock held exclusively.
+//
+// Optimistic reads (this reproduction; cf. XIndex-style version validation):
+// when DyTISConfig::optimistic_reads is on and the instantiation supports it
+// (kOptimisticCapable), point lookups elide the per-segment lock: they probe
+// the segment's published core with atomic loads and validate the segment's
+// seqlock version around the probe, retrying a bounded number of times
+// before falling back to the pessimistic shared lock.  The directory lock is
+// still taken shared — it pins segment pointers (split/doubling need it
+// exclusively) and doubles as the grace period for retired segment cores,
+// which rebuilds swap out wholesale and the table frees only while holding
+// the directory exclusively (DrainRetiredLocked).
 #ifndef DYTIS_SRC_CORE_EH_TABLE_H_
 #define DYTIS_SRC_CORE_EH_TABLE_H_
 
@@ -58,6 +69,13 @@ class EhTable {
   using SegmentT = Segment<V, Policy>;
   using ScanEntry = std::pair<uint64_t, V>;
 
+  // Whether this instantiation can run version-validated lock-free lookups:
+  // the policy must maintain a writer version (SharedMutexPolicy) and the
+  // value type must be readable with one atomic load.  The runtime half of
+  // the switch is DyTISConfig::optimistic_reads.
+  static constexpr bool kOptimisticCapable =
+      Policy::kOptimisticReads && BucketArray<V>::kOptimisticProbeSafe;
+
   // key_bits: width of the EH-local key (n - R).  table_id identifies this
   // EH within its first level in structural-trace events.
   EhTable(const DyTISConfig& config, DyTISStats* stats, int key_bits,
@@ -83,6 +101,9 @@ class EhTable {
         prev = seg;
       }
     }
+    for (SegmentCore<V>* core : retired_) {
+      delete core;
+    }
   }
 
   EhTable(const EhTable&) = delete;
@@ -98,6 +119,7 @@ class EhTable {
   // non-storing outcome is kHardError, and it is only reachable when
   // config.stash_hard_limit caps the stash.
   InsertResult InsertEx(uint64_t key, const V& value) {
+    MaybeDrainRetired();
     const uint64_t eh_local = LowBits(key, key_bits_);
     for (int attempt = 0; attempt < config_.max_structural_retries;
          attempt++) {
@@ -125,18 +147,18 @@ class EhTable {
             return InsertResult::kUpdated;
           }
         }
-        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-        const auto placement = seg->remap.PlacementFor(local);
+        const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+        const auto placement = seg->remap().PlacementFor(local);
         const uint32_t hint = SearchHint(*seg, placement);
         int slot = -1;
         const auto result =
-            seg->buckets.Insert(placement.bucket, key, value, hint, &slot);
+            seg->buckets().Insert(placement.bucket, key, value, hint, &slot);
         if (result == BucketArray<V>::InsertResult::kInserted) {
           seg->num_keys++;
           return InsertResult::kInserted;
         }
         if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
-          seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+          seg->buckets().SetValue(placement.bucket, slot, value);
           return InsertResult::kUpdated;
         }
         // Bucket full.  Try the segment-local repairs (remap / expansion)
@@ -164,21 +186,34 @@ class EhTable {
     const uint64_t eh_local = LowBits(key, key_bits_);
     typename Policy::SharedLock dir_lock(mutex_);
     const SegmentT* seg = SegmentFor(eh_local);
+    // Optimistic fast path: version-validated lock-free probe.  The
+    // directory lock is still held shared — that is what keeps `seg` (and
+    // every retired core) alive, because frees only happen under the
+    // directory lock held exclusively.  Only the per-segment lock is elided.
+    if constexpr (kOptimisticCapable) {
+      if (config_.optimistic_reads) {
+        const int r = OptimisticFind(seg, eh_local, key, value);
+        if (r >= 0) {
+          return r != 0;
+        }
+        // r < 0: conflict budget exhausted or stash active — take the lock.
+      }
+    }
     typename Policy::SharedLock seg_lock(seg->mutex);
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const auto placement = seg->remap.PlacementFor(local);
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const auto placement = seg->remap().PlacementFor(local);
     int slot;
     if constexpr (Policy::kBucketLocks) {
       SpinGuard guard(
           const_cast<SegmentT*>(seg)->BucketLock(placement.bucket));
-      slot = seg->buckets.Find(placement.bucket, key,
+      slot = seg->buckets().Find(placement.bucket, key,
                                SearchHint(*seg, placement));
       if (slot >= 0 && value != nullptr) {
-        *value = seg->buckets.ValueAt(placement.bucket, slot);
+        *value = seg->buckets().ValueAt(placement.bucket, slot);
         return true;
       }
     } else {
-      slot = seg->buckets.Find(placement.bucket, key,
+      slot = seg->buckets().Find(placement.bucket, key,
                                SearchHint(*seg, placement));
     }
     if (slot < 0) {
@@ -194,7 +229,7 @@ class EhTable {
       return false;
     }
     if (value != nullptr) {
-      *value = seg->buckets.ValueAt(placement.bucket, slot);
+      *value = seg->buckets().ValueAt(placement.bucket, slot);
     }
     return true;
   }
@@ -207,14 +242,14 @@ class EhTable {
       typename Policy::SharedLock dir_lock(mutex_);
       SegmentT* seg = SegmentFor(eh_local);
       typename Policy::SharedLock seg_lock(seg->mutex);
-      const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-      const auto placement = seg->remap.PlacementFor(local);
+      const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+      const auto placement = seg->remap().PlacementFor(local);
       {
         SpinGuard guard(seg->BucketLock(placement.bucket));
-        const int slot = seg->buckets.Find(placement.bucket, key,
+        const int slot = seg->buckets().Find(placement.bucket, key,
                                            SearchHint(*seg, placement));
         if (slot >= 0) {
-          seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+          seg->buckets().SetValue(placement.bucket, slot, value);
           return true;
         }
       }
@@ -226,9 +261,9 @@ class EhTable {
     typename Policy::SharedLock dir_lock(mutex_);
     SegmentT* seg = SegmentFor(eh_local);
     typename Policy::UniqueLock seg_lock(seg->mutex);
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const auto placement = seg->remap.PlacementFor(local);
-    const int slot = seg->buckets.Find(placement.bucket, key,
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const auto placement = seg->remap().PlacementFor(local);
+    const int slot = seg->buckets().Find(placement.bucket, key,
                                        SearchHint(*seg, placement));
     if (slot < 0) {
       if (!seg->stash.empty()) {
@@ -240,20 +275,21 @@ class EhTable {
       }
       return false;
     }
-    seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+    seg->buckets().SetValue(placement.bucket, slot, value);
     return true;
   }
 
   // Deletes a key.  Returns false if absent.  May merge (shrink) the
   // segment when its utilization drops below the merge threshold.
   bool Erase(uint64_t key) {
+    MaybeDrainRetired();
     const uint64_t eh_local = LowBits(key, key_bits_);
     typename Policy::SharedLock dir_lock(mutex_);
     SegmentT* seg = SegmentFor(eh_local);
     typename Policy::UniqueLock seg_lock(seg->mutex);
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const auto placement = seg->remap.PlacementFor(local);
-    if (!seg->buckets.Erase(placement.bucket, key,
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const auto placement = seg->remap().PlacementFor(local);
+    if (!seg->buckets().Erase(placement.bucket, key,
                             SearchHint(*seg, placement))) {
       if (seg->stash.empty() || !seg->StashErase(key)) {
         return false;
@@ -289,16 +325,16 @@ class EhTable {
       uint32_t b = 0;
       int slot = 0;
       if (!positioned) {
-        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-        const auto placement = seg->remap.PlacementFor(local);
+        const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+        const auto placement = seg->remap().PlacementFor(local);
         b = placement.bucket;
-        slot = seg->buckets.LowerBoundSlot(b, start_key,
+        slot = seg->buckets().LowerBoundSlot(b, start_key,
                                            SearchHint(*seg, placement));
         positioned = true;
       }
-      for (; b < seg->buckets.num_buckets() && got < want; b++) {
-        const auto keys = seg->buckets.Keys(b);
-        const auto values = seg->buckets.Values(b);
+      for (; b < seg->buckets().num_buckets() && got < want; b++) {
+        const auto keys = seg->buckets().Keys(b);
+        const auto values = seg->buckets().Values(b);
         for (size_t i = static_cast<size_t>(slot);
              i < keys.size() && got < want; i++) {
           out[got++] = {keys[i], values[i]};
@@ -322,9 +358,9 @@ class EhTable {
           fn(k, v);
         }
       } else {
-        for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
-          const auto keys = seg->buckets.Keys(b);
-          const auto values = seg->buckets.Values(b);
+        for (uint32_t b = 0; b < seg->buckets().num_buckets(); b++) {
+          const auto keys = seg->buckets().Keys(b);
+          const auto values = seg->buckets().Values(b);
           for (size_t i = 0; i < keys.size(); i++) {
             fn(keys[i], values[i]);
           }
@@ -367,8 +403,8 @@ class EhTable {
     for (const SegmentT* seg : dir_) {
       if (seg != prev) {
         SegmentScanLock seg_lock(seg->mutex);
-        n += static_cast<size_t>(seg->buckets.num_buckets()) *
-             seg->buckets.capacity();
+        n += static_cast<size_t>(seg->buckets().num_buckets()) *
+             seg->buckets().capacity();
         prev = seg;
       }
     }
@@ -450,22 +486,22 @@ class EhTable {
           return fail("directory run points at a different segment");
         }
       }
-      if (seg->remap.key_bits() != key_bits_ - seg->local_depth) {
+      if (seg->remap().key_bits() != key_bits_ - seg->local_depth) {
         return fail("segment key_bits != key_bits - LD");
       }
       // Per-bucket checks: sorted keys, correct bucket placement, correct
       // segment membership (local-key prefix must equal the directory run).
       size_t counted = 0;
-      for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
-        const auto keys = seg->buckets.Keys(b);
+      for (uint32_t b = 0; b < seg->buckets().num_buckets(); b++) {
+        const auto keys = seg->buckets().Keys(b);
         for (size_t s = 0; s < keys.size(); s++) {
           const uint64_t k = keys[s];
           const uint64_t eh_local = LowBits(k, key_bits_);
           if (DirIndexFor(eh_local) / run * run != i) {
             return fail("key stored in the wrong segment");
           }
-          const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-          if (seg->remap.BucketIndexFor(local) != b) {
+          const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+          if (seg->remap().BucketIndexFor(local) != b) {
             return fail("key stored in the wrong bucket");
           }
           if (have_prev && k <= prev_key) {
@@ -487,9 +523,9 @@ class EhTable {
         if (DirIndexFor(eh_local) / run * run != i) {
           return fail("stash key stored in the wrong segment");
         }
-        const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-        const uint32_t kb = seg->remap.BucketIndexFor(local);
-        if (seg->buckets.Find(kb, k, 0) >= 0) {
+        const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+        const uint32_t kb = seg->remap().BucketIndexFor(local);
+        if (seg->buckets().Find(kb, k, 0) >= 0) {
           return fail("stash key duplicated in a bucket");
         }
         counted++;
@@ -525,19 +561,19 @@ class EhTable {
     if (!seg->stash.empty()) {
       return FineOutcome::kFallback;  // stash ops need the exclusive path
     }
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const auto placement = seg->remap.PlacementFor(local);
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const auto placement = seg->remap().PlacementFor(local);
     SpinGuard guard(seg->BucketLock(placement.bucket));
     int slot = -1;
     const auto result =
-        seg->buckets.Insert(placement.bucket, key, value,
+        seg->buckets().Insert(placement.bucket, key, value,
                             SearchHint(*seg, placement), &slot);
     if (result == BucketArray<V>::InsertResult::kInserted) {
       seg->num_keys++;
       return FineOutcome::kInsertedNew;
     }
     if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
-      seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+      seg->buckets().SetValue(placement.bucket, slot, value);
       return FineOutcome::kUpdated;
     }
     return FineOutcome::kFallback;  // bucket full
@@ -560,17 +596,17 @@ class EhTable {
         return InsertResult::kUpdated;
       }
     }
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const auto placement = seg->remap.PlacementFor(local);
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const auto placement = seg->remap().PlacementFor(local);
     int slot = -1;
-    const auto result = seg->buckets.Insert(placement.bucket, key, value,
+    const auto result = seg->buckets().Insert(placement.bucket, key, value,
                                             SearchHint(*seg, placement), &slot);
     if (result == BucketArray<V>::InsertResult::kInserted) {
       seg->num_keys++;
       return InsertResult::kInserted;
     }
     if (result == BucketArray<V>::InsertResult::kAlreadyExists) {
-      seg->buckets.MutableValueAt(placement.bucket, slot) = value;
+      seg->buckets().SetValue(placement.bucket, slot, value);
       return InsertResult::kUpdated;
     }
     // Bucket still full: the stash is the last resort.
@@ -613,6 +649,13 @@ class EhTable {
         n - fp.start_op >= fp.fail_count) {
       return false;
     }
+    if (fp.on_match != nullptr && !fp.on_match(fp.on_match_arg, op)) {
+      // Observation hook declined the failure: the structural operation
+      // proceeds normally.  The hook ran inside the critical section (locks
+      // held, segment version odd), which is what lets tests pin a writer
+      // mid-structural-op while readers hammer the segment.
+      return false;
+    }
     if (fp.crash_instead) {
       // Crash-injection harness: die mid-structural-op, with locks held and
       // no cleanup — indistinguishable from a real crash at this point.
@@ -624,6 +667,126 @@ class EhTable {
     DYTIS_OBS_TRACE(obs::TraceOp::kFault, now, now, table_id_, -1);
 #endif
     return true;
+  }
+
+  // --- Optimistic read path (kOptimisticCapable instantiations only) ------
+
+  // Lock-free lookup attempt.  Returns 1 (found, *value filled), 0
+  // (definitely absent), or -1 (conflict budget exhausted or stash active:
+  // the caller must fall back to the locked path).  Caller holds the
+  // directory lock shared — which pins the segment pointer and keeps every
+  // retired core alive — and has already checked config_.optimistic_reads.
+  //
+  // Protocol per attempt (seqlock):
+  //   1. v1 = version (acquire); writer active (odd) => conflict.
+  //   2. Probe through the acquire-loaded core with atomic element loads.
+  //   3. Acquire fence, then re-load the version; v1 unchanged proves no
+  //      writer overlapped [1, 3], so the probe result is consistent.
+  int OptimisticFind(const SegmentT* seg, uint64_t eh_local, uint64_t key,
+                     V* value) const {
+    const auto& version = Policy::Version(seg->mutex);
+    uint64_t conflicts = 0;
+    for (int attempt = 0; attempt <= config_.optimistic_read_retries;
+         attempt++) {
+      const uint64_t v1 = version.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {
+        conflicts++;  // writer inside its critical section: brief spin
+        CpuRelax();
+        continue;
+      }
+      if (seg->stash_count.load(std::memory_order_acquire) != 0) {
+        // Overflow stash active (adversarial workloads only): the stash is
+        // a std::vector the probe cannot touch safely — use the locked path.
+        RecordOptimistic(conflicts, /*fallback=*/true);
+        return -1;
+      }
+      const SegmentCore<V>* core = seg->AcquireCore();
+      const uint64_t local = LowBits(eh_local, core->remap.key_bits());
+      const auto placement = core->remap.PlacementFor(local);
+      const int n = core->buckets.AcquireBucketSize(placement.bucket);
+      const uint32_t hint =
+          placement.permille * static_cast<uint32_t>(n) / 1000;
+      V tmp{};
+      const bool hit =
+          core->buckets.OptimisticProbe(placement.bucket, n, key, hint, &tmp);
+      // Order every probe load before the validating re-load.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (version.load(std::memory_order_relaxed) == v1) {
+        if (hit && value != nullptr) {
+          *value = tmp;
+        }
+        RecordOptimistic(conflicts, /*fallback=*/false);
+        return hit ? 1 : 0;
+      }
+      conflicts++;  // a writer overlapped the probe window: retry
+    }
+    RecordOptimistic(conflicts, /*fallback=*/true);
+    return -1;
+  }
+
+  // Conflict accounting for the optimistic read path.  No-op on the
+  // uncontended fast path, keeping it free of shared-counter traffic.
+  void RecordOptimistic(uint64_t conflicts, bool fallback) const {
+    if (conflicts != 0) {
+      stats_->Add(&DyTISStats::optimistic_read_retries, conflicts);
+    }
+    if (fallback) {
+      stats_->Add(&DyTISStats::optimistic_read_fallbacks, 1);
+    }
+  }
+
+  // Runtime counterpart of kOptimisticCapable: are lock-free readers
+  // possible on *this* index right now?
+  bool UseOptimistic() const {
+    if constexpr (kOptimisticCapable) {
+      return config_.optimistic_reads;
+    } else {
+      return false;
+    }
+  }
+
+  // --- Retired segment cores ----------------------------------------------
+  //
+  // A rebuild replaces a segment's published core; a lock-free reader may
+  // still be probing the old one.  Every optimistic reader holds the
+  // directory lock shared, so holding it exclusively is a quiescent point:
+  // no optimistic reader can exist, and retired cores are safe to free.
+  // Structural operations that already take the directory exclusively
+  // (split / doubling) drain for free; MaybeDrainRetired bounds the backlog
+  // for rebuild-heavy workloads that never split.
+
+  void RetireCore(SegmentCore<V>* core) {
+    if (core == nullptr) {
+      return;
+    }
+    SpinGuard guard(retired_lock_);
+    retired_.push_back(core);
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+
+  // Frees the backlog.  Caller must hold the directory lock exclusively (or
+  // be the destructor).
+  void DrainRetiredLocked() {
+    std::vector<SegmentCore<V>*> victims;
+    {
+      SpinGuard guard(retired_lock_);
+      victims.swap(retired_);
+      retired_count_.store(0, std::memory_order_relaxed);
+    }
+    for (SegmentCore<V>* core : victims) {
+      delete core;
+    }
+  }
+
+  // Pressure valve, called with no locks held: when the backlog crosses the
+  // threshold, take the directory lock exclusively once and free it.
+  void MaybeDrainRetired() {
+    if (retired_count_.load(std::memory_order_relaxed) <
+        kRetireDrainThreshold) {
+      return;
+    }
+    typename Policy::UniqueLock dir_lock(mutex_);
+    DrainRetiredLocked();
   }
 
   SegmentT* SegmentFor(uint64_t eh_local) {
@@ -644,7 +807,7 @@ class EhTable {
   // position prediction; the in-bucket search is exponential around it).
   static uint32_t SearchHint(const SegmentT& seg,
                              const RemapFunction::Placement& placement) {
-    const uint32_t size = seg.buckets.BucketSize(placement.bucket);
+    const uint32_t size = seg.buckets().BucketSize(placement.bucket);
     return placement.permille * size / 1000;
   }
 
@@ -714,7 +877,7 @@ class EhTable {
       return false;
     }
     const uint64_t t0 = NowNanos();
-    std::vector<uint32_t> counts = seg->remap.Counts();
+    std::vector<uint32_t> counts = seg->remap().Counts();
     uint64_t total = 0;
     for (auto& c : counts) {
       c *= 2;
@@ -747,20 +910,20 @@ class EhTable {
       return false;
     }
     const uint64_t t0 = NowNanos();
-    const int key_bits = seg->remap.key_bits();
+    const int key_bits = seg->remap().key_bits();
     const int max_p = std::min(config_.max_subrange_bits, key_bits);
-    const int cur_p = seg->remap.subrange_bits();
+    const int cur_p = seg->remap().subrange_bits();
 
     // Key counts at maximum refinement (single pass over the segment).
     std::vector<uint64_t> keys_fine(Pow2(max_p), 0);
-    for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
-      for (uint64_t k : seg->buckets.Keys(b)) {
+    for (uint32_t b = 0; b < seg->buckets().num_buckets(); b++) {
+      for (uint64_t k : seg->buckets().Keys(b)) {
         const uint64_t seg_local = LowBits(k, key_bits);
         keys_fine[TopBits(seg_local, key_bits, max_p)]++;
       }
     }
-    const std::vector<uint32_t> buckets_fine = seg->remap.RefinedCounts(max_p);
-    const double cap = static_cast<double>(seg->buckets.capacity());
+    const std::vector<uint32_t> buckets_fine = seg->remap().RefinedCounts(max_p);
+    const double cap = static_cast<double>(seg->buckets().capacity());
 
     // 1. Refine until the target sub-range is genuinely hot (util > U_t).
     int p = cur_p;
@@ -844,7 +1007,7 @@ class EhTable {
     }
     // No-op guard: remapping must change the function, or the caller would
     // loop forever.
-    if (p == cur_p && new_counts == seg->remap.Counts()) {
+    if (p == cur_p && new_counts == seg->remap().Counts()) {
       stats_->Add(&DyTISStats::remap_failures, 1);
       return false;
     }
@@ -864,22 +1027,22 @@ class EhTable {
   // Deletion-side merge: when utilization drops far below the threshold,
   // shrink the segment to the minimum allocation (inverse of remapping).
   void MaybeMergeSegment(SegmentT* seg) {
-    if (InWarmup(seg) || seg->remap.num_buckets() <= 1) {
+    if (InWarmup(seg) || seg->remap().num_buckets() <= 1) {
       return;
     }
     if (seg->Utilization() >= config_.merge_threshold) {
       return;
     }
-    const int key_bits = seg->remap.key_bits();
-    const int p = seg->remap.subrange_bits();
-    const uint32_t subs = seg->remap.num_subranges();
+    const int key_bits = seg->remap().key_bits();
+    const int p = seg->remap().subrange_bits();
+    const uint32_t subs = seg->remap().num_subranges();
     std::vector<uint64_t> keys_at(subs, 0);
-    for (uint32_t b = 0; b < seg->buckets.num_buckets(); b++) {
-      for (uint64_t k : seg->buckets.Keys(b)) {
+    for (uint32_t b = 0; b < seg->buckets().num_buckets(); b++) {
+      for (uint64_t k : seg->buckets().Keys(b)) {
         keys_at[TopBits(LowBits(k, key_bits), key_bits, p)]++;
       }
     }
-    const double cap = static_cast<double>(seg->buckets.capacity());
+    const double cap = static_cast<double>(seg->buckets().capacity());
     std::vector<uint32_t> new_counts(subs);
     uint64_t new_total = 0;
     for (uint32_t s = 0; s < subs; s++) {
@@ -889,7 +1052,7 @@ class EhTable {
                            (cap * config_.util_threshold))));
       new_total += new_counts[s];
     }
-    if (new_total >= seg->remap.num_buckets()) {
+    if (new_total >= seg->remap().num_buckets()) {
       return;  // nothing to reclaim
     }
     // enforce_limit keeps the shrink bounded; if the compact allocation
@@ -908,9 +1071,9 @@ class EhTable {
     std::vector<std::pair<uint64_t, V>> entries;
     entries.reserve(seg.num_keys);
     size_t si = 0;  // stash cursor (stash is sorted)
-    for (uint32_t b = 0; b < seg.buckets.num_buckets(); b++) {
-      const auto keys = seg.buckets.Keys(b);
-      const auto values = seg.buckets.Values(b);
+    for (uint32_t b = 0; b < seg.buckets().num_buckets(); b++) {
+      const auto keys = seg.buckets().Keys(b);
+      const auto values = seg.buckets().Values(b);
       for (size_t i = 0; i < keys.size(); i++) {
         while (si < seg.stash.size() && seg.stash[si].first < keys[i]) {
           entries.push_back(seg.stash[si++]);
@@ -945,7 +1108,7 @@ class EhTable {
   // cannot fit under the segment-size limit.
   bool RebuildSegment(SegmentT* seg, std::vector<uint32_t> counts,
                       bool enforce_limit) {
-    const int key_bits = seg->remap.key_bits();
+    const int key_bits = seg->remap().key_bits();
     const std::vector<std::pair<uint64_t, V>> entries =
         CollectSegmentEntries(*seg);
     auto rebuilt = BuildBuckets(key_bits, std::move(counts), entries,
@@ -955,11 +1118,25 @@ class EhTable {
     if (!rebuilt) {
       return false;
     }
-    seg->remap = std::move(rebuilt->first);
-    seg->buckets = std::move(rebuilt->second);
+    // Publish the replacement (remap, buckets) pair as one core swap so a
+    // lock-free reader never sees the new remap over the old buckets.  The
+    // old core may still be under a concurrent optimistic probe; it is
+    // retired and freed at the next directory-exclusive quiescent point.
+    // Without optimistic readers (policy, value type, or config), nobody
+    // can be inside the old core — the rebuild holds the segment lock
+    // exclusively — so it dies immediately.
+    auto* next = new SegmentCore<V>(std::move(rebuilt->first),
+                                    std::move(rebuilt->second));
+    SegmentCore<V>* old = seg->PublishCore(next);
+    if (UseOptimistic()) {
+      RetireCore(old);
+    } else {
+      delete old;
+    }
     seg->ResetBucketLocks();
     seg->stash.clear();
     seg->stash.shrink_to_fit();
+    seg->SyncStashCount();
     seg->stash_bound = config_.stash_soft_limit;  // rebuild drained the stash
     return true;
   }
@@ -1034,11 +1211,14 @@ class EhTable {
   // falls back to the overflow stash).
   bool HandleOverflowExclusive(uint64_t eh_local) {
     typename Policy::UniqueLock dir_lock(mutex_);
+    // Free quiescent point: no optimistic reader can coexist with the
+    // exclusive directory lock, so the retired-core backlog is reclaimable.
+    DrainRetiredLocked();
     SegmentT* seg = SegmentFor(eh_local);
     // Re-check: another thread may have repaired the structure already.
-    const uint64_t local = LowBits(eh_local, seg->remap.key_bits());
-    const uint32_t b = seg->remap.BucketIndexFor(local);
-    if (!seg->buckets.IsFull(b)) {
+    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+    const uint32_t b = seg->remap().BucketIndexFor(local);
+    if (!seg->buckets().IsFull(b)) {
       return true;
     }
     // Re-run the decision with exclusive ownership: segment-local repairs
@@ -1069,7 +1249,7 @@ class EhTable {
     assert(seg->local_depth < global_depth_);
     const int parent_ld = seg->local_depth;
     const int child_ld = parent_ld + 1;
-    const int parent_kb = seg->remap.key_bits();
+    const int parent_kb = seg->remap().key_bits();
     const int child_kb = parent_kb - 1;
     assert(child_kb >= 0);
     const uint32_t capacity = static_cast<uint32_t>(config_.BucketCapacity());
@@ -1096,9 +1276,9 @@ class EhTable {
       left_counts = {1};
       right_counts = {1};
     } else {
-      const int p = seg->remap.subrange_bits();
+      const int p = seg->remap().subrange_bits();
       if (p >= 1) {
-        const auto counts = seg->remap.Counts();
+        const auto counts = seg->remap().Counts();
         const size_t mid = counts.size() / 2;
         left_counts.assign(counts.begin(), counts.begin() + mid);
         right_counts.assign(counts.begin() + mid, counts.end());
@@ -1109,7 +1289,7 @@ class EhTable {
           c = std::max<uint32_t>(1, c * 2);
         }
       } else {
-        const uint32_t c = seg->remap.num_buckets();
+        const uint32_t c = seg->remap().num_buckets();
         const uint32_t boundary = c / 2;
         left_counts = {std::max<uint32_t>(1, boundary * 2)};
         right_counts = {std::max<uint32_t>(1, (c - boundary) * 2)};
@@ -1130,18 +1310,23 @@ class EhTable {
                                     &right_stash);
     assert(left_built && right_built);
 
+    // The children are invisible until the directory rewrite below, and the
+    // exclusive directory lock excludes every reader (optimistic ones
+    // included), so plain member assignment is safe here.
     auto* left = new SegmentT(child_ld, std::move(left_built->first), capacity);
-    left->buckets = std::move(left_built->second);
+    left->buckets() = std::move(left_built->second);
     left->ResetBucketLocks();
     left->num_keys = left_entries.size();
     left->stash = std::move(left_stash);
+    left->SyncStashCount();
     left->stash_bound = config_.stash_soft_limit;
     auto* right =
         new SegmentT(child_ld, std::move(right_built->first), capacity);
-    right->buckets = std::move(right_built->second);
+    right->buckets() = std::move(right_built->second);
     right->ResetBucketLocks();
     right->num_keys = right_entries.size();
     right->stash = std::move(right_stash);
+    right->SyncStashCount();
     right->stash_bound = config_.stash_soft_limit;
 
     // Wire siblings: predecessor -> left -> right -> old sibling.
@@ -1207,6 +1392,15 @@ class EhTable {
   // Sequence number of fault-policy-matched structural attempts (fault
   // injection is disabled by default; see DyTISConfig::fault_policy).
   std::atomic<uint64_t> fault_seq_{0};
+
+  // Retired segment cores awaiting a directory-exclusive quiescent point
+  // (only populated when optimistic reads are live; see RetireCore).
+  // retired_count_ mirrors the vector size so the lock-free pressure check
+  // in MaybeDrainRetired is a single relaxed load.
+  static constexpr size_t kRetireDrainThreshold = 64;
+  mutable SpinLock retired_lock_;
+  std::vector<SegmentCore<V>*> retired_;
+  std::atomic<size_t> retired_count_{0};
 };
 
 }  // namespace dytis

@@ -6,10 +6,22 @@
 // a per-EH directory lock and per-segment locks.  We express that choice as
 // a compile-time policy so the single-threaded index pays zero
 // synchronisation cost.
+//
+// Optimistic read extension (this reproduction; the technique of
+// XIndex-style version-validated reads and optimistic lock coupling):
+// SharedMutexPolicy's Mutex carries a seqlock-style version counter next to
+// the shared_mutex.  UniqueLock — the writer-side lock — bumps the counter
+// on acquire (making it odd: writer active) and again on release (even:
+// stable).  A reader may then probe segment state without taking the
+// segment lock at all: load the version (retry if odd), read, and re-load
+// the version; an unchanged even version proves no writer overlapped the
+// read window.  SharedLock is unchanged, so pessimistic readers and the
+// optimistic fallback path coexist with the same writers.
 #ifndef DYTIS_SRC_CORE_LOCK_POLICY_H_
 #define DYTIS_SRC_CORE_LOCK_POLICY_H_
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -28,27 +40,61 @@ struct NoLockPolicy {
   };
   static constexpr bool kThreadSafe = false;
   static constexpr bool kBucketLocks = false;
+  static constexpr bool kOptimisticReads = false;
 };
 
-// Reader/writer locking with std::shared_mutex.
+// Reader/writer locking with std::shared_mutex, plus a per-mutex version
+// counter maintained by the writer lock (even = stable, odd = writer
+// active).  The counter is what makes version-validated optimistic reads
+// possible; pessimistic SharedLock readers ignore it.
 struct SharedMutexPolicy {
-  using Mutex = std::shared_mutex;
+  struct Mutex {
+    std::shared_mutex m;
+    // Seqlock word.  Writers make it odd for the duration of their critical
+    // section; optimistic readers treat any change as a conflict.
+    std::atomic<uint64_t> version{0};
+  };
   struct SharedLock {
-    explicit SharedLock(Mutex& m) : lock_(m) {}
+    explicit SharedLock(Mutex& m) : lock_(m.m) {}
     void unlock() { lock_.unlock(); }
 
    private:
-    std::shared_lock<Mutex> lock_;
+    std::shared_lock<std::shared_mutex> lock_;
   };
   struct UniqueLock {
-    explicit UniqueLock(Mutex& m) : lock_(m) {}
-    void unlock() { lock_.unlock(); }
+    explicit UniqueLock(Mutex& m) : mutex_(&m) {
+      mutex_->m.lock();
+      // acq_rel: the increment must be ordered before every store of the
+      // critical section (acquire half) and after the lock acquisition
+      // (release half keeps prior accesses from sinking in).
+      mutex_->version.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~UniqueLock() {
+      if (mutex_ != nullptr) {
+        unlock();
+      }
+    }
+    void unlock() {
+      // release: every store of the critical section is ordered before the
+      // closing increment that optimistic readers validate against.
+      mutex_->version.fetch_add(1, std::memory_order_release);
+      mutex_->m.unlock();
+      mutex_ = nullptr;
+    }
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
 
    private:
-    std::unique_lock<Mutex> lock_;
+    Mutex* mutex_;
   };
+  // The seqlock word of a mutex, for optimistic-read validation.
+  static std::atomic<uint64_t>& Version(Mutex& m) { return m.version; }
+  static const std::atomic<uint64_t>& Version(const Mutex& m) {
+    return m.version;
+  }
   static constexpr bool kThreadSafe = true;
   static constexpr bool kBucketLocks = false;
+  static constexpr bool kOptimisticReads = true;
 };
 
 // Fine-grained variant: segment reader/writer locks plus per-bucket
@@ -56,8 +102,13 @@ struct SharedMutexPolicy {
 // concurrency (Section 3.4) and found that it "generally degrades"
 // performance due to the extra lock memory and variable-size segments;
 // this policy exists to reproduce that comparison (bench_finegrained).
+//
+// Optimistic reads are structurally unsound here: point writers mutate
+// buckets while holding the segment lock only *shared* (the spinlock is
+// per-bucket), so the segment version counter does not cover them.
 struct FineGrainedPolicy : SharedMutexPolicy {
   static constexpr bool kBucketLocks = true;
+  static constexpr bool kOptimisticReads = false;
 };
 
 // Pauses the CPU inside a spin-wait loop: lowers power, frees the sibling

@@ -5,6 +5,16 @@
 // object" of Section 3.4): remapping and expansion mutate only this object,
 // so they run under the segment lock alone, while split/doubling also take
 // the EH directory lock.
+//
+// Optimistic-read support: the remapping function and bucket array — the
+// state a lock-free Get probes — live together in a SegmentCore behind an
+// atomic pointer.  Rebuilds (remap / expansion / merge) construct a fresh
+// core off to the side and publish it with a single release store, so an
+// optimistic reader always sees a *consistent* (remap, buckets) pair: either
+// entirely the old core or entirely the new one, never a new remap over old
+// buckets.  Old cores are retired to the owning EH table and freed at its
+// next directory-exclusive quiescent point (optimistic readers hold the
+// directory lock shared, so directory-exclusive proves none are in flight).
 #ifndef DYTIS_SRC_CORE_SEGMENT_H_
 #define DYTIS_SRC_CORE_SEGMENT_H_
 
@@ -21,13 +31,73 @@
 
 namespace dytis {
 
+// The probe-visible state of a segment: the learned remapping function and
+// the bucket storage it indexes into.  Immutable in *shape* once published
+// (bucket contents still change in place under the segment lock; the
+// seqlock version validates those), replaced wholesale by rebuilds.
+template <typename V>
+struct SegmentCore {
+  SegmentCore(RemapFunction remap_in, uint32_t capacity)
+      : remap(std::move(remap_in)),
+        buckets(remap.num_buckets(), capacity) {}
+
+  // Adopts an already-built bucket array (rebuilds construct the buckets
+  // first, off to the side, then wrap them in a core for publication).
+  SegmentCore(RemapFunction remap_in, BucketArray<V> buckets_in)
+      : remap(std::move(remap_in)), buckets(std::move(buckets_in)) {}
+
+  RemapFunction remap;
+  BucketArray<V> buckets;
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + remap.MemoryBytes() - sizeof(RemapFunction) +
+           buckets.MemoryBytes() - sizeof(BucketArray<V>);
+  }
+};
+
 template <typename V, typename Policy>
 struct Segment {
   Segment(int local_depth_in, RemapFunction remap_in, uint32_t capacity)
       : local_depth(local_depth_in),
-        remap(std::move(remap_in)),
-        buckets(remap.num_buckets(), capacity) {
+        core_(new SegmentCore<V>(std::move(remap_in), capacity)) {
     ResetBucketLocks();
+  }
+
+  ~Segment() { delete core_.load(std::memory_order_relaxed); }
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  // --- Core access ---------------------------------------------------------
+  //
+  // Lock-holding paths (any segment lock, or the directory lock that
+  // excludes rebuilds) use core(): the lock orders them against the
+  // publishing store, so a relaxed load suffices.  Optimistic readers use
+  // AcquireCore() so the loads *through* the pointer see the fully
+  // constructed core.
+
+  SegmentCore<V>& core() { return *core_.load(std::memory_order_relaxed); }
+  const SegmentCore<V>& core() const {
+    return *core_.load(std::memory_order_relaxed);
+  }
+  const SegmentCore<V>* AcquireCore() const {
+    return core_.load(std::memory_order_acquire);
+  }
+
+  // Convenience aliases so lock-holding code reads like it did before the
+  // core indirection.
+  RemapFunction& remap() { return core().remap; }
+  const RemapFunction& remap() const { return core().remap; }
+  BucketArray<V>& buckets() { return core().buckets; }
+  const BucketArray<V>& buckets() const { return core().buckets; }
+
+  // Publishes a rebuilt core (release: its contents happen-before any
+  // acquire load that observes the pointer) and returns the old core, which
+  // the caller must hand to the owning table's retire list (or delete
+  // immediately when no optimistic readers can exist).  Callers hold the
+  // segment lock exclusively.
+  SegmentCore<V>* PublishCore(SegmentCore<V>* next) {
+    return core_.exchange(next, std::memory_order_release);
   }
 
   // (Re)allocates the per-bucket spinlocks to match the current bucket
@@ -35,23 +105,23 @@ struct Segment {
   // segment lock exclusively (rebuilds already do).
   void ResetBucketLocks() {
     if constexpr (Policy::kBucketLocks) {
-      bucket_locks.reset(new SpinLock[buckets.num_buckets()]);
+      bucket_locks.reset(new SpinLock[buckets().num_buckets()]);
     }
   }
 
   SpinLock& BucketLock(uint32_t b) { return bucket_locks[b]; }
 
   double Utilization() const {
+    const SegmentCore<V>& c = core();
     return static_cast<double>(num_keys) /
-           (static_cast<double>(remap.num_buckets()) * buckets.capacity());
+           (static_cast<double>(c.remap.num_buckets()) * c.buckets.capacity());
   }
 
   size_t MemoryBytes() const {
-    size_t bytes = sizeof(*this) + remap.MemoryBytes() - sizeof(RemapFunction) +
-                   buckets.MemoryBytes() - sizeof(BucketArray<V>) +
+    size_t bytes = sizeof(*this) + core().MemoryBytes() +
                    stash.capacity() * sizeof(std::pair<uint64_t, V>);
     if constexpr (Policy::kBucketLocks) {
-      bytes += buckets.num_buckets() * sizeof(SpinLock);
+      bytes += buckets().num_buckets() * sizeof(SpinLock);
     }
     return bytes;
   }
@@ -80,6 +150,8 @@ struct Segment {
       return false;
     }
     stash.insert(it, {key, value});
+    stash_count.store(static_cast<uint32_t>(stash.size()),
+                      std::memory_order_release);
     return true;
   }
 
@@ -89,17 +161,29 @@ struct Segment {
       return false;
     }
     stash.erase(stash.begin() + slot);
+    stash_count.store(static_cast<uint32_t>(stash.size()),
+                      std::memory_order_release);
     return true;
   }
 
+  // Called after a rebuild drains the stash wholesale (stash.clear() /
+  // swap); keeps the lock-free mirror in sync.
+  void SyncStashCount() {
+    stash_count.store(static_cast<uint32_t>(stash.size()),
+                      std::memory_order_release);
+  }
+
   int local_depth;
-  RemapFunction remap;
-  BucketArray<V> buckets;
   // Includes stash entries.  Atomic because the fine-grained policy
   // updates it under a shared segment lock.
   std::atomic<size_t> num_keys{0};
   Segment* sibling = nullptr;  // next segment in key order within the EH
   std::vector<std::pair<uint64_t, V>> stash;
+  // Lock-free mirror of stash.size(): an optimistic reader cannot touch the
+  // std::vector (racing inserts reallocate it), so it checks this counter
+  // and falls back to the locked path whenever it is nonzero.  Stashes are
+  // empty outside adversarial workloads, so the fast path is one load.
+  std::atomic<uint32_t> stash_count{0};
   // Current stash bound (starts at DyTISConfig::stash_soft_limit, doubled
   // on overflow with a stats bump; reset when a rebuild drains the stash).
   // Mutated under the segment lock only.
@@ -107,6 +191,11 @@ struct Segment {
   // Per-bucket spinlocks (FineGrainedPolicy only; null otherwise).
   std::unique_ptr<SpinLock[]> bucket_locks;
   mutable typename Policy::Mutex mutex;
+
+ private:
+  // Probe-visible state; see the file comment.  Private so every access
+  // goes through an accessor with explicit memory-order intent.
+  std::atomic<SegmentCore<V>*> core_;
 };
 
 }  // namespace dytis

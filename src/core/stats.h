@@ -33,6 +33,8 @@ struct DyTISStatsView {
   uint64_t expansion_ns = 0;
   uint64_t remap_ns = 0;
   uint64_t doubling_ns = 0;
+  uint64_t optimistic_read_retries = 0;
+  uint64_t optimistic_read_fallbacks = 0;
 };
 
 // Only *structural* operations are counted: per-operation counters (every
@@ -71,6 +73,15 @@ struct DyTISStats {
   std::atomic<uint64_t> remap_ns{0};
   std::atomic<uint64_t> doubling_ns{0};
 
+  // Optimistic read path (conflict events only, not every read: an
+  // uncontended optimistic Get touches no counter, preserving the
+  // no-atomics-on-the-hot-path rule above).  `retries` counts version
+  // validation failures that led to another optimistic attempt; `fallbacks`
+  // counts lookups that exhausted their retry budget (or met a non-probe-safe
+  // segment state) and took the pessimistic shared lock.
+  std::atomic<uint64_t> optimistic_read_retries{0};
+  std::atomic<uint64_t> optimistic_read_fallbacks{0};
+
   void Add(std::atomic<uint64_t> DyTISStats::*field, uint64_t v) {
     (this->*field).fetch_add(v, std::memory_order_relaxed);
   }
@@ -96,6 +107,10 @@ struct DyTISStats {
     v.expansion_ns = expansion_ns.load(std::memory_order_relaxed);
     v.remap_ns = remap_ns.load(std::memory_order_relaxed);
     v.doubling_ns = doubling_ns.load(std::memory_order_relaxed);
+    v.optimistic_read_retries =
+        optimistic_read_retries.load(std::memory_order_relaxed);
+    v.optimistic_read_fallbacks =
+        optimistic_read_fallbacks.load(std::memory_order_relaxed);
     return v;
   }
 
@@ -112,6 +127,7 @@ struct DyTISStats {
     stash_inserts = structural_exhaustions = retry_exhaustions = 0;
     stash_bound_growths = hard_errors = injected_faults = 0;
     split_ns = expansion_ns = remap_ns = doubling_ns = 0;
+    optimistic_read_retries = optimistic_read_fallbacks = 0;
   }
 };
 

@@ -54,6 +54,9 @@ struct StatsSnapshot {
     t["expansion_ns"] = counters.expansion_ns;
     t["remap_ns"] = counters.remap_ns;
     t["doubling_ns"] = counters.doubling_ns;
+    JsonValue& r = root["read"];
+    r["optimistic_retries"] = counters.optimistic_read_retries;
+    r["fallback_locks"] = counters.optimistic_read_fallbacks;
     JsonValue& g = root["gauges"];
     g["num_keys"] = num_keys;
     g["num_segments"] = num_segments;

@@ -1,0 +1,245 @@
+// Differential test harness: seeded randomized operation sequences replayed
+// against a std::map oracle across the configuration matrix.
+//
+// Every (optimistic reads on/off) x (fault injection on/off) x (segment-size
+// limit policy) cell runs the same seeded put/get/erase/update/scan streams
+// over dense, sparse, and skewed key patterns, asserting exact equality with
+// the oracle at every step and running the online invariant verifier
+// (CheckInvariants) after every structural epoch — any window in which a
+// split/expansion/remap/doubling/merge ran.  This is what makes concurrency
+// and structural changes to the core safe to land: a behavioural diff
+// against the oracle fails loudly with the seed, pattern, and op index.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/core/insert_result.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+// One cell of the configuration matrix.
+struct MatrixCase {
+  bool optimistic_reads;
+  bool fault_injection;
+  bool large_limit;  // limit policy: default vs. the large multiplier
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const MatrixCase& c = info.param;
+  std::string name = c.optimistic_reads ? "OptOn" : "OptOff";
+  name += c.fault_injection ? "FaultOn" : "FaultOff";
+  name += c.large_limit ? "LimitLarge" : "LimitDefault";
+  return name;
+}
+
+DyTISConfig MatrixConfig(const MatrixCase& c) {
+  DyTISConfig cfg;
+  cfg.first_level_bits = 3;
+  cfg.bucket_bytes = 256;  // 16 pairs per bucket: structural ops are frequent
+  cfg.l_start = 2;
+  cfg.max_global_depth = 14;
+  cfg.optimistic_reads = c.optimistic_reads;
+  if (c.large_limit) {
+    // Degenerate decision point: every EH adopts the large segment-size
+    // multiplier immediately, exercising the other limit-policy branch.
+    cfg.l_prime_delta = 0;
+    cfg.expansion_share_threshold = 0.0;
+  }
+  if (c.fault_injection) {
+    // Fail a window of structural attempts of every kind: drives the insert
+    // state machine down its fallback chains (including the stash) while
+    // still letting the index recover afterwards.
+    cfg.fault_policy.fail_remap = true;
+    cfg.fault_policy.fail_expand = true;
+    cfg.fault_policy.fail_split = true;
+    cfg.fault_policy.fail_doubling = true;
+    cfg.fault_policy.start_op = 4;
+    cfg.fault_policy.fail_count = 40;
+  }
+  return cfg;
+}
+
+// Key patterns.  Each returns a key for op index i from the seeded stream.
+enum class Pattern { kDense, kSparse, kSkewed };
+
+uint64_t MakeKey(Pattern p, Rng& rng) {
+  switch (p) {
+    case Pattern::kDense:
+      // Consecutive integers in a narrow band: worst case for MSB-indexed
+      // EH (deep directories, stash pressure under fault injection).
+      return (uint64_t{1} << 40) + rng.NextBelow(12'000);
+    case Pattern::kSparse:
+      // Uniform over the full key space.
+      return rng.Next();
+    case Pattern::kSkewed: {
+      // A few hot clusters with short tails (zipf-ish): hammers a handful
+      // of segments hard while the rest stay shallow.
+      const uint64_t hotspot = rng.NextBelow(8);
+      return (hotspot << 58) | rng.NextBelow(4'000);
+    }
+  }
+  return 0;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(DifferentialTest, MatchesMapOracle) {
+  const MatrixCase& mcase = GetParam();
+  for (const Pattern pattern :
+       {Pattern::kDense, Pattern::kSparse, Pattern::kSkewed}) {
+    SCOPED_TRACE("pattern " + std::to_string(static_cast<int>(pattern)));
+    DyTIS<uint64_t> idx(MatrixConfig(mcase));
+    std::map<uint64_t, uint64_t> oracle;
+    Rng rng(0x9E3779B97F4A7C15ULL ^
+            (static_cast<uint64_t>(pattern) * 7919 + 1));
+    std::vector<std::pair<uint64_t, uint64_t>> scan_buf(64);
+
+    uint64_t last_structural = 0;
+    const int kOps = 8'000;
+    for (int i = 0; i < kOps; i++) {
+      const uint64_t key = MakeKey(pattern, rng);
+      const uint64_t value = key ^ (static_cast<uint64_t>(i) << 1);
+      switch (rng.NextBelow(100)) {
+        case 0 ... 49: {  // put
+          const InsertResult r = idx.InsertEx(key, value);
+          if (r == InsertResult::kHardError) {
+            // Only reachable with a stash hard cap; none is configured.
+            FAIL() << "unexpected hard error at op " << i;
+          }
+          ASSERT_EQ(IsNewKey(r), oracle.find(key) == oracle.end())
+              << "op " << i << " key " << key;
+          oracle[key] = value;
+          break;
+        }
+        case 50 ... 64: {  // update (must not insert)
+          const bool updated = idx.Update(key, value);
+          const auto it = oracle.find(key);
+          ASSERT_EQ(updated, it != oracle.end())
+              << "op " << i << " key " << key;
+          if (it != oracle.end()) {
+            it->second = value;
+          }
+          break;
+        }
+        case 65 ... 79: {  // erase
+          const bool erased = idx.Erase(key);
+          ASSERT_EQ(erased, oracle.erase(key) != 0)
+              << "op " << i << " key " << key;
+          break;
+        }
+        case 80 ... 94: {  // get
+          uint64_t got = 0;
+          const bool found = idx.Find(key, &got);
+          const auto it = oracle.find(key);
+          ASSERT_EQ(found, it != oracle.end())
+              << "op " << i << " key " << key;
+          if (found) {
+            ASSERT_EQ(got, it->second) << "op " << i << " key " << key;
+          }
+          break;
+        }
+        default: {  // scan
+          const uint64_t start = MakeKey(pattern, rng);
+          const size_t got = idx.Scan(start, scan_buf.size(), scan_buf.data());
+          auto it = oracle.lower_bound(start);
+          for (size_t s = 0; s < got; s++, ++it) {
+            ASSERT_NE(it, oracle.end()) << "scan overshot oracle at op " << i;
+            ASSERT_EQ(scan_buf[s].first, it->first) << "op " << i;
+            ASSERT_EQ(scan_buf[s].second, it->second) << "op " << i;
+          }
+          if (got < scan_buf.size()) {
+            ASSERT_EQ(it, oracle.end())
+                << "scan returned fewer entries than the oracle holds, op "
+                << i;
+          }
+          break;
+        }
+      }
+      // Structural epoch boundary: a split/expansion/remap/doubling/merge
+      // ran since the last check — verify every structural invariant plus
+      // the global order and accounting.
+      const uint64_t structurals =
+          idx.stats().StructuralOps() +
+          idx.stats().merges.load(std::memory_order_relaxed);
+      if (structurals != last_structural) {
+        last_structural = structurals;
+        const auto report = idx.CheckInvariants();
+        ASSERT_TRUE(report.ok())
+            << "op " << i << ":\n" << report.Describe();
+      }
+    }
+
+    // Final exact-equality sweep: sizes, full ordered walk, per-key values.
+    ASSERT_EQ(idx.size(), oracle.size());
+    auto it = oracle.begin();
+    bool walk_ok = true;
+    idx.ForEach([&](uint64_t k, uint64_t v) {
+      if (it == oracle.end() || it->first != k || it->second != v) {
+        walk_ok = false;
+      } else {
+        ++it;
+      }
+    });
+    ASSERT_TRUE(walk_ok && it == oracle.end())
+        << "ordered walk diverged from the oracle";
+    const auto report = idx.CheckInvariants();
+    ASSERT_TRUE(report.ok()) << report.Describe();
+  }
+}
+
+// The same differential contract on the concurrent build (single-threaded
+// execution; thread-interleaved coverage lives in optimistic_read_test.cc
+// and dytis_concurrency_test.cc).  Catches policy-specific divergence: lock
+// plumbing, the optimistic read path, and the core-swap rebuild.
+TEST_P(DifferentialTest, ConcurrentBuildMatchesMapOracle) {
+  const MatrixCase& mcase = GetParam();
+  ConcurrentDyTIS<uint64_t> idx(MatrixConfig(mcase));
+  std::map<uint64_t, uint64_t> oracle;
+  Rng rng(1234577);
+  for (int i = 0; i < 6'000; i++) {
+    const uint64_t key = MakeKey(Pattern::kSkewed, rng);
+    const uint64_t value = key + static_cast<uint64_t>(i);
+    switch (rng.NextBelow(10)) {
+      case 0 ... 5:
+        ASSERT_EQ(idx.Insert(key, value), oracle.insert({key, value}).second);
+        oracle[key] = value;
+        break;
+      case 6:
+        ASSERT_EQ(idx.Erase(key), oracle.erase(key) != 0);
+        break;
+      default: {
+        uint64_t got = 0;
+        const bool found = idx.Find(key, &got);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end()) << "op " << i;
+        if (found) {
+          ASSERT_EQ(got, it->second) << "op " << i;
+        }
+        ASSERT_EQ(idx.Contains(key), found);
+      }
+    }
+  }
+  ASSERT_EQ(idx.size(), oracle.size());
+  const auto report = idx.CheckInvariants();
+  ASSERT_TRUE(report.ok()) << report.Describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DifferentialTest,
+    ::testing::Values(MatrixCase{true, false, false},
+                      MatrixCase{false, false, false},
+                      MatrixCase{true, true, false},
+                      MatrixCase{false, true, false},
+                      MatrixCase{true, false, true},
+                      MatrixCase{true, true, true}),
+    CaseName);
+
+}  // namespace
+}  // namespace dytis

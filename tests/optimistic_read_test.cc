@@ -1,0 +1,277 @@
+// Targeted torn-read reproducers for the optimistic lock-free read path.
+//
+// The scenarios a seqlock-validated reader can get wrong are (a) probing
+// while a writer is mid-mutation (version odd), (b) probing a window a
+// writer overlapped (version moved), and (c) probing state the lock-free
+// path cannot cover (overflow stash).  Each test constructs one of these
+// deterministically — the mid-structural-op case by *pinning* a writer
+// inside its critical section via the FaultPolicy observation hook — and
+// asserts both correctness (no stale or phantom values, ever) and that the
+// conflict counters actually moved, proving the scenario exercised the
+// retry/fallback machinery rather than sliding by on timing luck.
+//
+// scripts/check.sh runs this suite under TSan (stress label), where the
+// atomic element accesses of the probe are load-bearing: any unannotated
+// racing access in the optimistic path is a hard failure there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Index = ConcurrentDyTIS<uint64_t>;
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;  // 16 pairs per bucket
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+uint64_t ValueFor(uint64_t key) { return key ^ 0xA5A5A5A5A5A5A5A5ULL; }
+
+// Writer-pinning hook state.  `armed` gates the pin so index preloading
+// (which also runs structural ops) passes through untouched; the pinned
+// writer spins inside its critical section — segment lock held, version odd
+// — until `release`.
+struct PinState {
+  std::atomic<bool> armed{false};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+};
+
+bool PinHook(void* arg, StructuralOp /*op*/) {
+  auto* st = static_cast<PinState*>(arg);
+  if (st->armed.load(std::memory_order_acquire)) {
+    st->pinned.store(true, std::memory_order_release);
+    while (!st->release.load(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+  }
+  return false;  // observe only: the structural op proceeds normally
+}
+
+// A writer pinned mid-remap/expansion (segment version odd) while readers
+// hammer that exact segment: every optimistic attempt must conflict, the
+// retry budget must drain into the pessimistic fallback, and no read may
+// return a stale or phantom value before, during, or after the pin.
+TEST(OptimisticReadTest, PinnedWriterMidStructuralOp) {
+  PinState pin;
+  DyTISConfig cfg = SmallConfig();
+  cfg.fault_policy.fail_remap = true;
+  cfg.fault_policy.fail_expand = true;
+  cfg.fault_policy.fail_count = FaultPolicy::kAlways;  // match every attempt
+  cfg.fault_policy.on_match = &PinHook;
+  cfg.fault_policy.on_match_arg = &pin;
+  Index idx(cfg);
+  ASSERT_TRUE(idx.OptimisticReadsEnabled());
+
+  // Preload one dense band (single EH table, structurally active) with the
+  // hook disarmed.
+  const uint64_t kBase = uint64_t{1} << 40;
+  const size_t kPreload = 4'000;
+  for (size_t i = 0; i < kPreload; i++) {
+    idx.Insert(kBase + i, ValueFor(kBase + i));
+  }
+  idx.mutable_stats().Reset();
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; t++) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t key = kBase + rng.NextBelow(kPreload);
+        uint64_t v = 0;
+        if (!idx.Find(key, &v) || v != ValueFor(key)) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Arm the pin, then keep inserting into the same band until a structural
+  // attempt matches and the writer parks mid-op.
+  pin.armed.store(true, std::memory_order_release);
+  std::thread writer([&] {
+    uint64_t k = kBase + kPreload;
+    while (!pin.pinned.load(std::memory_order_acquire)) {
+      idx.Insert(k, ValueFor(k));
+      k++;
+    }
+  });
+  while (!pin.pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Writer is parked inside its critical section: the segment version is
+  // odd, so every optimistic attempt on that segment conflicts.  Give the
+  // readers time to drain retry budgets into fallbacks, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pin.armed.store(false, std::memory_order_release);
+  pin.release.store(true, std::memory_order_release);
+  writer.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+
+  EXPECT_EQ(bad_reads.load(), 0u) << "stale or phantom value observed";
+  const DyTISStatsView v = idx.stats().View();
+  EXPECT_GT(v.optimistic_read_retries, 0u)
+      << "the pinned writer never forced an optimistic retry";
+  EXPECT_GT(v.optimistic_read_fallbacks, 0u)
+      << "no reader drained its retry budget into the pessimistic path";
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+// In-place bucket churn (inserts shifting bucket tails, erases shifting
+// them back) under reader fire: readers of *stable* keys must always find
+// them with the right value, and readers of never-inserted keys must never
+// get a phantom hit, even while the probe races the element shifts.
+TEST(OptimisticReadTest, NoPhantomOrStaleUnderBucketChurn) {
+  Index idx(SmallConfig());
+  ASSERT_TRUE(idx.OptimisticReadsEnabled());
+  const uint64_t kBase = uint64_t{1} << 41;
+  // Stable keys (i % 4 == 0) interleaved with churn keys (i % 4 == 1) in the
+  // same buckets; keys with i % 4 == 3 are never inserted.
+  const size_t kSpan = 6'000;
+  for (uint64_t i = 0; i < kSpan; i += 4) {
+    idx.Insert(kBase + i, ValueFor(kBase + i));
+  }
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; t++) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 101 + 13);
+      uint64_t iter = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t i = rng.NextBelow(kSpan / 4) * 4;
+        uint64_t v = 0;
+        // Stable key: must exist with its exact value.
+        if (!idx.Find(kBase + i, &v) || v != ValueFor(kBase + i)) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Neighbouring hole: must never produce a phantom hit.
+        if (idx.Contains(kBase + i + 3)) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        if ((++iter & 63) == 0) {
+          std::this_thread::yield();  // single-core boxes: let the writer run
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    Rng rng(4242);
+    for (int round = 0; round < 12'000; round++) {
+      const uint64_t i = rng.NextBelow(kSpan / 4) * 4 + 1;
+      if ((round & 1) == 0) {
+        idx.Insert(kBase + i, ValueFor(kBase + i));
+      } else {
+        idx.Erase(kBase + i);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(bad_reads.load(), 0u);
+  std::string err;
+  ASSERT_TRUE(idx.ValidateInvariants(&err)) << err;
+}
+
+// Overflow-stash fallback: once a segment degrades into its stash, the
+// lock-free probe cannot serve it (the stash is a std::vector); lookups must
+// fall back to the locked path — counted — and stay exact.
+TEST(OptimisticReadTest, StashedSegmentFallsBackToLockedPath) {
+  DyTISConfig cfg = SmallConfig();
+  cfg.max_global_depth = 3;  // exhaust structural repair almost immediately
+  Index idx(cfg);
+  ASSERT_TRUE(idx.OptimisticReadsEnabled());
+  // Dense consecutive keys at the bottom of one EH: blows through the depth
+  // cap and lands in the stash.
+  const size_t kKeys = 3'000;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    idx.Insert(k, ValueFor(k));
+  }
+  ASSERT_GT(idx.StashEntries(), 0u) << "scenario failed to populate a stash";
+  idx.mutable_stats().Reset();
+  for (uint64_t k = 0; k < kKeys; k++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(k, &v)) << "key " << k;
+    ASSERT_EQ(v, ValueFor(k)) << "key " << k;
+  }
+  const DyTISStatsView v = idx.stats().View();
+  EXPECT_GT(v.optimistic_read_fallbacks, 0u)
+      << "stash-resident segment was served lock-free";
+}
+
+// The config toggle: with optimistic_reads off, the same workload must take
+// the pessimistic path exclusively (zero conflict counters — the counters
+// only exist on the optimistic path) and stay exact.
+TEST(OptimisticReadTest, ToggleOffUsesPessimisticPath) {
+  DyTISConfig cfg = SmallConfig();
+  cfg.optimistic_reads = false;
+  Index idx(cfg);
+  ASSERT_FALSE(idx.OptimisticReadsEnabled());
+  const uint64_t kBase = uint64_t{1} << 42;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad_reads{0};
+  for (uint64_t i = 0; i < 5'000; i++) {
+    idx.Insert(kBase + i * 2, ValueFor(kBase + i * 2));
+  }
+  std::thread reader([&] {
+    Rng rng(99);
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t key = kBase + rng.NextBelow(5'000) * 2;
+      uint64_t v = 0;
+      if (!idx.Find(key, &v) || v != ValueFor(key)) {
+        bad_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (uint64_t i = 5'000; i < 10'000; i++) {
+    idx.Insert(kBase + i * 2, ValueFor(kBase + i * 2));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  const DyTISStatsView v = idx.stats().View();
+  EXPECT_EQ(v.optimistic_read_retries, 0u);
+  EXPECT_EQ(v.optimistic_read_fallbacks, 0u);
+}
+
+// Single-threaded policies and non-probe-safe value types must report (and
+// compile) the capability out.
+TEST(OptimisticReadTest, CapabilityMatrix) {
+  EXPECT_FALSE(DyTIS<uint64_t>::kOptimisticCapable);
+  EXPECT_TRUE(ConcurrentDyTIS<uint64_t>::kOptimisticCapable);
+  EXPECT_TRUE(ConcurrentDyTIS<uint32_t>::kOptimisticCapable);
+  EXPECT_FALSE(FineGrainedDyTIS<uint64_t>::kOptimisticCapable);
+  struct Fat {
+    uint64_t a, b;
+  };
+  EXPECT_FALSE(ConcurrentDyTIS<Fat>::kOptimisticCapable);
+  DyTIS<uint64_t> st;
+  EXPECT_FALSE(st.OptimisticReadsEnabled());
+}
+
+}  // namespace
+}  // namespace dytis
