@@ -73,6 +73,21 @@ int Main() {
       row["dataset"] = d.name;
       row["threads"] = t;
       row["dytis"] = PhasesJson(rd);
+      // Reclamation overhead of the run: how much the structural churn
+      // retired through the epoch domain, and how much of it was already
+      // freed by the amortised passes when the run ended.
+      {
+        const DyTISStatsView v = dytis_index.index().stats().View();
+        const EpochStats es = dytis_index.index().EpochInfo();
+        JsonValue& rec = row["dytis"]["reclamation"];
+        rec["cores_retired"] = v.cores_retired;
+        rec["segments_retired"] = v.segments_retired;
+        rec["directories_retired"] = v.directories_retired;
+        rec["retired_total"] = es.retired_total;
+        rec["reclaimed_total"] = es.reclaimed_total;
+        rec["retired_pending"] = es.retired_pending;
+        rec["epoch_advances"] = es.advances;
+      }
       row["xindex"] = PhasesJson(rx);
       results.Append(std::move(row));
     }
@@ -105,6 +120,8 @@ int Main() {
     double mops[2] = {0.0, 0.0};
     uint64_t retries = 0;
     uint64_t fallbacks = 0;
+    uint64_t retired_total = 0;
+    uint64_t reclaimed_total = 0;
     for (int rep = 0; rep < kReps; rep++) {
       for (int m = 0; m < 2; m++) {
         const bool optimistic = (m == 0) == (rep % 2 == 0);
@@ -122,6 +139,9 @@ int Main() {
           const DyTISStatsView v = index.index().stats().View();
           retries += v.optimistic_read_retries;
           fallbacks += v.optimistic_read_fallbacks;
+          const EpochStats es = index.index().EpochInfo();
+          retired_total += es.retired_total;
+          reclaimed_total += es.reclaimed_total;
         }
       }
     }
@@ -138,6 +158,11 @@ int Main() {
     row["speedup"] = speedup;
     row["optimistic_retries"] = retries;
     row["fallback_locks"] = fallbacks;
+    // Reclamation overhead riding on the optimistic reps: lock-free readers
+    // pin epochs, so retired-vs-reclaimed shows whether read traffic delayed
+    // the amortised frees (a large gap would mean readers starve advances).
+    row["retired_total"] = retired_total;
+    row["reclaimed_total"] = reclaimed_total;
     rows.Append(std::move(row));
   }
   const std::string spath = obs::WriteBenchJson("fig12_read_scaling", scaling);

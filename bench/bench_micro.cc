@@ -91,6 +91,35 @@ void BM_ConcurrentFind(benchmark::State& state) {
   state.SetLabel(state.range(0) != 0 ? "optimistic" : "locked");
 }
 
+// Reclamation overhead on the concurrent build: erase/re-insert churn whose
+// structural rebuilds retire cores through the epoch domain, so every
+// erase/insert pair pays its amortised share of the epoch advance + free
+// passes inline.  Arg is the epoch advance threshold (how much backlog
+// accumulates before a retiring writer runs a free pass): a small threshold
+// reclaims eagerly, a large one batches.  The retired/reclaimed counters in
+// the output verify the run actually exercised the retire path.
+void BM_ChurnReclamation(benchmark::State& state) {
+  DyTISConfig cfg = bench::ScaledDyTISConfig(kKeys);
+  cfg.epoch_advance_threshold = static_cast<size_t>(state.range(0));
+  ConcurrentDyTIS<uint64_t> index(cfg);
+  for (uint64_t k : Data().keys) {
+    index.Insert(k, ValueFor(k));
+  }
+  ScrambledZipfianGenerator zipf(kKeys, 0.99, 6);
+  const auto& keys = Data().keys;
+  for (auto _ : state) {
+    const uint64_t k = keys[zipf.Next()];
+    index.Erase(k);
+    index.Insert(k, ValueFor(k));
+  }
+  const EpochStats es = index.EpochInfo();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2));
+  state.counters["retired"] = static_cast<double>(es.retired_total);
+  state.counters["reclaimed"] = static_cast<double>(es.reclaimed_total);
+  state.counters["pending"] = static_cast<double>(es.retired_pending);
+  state.counters["epoch_advances"] = static_cast<double>(es.advances);
+}
+
 void IndexArgs(benchmark::internal::Benchmark* b) {
   for (IndexKind kind :
        {IndexKind::kDyTIS, IndexKind::kBTree, IndexKind::kAlex,
@@ -103,6 +132,7 @@ BENCHMARK(BM_Insert)->Apply(IndexArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Find)->Apply(IndexArgs);
 BENCHMARK(BM_Scan100)->Apply(IndexArgs);
 BENCHMARK(BM_ConcurrentFind)->Arg(0)->Arg(1);
+BENCHMARK(BM_ChurnReclamation)->Arg(4)->Arg(32)->Arg(256);
 
 }  // namespace
 }  // namespace dytis

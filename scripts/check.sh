@@ -119,6 +119,19 @@ for config in ${CONFIGS}; do
     echo "=== [${config}] ctest: stress tier (timeout + single retry) ==="
     run_stress_tier "${dir}" "${config}"
   fi
+  # Leak-check stage (asan config only): re-run the reclamation suites with
+  # leak detection forced on.  This is the memory-safety half of the EBR
+  # contract — every object retired to the epoch domain under churn must be
+  # freed by the amortised passes, the quiesce drain, or domain teardown;
+  # a retired-but-never-freed core shows up here as a hard leak report.
+  # (detect_leaks is off by default in this image, so the explicit
+  # ASAN_OPTIONS matters.)
+  if [[ -z "${FILTER}" && "${config}" == "asan" ]]; then
+    echo "=== [${config}] EBR leak check (churn workloads, detect_leaks=1) ==="
+    (cd "${dir}" && \
+      ASAN_OPTIONS="detect_leaks=1" \
+      ctest --output-on-failure -j "${JOBS}" -R 'ReclamationTest|EbrTest')
+  fi
   # Crash-matrix + corruption-fuzz stage: re-run the durability suites with
   # the widened kill-point matrix and fuzz campaign for this config.  tsan
   # is excluded from the crash matrix: the helper dies by design, and TSan's
@@ -150,7 +163,8 @@ fi
 
 # Coverage stage: instrumented build (-DDYTIS_COVERAGE=ON), fast tier only
 # (the stress tier adds runtime, not lines), then a per-file line-coverage
-# table for src/core/.  The image has gcov but not lcov/gcovr, so the
+# table for src/core/ and src/sync/.  The image has gcov but not lcov/gcovr,
+# so the
 # summary is computed by scripts/coverage_summary.py from gcov's JSON
 # intermediate output.
 if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
@@ -160,7 +174,7 @@ if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
   cmake --build build-cov -j "${JOBS}"
   find build-cov -name '*.gcda' -delete  # stale counters skew the summary
   (cd build-cov && ctest --output-on-failure -j "${JOBS}" -L fast)
-  python3 scripts/coverage_summary.py build-cov src/core/
+  python3 scripts/coverage_summary.py build-cov src/core/ src/sync/
 fi
 
 echo "=== all configs passed: ${CONFIGS} ==="

@@ -7,10 +7,12 @@ to compute directly.  Walks a --coverage build tree for .gcda files, asks
 gcov for JSON intermediate output, merges execution counts per source line
 across translation units (headers like eh_table.h are compiled into many
 TUs; a line is covered if ANY TU executed it), and prints a per-file table
-plus a total for the requested prefix.
+plus a total for the requested prefixes.
 
-Usage: coverage_summary.py [build_dir] [source_prefix]
+Usage: coverage_summary.py [build_dir] [source_prefix...]
 Defaults: build-cov src/core/
+Multiple prefixes are allowed (e.g. src/core/ src/sync/); a file is
+included when it matches any of them, and the TOTAL row spans all.
 """
 import collections
 import glob
@@ -42,7 +44,7 @@ def gcov_json_docs(gcda_path):
 
 def main():
     build_dir = sys.argv[1] if len(sys.argv) > 1 else "build-cov"
-    prefix = sys.argv[2] if len(sys.argv) > 2 else "src/core/"
+    prefixes = sys.argv[2:] if len(sys.argv) > 2 else ["src/core/"]
     gcda_files = glob.glob(
         os.path.join(build_dir, "**", "*.gcda"), recursive=True
     )
@@ -58,7 +60,8 @@ def main():
         for doc in gcov_json_docs(gcda):
             for f in doc.get("files", []):
                 name = os.path.normpath(f.get("file", ""))
-                if prefix not in name:
+                prefix = next((p for p in prefixes if p in name), None)
+                if prefix is None:
                     continue
                 # Normalise to the repo-relative path.
                 name = name[name.index(prefix):]
@@ -70,13 +73,13 @@ def main():
                         per_file[no] = max(per_file.get(no, 0), count)
 
     if not lines:
-        print(f"coverage: no instrumented lines matched prefix '{prefix}'",
-              file=sys.stderr)
+        print("coverage: no instrumented lines matched prefixes "
+              f"{' '.join(prefixes)}", file=sys.stderr)
         return 1
 
     total_cov = total_lines = 0
     width = max(len(n) for n in lines) + 2
-    print(f"\n=== line coverage for {prefix} ({build_dir}) ===")
+    print(f"\n=== line coverage for {' '.join(prefixes)} ({build_dir}) ===")
     for name in sorted(lines):
         per_file = lines[name]
         covered = sum(1 for c in per_file.values() if c > 0)

@@ -157,6 +157,22 @@ struct DyTISConfig {
   // pessimistic shared-lock path (counted in stats.optimistic_read_*).
   int optimistic_read_retries = 8;
 
+  // --- Epoch-based reclamation (thread-safe builds; src/sync/ebr.h) -------
+  //
+  // Structural operations retire replaced objects (segment cores, split
+  // parents, doubled directories) to an epoch domain instead of freeing
+  // them; retiring writers amortise the reclamation.  These knobs bound the
+  // backlog/latency trade-off; the defaults keep retired memory small
+  // without measurable writer overhead (bench_micro reclamation row).
+
+  // Retired-object backlog length at which a retiring writer runs one
+  // epoch-advance + bounded-free pass.
+  size_t epoch_advance_threshold = 32;
+
+  // Maximum objects freed per amortised reclamation pass (bounds the pause
+  // any single writer absorbs; the remainder drains on later passes).
+  size_t epoch_reclaim_batch = 256;
+
   // Deterministic structural-failure injection (tests only; disabled by
   // default).  See FaultPolicy.
   FaultPolicy fault_policy;

@@ -2,8 +2,10 @@
 //
 // RocksDB-style interface: Seek / SeekToFirst / Valid / Next / key / value.
 // The cursor batches entries through the index's Scan path, so it sees the
-// same consistency as Scan: with the concurrent build, each refill is
-// atomic with respect to writers, but entries inserted behind the cursor's
+// same consistency as Scan: with the concurrent build, each refill is an
+// epoch-guarded lock-free walk (stable keys appear exactly once in order
+// even across concurrent splits/doublings — a retired segment is a frozen
+// snapshot of its key range), but entries inserted behind the cursor's
 // position after a refill are not revisited (no snapshot isolation).
 //
 //   dytis::DyTIS<uint64_t> index = ...;

@@ -49,12 +49,22 @@ class BasicDyTIS {
 
   explicit BasicDyTIS(const DyTISConfig& config = DyTISConfig{})
       : config_(config), stats_(std::make_unique<DyTISStats>()) {
+    if constexpr (Policy::kThreadSafe) {
+      // One epoch-reclamation domain shared by every first-level table: a
+      // reader guard covers whichever tables the operation touches, and
+      // retirement pressure amortises across the whole index instead of
+      // per-EH.  Single-threaded builds never defer frees and skip the
+      // domain entirely.
+      ebr_ = std::make_unique<EpochDomain>(config_.epoch_advance_threshold,
+                                           config_.epoch_reclaim_batch);
+    }
     const size_t tables = static_cast<size_t>(Pow2(config_.first_level_bits));
     const int eh_key_bits = kKeyBits - config_.first_level_bits;
     tables_.reserve(tables);
     for (size_t i = 0; i < tables; i++) {
       tables_.push_back(std::make_unique<EhTable<V, Policy>>(
-          config_, stats_.get(), eh_key_bits, static_cast<uint32_t>(i)));
+          config_, stats_.get(), eh_key_bits, static_cast<uint32_t>(i),
+          ebr_.get()));
     }
   }
 
@@ -231,6 +241,22 @@ class BasicDyTIS {
     return n;
   }
 
+  // Epoch-reclamation observability: current epoch, retired backlog,
+  // reclaimed totals, advance counters, registered reader slots.  Zeroes on
+  // single-threaded builds (no domain exists).
+  EpochStats EpochInfo() const {
+    return ebr_ != nullptr ? ebr_->Stats() : EpochStats{};
+  }
+
+  // Drains the retired-object backlog as far as epochs allow, returning the
+  // number of objects freed.  A quiesce hook for checkpoints and teardown
+  // paths that want deterministic memory accounting; callers must not hold
+  // an epoch guard (i.e. must not be inside a read operation).  No-op on
+  // single-threaded builds.
+  size_t QuiesceReclamation() {
+    return ebr_ != nullptr ? ebr_->Drain() : 0;
+  }
+
   // Total key/value slot capacity of all buckets.
   size_t BucketSlots() const {
     size_t n = 0;
@@ -358,6 +384,11 @@ class BasicDyTIS {
 
   DyTISConfig config_;
   std::unique_ptr<DyTISStats> stats_;
+  // Declared before tables_ so it is destroyed *after* them: table teardown
+  // retires nothing, but the domain's destructor is what frees any backlog
+  // the tables retired during their lifetime, and it asserts all reader
+  // slots are idle first.
+  std::unique_ptr<EpochDomain> ebr_;
   std::vector<std::unique_ptr<EhTable<V, Policy>>> tables_;
   std::atomic<size_t> size_{0};
 };
@@ -366,7 +397,10 @@ class BasicDyTIS {
 template <typename V>
 using DyTIS = BasicDyTIS<V, NoLockPolicy>;
 
-// Thread-safe DyTIS with the two-level locking of Section 3.4.
+// Thread-safe DyTIS: writers use the two-level locking of Section 3.4
+// (directory + segment locks); readers are lock-free — they enter an epoch
+// (src/sync/ebr.h) instead of taking any lock, with version-validated
+// optimistic point lookups on top (DyTISConfig::optimistic_reads).
 template <typename V>
 using ConcurrentDyTIS = BasicDyTIS<V, SharedMutexPolicy>;
 

@@ -22,22 +22,33 @@
 // dropped.  DyTISConfig::fault_policy can deterministically fail any
 // structural operation so tests can drive every branch of this chain.
 //
-// Locking (Section 3.4): a per-EH shared_mutex guards the directory; every
-// operation enters with it held shared, so holding it exclusively gives a
-// structural operation the whole table.  Remapping and expansion mutate only
-// segment-internal state and run under the segment lock; split and doubling
-// re-enter with the directory lock held exclusively.
+// Locking (Section 3.4, as amended by this reproduction's lock-free read
+// path): *writers* use a per-EH shared_mutex over the directory (held shared
+// by insert/update/erase, exclusively by split and doubling) plus per-segment
+// locks.  *Readers* (Find / Scan / ForEach) take no directory lock at all:
+// they enter an epoch (src/sync/ebr.h), load the directory object and
+// segment pointers with acquire loads, and rely on epoch-based reclamation
+// for lifetime — a split/doubling/rebuild retires the replaced segment /
+// directory / core to the epoch domain, which frees it only after two epoch
+// advances prove no reader from its generation survives.  RCU-style: the
+// directory is an immutable array object swapped wholesale on doubling, and
+// a retired segment is a frozen snapshot of its whole key range (splits copy
+// entries out, never mutate the parent), so a reader overtaken by a
+// structural op still sees a consistent pre-op state.
 //
-// Optimistic reads (this reproduction; cf. XIndex-style version validation):
-// when DyTISConfig::optimistic_reads is on and the instantiation supports it
-// (kOptimisticCapable), point lookups elide the per-segment lock: they probe
-// the segment's published core with atomic loads and validate the segment's
-// seqlock version around the probe, retrying a bounded number of times
-// before falling back to the pessimistic shared lock.  The directory lock is
-// still taken shared — it pins segment pointers (split/doubling need it
-// exclusively) and doubles as the grace period for retired segment cores,
-// which rebuilds swap out wholesale and the table frees only while holding
-// the directory exclusively (DrainRetiredLocked).
+// Optimistic reads (cf. XIndex-style version validation): when
+// DyTISConfig::optimistic_reads is on and the instantiation supports it
+// (kOptimisticCapable), point lookups elide the per-segment lock too: they
+// probe the segment's published core with atomic loads and validate the
+// segment's seqlock version around the probe, retrying a bounded number of
+// times before falling back to the per-segment shared lock.  With the epoch
+// entry replacing the old directory shared lock, the optimistic path is
+// lock-free end to end — no shared-line RMW anywhere on a hit.
+//
+// Reclamation is bounded and never a global stall: retiring writers amortise
+// epoch advances and bounded free passes (DyTISConfig::epoch_advance_
+// threshold / epoch_reclaim_batch); nothing ever takes the directory lock
+// just to free memory.
 #ifndef DYTIS_SRC_CORE_EH_TABLE_H_
 #define DYTIS_SRC_CORE_EH_TABLE_H_
 
@@ -47,6 +58,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <string>
@@ -58,6 +70,7 @@
 #include "src/core/segment.h"
 #include "src/core/stats.h"
 #include "src/obs/trace.h"
+#include "src/sync/ebr.h"
 #include "src/util/bitops.h"
 #include "src/util/timer.h"
 
@@ -69,6 +82,31 @@ class EhTable {
   using SegmentT = Segment<V, Policy>;
   using ScanEntry = std::pair<uint64_t, V>;
 
+ private:
+  // The EH directory as one immutable heap object: 2^depth slots of segment
+  // pointers.  Slot *contents* still change in place (splits redirect runs
+  // under the exclusive directory lock), but size and depth never do — a
+  // doubling swaps in a whole new Directory and retires this one.  Readers
+  // therefore always see a (size, depth, slots) triple that is mutually
+  // consistent, which a resizable vector plus a separate depth int cannot
+  // guarantee without a lock.
+  struct Directory {
+    Directory(size_t size_in, int depth_in)
+        : size(size_in),
+          depth(depth_in),
+          slots(std::make_unique<std::atomic<SegmentT*>[]>(size_in)) {}
+    const size_t size;
+    const int depth;
+    const std::unique_ptr<std::atomic<SegmentT*>[]> slots;
+  };
+
+  // Reader-side epoch entry.  Single-threaded policies compile it away
+  // entirely (no TLS lookup, no fence).
+  using ReadGuard =
+      std::conditional_t<Policy::kThreadSafe, EpochGuard, NoEpochGuard>;
+
+ public:
+
   // Whether this instantiation can run version-validated lock-free lookups:
   // the policy must maintain a writer version (SharedMutexPolicy) and the
   // value type must be readable with one atomic load.  The runtime half of
@@ -77,33 +115,53 @@ class EhTable {
       Policy::kOptimisticReads && BucketArray<V>::kOptimisticProbeSafe;
 
   // key_bits: width of the EH-local key (n - R).  table_id identifies this
-  // EH within its first level in structural-trace events.
+  // EH within its first level in structural-trace events.  `ebr` is the
+  // epoch domain structural retirement goes through; the first level shares
+  // one domain across its tables (BasicDyTIS owns it).  A thread-safe table
+  // constructed without one (white-box tests) owns a private domain;
+  // single-threaded policies never defer frees and ignore it.
   EhTable(const DyTISConfig& config, DyTISStats* stats, int key_bits,
-          uint32_t table_id = 0)
+          uint32_t table_id = 0, EpochDomain* ebr = nullptr)
       : config_(config),
         stats_(stats),
         key_bits_(key_bits),
         table_id_(table_id),
         limit_multiplier_(config.limit_multiplier) {
+    if constexpr (Policy::kThreadSafe) {
+      if (ebr == nullptr) {
+        owned_ebr_ = std::make_unique<EpochDomain>(
+            config_.epoch_advance_threshold, config_.epoch_reclaim_batch);
+        ebr = owned_ebr_.get();
+      }
+    }
+    ebr_ = ebr;
     auto* seg = new SegmentT(
         /*local_depth=*/0, RemapFunction(key_bits_, /*num_buckets=*/1),
         static_cast<uint32_t>(config_.BucketCapacity()));
     seg->stash_bound = config_.stash_soft_limit;
-    dir_.push_back(seg);
-    global_depth_ = 0;
+    auto* dir = new Directory(/*size=*/1, /*depth=*/0);
+    dir->slots[0].store(seg, std::memory_order_relaxed);
+    dir_.store(dir, std::memory_order_release);
   }
 
+  // Teardown goes through the epoch domain: live segments and the live
+  // directory are freed here (the caller guarantees quiescence — destroying
+  // an index under concurrent readers was never legal), while every
+  // *retired* object drains through ~EpochDomain, which asserts that all
+  // epoch slots are idle before freeing.  Nothing here double-frees: a
+  // retired object left the directory the moment it was retired, so the
+  // live walk below cannot reach it.
   ~EhTable() {
+    Directory* dir = dir_.load(std::memory_order_relaxed);
     SegmentT* prev = nullptr;
-    for (SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir->size; i++) {
+      SegmentT* seg = dir->slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         delete seg;
         prev = seg;
       }
     }
-    for (SegmentCore<V>* core : retired_) {
-      delete core;
-    }
+    delete dir;
   }
 
   EhTable(const EhTable&) = delete;
@@ -119,7 +177,6 @@ class EhTable {
   // non-storing outcome is kHardError, and it is only reachable when
   // config.stash_hard_limit caps the stash.
   InsertResult InsertEx(uint64_t key, const V& value) {
-    MaybeDrainRetired();
     const uint64_t eh_local = LowBits(key, key_bits_);
     for (int attempt = 0; attempt < config_.max_structural_retries;
          attempt++) {
@@ -184,12 +241,18 @@ class EhTable {
 
   bool Find(uint64_t key, V* value) const {
     const uint64_t eh_local = LowBits(key, key_bits_);
-    typename Policy::SharedLock dir_lock(mutex_);
-    const SegmentT* seg = SegmentFor(eh_local);
-    // Optimistic fast path: version-validated lock-free probe.  The
-    // directory lock is still held shared — that is what keeps `seg` (and
-    // every retired core) alive, because frees only happen under the
-    // directory lock held exclusively.  Only the per-segment lock is elided.
+    // Reader entry: an epoch guard instead of any directory lock.  The
+    // guard keeps every pointer loaded below alive (directory, segment,
+    // core) even if a concurrent structural op retires it mid-probe; a
+    // retired segment is a frozen snapshot of its whole key range, so the
+    // lookup result stays a linearizable pre-op answer.
+    ReadGuard epoch_guard(ebr_);
+    const Directory* dir = dir_.load(std::memory_order_acquire);
+    const SegmentT* seg =
+        dir->slots[DirIndexFor(*dir, eh_local)].load(std::memory_order_acquire);
+    // Optimistic fast path: version-validated lock-free probe.  Lock-free
+    // end to end: the epoch guard above replaced the old shared directory
+    // lock, and the per-segment lock is elided by version validation.
     if constexpr (kOptimisticCapable) {
       if (config_.optimistic_reads) {
         const int r = OptimisticFind(seg, eh_local, key, value);
@@ -282,7 +345,6 @@ class EhTable {
   // Deletes a key.  Returns false if absent.  May merge (shrink) the
   // segment when its utilization drops below the merge threshold.
   bool Erase(uint64_t key) {
-    MaybeDrainRetired();
     const uint64_t eh_local = LowBits(key, key_bits_);
     typename Policy::SharedLock dir_lock(mutex_);
     SegmentT* seg = SegmentFor(eh_local);
@@ -307,9 +369,21 @@ class EhTable {
     if (want == 0) {
       return 0;
     }
-    typename Policy::SharedLock dir_lock(mutex_);
+    // Epoch-guarded walk: no directory lock.  Splits may rewire the sibling
+    // chain mid-walk, but the chain through any mix of live and retired
+    // segments still yields disjoint ascending key ranges — a split never
+    // mutates the parent (entries are copied out), so a retired parent is a
+    // frozen snapshot covering exactly its children's union, and the walk
+    // sees each key range once either way.  Per-segment locks still bound
+    // in-place bucket mutation within one segment.
+    ReadGuard epoch_guard(ebr_);
+    const Directory* dir = dir_.load(std::memory_order_acquire);
     const uint64_t eh_local = LowBits(start_key, key_bits_);
-    const SegmentT* seg = from_begin ? dir_[0] : SegmentFor(eh_local);
+    const SegmentT* seg =
+        from_begin
+            ? dir->slots[0].load(std::memory_order_acquire)
+            : dir->slots[DirIndexFor(*dir, eh_local)].load(
+                  std::memory_order_acquire);
     size_t got = 0;
     bool positioned = from_begin;
     while (seg != nullptr && got < want) {
@@ -319,7 +393,7 @@ class EhTable {
         got += ScanSegmentWithStash(*seg, positioned ? 0 : start_key,
                                     want - got, out + got);
         positioned = true;
-        seg = seg->sibling;
+        seg = seg->NextSibling();
         continue;
       }
       uint32_t b = 0;
@@ -341,16 +415,20 @@ class EhTable {
         }
         slot = 0;
       }
-      seg = seg->sibling;
+      seg = seg->NextSibling();
     }
     return got;
   }
 
-  // Visits every (key, value) pair in ascending key order.
+  // Visits every (key, value) pair in ascending key order.  Epoch-guarded
+  // like Scan: stable keys appear exactly once in order under concurrent
+  // structural churn; churn keys land on whichever side of an overlapping
+  // op the walk observes.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    typename Policy::SharedLock dir_lock(mutex_);
-    const SegmentT* seg = dir_.empty() ? nullptr : dir_[0];
+    ReadGuard epoch_guard(ebr_);
+    const Directory* dir = dir_.load(std::memory_order_acquire);
+    const SegmentT* seg = dir->slots[0].load(std::memory_order_acquire);
     while (seg != nullptr) {
       SegmentScanLock seg_lock(seg->mutex);
       if (!seg->stash.empty()) {
@@ -366,26 +444,34 @@ class EhTable {
           }
         }
       }
-      seg = seg->sibling;
+      seg = seg->NextSibling();
     }
   }
 
-  int global_depth() const { return global_depth_; }
+  int global_depth() const {
+    return dir_.load(std::memory_order_acquire)->depth;
+  }
   uint32_t table_id() const { return table_id_; }
+
+  // Exposes this table's epoch domain (reclamation observability; the
+  // BasicDyTIS wrapper aggregates across tables through the shared domain).
+  EpochDomain* epoch_domain() const { return ebr_; }
 
   // Directory entries (2^GD) — an observability gauge.
   size_t DirectoryEntries() const {
     typename Policy::SharedLock dir_lock(mutex_);
-    return dir_.size();
+    return dir_.load(std::memory_order_relaxed)->size;
   }
 
   // Total overflow-stash occupancy across segments — an observability gauge
   // (non-zero only when structural repair has been exhausted somewhere).
   size_t StashEntries() const {
     typename Policy::SharedLock dir_lock(mutex_);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
     size_t n = 0;
     const SegmentT* prev = nullptr;
-    for (const SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         SegmentScanLock seg_lock(seg->mutex);
         n += seg->stash.size();
@@ -398,9 +484,11 @@ class EhTable {
   // Total key/value slot capacity of all buckets (load-factor denominator).
   size_t BucketSlots() const {
     typename Policy::SharedLock dir_lock(mutex_);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
     size_t n = 0;
     const SegmentT* prev = nullptr;
-    for (const SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         SegmentScanLock seg_lock(seg->mutex);
         n += static_cast<size_t>(seg->buckets().num_buckets()) *
@@ -413,9 +501,11 @@ class EhTable {
 
   size_t NumSegments() const {
     typename Policy::SharedLock dir_lock(mutex_);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
     size_t n = 0;
     const SegmentT* prev = nullptr;
-    for (const SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         n++;
         prev = seg;
@@ -425,10 +515,12 @@ class EhTable {
   }
 
   size_t NumKeys() const {
-    size_t n = 0;
     typename Policy::SharedLock dir_lock(mutex_);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
+    size_t n = 0;
     const SegmentT* prev = nullptr;
-    for (const SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         SegmentScanLock seg_lock(seg->mutex);
         n += seg->num_keys;
@@ -440,9 +532,12 @@ class EhTable {
 
   size_t MemoryBytes() const {
     typename Policy::SharedLock dir_lock(mutex_);
-    size_t bytes = sizeof(*this) + dir_.capacity() * sizeof(SegmentT*);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
+    size_t bytes = sizeof(*this) + sizeof(Directory) +
+                   dir.size * sizeof(std::atomic<SegmentT*>);
     const SegmentT* prev = nullptr;
-    for (const SegmentT* seg : dir_) {
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != prev) {
         bytes += seg->MemoryBytes();
         prev = seg;
@@ -461,28 +556,31 @@ class EhTable {
       }
       return false;
     };
-    if (dir_.size() != Pow2(global_depth_)) {
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
+    if (dir.size != Pow2(dir.depth)) {
       return fail("directory size != 2^GD");
     }
     uint64_t prev_key = 0;
     bool have_prev = false;
     size_t i = 0;
-    const SegmentT* expected_sibling_chain = dir_[0];
-    while (i < dir_.size()) {
-      const SegmentT* seg = dir_[i];
+    const SegmentT* expected_sibling_chain =
+        dir.slots[0].load(std::memory_order_relaxed);
+    while (i < dir.size) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
       if (seg != expected_sibling_chain) {
         return fail("sibling chain does not match directory order");
       }
       SegmentScanLock seg_lock(seg->mutex);
-      if (seg->local_depth > global_depth_) {
+      if (seg->local_depth > dir.depth) {
         return fail("segment LD > GD");
       }
-      const size_t run = static_cast<size_t>(Pow2(global_depth_ - seg->local_depth));
+      const size_t run =
+          static_cast<size_t>(Pow2(dir.depth - seg->local_depth));
       if (i % run != 0) {
         return fail("segment directory run is misaligned");
       }
       for (size_t j = 0; j < run; j++) {
-        if (dir_[i + j] != seg) {
+        if (dir.slots[i + j].load(std::memory_order_relaxed) != seg) {
           return fail("directory run points at a different segment");
         }
       }
@@ -497,7 +595,7 @@ class EhTable {
         for (size_t s = 0; s < keys.size(); s++) {
           const uint64_t k = keys[s];
           const uint64_t eh_local = LowBits(k, key_bits_);
-          if (DirIndexFor(eh_local) / run * run != i) {
+          if (DirIndexFor(dir, eh_local) / run * run != i) {
             return fail("key stored in the wrong segment");
           }
           const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
@@ -520,7 +618,7 @@ class EhTable {
           return fail("stash is not strictly sorted");
         }
         const uint64_t eh_local = LowBits(k, key_bits_);
-        if (DirIndexFor(eh_local) / run * run != i) {
+        if (DirIndexFor(dir, eh_local) / run * run != i) {
           return fail("stash key stored in the wrong segment");
         }
         const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
@@ -533,7 +631,7 @@ class EhTable {
       if (counted != seg->num_keys) {
         return fail("segment num_keys out of sync");
       }
-      expected_sibling_chain = seg->sibling;
+      expected_sibling_chain = seg->NextSibling();
       i += run;
     }
     if (expected_sibling_chain != nullptr) {
@@ -673,9 +771,9 @@ class EhTable {
 
   // Lock-free lookup attempt.  Returns 1 (found, *value filled), 0
   // (definitely absent), or -1 (conflict budget exhausted or stash active:
-  // the caller must fall back to the locked path).  Caller holds the
-  // directory lock shared — which pins the segment pointer and keeps every
-  // retired core alive — and has already checked config_.optimistic_reads.
+  // the caller must fall back to the locked path).  Caller holds an epoch
+  // guard — which keeps the segment and every core it may load alive even
+  // if retired mid-probe — and has already checked config_.optimistic_reads.
   //
   // Protocol per attempt (seqlock):
   //   1. v1 = version (acquire); writer active (odd) => conflict.
@@ -745,62 +843,75 @@ class EhTable {
     }
   }
 
-  // --- Retired segment cores ----------------------------------------------
+  // --- Retiring replaced objects ------------------------------------------
   //
-  // A rebuild replaces a segment's published core; a lock-free reader may
-  // still be probing the old one.  Every optimistic reader holds the
-  // directory lock shared, so holding it exclusively is a quiescent point:
-  // no optimistic reader can exist, and retired cores are safe to free.
-  // Structural operations that already take the directory exclusively
-  // (split / doubling) drain for free; MaybeDrainRetired bounds the backlog
-  // for rebuild-heavy workloads that never split.
+  // A structural operation unlinks an object (segment core on rebuild,
+  // parent segment on split, directory array on doubling) that an
+  // epoch-guarded reader may still be probing.  Each retire hands the object
+  // to the epoch domain, which frees it only once two epoch advances prove
+  // no guard from its generation survives; retiring writers amortise the
+  // advance + bounded-free passes, so reclamation never takes a lock beyond
+  // the domain's internal spinlock and never stalls the index globally.
+  //
+  // Cores need deferral only when lock-free probes are live (pessimistic
+  // readers hold the segment lock across the probe); segments and
+  // directories need it whenever readers are epoch-guarded at all, i.e. on
+  // every thread-safe policy — Scan/Find walk them with no lock even when
+  // optimistic_reads is off.
 
   void RetireCore(SegmentCore<V>* core) {
     if (core == nullptr) {
       return;
     }
-    SpinGuard guard(retired_lock_);
-    retired_.push_back(core);
-    retired_count_.store(retired_.size(), std::memory_order_relaxed);
-  }
-
-  // Frees the backlog.  Caller must hold the directory lock exclusively (or
-  // be the destructor).
-  void DrainRetiredLocked() {
-    std::vector<SegmentCore<V>*> victims;
-    {
-      SpinGuard guard(retired_lock_);
-      victims.swap(retired_);
-      retired_count_.store(0, std::memory_order_relaxed);
-    }
-    for (SegmentCore<V>* core : victims) {
+    if (UseOptimistic()) {
+      stats_->Add(&DyTISStats::cores_retired, 1);
+      ebr_->Retire(core);
+    } else {
       delete core;
     }
   }
 
-  // Pressure valve, called with no locks held: when the backlog crosses the
-  // threshold, take the directory lock exclusively once and free it.
-  void MaybeDrainRetired() {
-    if (retired_count_.load(std::memory_order_relaxed) <
-        kRetireDrainThreshold) {
+  void RetireSegment(SegmentT* seg) {
+    if (seg == nullptr) {
       return;
     }
-    typename Policy::UniqueLock dir_lock(mutex_);
-    DrainRetiredLocked();
+    if constexpr (Policy::kThreadSafe) {
+      stats_->Add(&DyTISStats::segments_retired, 1);
+      ebr_->Retire(seg);
+    } else {
+      delete seg;
+    }
   }
 
+  void RetireDirectory(Directory* dir) {
+    if constexpr (Policy::kThreadSafe) {
+      stats_->Add(&DyTISStats::directories_retired, 1);
+      ebr_->Retire(dir);
+    } else {
+      delete dir;
+    }
+  }
+
+  // Writer-path segment resolution.  Callers hold the directory lock (shared
+  // or exclusive), which orders them against the slot stores of concurrent
+  // splits/doublings — relaxed loads suffice.  Reader paths (Find/Scan/
+  // ForEach) do not use these; they acquire-load through their epoch guard.
   SegmentT* SegmentFor(uint64_t eh_local) {
-    return dir_[DirIndexFor(eh_local)];
+    Directory* dir = dir_.load(std::memory_order_relaxed);
+    return dir->slots[DirIndexFor(*dir, eh_local)].load(
+        std::memory_order_relaxed);
   }
   const SegmentT* SegmentFor(uint64_t eh_local) const {
-    return dir_[DirIndexFor(eh_local)];
+    const Directory* dir = dir_.load(std::memory_order_relaxed);
+    return dir->slots[DirIndexFor(*dir, eh_local)].load(
+        std::memory_order_relaxed);
   }
 
-  size_t DirIndexFor(uint64_t eh_local) const {
-    if (global_depth_ == 0) {
+  size_t DirIndexFor(const Directory& dir, uint64_t eh_local) const {
+    if (dir.depth == 0) {
       return 0;
     }
-    return static_cast<size_t>(TopBits(eh_local, key_bits_, global_depth_));
+    return static_cast<size_t>(TopBits(eh_local, key_bits_, dir.depth));
   }
 
   // In-bucket slot hint from the remap placement (learned-index-style
@@ -855,7 +966,8 @@ class EhTable {
     if (InWarmup(seg)) {
       return false;  // warm-up: plain Extendible hashing only
     }
-    const bool at_global = seg->local_depth == global_depth_;
+    const bool at_global =
+        seg->local_depth == dir_.load(std::memory_order_relaxed)->depth;
     const double util = seg->Utilization();
     if (util > config_.util_threshold) {
       if (at_global) {
@@ -1120,19 +1232,14 @@ class EhTable {
     }
     // Publish the replacement (remap, buckets) pair as one core swap so a
     // lock-free reader never sees the new remap over the old buckets.  The
-    // old core may still be under a concurrent optimistic probe; it is
-    // retired and freed at the next directory-exclusive quiescent point.
-    // Without optimistic readers (policy, value type, or config), nobody
-    // can be inside the old core — the rebuild holds the segment lock
-    // exclusively — so it dies immediately.
+    // old core may still be under a concurrent optimistic probe; RetireCore
+    // hands it to the epoch domain, which frees it once no guard from its
+    // generation survives.  Without optimistic readers (policy, value type,
+    // or config), nobody can be inside the old core — the rebuild holds the
+    // segment lock exclusively — so RetireCore deletes it immediately.
     auto* next = new SegmentCore<V>(std::move(rebuilt->first),
                                     std::move(rebuilt->second));
-    SegmentCore<V>* old = seg->PublishCore(next);
-    if (UseOptimistic()) {
-      RetireCore(old);
-    } else {
-      delete old;
-    }
+    RetireCore(seg->PublishCore(next));
     seg->ResetBucketLocks();
     seg->stash.clear();
     seg->stash.shrink_to_fit();
@@ -1211,30 +1318,48 @@ class EhTable {
   // falls back to the overflow stash).
   bool HandleOverflowExclusive(uint64_t eh_local) {
     typename Policy::UniqueLock dir_lock(mutex_);
-    // Free quiescent point: no optimistic reader can coexist with the
-    // exclusive directory lock, so the retired-core backlog is reclaimable.
-    DrainRetiredLocked();
-    SegmentT* seg = SegmentFor(eh_local);
-    // Re-check: another thread may have repaired the structure already.
-    const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
-    const uint32_t b = seg->remap().BucketIndexFor(local);
-    if (!seg->buckets().IsFull(b)) {
-      return true;
-    }
-    // Re-run the decision with exclusive ownership: segment-local repairs
-    // are legal here too (they can apply if the state changed since the
-    // shared-lock attempt).
-    if (TrySegmentLocalRepair(seg, local)) {
-      return true;
-    }
-    if (seg->local_depth < global_depth_) {
-      if (FaultInjected(StructuralOp::kSplit)) {
-        return false;  // forced split failure: degrade to the stash
+    // Counted so the reclamation regression test can assert that memory
+    // reclamation never shows up here: this must be the *only* site that
+    // takes the directory lock exclusively, and only for split/doubling.
+    stats_->Add(&DyTISStats::dir_exclusive_acquisitions, 1);
+    // The exclusive directory lock excludes every *writer*, but epoch-guarded
+    // readers ignore it entirely — segment state may be probed (locked or
+    // optimistically) at any moment, so mutation below needs the segment's
+    // own writer lock, exactly as on the shared-lock path.  The parent
+    // retired by a split is handed to the epoch domain only after its lock
+    // is released: the domain may free it promptly when no reader holds a
+    // guard, and unlocking a freed mutex is use-after-free.
+    SegmentT* split_parent = nullptr;
+    {
+      SegmentT* seg = SegmentFor(eh_local);
+      typename Policy::UniqueLock seg_lock(seg->mutex);
+      // Re-check: another thread may have repaired the structure already.
+      const uint64_t local = LowBits(eh_local, seg->remap().key_bits());
+      const uint32_t b = seg->remap().BucketIndexFor(local);
+      if (!seg->buckets().IsFull(b)) {
+        return true;
       }
-      SplitSegment(seg, eh_local);  // Algorithm 1 lines 6/9 (+ warm-up splits)
+      // Re-run the decision with exclusive ownership: segment-local repairs
+      // are legal here too (they can apply if the state changed since the
+      // shared-lock attempt).
+      if (TrySegmentLocalRepair(seg, local)) {
+        return true;
+      }
+      if (seg->local_depth < dir_.load(std::memory_order_relaxed)->depth) {
+        if (FaultInjected(StructuralOp::kSplit)) {
+          return false;  // forced split failure: degrade to the stash
+        }
+        SplitSegment(seg, eh_local);  // Algorithm 1 lines 6/9 (+ warm-up)
+        split_parent = seg;
+      }
+    }
+    if (split_parent != nullptr) {
+      RetireSegment(split_parent);
       return true;
     }
-    if (global_depth_ < config_.max_global_depth) {
+    // Falls through here only when the segment is already at global depth.
+    if (dir_.load(std::memory_order_relaxed)->depth <
+        config_.max_global_depth) {
       if (FaultInjected(StructuralOp::kDoubling)) {
         return false;  // forced doubling failure: degrade to the stash
       }
@@ -1244,9 +1369,17 @@ class EhTable {
     return false;  // directory-depth cap reached: degrade to the stash
   }
 
+  // Splits `seg` into two children at local depth + 1.  Caller holds the
+  // directory lock exclusively (asserted) plus the parent's segment lock.
+  // The parent is never mutated or freed here: entries are *copied* into
+  // the children, so the parent stays a frozen snapshot of its whole key
+  // range for any epoch-guarded reader that loaded its pointer before the
+  // directory rewrite; the caller retires it after releasing its lock.
   void SplitSegment(SegmentT* seg, uint64_t eh_local) {
+    Policy::AssertHeldExclusive(mutex_);
     const uint64_t t0 = NowNanos();
-    assert(seg->local_depth < global_depth_);
+    Directory& dir = *dir_.load(std::memory_order_relaxed);
+    assert(seg->local_depth < dir.depth);
     const int parent_ld = seg->local_depth;
     const int child_ld = parent_ld + 1;
     const int parent_kb = seg->remap().key_bits();
@@ -1310,9 +1443,9 @@ class EhTable {
                                     &right_stash);
     assert(left_built && right_built);
 
-    // The children are invisible until the directory rewrite below, and the
-    // exclusive directory lock excludes every reader (optimistic ones
-    // included), so plain member assignment is safe here.
+    // The children are invisible until the directory/sibling publication
+    // below, so plain member assignment is safe here; the release stores
+    // that make them reachable order all of it for epoch-guarded readers.
     auto* left = new SegmentT(child_ld, std::move(left_built->first), capacity);
     left->buckets() = std::move(left_built->second);
     left->ResetBucketLocks();
@@ -1329,23 +1462,29 @@ class EhTable {
     right->SyncStashCount();
     right->stash_bound = config_.stash_soft_limit;
 
-    // Wire siblings: predecessor -> left -> right -> old sibling.
-    left->sibling = right;
-    right->sibling = seg->sibling;
+    // Wire siblings before the directory rewrite: once any pointer to a
+    // child is published, its own sibling link must already be complete so
+    // an epoch-guarded walk never dead-ends mid-chain.
+    left->SetSibling(right);
+    right->SetSibling(seg->NextSibling());
 
     // Redirect the directory run occupied by the parent; runs are aligned
     // on their own length, so the start follows from any covered index.
-    const size_t run = static_cast<size_t>(Pow2(global_depth_ - parent_ld));
-    const size_t start = (DirIndexFor(eh_local) / run) * run;
-    assert(dir_[start] == seg);
+    // Release stores: a reader that acquires a child pointer (from a slot
+    // or a sibling hop) sees its fully built contents.
+    const size_t run = static_cast<size_t>(Pow2(dir.depth - parent_ld));
+    const size_t start = (DirIndexFor(dir, eh_local) / run) * run;
+    assert(dir.slots[start].load(std::memory_order_relaxed) == seg);
     for (size_t i = 0; i < run / 2; i++) {
-      dir_[start + i] = left;
-      dir_[start + run / 2 + i] = right;
+      dir.slots[start + i].store(left, std::memory_order_release);
+      dir.slots[start + run / 2 + i].store(right, std::memory_order_release);
     }
     if (start > 0) {
-      dir_[start - 1]->sibling = left;
+      dir.slots[start - 1].load(std::memory_order_relaxed)
+          ->SetSibling(left);
     }
-    delete seg;
+    // The parent is left intact (frozen); the caller retires it through the
+    // epoch domain once its lock is released.
 
     const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::splits, 1);
@@ -1356,20 +1495,30 @@ class EhTable {
     }
   }
 
+  // Directory doubling, RCU-style: the directory is an immutable object, so
+  // doubling builds a fresh one off to the side, publishes it with a single
+  // release store, and retires the old array through the epoch domain — an
+  // epoch-guarded reader that already loaded the old directory keeps
+  // indexing it safely (its slots still point at live segments; the GD it
+  // carries is self-consistent with its own size).  Caller holds the
+  // directory lock exclusively (asserted), which serialises doublings.
   void DoubleDirectory() {
+    Policy::AssertHeldExclusive(mutex_);
     const uint64_t t0 = NowNanos();
-    std::vector<SegmentT*> bigger(dir_.size() * 2);
-    for (size_t i = 0; i < dir_.size(); i++) {
-      bigger[2 * i] = dir_[i];
-      bigger[2 * i + 1] = dir_[i];
+    Directory* old = dir_.load(std::memory_order_relaxed);
+    auto* bigger = new Directory(old->size * 2, old->depth + 1);
+    for (size_t i = 0; i < old->size; i++) {
+      SegmentT* seg = old->slots[i].load(std::memory_order_relaxed);
+      bigger->slots[2 * i].store(seg, std::memory_order_relaxed);
+      bigger->slots[2 * i + 1].store(seg, std::memory_order_relaxed);
     }
-    dir_ = std::move(bigger);
-    global_depth_++;
+    dir_.store(bigger, std::memory_order_release);
+    RetireDirectory(old);
     const uint64_t t1 = NowNanos();
     stats_->Add(&DyTISStats::doublings, 1);
     stats_->Add(&DyTISStats::doubling_ns, t1 - t0);
     DYTIS_OBS_TRACE(obs::TraceOp::kDoubling, t0, t1, table_id_,
-                    global_depth_);
+                    bigger->depth);
   }
 
   DyTISConfig config_;
@@ -1378,8 +1527,14 @@ class EhTable {
   const uint32_t table_id_;
 
   mutable typename Policy::Mutex mutex_;
-  std::vector<SegmentT*> dir_;
-  int global_depth_ = 0;
+  std::atomic<Directory*> dir_{nullptr};
+
+  // Epoch domain structural retirement goes through (null only for
+  // single-threaded policies, which never defer frees).  Usually the
+  // first level's shared domain; owned_ebr_ backs the standalone-table
+  // fallback described at the constructor.
+  EpochDomain* ebr_ = nullptr;
+  std::unique_ptr<EpochDomain> owned_ebr_;
 
   // Segment-size-limit heuristic state (Section 3.3).  Relaxed atomics:
   // remapping/expansion update these under segment locks, so two segments of
@@ -1392,15 +1547,6 @@ class EhTable {
   // Sequence number of fault-policy-matched structural attempts (fault
   // injection is disabled by default; see DyTISConfig::fault_policy).
   std::atomic<uint64_t> fault_seq_{0};
-
-  // Retired segment cores awaiting a directory-exclusive quiescent point
-  // (only populated when optimistic reads are live; see RetireCore).
-  // retired_count_ mirrors the vector size so the lock-free pressure check
-  // in MaybeDrainRetired is a single relaxed load.
-  static constexpr size_t kRetireDrainThreshold = 64;
-  mutable SpinLock retired_lock_;
-  std::vector<SegmentCore<V>*> retired_;
-  std::atomic<size_t> retired_count_{0};
 };
 
 }  // namespace dytis

@@ -22,10 +22,36 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <shared_mutex>
 
+// Lock-held assertions (AssertHeldExclusive below) stay active in sanitizer
+// builds even though RelWithDebInfo defines NDEBUG: "caller must hold the
+// lock exclusively" preconditions must fail fast exactly where the race
+// detectors run, not only in -O0 debug builds.
+#if !defined(NDEBUG) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_ADDRESS__)
+#define DYTIS_LOCK_CHECKS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DYTIS_LOCK_CHECKS 1
+#else
+#define DYTIS_LOCK_CHECKS 0
+#endif
+#else
+#define DYTIS_LOCK_CHECKS 0
+#endif
+
 namespace dytis {
+
+namespace lock_internal {
+inline void Fail(const char* what) {
+  std::fprintf(stderr, "dytis lock precondition violated: %s\n", what);
+  std::abort();
+}
+}  // namespace lock_internal
 
 // No-op locking: single-threaded engines.
 struct NoLockPolicy {
@@ -38,6 +64,8 @@ struct NoLockPolicy {
     explicit UniqueLock(Mutex&) {}
     void unlock() {}
   };
+  // Single-threaded: every access is trivially exclusive.
+  static void AssertHeldExclusive(const Mutex&) {}
   static constexpr bool kThreadSafe = false;
   static constexpr bool kBucketLocks = false;
   static constexpr bool kOptimisticReads = false;
@@ -91,6 +119,23 @@ struct SharedMutexPolicy {
   static std::atomic<uint64_t>& Version(Mutex& m) { return m.version; }
   static const std::atomic<uint64_t>& Version(const Mutex& m) {
     return m.version;
+  }
+  // Debug/sanitizer-build precondition check for "caller must hold m
+  // exclusively" contracts (split/doubling run under the directory lock
+  // exclusively; a comment alone lets misuse race silently).  The seqlock
+  // word is odd exactly while a UniqueLock is live, so an even version
+  // proves the caller lied.  It cannot prove *which* thread holds the lock,
+  // but every unprotected caller that could race the real holder observes
+  // an even version with overwhelming probability — misuse fails fast
+  // rather than deterministically, which is what a debug assertion is for.
+  static void AssertHeldExclusive(const Mutex& m) {
+#if DYTIS_LOCK_CHECKS
+    if ((Version(m).load(std::memory_order_acquire) & 1) == 0) {
+      lock_internal::Fail("mutex not held exclusively");
+    }
+#else
+    (void)m;
+#endif
   }
   static constexpr bool kThreadSafe = true;
   static constexpr bool kBucketLocks = false;

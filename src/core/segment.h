@@ -12,9 +12,10 @@
 // core off to the side and publish it with a single release store, so an
 // optimistic reader always sees a *consistent* (remap, buckets) pair: either
 // entirely the old core or entirely the new one, never a new remap over old
-// buckets.  Old cores are retired to the owning EH table and freed at its
-// next directory-exclusive quiescent point (optimistic readers hold the
-// directory lock shared, so directory-exclusive proves none are in flight).
+// buckets.  Old cores are retired through the owning table's epoch-based
+// reclamation domain (src/sync/ebr.h): readers hold an epoch Guard around
+// the probe, and a retired core is freed only once two epoch advances prove
+// that no Guard from its generation survives.
 #ifndef DYTIS_SRC_CORE_SEGMENT_H_
 #define DYTIS_SRC_CORE_SEGMENT_H_
 
@@ -173,11 +174,25 @@ struct Segment {
                       std::memory_order_release);
   }
 
+  // --- Sibling chain -------------------------------------------------------
+  //
+  // Next segment in key order within the EH.  Atomic because epoch-protected
+  // scans walk the chain with no directory lock held while splits rewire it:
+  // a split release-stores the fully built children before any pointer to
+  // them becomes reachable, so an acquire load mid-walk sees either the old
+  // (retired, frozen) segment or a complete child — never a half-built one.
+
+  Segment* NextSibling() const {
+    return sibling_.load(std::memory_order_acquire);
+  }
+  void SetSibling(Segment* next) {
+    sibling_.store(next, std::memory_order_release);
+  }
+
   int local_depth;
   // Includes stash entries.  Atomic because the fine-grained policy
   // updates it under a shared segment lock.
   std::atomic<size_t> num_keys{0};
-  Segment* sibling = nullptr;  // next segment in key order within the EH
   std::vector<std::pair<uint64_t, V>> stash;
   // Lock-free mirror of stash.size(): an optimistic reader cannot touch the
   // std::vector (racing inserts reallocate it), so it checks this counter
@@ -196,6 +211,8 @@ struct Segment {
   // Probe-visible state; see the file comment.  Private so every access
   // goes through an accessor with explicit memory-order intent.
   std::atomic<SegmentCore<V>*> core_;
+  // See NextSibling()/SetSibling() above.
+  std::atomic<Segment*> sibling_{nullptr};
 };
 
 }  // namespace dytis

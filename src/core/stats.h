@@ -35,6 +35,10 @@ struct DyTISStatsView {
   uint64_t doubling_ns = 0;
   uint64_t optimistic_read_retries = 0;
   uint64_t optimistic_read_fallbacks = 0;
+  uint64_t cores_retired = 0;
+  uint64_t segments_retired = 0;
+  uint64_t directories_retired = 0;
+  uint64_t dir_exclusive_acquisitions = 0;
 };
 
 // Only *structural* operations are counted: per-operation counters (every
@@ -82,6 +86,18 @@ struct DyTISStats {
   std::atomic<uint64_t> optimistic_read_retries{0};
   std::atomic<uint64_t> optimistic_read_fallbacks{0};
 
+  // Epoch-based reclamation: objects handed to the epoch domain by
+  // structural operations (segment cores from rebuilds, parent segments
+  // from splits, directories from doubling).  The freed-side counters live
+  // in EpochStats (src/sync/ebr.h); these count the retire sites.
+  std::atomic<uint64_t> cores_retired{0};
+  std::atomic<uint64_t> segments_retired{0};
+  std::atomic<uint64_t> directories_retired{0};
+  // Exclusive directory-lock acquisitions (split/doubling path).  The
+  // reclamation regression test asserts this stays zero under rebuild-only
+  // churn: memory reclamation must never take the directory exclusively.
+  std::atomic<uint64_t> dir_exclusive_acquisitions{0};
+
   void Add(std::atomic<uint64_t> DyTISStats::*field, uint64_t v) {
     (this->*field).fetch_add(v, std::memory_order_relaxed);
   }
@@ -111,6 +127,12 @@ struct DyTISStats {
         optimistic_read_retries.load(std::memory_order_relaxed);
     v.optimistic_read_fallbacks =
         optimistic_read_fallbacks.load(std::memory_order_relaxed);
+    v.cores_retired = cores_retired.load(std::memory_order_relaxed);
+    v.segments_retired = segments_retired.load(std::memory_order_relaxed);
+    v.directories_retired =
+        directories_retired.load(std::memory_order_relaxed);
+    v.dir_exclusive_acquisitions =
+        dir_exclusive_acquisitions.load(std::memory_order_relaxed);
     return v;
   }
 
@@ -128,6 +150,8 @@ struct DyTISStats {
     stash_bound_growths = hard_errors = injected_faults = 0;
     split_ns = expansion_ns = remap_ns = doubling_ns = 0;
     optimistic_read_retries = optimistic_read_fallbacks = 0;
+    cores_retired = segments_retired = directories_retired = 0;
+    dir_exclusive_acquisitions = 0;
   }
 };
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/core/stats.h"
+#include "src/sync/ebr.h"
 #include "src/util/json.h"
 #include "src/util/memory_usage.h"
 
@@ -32,6 +33,16 @@ struct StatsSnapshot {
   double load_factor = 0.0;        // num_keys / bucket_slots
   uint64_t index_bytes = 0;        // index.MemoryBytes() (structure only)
   uint64_t resident_bytes = 0;     // process VmRSS at snapshot time
+
+  // Epoch-based reclamation (thread-safe builds; zeroes otherwise).
+  // Retire-site counters come from DyTISStats; epoch/backlog/freed state
+  // from the index's EpochDomain (src/sync/ebr.h).
+  uint64_t epoch = 0;               // current global epoch
+  uint64_t retired_pending = 0;     // objects awaiting reclamation
+  uint64_t retired_total = 0;       // objects ever retired to the domain
+  uint64_t reclaimed_total = 0;     // objects freed so far
+  uint64_t epoch_advances = 0;      // successful global-epoch increments
+  uint64_t epoch_slots = 0;         // registered reader slots
 
   JsonValue ToJson() const {
     JsonValue root = JsonValue::Object();
@@ -57,6 +68,17 @@ struct StatsSnapshot {
     JsonValue& r = root["read"];
     r["optimistic_retries"] = counters.optimistic_read_retries;
     r["fallback_locks"] = counters.optimistic_read_fallbacks;
+    JsonValue& e = root["reclamation"];
+    e["cores_retired"] = counters.cores_retired;
+    e["segments_retired"] = counters.segments_retired;
+    e["directories_retired"] = counters.directories_retired;
+    e["dir_exclusive_acquisitions"] = counters.dir_exclusive_acquisitions;
+    e["epoch"] = epoch;
+    e["retired_pending"] = retired_pending;
+    e["retired_total"] = retired_total;
+    e["reclaimed_total"] = reclaimed_total;
+    e["epoch_advances"] = epoch_advances;
+    e["epoch_slots"] = epoch_slots;
     JsonValue& g = root["gauges"];
     g["num_keys"] = num_keys;
     g["num_segments"] = num_segments;
@@ -90,6 +112,18 @@ StatsSnapshot TakeSnapshot(const IndexT& index) {
           : 0.0;
   snap.index_bytes = index.MemoryBytes();
   snap.resident_bytes = CurrentRssBytes();
+  // Reclamation gauges exist only on index types that expose an epoch
+  // domain (BasicDyTIS; adapters that forward EpochInfo).  Other IndexT
+  // instantiations — baselines, raw adapters — leave them zero.
+  if constexpr (requires { index.EpochInfo(); }) {
+    const EpochStats es = index.EpochInfo();
+    snap.epoch = es.epoch;
+    snap.retired_pending = es.retired_pending;
+    snap.retired_total = es.retired_total;
+    snap.reclaimed_total = es.reclaimed_total;
+    snap.epoch_advances = es.advances;
+    snap.epoch_slots = es.slots;
+  }
   return snap;
 }
 

@@ -28,6 +28,8 @@ const char* TraceOpName(TraceOp op) {
       return "wal_replay";
     case TraceOp::kRecovery:
       return "recovery";
+    case TraceOp::kEpochReclaim:
+      return "epoch_reclaim";
   }
   return "?";
 }

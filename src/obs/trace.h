@@ -58,8 +58,11 @@ enum class TraceOp : uint8_t {
   kCheckpoint,
   kWalReplay,
   kRecovery,
+  // Epoch-based reclamation pass (src/sync/ebr.h) that actually freed
+  // retired objects; `depth` carries the number freed.
+  kEpochReclaim,
 };
-inline constexpr int kNumTraceOps = 10;
+inline constexpr int kNumTraceOps = 11;
 
 const char* TraceOpName(TraceOp op);
 

@@ -21,7 +21,10 @@
 // Concurrency: WAL appends are serialised by an internal mutex, so the log
 // order is a valid linearisation of the operations as logged.  For the
 // concurrent index policies, Checkpoint() and Open() require quiescence
-// (no concurrent writers), like the tracer's collect side.  Recovery
+// (no concurrent readers or writers), like the tracer's collect side;
+// Checkpoint() uses that quiescence to also drain the index's epoch-based
+// reclamation backlog (QuiesceReclamation), so a freshly checkpointed
+// process holds no retired-but-unfreed structural memory.  Recovery
 // replays records in LSN order.
 //
 // Every recovery and checkpoint emits observability signals: trace events
@@ -307,6 +310,11 @@ class DurableDyTIS {
       return false;
     }
     ops_since_checkpoint_ = 0;
+    // Checkpoints are quiescent points by contract (no concurrent readers
+    // or writers), so drain the epoch domain's retired-object backlog: the
+    // snapshot just copied everything live, and a checkpointed process
+    // should not sit on reclaimable memory from pre-checkpoint churn.
+    index_->QuiesceReclamation();
     obs::MetricsRegistry::Global()
         .GetCounter("recovery.checkpoints_written")
         .Add(1);

@@ -1,0 +1,282 @@
+#include "src/sync/ebr.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace {
+
+// Hard lifecycle check that stays active in sanitizer builds (see
+// DYTIS_SYNC_CHECKS in the header).  Not assert(): RelWithDebInfo defines
+// NDEBUG, and these are exactly the configs that must catch misuse.
+inline void FatalIf(bool condition, const char* what) {
+#if DYTIS_SYNC_CHECKS
+  if (condition) {
+    std::fprintf(stderr, "dytis/sync fatal: %s\n", what);
+    std::abort();
+  }
+#else
+  (void)condition;
+  (void)what;
+#endif
+}
+
+std::atomic<uint64_t> next_domain_id{1};
+
+// Per-thread registry of (domain id -> slot).  Kept tiny: one entry per
+// domain the thread has ever read through, with dead-domain entries pruned
+// lazily on the next lookup.  Linear scan: one or two live domains is the
+// overwhelmingly common case, so the Enter() fast path is a handful of
+// compares.
+struct TlsEntry {
+  uint64_t domain_id;
+  EpochDomain::Slot* slot;
+};
+
+void ReleaseSlot(EpochDomain::Slot* slot) {
+  if (slot->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete slot;
+  }
+}
+
+struct TlsRegistry {
+  std::vector<TlsEntry> entries;
+  ~TlsRegistry() {
+    for (const TlsEntry& e : entries) {
+      ReleaseSlot(e.slot);
+    }
+  }
+};
+
+thread_local TlsRegistry tls_registry;
+
+}  // namespace
+
+EpochDomain::EpochDomain(size_t advance_threshold, size_t reclaim_batch)
+    : advance_threshold_(advance_threshold == 0 ? 1 : advance_threshold),
+      reclaim_batch_(reclaim_batch == 0 ? 1 : reclaim_batch),
+      id_(next_domain_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EpochDomain::~EpochDomain() {
+  // Shutdown contract (the ~EhTable satellite): every reader must have left
+  // before the owning index dies.  A non-idle slot here means a thread is
+  // still inside a Guard and about to probe freed memory — abort loudly in
+  // debug/sanitizer builds rather than let the use-after-free float.
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (Slot* slot : slots_) {
+      FatalIf(slot->epoch.load(std::memory_order_acquire) != kIdleEpoch,
+              "EpochDomain destroyed while a reader holds a Guard");
+      slot->domain_dead.store(true, std::memory_order_release);
+    }
+  }
+  // All slots idle: nothing can reach a retired object, so the whole
+  // backlog is freed unconditionally — no epoch arithmetic at shutdown.
+  for (const Retired& r : retired_) {
+    r.deleter(r.obj);
+    reclaimed_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  retired_.clear();
+  std::vector<Slot*> slots;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    slots.swap(slots_);
+  }
+  for (Slot* slot : slots) {
+    ReleaseSlot(slot);
+  }
+}
+
+EpochDomain::Slot* EpochDomain::SlotForThisThread() {
+  auto& entries = tls_registry.entries;
+  for (size_t i = 0; i < entries.size();) {
+    if (entries[i].domain_id == id_) {
+      return entries[i].slot;
+    }
+    if (entries[i].slot->domain_dead.load(std::memory_order_acquire)) {
+      // The domain this entry belonged to is gone; drop our reference and
+      // compact.  Amortised: each dead entry is visited once.
+      ReleaseSlot(entries[i].slot);
+      entries[i] = entries.back();
+      entries.pop_back();
+      continue;
+    }
+    i++;
+  }
+  // First Enter() against this domain from this thread: adopt an orphaned
+  // slot (its owning thread exited; refs dropped to 1) or register a fresh
+  // one.  Adoption bounds the slot array by peak thread concurrency even
+  // under heavy thread churn.
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (Slot* candidate : slots_) {
+      uint32_t one = 1;
+      if (candidate->refs.compare_exchange_strong(
+              one, 2, std::memory_order_acq_rel)) {
+        slot = candidate;
+        slot->depth = 0;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slot = new Slot();
+      slots_.push_back(slot);
+    }
+  }
+  entries.push_back({id_, slot});
+  return slot;
+}
+
+EpochDomain::Slot* EpochDomain::Enter() {
+  Slot* slot = SlotForThisThread();
+  if (slot->depth++ == 0) {
+    const uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    slot->epoch.store(e, std::memory_order_relaxed);
+    // Publish the announcement before any probe load: a TryAdvance whose
+    // scan runs after this fence must observe the announcement, so it
+    // cannot advance past a generation this reader is entering.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  return slot;
+}
+
+void EpochDomain::Exit(Slot* slot) {
+  FatalIf(slot->depth == 0, "EpochGuard exit without matching enter");
+  if (--slot->depth == 0) {
+    // release: every probe load/store of the critical region completes
+    // before the slot reads idle to an advance scan.
+    slot->epoch.store(kIdleEpoch, std::memory_order_release);
+  }
+}
+
+bool EpochDomain::InGuard() {
+  auto& entries = tls_registry.entries;
+  for (const TlsEntry& e : entries) {
+    if (e.domain_id == id_) {
+      return e.slot->depth > 0;
+    }
+  }
+  return false;
+}
+
+void EpochDomain::RetireRaw(void* obj, void (*deleter)(void*)) {
+  if (obj == nullptr) {
+    return;
+  }
+  // Order the caller's unlink (the release store that removed obj from the
+  // shared structure) before the epoch read: a reader that entered after
+  // this fence either sees the unlink or announced an epoch >= e, and
+  // either way cannot still reach obj once E >= e + 2.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  size_t backlog;
+  {
+    SpinGuard guard(retired_lock_);
+    retired_.push_back({obj, deleter, e});
+    backlog = retired_.size();
+  }
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (backlog >= advance_threshold_) {
+    TryReclaim(reclaim_batch_);
+  }
+}
+
+bool EpochDomain::TryAdvance() {
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  // Pair with the announce fence in Enter(): after this fence, the scan
+  // sees every announcement made before the reader's first probe load.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (Slot* slot : slots_) {
+      const uint64_t announced = slot->epoch.load(std::memory_order_acquire);
+      if (announced != kIdleEpoch && announced != e) {
+        // A reader still inside the previous generation: cannot advance.
+        advance_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  uint64_t expected = e;
+  if (global_epoch_.compare_exchange_strong(expected, e + 1,
+                                            std::memory_order_seq_cst)) {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return true;  // another writer advanced concurrently: same outcome
+}
+
+size_t EpochDomain::TryReclaim(size_t max_frees) {
+#if DYTIS_OBS_ENABLED
+  const uint64_t t0 = NowNanos();
+#endif
+  TryAdvance();
+  const uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  std::vector<Retired> victims;
+  {
+    SpinGuard guard(retired_lock_);
+    size_t kept = 0;
+    for (size_t i = 0; i < retired_.size(); i++) {
+      // Free-able once two advances separate retirement from now: every
+      // reader that could have loaded a pointer to the object announced
+      // epoch <= retired.epoch + 1, and both generations have drained.
+      if (victims.size() < max_frees && retired_[i].epoch + 2 <= e) {
+        victims.push_back(retired_[i]);
+      } else {
+        retired_[kept++] = retired_[i];
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (const Retired& r : victims) {
+    r.deleter(r.obj);
+  }
+  if (!victims.empty()) {
+    reclaimed_total_.fetch_add(victims.size(), std::memory_order_relaxed);
+#if DYTIS_OBS_ENABLED
+    DYTIS_OBS_TRACE(obs::TraceOp::kEpochReclaim, t0, NowNanos(),
+                    /*table_id=*/0, static_cast<int32_t>(victims.size()));
+#endif
+  }
+  return victims.size();
+}
+
+size_t EpochDomain::Drain() {
+  size_t freed = 0;
+  // An object retired at the current epoch needs two advances; a third pass
+  // catches stragglers retired between passes.  If a reader pins an old
+  // epoch the loop simply stops making progress and leaves the backlog for
+  // the next amortised pass.
+  for (int round = 0; round < 3; round++) {
+    freed += TryReclaim(~size_t{0});
+    SpinGuard guard(retired_lock_);
+    if (retired_.empty()) {
+      break;
+    }
+  }
+  return freed;
+}
+
+EpochStats EpochDomain::Stats() const {
+  EpochStats s;
+  s.epoch = global_epoch_.load(std::memory_order_acquire);
+  {
+    SpinGuard guard(retired_lock_);
+    s.retired_pending = retired_.size();
+  }
+  s.retired_total = retired_total_.load(std::memory_order_relaxed);
+  s.reclaimed_total = reclaimed_total_.load(std::memory_order_relaxed);
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.advance_failures = advance_failures_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    s.slots = slots_.size();
+  }
+  return s;
+}
+
+}  // namespace dytis

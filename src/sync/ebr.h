@@ -1,0 +1,217 @@
+// Epoch-based reclamation (EBR) for the DyTIS lock-free read path.
+//
+// The problem this solves: a structural operation (segment rebuild, split,
+// directory doubling) replaces an object a lock-free reader may still be
+// probing — the old segment core, the old segment, the old directory.  The
+// old object cannot be freed until every reader that could hold a pointer
+// into it is provably gone.  PR 4 solved this with a global pessimism: every
+// reader pinned the EH directory lock shared, and retired cores were freed
+// only while it was held exclusively — turning memory reclamation into a
+// table-wide stall (and leaving the backlog unbounded between stalls).
+//
+// This subsystem replaces that with the classic three-epoch scheme (Fraser's
+// thesis; crossbeam-epoch; the RCU-style node retirement ALEX and XIndex use
+// for learned-index node replacement):
+//
+//   * A global epoch E, advanced one step at a time by retiring writers.
+//   * Per-thread epoch slots.  A reader entering a critical region
+//     announces the current E in its slot (Guard RAII); on exit it stores
+//     kIdleEpoch.  Announce is a store + seq_cst fence, so an advance scan
+//     that runs after the fence must see the announcement (and conversely).
+//   * Retire(obj): tags the object with the current E and appends it to the
+//     domain's retire list.  When the backlog crosses a threshold, the
+//     retiring writer attempts one epoch advance and frees a bounded batch —
+//     reclamation is amortised over writers, never a dedicated stall.
+//   * Advance is legal when every non-idle slot announces the current E;
+//     then E+1 begins.  An object retired at epoch e is free-able once
+//     E >= e + 2: any reader that could have seen it announced e or e+1,
+//     and both generations are provably empty by then.
+//
+// Guarantees and non-guarantees:
+//   * A reader inside a Guard can follow any pointer it loaded from a live
+//     shared structure; the pointee outlives the Guard even if concurrently
+//     retired.
+//   * Writers must NOT hold a Guard while retiring (they would block their
+//     own advance); DyTIS writers are protected by locks instead.
+//   * Reclamation is bounded-amortised, not immediate: the backlog can grow
+//     to (threshold + in-flight retires) while readers pin an old epoch, and
+//     drains as soon as they leave.  Quiesce points (destructor, checkpoint)
+//     call Drain().
+//
+// Thread-slot lifetime: slots are refcounted (domain + owning thread).  A
+// thread's slot is registered lazily on first Enter() against a domain and
+// released from a thread_local registry at thread exit; a domain's
+// destructor marks its slots dead and drops its reference.  Slots of exited
+// threads are adopted by new threads, so slot count is bounded by peak
+// thread concurrency, not thread churn.
+//
+// The destructor asserts that every slot is idle (no reader can outlive the
+// domain) and then frees the entire backlog unconditionally.  The assertion
+// is active in debug AND sanitizer builds (DYTIS_SYNC_CHECKS below): a
+// reader alive at domain destruction is a use-after-free in the making and
+// must fail fast, not quietly.
+#ifndef DYTIS_SRC_SYNC_EBR_H_
+#define DYTIS_SRC_SYNC_EBR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/core/lock_policy.h"  // SpinLock / SpinGuard / CpuRelax
+
+// Lifecycle checks stay on in sanitizer builds even though RelWithDebInfo
+// defines NDEBUG: the sanitizer configs are exactly where misuse must fail
+// fast.
+#if !defined(NDEBUG) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_ADDRESS__)
+#define DYTIS_SYNC_CHECKS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DYTIS_SYNC_CHECKS 1
+#else
+#define DYTIS_SYNC_CHECKS 0
+#endif
+#else
+#define DYTIS_SYNC_CHECKS 0
+#endif
+
+namespace dytis {
+
+// Counter snapshot for observability (obs::StatsSnapshot exports these; the
+// reclamation tests assert backlog bounds through retired_pending).
+struct EpochStats {
+  uint64_t epoch = 0;            // current global epoch
+  uint64_t retired_pending = 0;  // objects retired but not yet freed
+  uint64_t retired_total = 0;    // objects ever retired
+  uint64_t reclaimed_total = 0;  // objects freed
+  uint64_t advances = 0;         // successful epoch advances
+  uint64_t advance_failures = 0; // advance attempts blocked by a reader
+  uint64_t slots = 0;            // registered thread slots (live + adoptable)
+};
+
+class EpochDomain {
+ public:
+  // Epoch value a slot announces when its thread is outside any Guard.
+  static constexpr uint64_t kIdleEpoch = ~uint64_t{0};
+
+  // advance_threshold: retire-list length at which a retiring writer runs an
+  // amortised advance-and-reclaim pass.  reclaim_batch: max objects freed
+  // per pass (bounds the latency any single writer pays).
+  explicit EpochDomain(size_t advance_threshold = 32,
+                       size_t reclaim_batch = 256);
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // One per-thread-per-domain epoch announcement cell.  alignas keeps two
+  // threads' announcements off one cache line: the advance scan reads all of
+  // them, but each reader writes only its own.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+    // Lifetime references: the domain and the owning thread.  Freed by
+    // whichever side releases last; an idle slot whose thread exited
+    // (refs == 1) can be adopted by a newly registering thread.
+    std::atomic<uint32_t> refs{2};
+    // Set by ~EpochDomain so thread-local registries drop their entry
+    // lazily instead of dereferencing a dead domain.
+    std::atomic<bool> domain_dead{false};
+    // Guard nesting depth; touched only by the owning thread.
+    uint32_t depth = 0;
+  };
+
+  // Reader-side critical region entry/exit.  Enter announces the current
+  // epoch in this thread's slot (registering one on first use) and returns
+  // the slot for the matching Exit.  Nested Guards are counted; only the
+  // outermost pair announces/clears.
+  Slot* Enter();
+  static void Exit(Slot* slot);
+
+  // True when the calling thread is inside a Guard of this domain.  Debug /
+  // assertion helper (e.g. "destructor must not run inside a Guard").
+  bool InGuard();
+
+  // Hands `obj` to the domain for deferred deletion once every reader that
+  // could hold it is gone.  Never frees inline; may run one bounded
+  // advance-and-reclaim pass (of *older* objects) when the backlog crosses
+  // the threshold.  The caller must have unlinked obj from every shared
+  // structure, must not touch it again, and must not be inside a Guard.
+  template <typename T>
+  void Retire(T* obj) {
+    RetireRaw(obj, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Type-erased Retire for callers that manage their own deletion.
+  void RetireRaw(void* obj, void (*deleter)(void*));
+
+  // One advance attempt plus a bounded free pass.  Returns objects freed.
+  size_t TryReclaim(size_t max_frees);
+
+  // Best-effort full drain (quiesce point: destructor, checkpoint).  Runs
+  // enough advance passes to free everything retired before the call,
+  // unless a concurrent reader pins an old epoch.  Returns objects freed.
+  size_t Drain();
+
+  EpochStats Stats() const;
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Retired {
+    void* obj;
+    void (*deleter)(void*);
+    uint64_t epoch;  // global epoch when retired
+  };
+
+  Slot* SlotForThisThread();
+  // True when the epoch advanced (every non-idle slot announces current E).
+  bool TryAdvance();
+
+  const size_t advance_threshold_;
+  const size_t reclaim_batch_;
+  // Identifies this domain in thread-local registries across the address
+  // reuse of a deleted domain (monotone, process-wide).
+  const uint64_t id_;
+
+  std::atomic<uint64_t> global_epoch_{0};
+
+  mutable std::mutex slots_mu_;
+  std::vector<Slot*> slots_;
+
+  mutable SpinLock retired_lock_;
+  std::vector<Retired> retired_;
+
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> reclaimed_total_{0};
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> advance_failures_{0};
+};
+
+// RAII reader guard: everything reachable from shared pointers loaded while
+// the guard is alive stays alive until the guard is dropped, even if
+// concurrently retired.  Cheap enough for point lookups: one thread-local
+// lookup, one store, one fence (uncontended; no shared-line RMW).
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain* domain) : slot_(domain->Enter()) {}
+  ~EpochGuard() { EpochDomain::Exit(slot_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain::Slot* slot_;
+};
+
+// Guard for single-threaded policies: no domain, no cost.  Lets templated
+// code declare `ReadGuard guard(ebr_)` unconditionally.
+struct NoEpochGuard {
+  explicit NoEpochGuard(EpochDomain*) {}
+};
+
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_SYNC_EBR_H_
