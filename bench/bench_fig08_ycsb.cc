@@ -21,6 +21,7 @@ int Main() {
   bench::TraceSession trace("fig08_ycsb");
   JsonValue root = obs::BenchEnvelope("fig08_ycsb", n, bench::BenchOps());
   JsonValue& results = root["results"];
+  bench::PrintPerfAvailability();
   const auto candidates = bench::PaperCandidates();
   const YcsbWorkload workloads[] = {
       YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
@@ -42,7 +43,9 @@ int Main() {
         YcsbOptions options;
         options.bulk_load_fraction = c.bulk_fraction;
         options.run_ops = bench::BenchOps();
+        obs::PerfRegion perf;
         const YcsbResult r = RunWorkload(index.get(), d, w, options);
+        const JsonValue perf_json = bench::PerfJson(perf);
         if (r.supported) {
           std::printf(" %10.3f", r.throughput_mops);
         } else {
@@ -51,6 +54,7 @@ int Main() {
         std::fflush(stdout);
         JsonValue row = bench::YcsbResultJson(r);
         row["dataset"] = d.name;
+        row["perf"] = perf_json;
         results.Append(std::move(row));
       }
       std::printf("\n");

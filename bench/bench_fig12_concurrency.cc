@@ -48,6 +48,7 @@ int Main() {
   JsonValue& results = root["results"];
   std::printf("# hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  bench::PrintPerfAvailability();
   const int thread_counts[] = {1, 2, 4, 8};
   for (DatasetId id : {DatasetId::kReviewL, DatasetId::kTaxi}) {
     const Dataset& d = bench::CachedDataset(id, n);
@@ -59,11 +60,15 @@ int Main() {
       YcsbOptions options;
       options.run_ops = bench::BenchOps();
       ConcurrentDyTISAdapter dytis_index(bench::ScaledDyTISConfig(n));
+      obs::PerfRegion dytis_perf;
       const ConcurrencyResult rd = RunConcurrent(&dytis_index, d, t, options);
+      const JsonValue dytis_perf_json = bench::PerfJson(dytis_perf);
       XIndexLike<uint64_t>::Options xopts;
       xopts.background_compaction = true;
       XIndexAdapter xindex(xopts);
+      obs::PerfRegion xindex_perf;
       const ConcurrencyResult rx = RunConcurrent(&xindex, d, t, options);
+      const JsonValue xindex_perf_json = bench::PerfJson(xindex_perf);
       std::printf(
           "%-8d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
           t, rd.insert_mops, rx.insert_mops, rd.search_mops, rx.search_mops,
@@ -73,6 +78,7 @@ int Main() {
       row["dataset"] = d.name;
       row["threads"] = t;
       row["dytis"] = PhasesJson(rd);
+      row["dytis"]["perf"] = dytis_perf_json;
       // Reclamation overhead of the run: how much the structural churn
       // retired through the epoch domain, and how much of it was already
       // freed by the amortised passes when the run ended.
@@ -89,6 +95,7 @@ int Main() {
         rec["epoch_advances"] = es.advances;
       }
       row["xindex"] = PhasesJson(rx);
+      row["xindex"]["perf"] = xindex_perf_json;
       results.Append(std::move(row));
     }
   }

@@ -29,6 +29,7 @@ int Main() {
   bench::TraceSession trace("table2_latency");
   JsonValue root = obs::BenchEnvelope("table2_latency", n, bench::BenchOps());
   JsonValue& results = root["results"];
+  bench::PrintPerfAvailability();
   const auto candidates = bench::PaperCandidates();
   for (YcsbWorkload w : {YcsbWorkload::kLoad, YcsbWorkload::kA}) {
     std::printf("\n(%s)  cells: avg/p99/p99.99 ns\n%-8s",
@@ -48,11 +49,14 @@ int Main() {
         options.record_latency = true;
         options.latency_sample_every =
             bench::EnvSize("DYTIS_LATENCY_SAMPLE_EVERY", 1);
+        obs::PerfRegion perf;
         const YcsbResult r = RunWorkload(index.get(), d, w, options);
+        const JsonValue perf_json = bench::PerfJson(perf);
         PrintRow(r);
         std::fflush(stdout);
         JsonValue row = bench::YcsbResultJson(r);
         row["dataset"] = d.name;
+        row["perf"] = perf_json;
         results.Append(std::move(row));
       }
       std::printf("\n");

@@ -21,6 +21,7 @@
 #include "src/core/config.h"
 #include "src/datasets/dataset.h"
 #include "src/obs/bench_export.h"
+#include "src/obs/perf_counters.h"
 #include "src/obs/trace.h"
 #include "src/util/bitops.h"
 #include "src/util/json.h"
@@ -168,6 +169,29 @@ class TraceSession {
   std::string name_;
   bool active_ = false;
 };
+
+// Hardware perf counters for a bench phase (src/obs/perf_counters.h): wrap
+// the measured region in a PerfRegion and attach PerfJson(region) to the
+// phase's JSON row.  Emits {"cycles", "instructions", "ipc", "llc_misses",
+// "branch_misses"} — or an explicit {"perf_unavailable": true, "reason"}
+// marker when the kernel denies perf_event_open (containers/CI), so result
+// files always say whether hardware columns were measured or skipped.
+// Counters are process-wide with inherit set, so worker threads spawned
+// inside the region are counted.
+inline JsonValue PerfJson(const obs::PerfRegion& region) {
+  return region.ToJson();
+}
+
+// One-line availability banner for bench stdout (printed once per binary).
+inline void PrintPerfAvailability() {
+  const obs::PerfCounters& pc = obs::PerfCounters::Global();
+  if (pc.available()) {
+    std::printf("# perf counters: available\n");
+  } else {
+    std::printf("# perf counters: unavailable (%s)\n",
+                pc.unavailable_reason().c_str());
+  }
+}
 
 // Standard JSON summary of one YcsbResult (throughput + per-op-kind counts,
 // plus latency percentiles when recorded).

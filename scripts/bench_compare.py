@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Regression gate for DyTIS bench JSON documents.
+
+Compares two bench result files (a baseline and a candidate, each either a
+single bench export like bench_results/fig12_concurrency.json or a merged
+suite file like BENCH_20260809.json from scripts/run_bench_suite.sh) and
+exits nonzero when any metric regressed past the threshold.
+
+Comparison model
+----------------
+Both documents are flattened to dotted-path -> number leaves:
+
+    results.3.dytis.insert_mops = 4.81
+    results.3.dytis.perf.llc_misses = 1.2e9
+
+Array elements are keyed by a stable identity (bench/dataset/threads/index/
+workload fields when present, falling back to position), so reordered rows
+still line up.  Only paths present in BOTH documents are compared; added or
+removed paths are reported informationally and never fail the gate.
+
+Direction is inferred from the metric name:
+  higher is better: *mops*, *throughput*, *speedup*, *ipc*, *ops_per_sec*
+  lower is better:  *_ns, *latency*, *seconds*, *_misses, *retries*,
+                    *fallback*, *dropped*, *torn*, *failures*, *collisions*
+Anything else is neutral: reported when it moves, but never a failure
+(counters like "ops" or "threads" describe the run, not its quality).
+
+Noise floors: metrics below --min-abs (default 1e-6) in both files are
+skipped, and a regression must exceed --threshold (default 0.30 = 30%,
+bench runs on shared machines are noisy) relative change to fail.
+
+Usage
+-----
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.3]
+    bench_compare.py --self-test
+
+Exit codes: 0 ok / no regressions, 1 regressions found, 2 usage or I/O
+error, 3 self-test failure.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+HIGHER_BETTER = ("mops", "throughput", "speedup", "ipc", "ops_per_sec")
+LOWER_BETTER = (
+    "_ns",
+    "latency",
+    "seconds",
+    "_misses",
+    "retries",
+    "fallback",
+    "dropped",
+    "torn",
+    "failures",
+    "collisions",
+)
+# Path components whose subtrees describe the run configuration, not its
+# quality; their numeric drift (e.g. a different key count) is skipped.
+CONFIG_KEYS = {"keys_per_dataset", "ops", "threads", "obs_enabled"}
+
+
+def direction(path):
+    """Returns +1 (higher better), -1 (lower better), or 0 (neutral)."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    # p99/p50 latency leaves live under a "latency" parent; check full path.
+    lowered = path.lower()
+    for pat in HIGHER_BETTER:
+        if pat in leaf:
+            return +1
+    for pat in LOWER_BETTER:
+        if pat in leaf or (pat.strip("_") in lowered and pat.startswith("_")):
+            return -1
+    if "latency" in lowered and leaf.startswith(("p", "mean", "max", "min")):
+        return -1
+    return 0
+
+
+def row_identity(obj, index):
+    """Stable key for an array element so reordered rows still align."""
+    if isinstance(obj, dict):
+        parts = [
+            f"{k}={obj[k]}"
+            for k in ("bench", "workload", "index", "dataset", "threads")
+            if k in obj and not isinstance(obj[k], (dict, list))
+        ]
+        if parts:
+            return "[" + ",".join(parts) + "]"
+    return f"[{index}]"
+
+
+def flatten(node, prefix, out):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            flatten(v, f"{prefix}.{k}" if prefix else str(k), out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            flatten(v, f"{prefix}{row_identity(v, i)}", out)
+    elif isinstance(node, bool):
+        pass  # booleans (supported/perf_unavailable) are not metrics
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+
+
+def leaf_is_config(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf in CONFIG_KEYS
+
+
+def compare(baseline, candidate, threshold, min_abs):
+    """Returns (regressions, improvements, notes) lists of report lines."""
+    base, cand = {}, {}
+    flatten(baseline, "", base)
+    flatten(candidate, "", cand)
+    regressions, improvements, notes = [], [], []
+    common = sorted(set(base) & set(cand))
+    for path in sorted(set(base) - set(cand)):
+        notes.append(f"  only in baseline:  {path}")
+    for path in sorted(set(cand) - set(base)):
+        notes.append(f"  only in candidate: {path}")
+    for path in common:
+        if leaf_is_config(path):
+            continue
+        b, c = base[path], cand[path]
+        if abs(b) < min_abs and abs(c) < min_abs:
+            continue
+        if b == c:
+            continue
+        denom = max(abs(b), min_abs)
+        rel = (c - b) / denom
+        d = direction(path)
+        line = f"{path}: {b:g} -> {c:g} ({rel:+.1%})"
+        if d == 0:
+            continue  # neutral metrics never gate
+        worse = rel < 0 if d > 0 else rel > 0
+        if worse and abs(rel) > threshold:
+            regressions.append("  REGRESSION " + line)
+        elif not worse and abs(rel) > threshold:
+            improvements.append("  improved   " + line)
+    return regressions, improvements, notes
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_compare(base_path, cand_path, threshold, min_abs, verbose):
+    try:
+        baseline = load(base_path)
+        candidate = load(cand_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+    regressions, improvements, notes = compare(
+        baseline, candidate, threshold, min_abs
+    )
+    print(
+        f"bench_compare: {base_path} vs {cand_path} "
+        f"(threshold {threshold:.0%})"
+    )
+    for line in regressions:
+        print(line)
+    for line in improvements:
+        print(line)
+    if verbose:
+        for line in notes:
+            print(line)
+    if regressions:
+        print(f"bench_compare: FAIL ({len(regressions)} regression(s))")
+        return 1
+    print(
+        f"bench_compare: OK ({len(improvements)} improvement(s), "
+        f"{len(notes)} schema difference(s))"
+    )
+    return 0
+
+
+def self_test():
+    """Verifies the gate catches an injected regression and passes a no-op."""
+    doc = {
+        "bench": "fig12_concurrency",
+        "keys_per_dataset": 200000,
+        "results": [
+            {
+                "dataset": "RL",
+                "threads": 4,
+                "dytis": {
+                    "insert_mops": 4.0,
+                    "search_mops": 8.0,
+                    "perf": {"cycles": 1000000, "ipc": 1.5},
+                },
+                "xindex": {"insert_mops": 1.0},
+            },
+            {
+                "dataset": "TX",
+                "threads": 4,
+                "dytis": {"insert_mops": 3.0, "search_mops": 6.0},
+                "xindex": {"insert_mops": 0.9},
+            },
+        ],
+    }
+    failures = []
+
+    # 1. Identical documents must pass.
+    r, i, _ = compare(doc, doc, threshold=0.3, min_abs=1e-6)
+    if r or i:
+        failures.append(f"identical docs flagged: {r + i}")
+
+    # 2. An injected 50% throughput drop must be caught.
+    hurt = copy.deepcopy(doc)
+    hurt["results"][0]["dytis"]["insert_mops"] = 2.0
+    r, _, _ = compare(doc, hurt, threshold=0.3, min_abs=1e-6)
+    if len(r) != 1 or "insert_mops" not in r[0]:
+        failures.append(f"injected throughput drop not caught: {r}")
+
+    # 3. A latency metric (lower-better) doubling must be caught.
+    lat = copy.deepcopy(doc)
+    lat["results"][0]["dytis"]["append_ns"] = 100.0
+    lat2 = copy.deepcopy(lat)
+    lat2["results"][0]["dytis"]["append_ns"] = 250.0
+    r, _, _ = compare(lat, lat2, threshold=0.3, min_abs=1e-6)
+    if len(r) != 1 or "append_ns" not in r[0]:
+        failures.append(f"latency regression not caught: {r}")
+
+    # 4. Reordered rows must still align (no spurious regressions).
+    reordered = copy.deepcopy(doc)
+    reordered["results"].reverse()
+    r, i, _ = compare(doc, reordered, threshold=0.3, min_abs=1e-6)
+    if r or i:
+        failures.append(f"row reorder produced diffs: {r + i}")
+
+    # 5. A small (sub-threshold) wobble must NOT fail.
+    wobble = copy.deepcopy(doc)
+    wobble["results"][0]["dytis"]["insert_mops"] = 3.6  # -10%
+    r, _, _ = compare(doc, wobble, threshold=0.3, min_abs=1e-6)
+    if r:
+        failures.append(f"sub-threshold wobble flagged: {r}")
+
+    # 6. An improvement must not fail the gate.
+    better = copy.deepcopy(doc)
+    better["results"][0]["dytis"]["insert_mops"] = 8.0
+    r, i, _ = compare(doc, better, threshold=0.3, min_abs=1e-6)
+    if r:
+        failures.append(f"improvement flagged as regression: {r}")
+    if not i:
+        failures.append("improvement not reported")
+
+    # 7. Schema drift (new perf column) is a note, never a failure.
+    grown = copy.deepcopy(doc)
+    grown["results"][1]["dytis"]["perf"] = {"cycles": 5, "ipc": 1.0}
+    r, _, notes = compare(doc, grown, threshold=0.3, min_abs=1e-6)
+    if r:
+        failures.append(f"schema growth flagged as regression: {r}")
+    if not notes:
+        failures.append("schema growth not noted")
+
+    if failures:
+        for f in failures:
+            print(f"bench_compare --self-test: FAIL: {f}", file=sys.stderr)
+        return 3
+    print("bench_compare --self-test: OK (7 scenarios)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two DyTIS bench JSON files; exit 1 on regression."
+    )
+    parser.add_argument("baseline", nargs="?", help="baseline JSON file")
+    parser.add_argument("candidate", nargs="?", help="candidate JSON file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="relative change that counts as a regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-abs",
+        type=float,
+        default=1e-6,
+        help="ignore metrics below this magnitude in both files",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also print schema differences"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in scenario checks and exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+    sys.exit(
+        run_compare(
+            args.baseline,
+            args.candidate,
+            args.threshold,
+            args.min_abs,
+            args.verbose,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -161,12 +161,27 @@ if [[ " ${CONFIGS} " == *" release "* ]]; then
   echo "bench JSON + chrome trace are valid JSON"
 fi
 
+# Obs-health stage: the telemetry additions get their own gate.  The
+# bench-regression comparator's built-in scenarios (injected regression
+# caught, identical docs pass, reordered rows align) run first — they are
+# pure python and fail in milliseconds when the gate logic breaks.  Then
+# the health suite re-runs under TSan when that config was built: the
+# aggregator thread + SIGUSR1 + collection-under-shared-locks combination
+# is exactly where a data race would hide.
+if [[ -z "${FILTER}" ]]; then
+  echo "=== [obs-health] bench_compare self-test ==="
+  python3 scripts/bench_compare.py --self-test
+  if [[ " ${CONFIGS} " == *" tsan "* && -x build-tsan/tests/health_test ]]; then
+    echo "=== [obs-health] health suite under TSan ==="
+    (cd build-tsan && ctest --output-on-failure -R 'Health|EpochLag|WalLatency')
+  fi
+fi
+
 # Coverage stage: instrumented build (-DDYTIS_COVERAGE=ON), fast tier only
 # (the stress tier adds runtime, not lines), then a per-file line-coverage
-# table for src/core/ and src/sync/.  The image has gcov but not lcov/gcovr,
-# so the
-# summary is computed by scripts/coverage_summary.py from gcov's JSON
-# intermediate output.
+# table for src/core/, src/sync/, src/obs/, and src/recovery/.  The image
+# has gcov but not lcov/gcovr, so the summary is computed by
+# scripts/coverage_summary.py from gcov's JSON intermediate output.
 if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
   echo "=== [coverage] instrumented build + fast tier ==="
   cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DDYTIS_COVERAGE=ON \
@@ -174,7 +189,8 @@ if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
   cmake --build build-cov -j "${JOBS}"
   find build-cov -name '*.gcda' -delete  # stale counters skew the summary
   (cd build-cov && ctest --output-on-failure -j "${JOBS}" -L fast)
-  python3 scripts/coverage_summary.py build-cov src/core/ src/sync/
+  python3 scripts/coverage_summary.py build-cov src/core/ src/sync/ \
+    src/obs/ src/recovery/
 fi
 
 echo "=== all configs passed: ${CONFIGS} ==="

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Canonical bench-suite runner: builds the release tree, runs the figure
+# benches that back the paper's headline claims (fig08 YCSB, table2
+# latency, fig12 concurrency, recovery), and merges their JSON exports
+# into one dated trajectory file at the repo root:
+#
+#   BENCH_<YYYYMMDD>.json
+#
+# Compare two runs with the regression gate:
+#
+#   python3 scripts/bench_compare.py BENCH_20260801.json BENCH_20260809.json
+#
+# Scale knobs (all optional, see bench/common.h):
+#   DYTIS_BENCH_KEYS      keys per dataset        (default 200000)
+#   DYTIS_BENCH_OPS       ops per workload        (default keys/2)
+#   DYTIS_BENCH_READ_OPS  fig12 read-scaling ops  (default ops*10)
+#   DYTIS_SUITE_BENCHES   space-separated bench binaries to run
+#                         (default: the four below)
+#   DYTIS_SUITE_OUT       output path (default BENCH_<YYYYMMDD>.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHES="${DYTIS_SUITE_BENCHES:-bench_fig08_ycsb bench_table2_latency bench_fig12_concurrency bench_recovery}"
+OUT="${DYTIS_SUITE_OUT:-BENCH_$(date +%Y%m%d).json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+
+EXPORT_DIR="$(mktemp -d)"
+trap 'rm -rf "$EXPORT_DIR"' EXIT
+
+for bench in $BENCHES; do
+  bin="build/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    # Bench binaries may live at the build root depending on generator.
+    bin="build/$bench"
+  fi
+  if [ ! -x "$bin" ]; then
+    echo "run_bench_suite: missing binary for $bench" >&2
+    exit 2
+  fi
+  echo "== $bench =="
+  DYTIS_BENCH_JSON_DIR="$EXPORT_DIR" "$bin"
+done
+
+# Merge the per-bench exports into one envelope with run metadata.
+EXPORT_DIR="$EXPORT_DIR" OUT="$OUT" python3 - <<'PY'
+import json, os, subprocess, sys, time
+
+export_dir = os.environ["EXPORT_DIR"]
+out = os.environ["OUT"]
+
+
+def git_rev():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], text=True
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def strip_buckets(node):
+    """Drops raw latency-histogram bucket arrays: the percentile summary is
+    what the trajectory tracks, and the buckets are ~95% of the bytes."""
+    if isinstance(node, dict):
+        node.pop("buckets", None)
+        for v in node.values():
+            strip_buckets(v)
+    elif isinstance(node, list):
+        for v in node:
+            strip_buckets(v)
+
+
+doc = {
+    "suite": "dytis-bench-suite",
+    "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+    "git_rev": git_rev(),
+    "keys_per_dataset": int(os.environ.get("DYTIS_BENCH_KEYS", "200000")),
+    "benches": {},
+}
+names = sorted(f for f in os.listdir(export_dir) if f.endswith(".json"))
+if not names:
+    print("run_bench_suite: no JSON exports produced", file=sys.stderr)
+    sys.exit(2)
+for name in names:
+    with open(os.path.join(export_dir, name), encoding="utf-8") as f:
+        bench = json.load(f)
+    strip_buckets(bench)
+    doc["benches"][name[: -len(".json")]] = bench
+with open(out, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"run_bench_suite: merged {len(names)} bench export(s) into {out}")
+PY

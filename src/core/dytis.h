@@ -37,7 +37,9 @@
 #include "src/core/insert_result.h"
 #include "src/core/lock_policy.h"
 #include "src/core/stats.h"
+#include "src/obs/health.h"
 #include "src/util/bitops.h"
+#include "src/util/timer.h"
 
 namespace dytis {
 
@@ -48,7 +50,9 @@ class BasicDyTIS {
   using ScanEntry = std::pair<uint64_t, V>;
 
   explicit BasicDyTIS(const DyTISConfig& config = DyTISConfig{})
-      : config_(config), stats_(std::make_unique<DyTISStats>()) {
+      : config_(config),
+        stats_(std::make_unique<DyTISStats>()),
+        created_ns_(NowNanos()) {
     if constexpr (Policy::kThreadSafe) {
       // One epoch-reclamation domain shared by every first-level table: a
       // reader guard covers whichever tables the operation touches, and
@@ -275,6 +279,44 @@ class BasicDyTIS {
                      : 0.0;
   }
 
+  // Structure-health telemetry (src/obs/health.h): per-segment PLR model
+  // error, stash depth, bucket load-factor histograms, remap collision
+  // rate, structural cadence, EBR epoch lag, and WAL latency gauges, in one
+  // report with ToJson()/ToText() surfaces.  Costs one locked pass over the
+  // stored keys — collect between phases or on an aggregator cadence.
+  // Works in DYTIS_OBS=OFF builds too (collection is pull-based); only the
+  // push-side hooks (WAL latency histograms) are compiled out there, and
+  // the report's obs_enabled flag says which build produced it.
+  obs::HealthReport HealthReport() const {
+    obs::HealthReport report = obs::BeginHealthReport();
+    report.counters = stats_->View();
+    report.num_keys = size();
+    report.max_global_depth = MaxGlobalDepth();
+    report.index_bytes = MemoryBytes();
+    report.ebr = EpochInfo();
+    for (const auto& table : tables_) {
+      report.tables.push_back(table->CollectTableHealth(&report.segments));
+    }
+    // Whole-index gauges from the per-segment records (one walk, not four).
+    for (const obs::SegmentHealth& seg : report.segments) {
+      report.num_segments++;
+      report.stash_entries += seg.stash_size;
+      report.bucket_slots +=
+          static_cast<uint64_t>(seg.num_buckets) * seg.bucket_capacity;
+    }
+    for (const obs::TableHealth& t : report.tables) {
+      report.directory_entries += t.directory_entries;
+    }
+    report.load_factor =
+        report.bucket_slots > 0
+            ? static_cast<double>(report.num_keys) /
+                  static_cast<double>(report.bucket_slots)
+            : 0.0;
+    report.uptime_ns = NowNanos() - created_ns_;
+    obs::FinalizeHealthReport(&report);
+    return report;
+  }
+
   // Checks every structural invariant (directory alignment, sorted order,
   // remap placement, sibling chains, key counts).  Test-suite hook.
   bool ValidateInvariants(std::string* error = nullptr) const {
@@ -384,6 +426,9 @@ class BasicDyTIS {
 
   DyTISConfig config_;
   std::unique_ptr<DyTISStats> stats_;
+  // Construction timestamp: the uptime denominator for the health report's
+  // structural-cadence rates.
+  const uint64_t created_ns_ = 0;
   // Declared before tables_ so it is destroyed *after* them: table teardown
   // retires nothing, but the domain's destructor is what frees any backlog
   // the tables retired during their lifetime, and it asserts all reader

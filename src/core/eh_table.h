@@ -530,6 +530,49 @@ class EhTable {
     return n;
   }
 
+  // Health sensor walk (src/obs/health.h): appends one SegmentHealth per
+  // segment to `segments` and returns this table's aggregate.  Same locking
+  // discipline as the other gauge walks — directory shared, each segment
+  // under its scan lock while Segment::FillHealth reads it.  O(stored keys)
+  // for the PLR-error pass; meant for cadenced/pull collection, never the
+  // hot path.
+  obs::TableHealth CollectTableHealth(
+      std::vector<obs::SegmentHealth>* segments) const {
+    typename Policy::SharedLock dir_lock(mutex_);
+    const Directory& dir = *dir_.load(std::memory_order_relaxed);
+    obs::TableHealth table;
+    table.table_id = table_id_;
+    table.global_depth = dir.depth;
+    table.directory_entries = dir.size;
+    const SegmentT* prev = nullptr;
+    for (size_t i = 0; i < dir.size; i++) {
+      const SegmentT* seg = dir.slots[i].load(std::memory_order_relaxed);
+      if (seg == prev) {
+        continue;
+      }
+      prev = seg;
+      obs::SegmentHealth health;
+      {
+        SegmentScanLock seg_lock(seg->mutex);
+        seg->FillHealth(table_id_, &health);
+      }
+      if (table.num_segments == 0) {
+        table.min_local_depth = health.local_depth;
+        table.max_local_depth = health.local_depth;
+      } else {
+        table.min_local_depth =
+            std::min(table.min_local_depth, health.local_depth);
+        table.max_local_depth =
+            std::max(table.max_local_depth, health.local_depth);
+      }
+      table.num_segments++;
+      table.num_keys += health.num_keys;
+      table.stash_entries += health.stash_size;
+      segments->push_back(std::move(health));
+    }
+    return table;
+  }
+
   size_t MemoryBytes() const {
     typename Policy::SharedLock dir_lock(mutex_);
     const Directory& dir = *dir_.load(std::memory_order_relaxed);

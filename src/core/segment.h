@@ -29,6 +29,8 @@
 #include "src/core/bucket_array.h"
 #include "src/core/lock_policy.h"
 #include "src/core/remap_function.h"
+#include "src/obs/health.h"
+#include "src/util/bitops.h"
 
 namespace dytis {
 
@@ -125,6 +127,46 @@ struct Segment {
       bytes += buckets().num_buckets() * sizeof(SpinLock);
     }
     return bytes;
+  }
+
+  // Health sensor hook (src/obs/health.h): fills one SegmentHealth record,
+  // including the learned remap function's in-bucket position-error
+  // distribution — for each stored key the model predicts slot
+  // `permille * n / 1000` (exactly the hint EhTable::SearchHint seeds the
+  // exponential in-bucket search with), so the recorded error *is* the
+  // extra search work the model costs.  O(num_keys); callers hold this
+  // segment's scan lock (like every other gauge walk).
+  void FillHealth(uint32_t table_id, obs::SegmentHealth* out) const {
+    const SegmentCore<V>& c = core();
+    out->table_id = table_id;
+    out->local_depth = local_depth;
+    out->num_keys = num_keys.load(std::memory_order_relaxed);
+    out->num_buckets = c.remap.num_buckets();
+    out->bucket_capacity = c.buckets.capacity();
+    out->stash_size = stash.size();
+    out->stash_bound = stash_bound;
+    out->utilization = Utilization();
+    const uint32_t capacity = c.buckets.capacity();
+    for (uint32_t b = 0; b < c.buckets.num_buckets(); b++) {
+      const auto keys = c.buckets.Keys(b);
+      const uint32_t n = static_cast<uint32_t>(keys.size());
+      const size_t fill_bin =
+          capacity > 0 ? std::min<size_t>(obs::kFillBins - 1,
+                                          size_t{10} * n / capacity)
+                       : 0;
+      out->fill_hist[fill_bin]++;
+      if (n == capacity && capacity > 0) {
+        out->full_buckets++;
+      }
+      for (uint32_t i = 0; i < n; i++) {
+        const uint64_t local = LowBits(keys[i], c.remap.key_bits());
+        const auto placement = c.remap.PlacementFor(local);
+        const uint32_t predicted = placement.permille * n / 1000;
+        const uint64_t error =
+            predicted > i ? predicted - i : uint64_t{i} - predicted;
+        out->plr.Record(error);
+      }
+    }
   }
 
   // --- Overflow stash (last-resort graceful degradation; see

@@ -83,6 +83,16 @@ std::string WriteBenchTrace(const std::string& name) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return "";
   }
+  // Truncation is data loss a reader must know about: publish the gauge and
+  // warn loudly (the trace file carries the same numbers in otherData).
+  const uint64_t dropped =
+      StructuralTracer::Global().PublishDroppedEvents();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: structural trace %s dropped %llu events to ring "
+                 "wrap-around (raise StructuralTracer::Enable capacity)\n",
+                 path.c_str(), static_cast<unsigned long long>(dropped));
+  }
   return path;
 }
 

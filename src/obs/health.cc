@@ -1,0 +1,437 @@
+#include "src/obs/health.h"
+
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"  // DYTIS_OBS_ENABLED default
+#include "src/util/timer.h"
+
+namespace dytis {
+namespace obs {
+
+namespace {
+
+JsonValue PlrJson(const PlrErrorStats& plr) {
+  JsonValue j = JsonValue::Object();
+  j["samples"] = plr.samples;
+  j["mean_error"] = plr.MeanError();
+  j["max_error"] = plr.max_error;
+  JsonValue hist = JsonValue::Array();
+  for (uint64_t bin : plr.error_hist) {
+    hist.Append(bin);
+  }
+  j["error_hist_log2"] = std::move(hist);
+  return j;
+}
+
+JsonValue FillJson(const FillHistogram& hist) {
+  JsonValue a = JsonValue::Array();
+  for (uint64_t bin : hist) {
+    a.Append(bin);
+  }
+  return a;
+}
+
+JsonValue LatencyGaugeJson(const LatencyGauge& g) {
+  JsonValue j = JsonValue::Object();
+  j["count"] = g.count;
+  j["mean_ns"] = g.mean_ns;
+  j["p50_ns"] = g.p50_ns;
+  j["p99_ns"] = g.p99_ns;
+  j["max_ns"] = g.max_ns;
+  return j;
+}
+
+LatencyGauge ReadLatencyGauge(const std::string& name) {
+  // Find-or-create is fine here: an absent histogram reads back as all-zero,
+  // which is exactly the "no WAL ran in this process" value.
+  const LatencyRecorder rec =
+      MetricsRegistry::Global().GetHistogram(name).Snapshot();
+  LatencyGauge g;
+  g.count = rec.count();
+  g.mean_ns = rec.MeanNanos();
+  g.p50_ns = rec.PercentileNanos(0.50);
+  g.p99_ns = rec.PercentileNanos(0.99);
+  g.max_ns = rec.MaxNanos();
+  return g;
+}
+
+}  // namespace
+
+JsonValue SegmentHealth::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j["table_id"] = table_id;
+  j["local_depth"] = local_depth;
+  j["num_keys"] = num_keys;
+  j["num_buckets"] = num_buckets;
+  j["bucket_capacity"] = bucket_capacity;
+  j["full_buckets"] = full_buckets;
+  j["stash_size"] = stash_size;
+  j["stash_bound"] = stash_bound;
+  j["utilization"] = utilization;
+  j["plr"] = PlrJson(plr);
+  j["fill_hist"] = FillJson(fill_hist);
+  return j;
+}
+
+JsonValue TableHealth::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j["table_id"] = table_id;
+  j["global_depth"] = global_depth;
+  j["directory_entries"] = directory_entries;
+  j["num_segments"] = num_segments;
+  j["num_keys"] = num_keys;
+  j["stash_entries"] = stash_entries;
+  j["min_local_depth"] = min_local_depth;
+  j["max_local_depth"] = max_local_depth;
+  return j;
+}
+
+HealthReport BeginHealthReport() {
+  HealthReport report;
+  report.obs_enabled = DYTIS_OBS_ENABLED != 0;
+  report.collected_ns = NowNanos();
+  return report;
+}
+
+void FinalizeHealthReport(HealthReport* report) {
+  // Cross-segment aggregates, recomputed from scratch so Finalize is
+  // idempotent.
+  report->plr = PlrErrorStats{};
+  report->fill_hist = FillHistogram{};
+  report->full_buckets = 0;
+  report->max_stash_depth = 0;
+  for (const SegmentHealth& seg : report->segments) {
+    report->plr.Merge(seg.plr);
+    for (size_t i = 0; i < kFillBins; i++) {
+      report->fill_hist[i] += seg.fill_hist[i];
+    }
+    report->full_buckets += seg.full_buckets;
+    if (seg.stash_size > report->max_stash_depth) {
+      report->max_stash_depth = seg.stash_size;
+    }
+  }
+
+  const DyTISStatsView& c = report->counters;
+  const uint64_t remap_attempts = c.remappings + c.remap_failures;
+  report->remap_collision_rate =
+      remap_attempts > 0
+          ? static_cast<double>(c.remap_failures) /
+                static_cast<double>(remap_attempts)
+          : 0.0;
+  report->stash_rate =
+      report->num_keys > 0
+          ? static_cast<double>(report->stash_entries) /
+                static_cast<double>(report->num_keys)
+          : 0.0;
+  const double uptime_sec =
+      static_cast<double>(report->uptime_ns) / 1e9;
+  if (uptime_sec > 0.0) {
+    report->splits_per_sec = static_cast<double>(c.splits) / uptime_sec;
+    report->expansions_per_sec =
+        static_cast<double>(c.expansions) / uptime_sec;
+    report->remaps_per_sec = static_cast<double>(c.remappings) / uptime_sec;
+    report->doublings_per_sec =
+        static_cast<double>(c.doublings) / uptime_sec;
+  }
+
+  report->wal_append = ReadLatencyGauge("wal.append_ns");
+  report->wal_fsync = ReadLatencyGauge("wal.fsync_ns");
+}
+
+JsonValue HealthReport::ToJson(bool include_segments) const {
+  JsonValue root = JsonValue::Object();
+  root["obs_enabled"] = obs_enabled;
+  root["collected_ns"] = collected_ns;
+  root["uptime_ns"] = uptime_ns;
+
+  JsonValue& g = root["gauges"];
+  g["num_keys"] = num_keys;
+  g["num_segments"] = num_segments;
+  g["directory_entries"] = directory_entries;
+  g["stash_entries"] = stash_entries;
+  g["bucket_slots"] = bucket_slots;
+  g["max_global_depth"] = max_global_depth;
+  g["load_factor"] = load_factor;
+  g["index_bytes"] = index_bytes;
+  g["full_buckets"] = full_buckets;
+  g["max_stash_depth"] = max_stash_depth;
+
+  JsonValue& s = root["structural"];
+  s["splits"] = counters.splits;
+  s["expansions"] = counters.expansions;
+  s["remappings"] = counters.remappings;
+  s["remap_failures"] = counters.remap_failures;
+  s["doublings"] = counters.doublings;
+  s["merges"] = counters.merges;
+  s["expand_failures"] = counters.expand_failures;
+  s["stash_inserts"] = counters.stash_inserts;
+  s["structural_exhaustions"] = counters.structural_exhaustions;
+  s["retry_exhaustions"] = counters.retry_exhaustions;
+  s["stash_bound_growths"] = counters.stash_bound_growths;
+  s["hard_errors"] = counters.hard_errors;
+  s["injected_faults"] = counters.injected_faults;
+
+  JsonValue& d = root["derived"];
+  d["remap_collision_rate"] = remap_collision_rate;
+  d["stash_rate"] = stash_rate;
+  d["splits_per_sec"] = splits_per_sec;
+  d["expansions_per_sec"] = expansions_per_sec;
+  d["remaps_per_sec"] = remaps_per_sec;
+  d["doublings_per_sec"] = doublings_per_sec;
+
+  root["plr"] = PlrJson(plr);
+  root["fill_hist"] = FillJson(fill_hist);
+
+  JsonValue& e = root["reclamation"];
+  e["epoch"] = ebr.epoch;
+  e["epoch_lag"] = ebr.epoch_lag;
+  e["retired_pending"] = ebr.retired_pending;
+  e["retired_total"] = ebr.retired_total;
+  e["reclaimed_total"] = ebr.reclaimed_total;
+  e["advances"] = ebr.advances;
+  e["advance_failures"] = ebr.advance_failures;
+  e["slots"] = ebr.slots;
+
+  JsonValue& w = root["wal"];
+  w["append"] = LatencyGaugeJson(wal_append);
+  w["fsync"] = LatencyGaugeJson(wal_fsync);
+
+  JsonValue tbl = JsonValue::Array();
+  for (const TableHealth& t : tables) {
+    tbl.Append(t.ToJson());
+  }
+  root["tables"] = std::move(tbl);
+
+  if (include_segments) {
+    JsonValue segs = JsonValue::Array();
+    for (const SegmentHealth& seg : segments) {
+      segs.Append(seg.ToJson());
+    }
+    root["segments"] = std::move(segs);
+  }
+  return root;
+}
+
+std::string HealthReport::ToText() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "DyTIS health @%llu ns (uptime %.1f s, obs %s)\n",
+                static_cast<unsigned long long>(collected_ns),
+                static_cast<double>(uptime_ns) / 1e9,
+                obs_enabled ? "on" : "off");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  keys=%llu segments=%llu dir_entries=%llu load=%.3f "
+                "stash=%llu (max/seg=%llu) full_buckets=%llu\n",
+                static_cast<unsigned long long>(num_keys),
+                static_cast<unsigned long long>(num_segments),
+                static_cast<unsigned long long>(directory_entries),
+                load_factor, static_cast<unsigned long long>(stash_entries),
+                static_cast<unsigned long long>(max_stash_depth),
+                static_cast<unsigned long long>(full_buckets));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  plr: samples=%llu mean_err=%.2f max_err=%llu slots\n",
+                static_cast<unsigned long long>(plr.samples), plr.MeanError(),
+                static_cast<unsigned long long>(plr.max_error));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  structural: splits=%llu expansions=%llu remaps=%llu "
+      "doublings=%llu merges=%llu remap_collision_rate=%.4f\n",
+      static_cast<unsigned long long>(counters.splits),
+      static_cast<unsigned long long>(counters.expansions),
+      static_cast<unsigned long long>(counters.remappings),
+      static_cast<unsigned long long>(counters.doublings),
+      static_cast<unsigned long long>(counters.merges),
+      remap_collision_rate);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  cadence/s: split=%.2f expand=%.2f remap=%.2f double=%.2f\n",
+      splits_per_sec, expansions_per_sec, remaps_per_sec, doublings_per_sec);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  ebr: epoch=%llu lag=%llu pending=%llu retired=%llu "
+      "reclaimed=%llu advances=%llu\n",
+      static_cast<unsigned long long>(ebr.epoch),
+      static_cast<unsigned long long>(ebr.epoch_lag),
+      static_cast<unsigned long long>(ebr.retired_pending),
+      static_cast<unsigned long long>(ebr.retired_total),
+      static_cast<unsigned long long>(ebr.reclaimed_total),
+      static_cast<unsigned long long>(ebr.advances));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  wal: append n=%llu p50=%lluns p99=%lluns | "
+      "fsync n=%llu p50=%lluns p99=%lluns\n",
+      static_cast<unsigned long long>(wal_append.count),
+      static_cast<unsigned long long>(wal_append.p50_ns),
+      static_cast<unsigned long long>(wal_append.p99_ns),
+      static_cast<unsigned long long>(wal_fsync.count),
+      static_cast<unsigned long long>(wal_fsync.p50_ns),
+      static_cast<unsigned long long>(wal_fsync.p99_ns));
+  out += buf;
+  for (const TableHealth& t : tables) {
+    // Tables that never left their initial single-segment state are noise
+    // at R=9; print only tables carrying keys.
+    if (t.num_keys == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  table %u: gd=%d segs=%llu keys=%llu stash=%llu "
+                  "ld=[%d,%d]\n",
+                  t.table_id, t.global_depth,
+                  static_cast<unsigned long long>(t.num_segments),
+                  static_cast<unsigned long long>(t.num_keys),
+                  static_cast<unsigned long long>(t.stash_entries),
+                  t.min_local_depth, t.max_local_depth);
+    out += buf;
+  }
+  return out;
+}
+
+// --- HealthAggregator --------------------------------------------------------
+
+namespace {
+
+// SIGUSR1 plumbing: the handler only bumps a lock-free atomic (the only
+// async-signal-safe option); the aggregator thread polls it.
+std::atomic<uint64_t> g_sigusr1_count{0};
+
+void SigUsr1Handler(int) {
+  g_sigusr1_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct sigaction g_prev_sigusr1;
+
+}  // namespace
+
+HealthAggregator::HealthAggregator(std::function<HealthReport()> collect,
+                                   Options options)
+    : collect_(std::move(collect)), options_(std::move(options)) {
+  sigusr1_seen_ = g_sigusr1_count.load(std::memory_order_relaxed);
+  if (options_.install_sigusr1) {
+    struct sigaction sa = {};
+    sa.sa_handler = &SigUsr1Handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    installed_signal_ = sigaction(SIGUSR1, &sa, &g_prev_sigusr1) == 0;
+  }
+  thread_ = std::thread(&HealthAggregator::Loop, this);
+}
+
+HealthAggregator::~HealthAggregator() { Stop(); }
+
+void HealthAggregator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (installed_signal_) {
+    sigaction(SIGUSR1, &g_prev_sigusr1, nullptr);
+    installed_signal_ = false;
+  }
+}
+
+HealthReport HealthAggregator::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_;
+}
+
+void HealthAggregator::Loop() {
+  // Wake at least every 100 ms when signal-watching so a SIGUSR1 dump is
+  // prompt even with a long collection cadence.
+  const auto tick = options_.install_sigusr1
+                        ? std::min<std::chrono::milliseconds>(
+                              options_.interval,
+                              std::chrono::milliseconds(100))
+                        : options_.interval;
+  auto next_collect = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, tick, [this] { return stop_; });
+      if (stop_) {
+        return;
+      }
+    }
+    const uint64_t sigs = g_sigusr1_count.load(std::memory_order_relaxed);
+    const bool dump_requested = installed_signal_ && sigs != sigusr1_seen_;
+    const auto now = std::chrono::steady_clock::now();
+    if (!dump_requested && now < next_collect) {
+      continue;
+    }
+    sigusr1_seen_ = sigs;
+    next_collect = now + options_.interval;
+    HealthReport report = collect_();
+    if (options_.publish_metrics) {
+      PublishGauges(report);
+    }
+    if (dump_requested) {
+      WriteDump(report);
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      latest_ = std::move(report);
+    }
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HealthAggregator::PublishGauges(const HealthReport& report) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("health.num_keys").Set(static_cast<int64_t>(report.num_keys));
+  reg.GetGauge("health.num_segments")
+      .Set(static_cast<int64_t>(report.num_segments));
+  reg.GetGauge("health.stash_entries")
+      .Set(static_cast<int64_t>(report.stash_entries));
+  reg.GetGauge("health.full_buckets")
+      .Set(static_cast<int64_t>(report.full_buckets));
+  // Gauges are integral; ratios are published in parts-per-million.
+  reg.GetGauge("health.load_factor_ppm")
+      .Set(static_cast<int64_t>(report.load_factor * 1e6));
+  reg.GetGauge("health.remap_collision_rate_ppm")
+      .Set(static_cast<int64_t>(report.remap_collision_rate * 1e6));
+  reg.GetGauge("health.plr_mean_error_milli")
+      .Set(static_cast<int64_t>(report.plr.MeanError() * 1e3));
+  reg.GetGauge("health.epoch_lag")
+      .Set(static_cast<int64_t>(report.ebr.epoch_lag));
+  reg.GetGauge("health.retired_pending")
+      .Set(static_cast<int64_t>(report.ebr.retired_pending));
+  reg.GetCounter("health.snapshots").Add(1);
+}
+
+void HealthAggregator::WriteDump(const HealthReport& report) {
+  const std::string text = report.ToText() +
+                           report.ToJson(options_.dump_segments).Dump(2) +
+                           "\n";
+  if (options_.dump_path.empty()) {
+    std::fputs(text.c_str(), stderr);
+    return;
+  }
+  FILE* f = std::fopen(options_.dump_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "health: cannot open dump path '%s'\n",
+                 options_.dump_path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace obs
+}  // namespace dytis

@@ -1,0 +1,269 @@
+// Structure-health telemetry for DyTIS (observability layer).
+//
+// A HealthReport is the pull-based sensor surface the self-tuning and
+// degradation-detection work consumes (ROADMAP items 3 and 5): per-segment
+// PLR model error, stash pressure, bucket load-factor distribution, remap
+// collision rate, structural-operation cadence, epoch-reclamation lag, and
+// WAL latency — all the quantities that degrade under dynamic or
+// adversarial key streams before throughput visibly does.
+//
+// Collection model: HealthReport is assembled on demand by
+// DyTIS::HealthReport() (src/core/dytis.h), which walks every segment under
+// the same shared-lock discipline the existing gauges (StashEntries,
+// BucketSlots) use and asks each segment to fill a SegmentHealth record.
+// One collection costs one ordered pass over the stored keys — fine between
+// bench phases or on an aggregator cadence, not meant for per-operation
+// use.  Because collection is pull-based it works in DYTIS_OBS=OFF builds
+// too (like the tracer class, the *types* always exist); only push-side
+// hot-path hooks (WAL latency histograms, structural traces) compile out,
+// and the report's `obs_enabled` flag records which build produced it.
+//
+// Surfaces:
+//   * HealthReport::ToJson()/ToText() — machine- and human-readable dumps.
+//   * HealthAggregator — optional background thread that re-collects on a
+//     configurable cadence, publishes headline gauges into the global
+//     MetricsRegistry, and (optionally) installs a SIGUSR1 handler so a live
+//     process can be asked for an on-demand dump.
+#ifndef DYTIS_SRC_OBS_HEALTH_H_
+#define DYTIS_SRC_OBS_HEALTH_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/stats.h"
+#include "src/sync/ebr.h"
+#include "src/util/json.h"
+
+namespace dytis {
+namespace obs {
+
+// Distribution of the learned remap function's in-bucket position error:
+// for a key stored at slot i of a bucket holding n entries, the model
+// predicts slot `permille * n / 1000` (the same hint the exponential
+// in-bucket search starts from), and the error is |predicted - i| slots.
+// Errors are binned logarithmically: bin 0 = exact, bin k = error in
+// [2^(k-1), 2^k) for k >= 1, last bin = everything larger.
+struct PlrErrorStats {
+  static constexpr size_t kBins = 8;
+
+  uint64_t samples = 0;    // bucket-resident keys measured
+  uint64_t error_sum = 0;  // sum of per-key slot errors
+  uint64_t max_error = 0;
+  std::array<uint64_t, kBins> error_hist{};
+
+  void Record(uint64_t error) {
+    samples++;
+    error_sum += error;
+    if (error > max_error) {
+      max_error = error;
+    }
+    size_t bin = 0;
+    while (bin + 1 < kBins && error >= (uint64_t{1} << bin)) {
+      bin++;
+    }
+    error_hist[bin]++;
+  }
+
+  void Merge(const PlrErrorStats& other) {
+    samples += other.samples;
+    error_sum += other.error_sum;
+    if (other.max_error > max_error) {
+      max_error = other.max_error;
+    }
+    for (size_t i = 0; i < kBins; i++) {
+      error_hist[i] += other.error_hist[i];
+    }
+  }
+
+  double MeanError() const {
+    return samples > 0
+               ? static_cast<double>(error_sum) / static_cast<double>(samples)
+               : 0.0;
+  }
+};
+
+// Bucket fill-level histogram: bin = floor(10 * size / capacity), so bins
+// 0..9 are fill deciles and bin 10 is exactly-full buckets (the ones whose
+// next insert triggers a structural operation).
+inline constexpr size_t kFillBins = 11;
+using FillHistogram = std::array<uint64_t, kFillBins>;
+
+// Health of one segment, filled under that segment's scan lock
+// (Segment::FillHealth in src/core/segment.h).
+struct SegmentHealth {
+  uint32_t table_id = 0;  // owning first-level EH table
+  int local_depth = 0;
+  uint64_t num_keys = 0;  // bucket + stash residents
+  uint32_t num_buckets = 0;
+  uint32_t bucket_capacity = 0;
+  uint32_t full_buckets = 0;
+  uint64_t stash_size = 0;
+  uint64_t stash_bound = 0;
+  double utilization = 0.0;  // num_keys / (num_buckets * capacity)
+  PlrErrorStats plr;
+  FillHistogram fill_hist{};
+
+  JsonValue ToJson() const;
+};
+
+// Per-first-level-table aggregate (EhTable::CollectTableHealth).
+struct TableHealth {
+  uint32_t table_id = 0;
+  int global_depth = 0;
+  uint64_t directory_entries = 0;
+  uint64_t num_segments = 0;
+  uint64_t num_keys = 0;
+  uint64_t stash_entries = 0;
+  int min_local_depth = 0;
+  int max_local_depth = 0;
+
+  JsonValue ToJson() const;
+};
+
+// Count/percentile summary of one registry histogram (WAL latency gauges).
+struct LatencyGauge {
+  uint64_t count = 0;
+  double mean_ns = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+struct HealthReport {
+  // Build + collection provenance.
+  bool obs_enabled = false;  // DYTIS_OBS_ENABLED of the producing build
+  uint64_t collected_ns = 0; // NowNanos() at collection
+  uint64_t uptime_ns = 0;    // ns since the index was constructed
+
+  // Whole-index gauges (same definitions as obs::StatsSnapshot).
+  uint64_t num_keys = 0;
+  uint64_t num_segments = 0;
+  uint64_t directory_entries = 0;
+  uint64_t stash_entries = 0;
+  uint64_t bucket_slots = 0;
+  int max_global_depth = 0;
+  double load_factor = 0.0;
+  uint64_t index_bytes = 0;
+
+  // Structural counters (relaxed-atomic copies of DyTISStats).
+  DyTISStatsView counters;
+
+  // Derived signals (FinalizeHealthReport):
+  //   remap_collision_rate — remap failures over remap attempts; rises when
+  //     the learned CDF stops fitting the keys (the retrain trigger signal).
+  //   stash_rate — stash residents over stored keys; nonzero only after
+  //     structural repair was exhausted somewhere.
+  //   *_per_sec — structural-operation cadence over the index's uptime.
+  double remap_collision_rate = 0.0;
+  double stash_rate = 0.0;
+  double splits_per_sec = 0.0;
+  double expansions_per_sec = 0.0;
+  double remaps_per_sec = 0.0;
+  double doublings_per_sec = 0.0;
+
+  // Epoch-based reclamation (zeroes on single-threaded builds).
+  EpochStats ebr;
+
+  // WAL latency (from the global MetricsRegistry histograms recorded by
+  // src/recovery/wal.cc; all-zero when no WAL ran or DYTIS_OBS=OFF).
+  LatencyGauge wal_append;
+  LatencyGauge wal_fsync;
+
+  // Cross-segment aggregates (FinalizeHealthReport folds `segments`).
+  PlrErrorStats plr;
+  FillHistogram fill_hist{};
+  uint64_t full_buckets = 0;
+  uint64_t max_stash_depth = 0;  // deepest single-segment stash
+
+  std::vector<TableHealth> tables;
+  std::vector<SegmentHealth> segments;
+
+  // Serialisation.  `include_segments` drops the per-segment array (the
+  // aggregates stay) for compact periodic publishing.
+  JsonValue ToJson(bool include_segments = true) const;
+  std::string ToText() const;
+};
+
+// Stamps provenance (obs_enabled, collected_ns).  Collection entry point —
+// DyTIS::HealthReport() calls this first, then fills gauges/counters/
+// segments, then calls FinalizeHealthReport.
+HealthReport BeginHealthReport();
+
+// Computes the derived rates and cross-segment aggregates from the raw
+// fields, and reads the WAL latency gauges out of the global
+// MetricsRegistry.  Idempotent over the aggregate fields (they are
+// recomputed from scratch).
+void FinalizeHealthReport(HealthReport* report);
+
+// Background health publisher.  Re-collects via the provided callback on a
+// fixed cadence, publishes headline "health.*" gauges into
+// MetricsRegistry::Global(), and optionally owns the process SIGUSR1
+// handler for on-demand dumps (async-signal-safe: the handler only bumps an
+// atomic; the aggregator thread notices and writes the dump).
+//
+// One live process should run at most one aggregator with
+// `install_sigusr1`; the previous disposition is restored on Stop().
+class HealthAggregator {
+ public:
+  struct Options {
+    // Re-collection cadence.
+    std::chrono::milliseconds interval{1000};
+    // Publish headline gauges into MetricsRegistry::Global() per snapshot.
+    bool publish_metrics = true;
+    // Install a SIGUSR1 handler; each delivery triggers one dump.
+    bool install_sigusr1 = false;
+    // Dump target for SIGUSR1 (appended); empty = stderr.
+    std::string dump_path;
+    // Include the per-segment array in SIGUSR1 dumps.
+    bool dump_segments = false;
+  };
+
+  HealthAggregator(std::function<HealthReport()> collect, Options options);
+  ~HealthAggregator();
+
+  HealthAggregator(const HealthAggregator&) = delete;
+  HealthAggregator& operator=(const HealthAggregator&) = delete;
+
+  // Joins the background thread (idempotent).  Restores the previous
+  // SIGUSR1 disposition if this aggregator installed one.
+  void Stop();
+
+  // Latest report (copy).  Zero-value report until the first collection.
+  HealthReport Latest() const;
+
+  uint64_t snapshots() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void PublishGauges(const HealthReport& report);
+  void WriteDump(const HealthReport& report);
+
+  std::function<HealthReport()> collect_;
+  Options options_;
+  std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> dumps_{0};
+  uint64_t sigusr1_seen_ = 0;  // aggregator-thread-local signal watermark
+
+  mutable std::mutex mutex_;  // guards latest_ + stop cv
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool installed_signal_ = false;
+  HealthReport latest_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_HEALTH_H_

@@ -1,5 +1,8 @@
 #include "src/obs/metrics.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace dytis {
 namespace obs {
 
@@ -8,10 +11,32 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+void MetricsRegistry::CheckKindCollision(const std::string& name,
+                                         const char* kind, bool in_counters,
+                                         bool in_gauges, bool in_histograms) {
+  if (!in_counters && !in_gauges && !in_histograms) {
+    return;
+  }
+  kind_collisions_.fetch_add(1, std::memory_order_relaxed);
+  const char* existing = in_counters   ? "counter"
+                         : in_gauges   ? "gauge"
+                                       : "histogram";
+  std::fprintf(stderr,
+               "metrics: name '%s' re-registered as a %s but already exists "
+               "as a %s -- the exports will carry two metrics under one "
+               "name\n",
+               name.c_str(), kind, existing);
+#ifndef NDEBUG
+  std::abort();
+#endif
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
+    CheckKindCollision(name, "counter", false, gauges_.count(name) > 0,
+                       histograms_.count(name) > 0);
     slot = std::make_unique<Counter>();
   }
   return *slot;
@@ -21,6 +46,8 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
+    CheckKindCollision(name, "gauge", counters_.count(name) > 0, false,
+                       histograms_.count(name) > 0);
     slot = std::make_unique<Gauge>();
   }
   return *slot;
@@ -30,6 +57,8 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
+    CheckKindCollision(name, "histogram", counters_.count(name) > 0,
+                       gauges_.count(name) > 0, false);
     slot = std::make_unique<Histogram>();
   }
   return *slot;
@@ -69,6 +98,7 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  kind_collisions_.store(0, std::memory_order_relaxed);
 }
 
 size_t MetricsRegistry::NumMetrics() const {

@@ -87,9 +87,22 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // Find-or-create by name.  Returned references stay valid until Reset().
+  //
+  // Re-using one name across metric *kinds* (a counter named like an
+  // existing gauge, etc.) is a bug: the exports key every section by name,
+  // so the two metrics shadow each other in dashboards and diffs.  The
+  // registry detects it, warns on stderr, and aborts in debug builds
+  // (!NDEBUG); release builds count it in KindCollisions() and proceed with
+  // a metric of the requested kind so production never crashes over
+  // telemetry.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+
+  // Cross-kind name re-registrations detected since construction/Reset().
+  uint64_t KindCollisions() const {
+    return kind_collisions_.load(std::memory_order_relaxed);
+  }
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.
   // Histogram summaries carry count/mean/min/max and p50/p99/p99.99.
@@ -101,10 +114,17 @@ class MetricsRegistry {
   size_t NumMetrics() const;
 
  private:
+  // Called under mutex_ by the Get* methods; `kind` names the requested
+  // kind for the diagnostic.
+  void CheckKindCollision(const std::string& name, const char* kind,
+                          bool in_counters, bool in_gauges,
+                          bool in_histograms);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<uint64_t> kind_collisions_{0};
 };
 
 }  // namespace obs

@@ -1,0 +1,174 @@
+#include "src/obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace dytis {
+namespace obs {
+
+namespace {
+
+#if defined(__linux__)
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matches the PerfSample fields read back in PerfCounters::Read().
+constexpr EventSpec kEvents[PerfCounters::kNumCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int OpenEvent(const EventSpec& spec) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  // Threads created after the open (bench worker pools) inherit the
+  // counter; plain read(2) then returns the sum over the whole tree.
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounters& PerfCounters::Global() {
+  static PerfCounters* counters = new PerfCounters();
+  return *counters;
+}
+
+PerfCounters::PerfCounters() { OpenAll(); }
+
+PerfCounters::PerfCounters(bool force_disabled) {
+  if (force_disabled) {
+    unavailable_reason_ = "disabled by caller";
+    return;
+  }
+  OpenAll();
+}
+
+void PerfCounters::OpenAll() {
+#if defined(__linux__)
+  int first_errno = 0;
+  for (int i = 0; i < kNumCounters; i++) {
+    fds_[i] = OpenEvent(kEvents[i]);
+    if (fds_[i] >= 0) {
+      available_ = true;
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  if (!available_) {
+    // EPERM/EACCES: perf_event_paranoid or a seccomp filter; ENOSYS: kernel
+    // without the syscall.  All mean "report the marker, keep benching".
+    unavailable_reason_ =
+        std::string("perf_event_open failed: ") + std::strerror(first_errno);
+  }
+#else
+  unavailable_reason_ = "perf_event_open is Linux-only";
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  for (int i = 0; i < kNumCounters; i++) {
+    if (fds_[i] >= 0) {
+      ::close(fds_[i]);
+    }
+  }
+#endif
+}
+
+PerfSample PerfCounters::Read() const {
+  PerfSample s;
+  s.available = available_;
+  if (!available_) {
+    s.unavailable_reason = unavailable_reason_;
+    return s;
+  }
+#if defined(__linux__)
+  int64_t* fields[kNumCounters] = {&s.cycles, &s.instructions, &s.llc_misses,
+                                   &s.branch_misses};
+  for (int i = 0; i < kNumCounters; i++) {
+    if (fds_[i] < 0) {
+      continue;  // this event was denied/unsupported; stays absent (-1)
+    }
+    uint64_t value = 0;
+    const ssize_t n = ::read(fds_[i], &value, sizeof(value));
+    if (n == static_cast<ssize_t>(sizeof(value))) {
+      *fields[i] = static_cast<int64_t>(value);
+    }
+  }
+#endif
+  return s;
+}
+
+PerfSample PerfRegion::Delta() const {
+  const PerfSample now = counters_->Read();
+  if (!now.available) {
+    return now;
+  }
+  PerfSample d;
+  d.available = true;
+  if (now.cycles >= 0 && start_.cycles >= 0) {
+    d.cycles = now.cycles - start_.cycles;
+  }
+  if (now.instructions >= 0 && start_.instructions >= 0) {
+    d.instructions = now.instructions - start_.instructions;
+  }
+  if (now.llc_misses >= 0 && start_.llc_misses >= 0) {
+    d.llc_misses = now.llc_misses - start_.llc_misses;
+  }
+  if (now.branch_misses >= 0 && start_.branch_misses >= 0) {
+    d.branch_misses = now.branch_misses - start_.branch_misses;
+  }
+  return d;
+}
+
+JsonValue PerfSample::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  if (!available) {
+    j["perf_unavailable"] = true;
+    j["reason"] = unavailable_reason;
+    return j;
+  }
+  if (cycles >= 0) {
+    j["cycles"] = cycles;
+  }
+  if (instructions >= 0) {
+    j["instructions"] = instructions;
+  }
+  if (cycles > 0 && instructions >= 0) {
+    j["ipc"] = Ipc();
+  }
+  if (llc_misses >= 0) {
+    j["llc_misses"] = llc_misses;
+  }
+  if (branch_misses >= 0) {
+    j["branch_misses"] = branch_misses;
+  }
+  return j;
+}
+
+}  // namespace obs
+}  // namespace dytis

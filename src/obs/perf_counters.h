@@ -1,0 +1,109 @@
+// Hardware performance counters via perf_event_open(2).
+//
+// Opens four per-process counters — CPU cycles, retired instructions,
+// last-level-cache misses, branch misses — with `inherit` set, so threads
+// spawned after the open (the bench worker pools) are counted too.  The
+// bench binaries wrap each measured phase in a PerfRegion and attach the
+// delta to the phase's JSON row, turning "throughput moved" into "IPC
+// dropped / LLC misses doubled".
+//
+// Graceful degradation is the contract, not an afterthought: containers and
+// CI hosts routinely deny the syscall (perf_event_paranoid, seccomp, or a
+// kernel without PMU access), and individual events can be unsupported on a
+// given machine (no LLC event in many VMs).  Every failure mode degrades to
+// an explicit marker — available() turns false (or a single counter reads
+// as absent), unavailable_reason() says why, and ToJson() emits a
+// `perf_unavailable` marker instead of numbers — never an error exit.
+//
+// Not gated by DYTIS_OBS: these are bench-harness-side counters, not index
+// instrumentation; there is no hot-path cost to compile out (reading a
+// counter is two read(2) calls per *phase*).
+#ifndef DYTIS_SRC_OBS_PERF_COUNTERS_H_
+#define DYTIS_SRC_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace dytis {
+namespace obs {
+
+// One reading (cumulative or delta).  A counter that could not be opened is
+// absent (-1); `available` is true when at least one counter is live.
+struct PerfSample {
+  bool available = false;
+  std::string unavailable_reason;  // set when !available
+  int64_t cycles = -1;
+  int64_t instructions = -1;
+  int64_t llc_misses = -1;
+  int64_t branch_misses = -1;
+
+  // Instructions per cycle; 0 when either counter is absent.
+  double Ipc() const {
+    return (cycles > 0 && instructions >= 0)
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(cycles)
+               : 0.0;
+  }
+
+  // {"cycles": ..., "instructions": ..., "ipc": ...} with only the live
+  // counters present, or {"perf_unavailable": true, "reason": ...}.
+  JsonValue ToJson() const;
+};
+
+class PerfCounters {
+ public:
+  // Process-wide instance, opened once on first use (counters run for the
+  // process lifetime; PerfRegion reads deltas).
+  static PerfCounters& Global();
+
+  PerfCounters();
+  // Test hook: constructs in the unavailable state without touching the
+  // syscall, so the fallback path is exercised deterministically.
+  explicit PerfCounters(bool force_disabled);
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  bool available() const { return available_; }
+  const std::string& unavailable_reason() const {
+    return unavailable_reason_;
+  }
+
+  // Cumulative counts since open.
+  PerfSample Read() const;
+
+  static constexpr int kNumCounters = 4;  // cycles, instrs, LLC, branch
+
+ private:
+  void OpenAll();
+
+  int fds_[kNumCounters] = {-1, -1, -1, -1};
+  bool available_ = false;
+  std::string unavailable_reason_;
+};
+
+// Scoped sampler: captures the counters at construction; Delta() returns
+// the consumption since then.  Copyable-cheap to construct even when the
+// counters are unavailable (two no-op reads).
+class PerfRegion {
+ public:
+  explicit PerfRegion(const PerfCounters& counters = PerfCounters::Global())
+      : counters_(&counters), start_(counters.Read()) {}
+
+  PerfSample Delta() const;
+
+  // Delta as JSON (or the perf_unavailable marker).
+  JsonValue ToJson() const { return Delta().ToJson(); }
+
+ private:
+  const PerfCounters* counters_;
+  PerfSample start_;
+};
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_PERF_COUNTERS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
+
 namespace dytis {
 namespace obs {
 
@@ -133,6 +135,25 @@ uint64_t StructuralTracer::dropped_events() const {
   return dropped;
 }
 
+std::vector<std::pair<uint32_t, uint64_t>>
+StructuralTracer::DroppedPerThread() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    out.emplace_back(ring->thread_id(), ring->dropped());
+  }
+  return out;
+}
+
+uint64_t StructuralTracer::PublishDroppedEvents() const {
+  const uint64_t dropped = dropped_events();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("trace.dropped_events").Set(static_cast<int64_t>(dropped));
+  reg.GetGauge("trace.threads").Set(static_cast<int64_t>(num_threads()));
+  return dropped;
+}
+
 size_t StructuralTracer::num_threads() const {
   std::lock_guard<std::mutex> lock(rings_mutex_);
   return rings_.size();
@@ -163,7 +184,21 @@ std::string StructuralTracer::ChromeTraceJson() const {
     out += buf;
   }
   out += "],\"otherData\":{\"source\":\"dytis structural tracer\",";
-  out += "\"dropped_events\":" + std::to_string(dropped_events()) + "}}";
+  out += "\"dropped_events\":" + std::to_string(dropped_events());
+  // Per-ring detail so a truncated trace names the thread that overflowed.
+  out += ",\"dropped_per_thread\":{";
+  bool first = true;
+  for (const auto& [tid, dropped] : DroppedPerThread()) {
+    if (dropped == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + std::to_string(tid) + "\":" + std::to_string(dropped);
+  }
+  out += "}}}";
   return out;
 }
 
@@ -178,6 +213,17 @@ std::string StructuralTracer::TextLog() const {
                   static_cast<unsigned long long>(e.begin_ns), TraceOpName(e.op),
                   static_cast<unsigned long long>(e.end_ns - e.begin_ns),
                   e.table_id, e.depth, e.thread_id);
+    out += buf;
+  }
+  // Truncation footer: a retained-events log that silently lost its oldest
+  // entries reads as "nothing happened early on", which is worse than no
+  // log at all.
+  const uint64_t dropped = dropped_events();
+  if (dropped > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "# dropped_events=%llu (oldest events overwritten by ring "
+                  "wrap-around)\n",
+                  static_cast<unsigned long long>(dropped));
     out += buf;
   }
   return out;

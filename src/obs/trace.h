@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dytis {
@@ -151,6 +152,17 @@ class StructuralTracer {
 
   // Events lost to ring wrap-around across all rings.
   uint64_t dropped_events() const;
+
+  // Per-ring drop detail: one (thread_id, dropped) pair per recording ring,
+  // drops-only rings included.  For pinpointing *which* thread's structural
+  // stream outran its ring.
+  std::vector<std::pair<uint32_t, uint64_t>> DroppedPerThread() const;
+
+  // Publishes the drop gauges into MetricsRegistry::Global()
+  // ("trace.dropped_events", "trace.threads") and returns the total drop
+  // count.  Called by the bench exporters at session end so truncation is
+  // visible in the metrics dump, not only inside the trace file.
+  uint64_t PublishDroppedEvents() const;
 
   // Number of threads that have recorded since the last Clear().
   size_t num_threads() const;

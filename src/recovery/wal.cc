@@ -8,11 +8,29 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"  // DYTIS_OBS_ENABLED default
 #include "src/util/crc32.h"
+#include "src/util/timer.h"
 
 namespace dytis {
 namespace recovery {
 namespace {
+
+// WAL latency sensors (health report "wal" section).  Compiled out under
+// DYTIS_OBS=OFF — the histograms then stay at count 0, which the obsoff
+// test asserts.  Looked up per record rather than cached: registry
+// references are only valid until Reset(), and the cost (one map find
+// under a mutex) is noise against the write(2)/fsync(2) the WAL is about
+// to pay anyway.
+#if DYTIS_OBS_ENABLED
+obs::Histogram& WalAppendHist() {
+  return obs::MetricsRegistry::Global().GetHistogram("wal.append_ns");
+}
+obs::Histogram& WalFsyncHist() {
+  return obs::MetricsRegistry::Global().GetHistogram("wal.fsync_ns");
+}
+#endif
 
 void SetError(std::string* error, const std::string& what) {
   if (error != nullptr) {
@@ -74,6 +92,9 @@ bool WalWriter::Append(const void* payload, uint32_t size, uint64_t* lsn,
     }
     return false;
   }
+#if DYTIS_OBS_ENABLED
+  const uint64_t t0 = NowNanos();
+#endif
   const uint64_t this_lsn = next_lsn_;
   // Frame body first (size, lsn, payload), then the CRC over it.
   std::string body;
@@ -99,6 +120,11 @@ bool WalWriter::Append(const void* payload, uint32_t size, uint64_t* lsn,
   if (lsn != nullptr) {
     *lsn = this_lsn;
   }
+#if DYTIS_OBS_ENABLED
+  // Includes the group-commit fsync when this record triggered one — an
+  // append that pays the sync IS that slow from the caller's side.
+  WalAppendHist().Record(NowNanos() - t0);
+#endif
   return true;
 }
 
@@ -115,6 +141,9 @@ bool WalWriter::Flush(std::string* error) {
 }
 
 bool WalWriter::Sync(std::string* error) {
+#if DYTIS_OBS_ENABLED
+  const uint64_t t0 = NowNanos();
+#endif
   if (!Flush(error)) {
     return false;
   }
@@ -123,6 +152,9 @@ bool WalWriter::Sync(std::string* error) {
     return false;
   }
   unsynced_ = 0;
+#if DYTIS_OBS_ENABLED
+  WalFsyncHist().Record(NowNanos() - t0);
+#endif
   return true;
 }
 

@@ -275,6 +275,18 @@ EpochStats EpochDomain::Stats() const {
   {
     std::lock_guard<std::mutex> lock(slots_mu_);
     s.slots = slots_.size();
+    // Oldest announced epoch among busy readers; the lag between it and the
+    // global epoch is the reclamation-stall gauge (see EpochStats).
+    uint64_t oldest = kIdleEpoch;
+    for (const Slot* slot : slots_) {
+      const uint64_t e = slot->epoch.load(std::memory_order_acquire);
+      if (e != kIdleEpoch && e < oldest) {
+        oldest = e;
+      }
+    }
+    if (oldest != kIdleEpoch && oldest < s.epoch) {
+      s.epoch_lag = s.epoch - oldest;
+    }
   }
   return s;
 }

@@ -83,6 +83,11 @@ namespace dytis {
 // reclamation tests assert backlog bounds through retired_pending).
 struct EpochStats {
   uint64_t epoch = 0;            // current global epoch
+  // Distance between the global epoch and the oldest epoch any in-flight
+  // reader still announces (0 when no reader is inside a Guard).  A lag
+  // that stays >= 1 across samples means a long-running reader is pinning
+  // an old generation and the retire backlog cannot drain past it.
+  uint64_t epoch_lag = 0;
   uint64_t retired_pending = 0;  // objects retired but not yet freed
   uint64_t retired_total = 0;    // objects ever retired
   uint64_t reclaimed_total = 0;  // objects freed

@@ -236,6 +236,37 @@ TEST_F(TracerTest, ChromeTraceJsonEnvelope) {
   EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
 }
 
+// Ring wrap-around is data loss the exports must announce, not bury: the
+// total and per-thread counts appear in the Chrome trace's otherData, the
+// text log gets a footer, and PublishDroppedEvents mirrors the count into
+// the metrics registry for the bench exporters.
+TEST_F(TracerTest, DroppedEventsVisibleInEveryExport) {
+#if !DYTIS_OBS_ENABLED
+  GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
+#endif
+  obs::MetricsRegistry::Global().Reset();
+  auto& tracer = StructuralTracer::Global();
+  tracer.Enable(/*ring_capacity=*/4);
+  for (uint64_t i = 0; i < 10; i++) {
+    tracer.Record(TraceOp::kSplit, i, i + 1, 0, 1);
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  const auto per_thread = tracer.DroppedPerThread();
+  ASSERT_EQ(per_thread.size(), 1u);
+  EXPECT_EQ(per_thread[0].second, 6u);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_per_thread\""), std::string::npos);
+  const std::string log = tracer.TextLog();
+  EXPECT_NE(log.find("dropped_events=6"), std::string::npos);
+  EXPECT_EQ(tracer.PublishDroppedEvents(), 6u);
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("trace.dropped_events").Value(), 6);
+  EXPECT_EQ(registry.GetGauge("trace.threads").Value(), 1);
+  obs::MetricsRegistry::Global().Reset();
+}
+
 TEST_F(TracerTest, TextLogOneLinePerEvent) {
 #if !DYTIS_OBS_ENABLED
   GTEST_SKIP() << "built with DYTIS_OBS=OFF; tracing compiles out";
@@ -332,6 +363,27 @@ TEST_F(MetricsTest, ResetDropsMetrics) {
   EXPECT_EQ(registry.NumMetrics(), 0u);
   // Re-creating after Reset starts from zero.
   EXPECT_EQ(registry.GetCounter("gone").Value(), 0u);
+}
+
+TEST_F(MetricsTest, KindCollisionIsDetected) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("dup.name");
+  // Same-kind re-lookup is find-or-create, never a collision.
+  registry.GetCounter("dup.name");
+  EXPECT_EQ(registry.KindCollisions(), 0u);
+#ifdef NDEBUG
+  // Release builds warn, count, and proceed: production must never crash
+  // over telemetry.
+  registry.GetGauge("dup.name");
+  EXPECT_EQ(registry.KindCollisions(), 1u);
+  registry.GetHistogram("dup.name");
+  EXPECT_EQ(registry.KindCollisions(), 2u);
+  registry.Reset();
+  EXPECT_EQ(registry.KindCollisions(), 0u);
+#else
+  // Debug builds fail fast at the offending registration site.
+  EXPECT_DEATH(registry.GetGauge("dup.name"), "re-registered as a gauge");
+#endif
 }
 
 TEST_F(MetricsTest, ConcurrentHarnessPopulatesRegistry) {
