@@ -1,0 +1,493 @@
+// Adversarial degradation and mitigation recovery (robustness extension; not
+// a paper figure).
+//
+// Three questions, mirroring the detector/mitigation subsystem:
+//   1. How much does each attack pattern degrade DyTIS versus structures
+//      with no learned component (B+-tree, CCEH)?  Each candidate runs the
+//      same region op mix (lookups + inserts + short scans aimed at the
+//      attacked key range) on an unattacked index (baseline) and after the
+//      attack; degradation_factor = baseline / attacked throughput.
+//   2. What do the mitigations buy?  The mitigated DyTIS row runs the
+//      degradation detector + quarantine/re-salt repair after the attack and
+//      periodically during measurement (the online operating mode), and
+//      reports a recovery curve (op-mix throughput after each mitigation
+//      round) plus recovery_ratio = recovered / baseline.
+//   3. What do the detectors cost when nothing is wrong?  The benign
+//      overhead section runs the same benign workload with and without
+//      periodic detector evaluation (pull-based HealthReport + Evaluate).
+//
+// The DyTIS config is depth-capped (small max_global_depth) so the attacks
+// reach the terminal stash at bench scale, the same way the adversarial
+// tests do; the wide-stride stash bomb is the recoverable pattern (the
+// quarantine rebuild can absorb it), the narrow stride-1 bomb is the
+// unrecoverable one (the quarantine stays bounded and spills — the row
+// documents the residual honestly).
+//
+// JSON export: one document with a "patterns" array (per pattern, per
+// candidate) and a "benign_overhead" object, wired into
+// scripts/run_bench_suite.sh; rows new to the trajectory are reported as
+// "new" by scripts/bench_compare.py, never gated.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/dytis.h"
+#include "src/obs/degradation.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+#include "src/workloads/attack.h"
+#include "src/workloads/kv_index.h"
+
+namespace dytis {
+namespace {
+
+using workloads::AttackPattern;
+
+constexpr uint64_t kWideStride = uint64_t{1} << 30;
+constexpr size_t kMitigateEvery = 4096;  // ops between online detector runs
+
+// Depth-capped DyTIS: reachable terminal stash at bench scale (the paper
+// config's max_global_depth never saturates with bench-sized key counts).
+DyTISConfig AttackedConfig() {
+  DyTISConfig config;
+  config.first_level_bits = 2;
+  config.bucket_bytes = 256;
+  config.l_start = 3;
+  config.max_global_depth = 8;
+  return config;
+}
+
+DegradationPolicy BenchPolicy() {
+  DegradationPolicy policy;
+  policy.trip_strikes = 1;
+  policy.clear_strikes = 1;
+  return policy;
+}
+
+// One attack scenario: the poisoned key stream plus the continuation keys
+// and scan shapes the post-attack op mix aims at the attacked region.
+struct Scenario {
+  std::string name;
+  std::vector<uint64_t> attack_keys;    // ingested during the attack phase
+  std::vector<uint64_t> region_inserts; // fresh keys inside the region
+  std::vector<uint64_t> region_lookups; // existing keys, shuffled
+  std::vector<workloads::ScanShape> scans;
+};
+
+template <typename T>
+void SeededShuffle(std::vector<T>* v, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = v->size(); i > 1; i--) {
+    std::swap((*v)[i - 1], (*v)[rng.NextBelow(i)]);
+  }
+}
+
+// `hot` optionally narrows the measured region to the poisoned subset of
+// the attack stream (cdf_cliff mixes 15/16 benign keys into the attack
+// stream — aiming the op mix at all of them would mostly measure healthy
+// buckets and miss the cliff).  Empty means the whole attack stream is hot.
+Scenario MakeScenario(const std::string& name, std::vector<uint64_t> keys,
+                      std::vector<uint64_t> continuation,
+                      std::vector<uint64_t> hot = {}) {
+  Scenario s;
+  s.name = name;
+  s.attack_keys = std::move(keys);
+  s.region_inserts = std::move(continuation);
+  s.region_lookups = hot.empty() ? s.attack_keys : std::move(hot);
+  SeededShuffle(&s.attack_keys, 101);
+  SeededShuffle(&s.region_inserts, 102);
+  SeededShuffle(&s.region_lookups, 103);
+  const uint64_t lo =
+      *std::min_element(s.region_lookups.begin(), s.region_lookups.end());
+  const uint64_t hi =
+      *std::max_element(s.region_lookups.begin(), s.region_lookups.end());
+  Rng rng(104);
+  for (size_t i = 0; i < 256; i++) {
+    workloads::ScanShape shape;
+    shape.start_key = lo + rng.NextBelow(hi - lo + 1);
+    shape.want = 16;
+    s.scans.push_back(shape);
+  }
+  return s;
+}
+
+std::vector<Scenario> MakeScenarios(size_t n_attack) {
+  std::vector<Scenario> scenarios;
+  {
+    // Recoverable: wide-stride bomb, absorbable by the quarantine rebuild.
+    auto keys = workloads::StashBombKeys(2 * n_attack, 7, kWideStride);
+    std::vector<uint64_t> head(keys.begin(), keys.begin() + n_attack);
+    std::vector<uint64_t> tail(keys.begin() + n_attack, keys.end());
+    scenarios.push_back(
+        MakeScenario("stash_bomb_wide", std::move(head), std::move(tail)));
+  }
+  {
+    // Unrecoverable: consecutive integers; quarantine bounds + spills.
+    auto keys = workloads::StashBombKeys(2 * n_attack, 7);
+    std::vector<uint64_t> head(keys.begin(), keys.begin() + n_attack);
+    std::vector<uint64_t> tail(keys.begin() + n_attack, keys.end());
+    scenarios.push_back(
+        MakeScenario("stash_bomb", std::move(head), std::move(tail)));
+  }
+  {
+    // The cliff holds every 16th key of the stream (generation order); the
+    // measured region is that subset plus cliff-only continuation inserts.
+    auto keys = workloads::CdfCliffKeys(n_attack, 7);
+    std::vector<uint64_t> cliff;
+    for (size_t i = 0; i < keys.size(); i += 16) {
+      cliff.push_back(keys[i]);
+    }
+    auto more = workloads::CdfCliffKeys(2 * n_attack, 7);
+    std::vector<uint64_t> tail;
+    for (size_t i = n_attack; i < more.size(); i++) {
+      if (i % 16 == 0) {
+        tail.push_back(more[i]);
+      }
+    }
+    scenarios.push_back(MakeScenario("cdf_cliff", std::move(keys),
+                                     std::move(tail), std::move(cliff)));
+  }
+  return scenarios;
+}
+
+// A candidate index under attack.  DyTIS rows use the index directly (the
+// mitigated row needs HealthReport/MitigateDegraded); baselines go through
+// their KVIndex adapters.
+class Subject {
+ public:
+  Subject(std::string name, const DyTISConfig& config, bool mitigated)
+      : name_(std::move(name)),
+        dytis_(std::make_unique<DyTIS<uint64_t>>(config)),
+        detector_(mitigated ? std::make_unique<obs::DegradationDetector>(
+                                  BenchPolicy())
+                            : nullptr) {}
+  Subject(std::string name, std::unique_ptr<KVIndex> kv)
+      : name_(std::move(name)), kv_(std::move(kv)) {}
+
+  const std::string& name() const { return name_; }
+  bool mitigated() const { return detector_ != nullptr; }
+  bool SupportsScan() const {
+    return dytis_ != nullptr || kv_->SupportsScan();
+  }
+
+  void Insert(uint64_t key, uint64_t value) {
+    if (dytis_ != nullptr) {
+      dytis_->Insert(key, value);
+    } else {
+      kv_->Insert(key, value);
+    }
+    if (detector_ != nullptr && ++ops_since_mitigation_ >= window_) {
+      ops_since_mitigation_ = 0;
+      // Sentinel gate: HealthReport is O(index), so the operating mode only
+      // collects one when the O(1) stash-insert counter moved since the last
+      // window (something overflowed) or a segment is already marked
+      // degraded (a clear/repair is pending).  Benign traffic never trips
+      // either, so detection costs one atomic load per window.
+      const uint64_t stash_inserts =
+          dytis_->stats().stash_inserts.load(std::memory_order_relaxed);
+      if (stash_inserts != last_stash_inserts_ ||
+          detector_->degraded_count() != 0) {
+        last_stash_inserts_ = stash_inserts;
+        const auto out = dytis_->MitigateDegraded(detector_.get());
+        // Cadence backoff, mirroring the detector's repair backoff: an
+        // evaluation that found degradation but nothing actionable (every
+        // verdict cooled down — the attack is unabsorbable) doubles the
+        // window, so a permanently quarantined segment stops charging an
+        // O(index) HealthReport to every window of foreground traffic.
+        if (out.repaired == 0 && out.degraded == 0 &&
+            detector_->degraded_count() != 0) {
+          window_ = std::min<size_t>(window_ * 2, 64 * kMitigateEvery);
+        } else {
+          window_ = kMitigateEvery;
+        }
+      }
+    }
+  }
+  bool Find(uint64_t key, uint64_t* value) const {
+    return dytis_ != nullptr ? dytis_->Find(key, value)
+                             : kv_->Find(key, value);
+  }
+  size_t Scan(uint64_t start, size_t want, KVIndex::ScanEntry* out) const {
+    return dytis_ != nullptr ? dytis_->Scan(start, want, out)
+                             : kv_->Scan(start, want, out);
+  }
+
+  // One full mitigation pass; returns the outcome (zeros for non-DyTIS or
+  // unmitigated rows).
+  DyTIS<uint64_t>::MitigationOutcome Mitigate() {
+    if (detector_ == nullptr) {
+      return {};
+    }
+    return dytis_->MitigateDegraded(detector_.get());
+  }
+
+  size_t StashEntries() const {
+    return dytis_ != nullptr ? dytis_->StashEntries() : 0;
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<DyTIS<uint64_t>> dytis_;
+  std::unique_ptr<KVIndex> kv_;
+  std::unique_ptr<obs::DegradationDetector> detector_;
+  size_t ops_since_mitigation_ = 0;
+  size_t window_ = kMitigateEvery;
+  uint64_t last_stash_inserts_ = 0;
+};
+
+const std::vector<std::string>& SubjectNames() {
+  static const std::vector<std::string> names = {"DyTIS", "DyTIS-mitigated",
+                                                 "B+-tree", "CCEH"};
+  return names;
+}
+
+std::unique_ptr<Subject> MakeSubject(const std::string& name) {
+  if (name == "DyTIS") {
+    return std::make_unique<Subject>(name, AttackedConfig(), false);
+  }
+  if (name == "DyTIS-mitigated") {
+    return std::make_unique<Subject>(name, AttackedConfig(), true);
+  }
+  if (name == "B+-tree") {
+    return std::make_unique<Subject>(name, std::make_unique<BTreeAdapter>());
+  }
+  return std::make_unique<Subject>(name, std::make_unique<CcehAdapter>());
+}
+
+// The measured op mix over the attacked region: 40% lookups of resident
+// keys, 40% inserts of fresh in-region keys, 20% short scans (when the
+// index scans).  Returns Mops/s.  Cursors persist across calls so repeated
+// slices keep consuming fresh insert keys.
+struct MixCursor {
+  size_t lookup = 0;
+  size_t insert = 0;
+  size_t scan = 0;
+};
+
+double RunOpMix(Subject* subject, const Scenario& s, size_t ops,
+                MixCursor* cursor) {
+  const bool scans = subject->SupportsScan();
+  std::vector<KVIndex::ScanEntry> buf(16);
+  uint64_t sink = 0;
+  Timer timer;
+  for (size_t i = 0; i < ops; i++) {
+    const int slot = static_cast<int>(i % 5);
+    if (slot < 2) {
+      uint64_t v = 0;
+      subject->Find(s.region_lookups[cursor->lookup++ % s.region_lookups.size()],
+                    &v);
+      sink ^= v;
+    } else if (slot < 4 || !scans) {
+      const uint64_t k =
+          s.region_inserts[cursor->insert++ % s.region_inserts.size()];
+      subject->Insert(k, k);
+    } else {
+      const auto& shape = s.scans[cursor->scan++ % s.scans.size()];
+      sink ^= subject->Scan(shape.start_key, shape.want, buf.data());
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  if (sink == 0xDEADBEEF) {  // defeat dead-code elimination
+    std::printf("#");
+  }
+  return static_cast<double>(ops) / seconds / 1e6;
+}
+
+int Main() {
+  const size_t n = bench::BenchKeys();
+  const size_t n_attack = std::max<size_t>(1000, n / 4);
+  const size_t mix_ops = std::max<size_t>(2000, n / 8);
+  bench::PrintScale("Adversarial degradation & mitigation (robustness)");
+  JsonValue root = obs::BenchEnvelope("attack", n, mix_ops);
+
+  Rng benign_rng(42);
+  std::vector<uint64_t> benign(n);
+  for (auto& k : benign) {
+    k = benign_rng.Next();
+  }
+
+  // Shared benign op-mix region: the unattacked index has no "attacked
+  // region", so every baseline uses uniform targets from the same generator
+  // family.  Built once — it does not depend on the attack pattern.
+  Scenario benign_region;
+  benign_region.name = "benign";
+  benign_region.region_lookups = benign;
+  SeededShuffle(&benign_region.region_lookups, 201);
+  Rng fresh(202);
+  benign_region.region_inserts.resize(std::max<size_t>(mix_ops, 1024));
+  for (auto& k : benign_region.region_inserts) {
+    k = fresh.Next();
+  }
+  Rng scan_rng(203);
+  for (size_t i = 0; i < 256; i++) {
+    workloads::ScanShape shape;
+    shape.start_key = scan_rng.Next();
+    shape.want = 16;
+    benign_region.scans.push_back(shape);
+  }
+
+  // Baselines: one fresh unattacked instance per candidate, shared across
+  // every attack pattern.
+  std::vector<double> baselines;
+  for (const std::string& subject_name : SubjectNames()) {
+    auto base = MakeSubject(subject_name);
+    for (uint64_t k : benign) {
+      base->Insert(k, k);
+    }
+    MixCursor cursor;
+    baselines.push_back(
+        RunOpMix(base.get(), benign_region, mix_ops, &cursor));
+  }
+
+  // Degraded-phase measurements use fewer ops: a 50x-degraded index at the
+  // same op count would dominate wall-clock without changing the rate.
+  const size_t atk_ops = std::max<size_t>(1000, mix_ops / 4);
+
+  const auto scenarios = MakeScenarios(n_attack);
+  JsonValue pattern_rows = JsonValue::Array();
+  std::printf("%-16s %-16s %10s %10s %8s %10s %8s\n", "pattern", "index",
+              "base Mops", "atk Mops", "degrade", "rec Mops", "recover");
+  for (const auto& scenario : scenarios) {
+    JsonValue row = JsonValue::Object();
+    row["pattern"] = scenario.name;
+    JsonValue candidates = JsonValue::Array();
+    for (size_t si = 0; si < SubjectNames().size(); si++) {
+      const std::string& subject_name = SubjectNames()[si];
+      auto subject = MakeSubject(subject_name);
+      const double baseline_mops = baselines[si];
+
+      // Attacked run: benign load, then the poisoned stream.
+      for (uint64_t k : benign) {
+        subject->Insert(k, k);
+      }
+      Timer ingest_timer;
+      for (uint64_t k : scenario.attack_keys) {
+        subject->Insert(k, k);
+      }
+      const double ingest_seconds = ingest_timer.ElapsedSeconds();
+
+      MixCursor cursor;
+      JsonValue curve = JsonValue::Array();
+      double attacked_mops = 0.0;
+      double recovered_mops = 0.0;
+      JsonValue mitigation = JsonValue::Object();
+      if (!subject->mitigated()) {
+        attacked_mops = RunOpMix(subject.get(), scenario, atk_ops, &cursor);
+        recovered_mops = attacked_mops;  // nothing recovers without repair
+      } else {
+        // Recovery curve: op-mix slices interleaved with mitigation rounds.
+        attacked_mops = RunOpMix(subject.get(), scenario, atk_ops, &cursor);
+        uint64_t retrains = 0;
+        uint64_t overrides = 0;
+        uint64_t splits = 0;
+        uint64_t drained = 0;
+        for (int round = 0; round < 6; round++) {
+          const auto out = subject->Mitigate();
+          retrains += out.retrains;
+          overrides += out.limit_overrides;
+          splits += out.splits;
+          drained += out.stash_drained;
+          const double slice_mops =
+              RunOpMix(subject.get(), scenario, atk_ops, &cursor);
+          JsonValue point = JsonValue::Object();
+          point["round"] = static_cast<uint64_t>(round + 1);
+          point["mops"] = slice_mops;
+          point["degraded"] = out.degraded;
+          curve.Append(std::move(point));
+          if (out.degraded == 0 && round >= 1) {
+            break;
+          }
+        }
+        recovered_mops = RunOpMix(subject.get(), scenario, mix_ops, &cursor);
+        mitigation["retrains"] = retrains;
+        mitigation["limit_overrides"] = overrides;
+        mitigation["splits_escalated"] = splits;
+        mitigation["stash_drained"] = drained;
+        mitigation["residual_stash"] =
+            static_cast<uint64_t>(subject->StashEntries());
+      }
+      const double degradation =
+          attacked_mops > 0.0 ? baseline_mops / attacked_mops : 0.0;
+      const double recovery_ratio =
+          baseline_mops > 0.0 ? recovered_mops / baseline_mops : 0.0;
+      std::printf("%-16s %-16s %10.3f %10.3f %7.1fx %10.3f %7.0f%%\n",
+                  scenario.name.c_str(), subject->name().c_str(),
+                  baseline_mops, attacked_mops, degradation, recovered_mops,
+                  recovery_ratio * 100.0);
+      std::fflush(stdout);
+      JsonValue c = JsonValue::Object();
+      c["index"] = subject->name();
+      c["mitigated"] = subject->mitigated();
+      c["baseline_mops"] = baseline_mops;
+      c["attack_ingest_seconds"] = ingest_seconds;
+      c["attacked_mops"] = attacked_mops;
+      c["degradation_factor"] = degradation;
+      c["recovered_mops"] = recovered_mops;
+      c["recovery_ratio"] = recovery_ratio;
+      c["scan_supported"] = subject->SupportsScan();
+      if (subject->mitigated()) {
+        c["recovery_curve"] = std::move(curve);
+        c["mitigation"] = std::move(mitigation);
+      }
+      candidates.Append(std::move(c));
+    }
+    row["candidates"] = std::move(candidates);
+    pattern_rows.Append(std::move(row));
+  }
+  root["patterns"] = std::move(pattern_rows);
+
+  // Benign overhead of the detector's operating mode: same benign insert +
+  // lookup workload, with and without a periodic HealthReport + Evaluate.
+  {
+    auto run = [&](bool with_detector) {
+      DyTIS<uint64_t> idx(bench::ScaledDyTISConfig(n));
+      obs::DegradationDetector det(BenchPolicy());
+      Rng rng(7);
+      uint64_t last_stash_inserts = 0;
+      Timer timer;
+      for (size_t i = 0; i < n; i++) {
+        idx.Insert(rng.Next(), i);
+        if (with_detector && (i + 1) % kMitigateEvery == 0) {
+          // Same sentinel gate as the mitigated subject: only collect the
+          // O(index) HealthReport when the O(1) stash counter moved or a
+          // segment is already marked.  Benign runs never trip it.
+          const uint64_t stash_inserts =
+              idx.stats().stash_inserts.load(std::memory_order_relaxed);
+          if (stash_inserts != last_stash_inserts ||
+              det.degraded_count() != 0) {
+            last_stash_inserts = stash_inserts;
+            det.Evaluate(idx.HealthReport());
+          }
+        }
+      }
+      return static_cast<double>(n) / timer.ElapsedSeconds() / 1e6;
+    };
+    const double plain = run(false);
+    const double detected = run(true);
+    const double overhead_pct = (plain / detected - 1.0) * 100.0;
+    std::printf("benign overhead: plain %.3f Mops, detector %.3f Mops "
+                "(%.1f%%, evaluate every %zu ops)\n",
+                plain, detected, overhead_pct, kMitigateEvery);
+    JsonValue overhead = JsonValue::Object();
+    overhead["plain_mops"] = plain;
+    overhead["detector_mops"] = detected;
+    overhead["overhead_pct"] = overhead_pct;
+    overhead["evaluate_every"] = static_cast<uint64_t>(kMitigateEvery);
+    root["benign_overhead"] = std::move(overhead);
+  }
+
+  const std::string json = obs::WriteBenchJson("attack", root);
+  if (!json.empty()) {
+    std::printf("# json: %s\n", json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dytis
+
+int main() { return dytis::Main(); }

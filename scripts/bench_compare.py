@@ -15,8 +15,10 @@ Both documents are flattened to dotted-path -> number leaves:
 
 Array elements are keyed by a stable identity (bench/dataset/threads/index/
 workload fields when present, falling back to position), so reordered rows
-still line up.  Only paths present in BOTH documents are compared; added or
-removed paths are reported informationally and never fail the gate.
+still line up.  Only paths present in BOTH documents are compared; rows or
+metrics present in only one file are summarized as "new"/"removed" lines —
+always printed, informational only, and never a gate failure (a trajectory
+that grows a bench must not fail the first comparison against its past).
 
 Direction is inferred from the metric name:
   higher is better: *mops*, *throughput*, *speedup*, *ipc*, *ops_per_sec*
@@ -108,17 +110,45 @@ def leaf_is_config(path):
     return leaf in CONFIG_KEYS
 
 
+def row_prefix(path):
+    """Groups a leaf path under its innermost array row (or its parent)."""
+    i = path.rfind("]")
+    if i >= 0:
+        return path[: i + 1]
+    parent = path.rsplit(".", 1)[0]
+    return parent if parent else path
+
+
+def one_sided_notes(paths, label):
+    """Collapses one side's exclusive leaf paths to per-row summary lines."""
+    groups = {}
+    for path in paths:
+        groups.setdefault(row_prefix(path), []).append(path)
+    return [
+        f"  {label}: {prefix} ({len(leaves)} metric(s))"
+        for prefix, leaves in sorted(groups.items())
+    ]
+
+
 def compare(baseline, candidate, threshold, min_abs):
-    """Returns (regressions, improvements, notes) lists of report lines."""
+    """Returns (regressions, improvements, notes, details) report lines.
+
+    notes summarize rows/metrics present in only one file ("new"/"removed"),
+    one line per row; details list every such leaf path individually.
+    Neither ever contributes to the gate decision.
+    """
     base, cand = {}, {}
     flatten(baseline, "", base)
     flatten(candidate, "", cand)
-    regressions, improvements, notes = [], [], []
+    regressions, improvements, details = [], [], []
     common = sorted(set(base) & set(cand))
-    for path in sorted(set(base) - set(cand)):
-        notes.append(f"  only in baseline:  {path}")
-    for path in sorted(set(cand) - set(base)):
-        notes.append(f"  only in candidate: {path}")
+    removed = sorted(set(base) - set(cand))
+    added = sorted(set(cand) - set(base))
+    notes = one_sided_notes(removed, "removed") + one_sided_notes(added, "new")
+    for path in removed:
+        details.append(f"  only in baseline:  {path}")
+    for path in added:
+        details.append(f"  only in candidate: {path}")
     for path in common:
         if leaf_is_config(path):
             continue
@@ -138,7 +168,7 @@ def compare(baseline, candidate, threshold, min_abs):
             regressions.append("  REGRESSION " + line)
         elif not worse and abs(rel) > threshold:
             improvements.append("  improved   " + line)
-    return regressions, improvements, notes
+    return regressions, improvements, notes, details
 
 
 def load(path):
@@ -153,7 +183,7 @@ def run_compare(base_path, cand_path, threshold, min_abs, verbose):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot load inputs: {e}", file=sys.stderr)
         return 2
-    regressions, improvements, notes = compare(
+    regressions, improvements, notes, details = compare(
         baseline, candidate, threshold, min_abs
     )
     print(
@@ -164,15 +194,19 @@ def run_compare(base_path, cand_path, threshold, min_abs, verbose):
         print(line)
     for line in improvements:
         print(line)
+    # New/removed rows always print (a growing trajectory is normal and
+    # worth seeing) but never gate; --verbose expands them to leaf paths.
+    for line in notes:
+        print(line)
     if verbose:
-        for line in notes:
+        for line in details:
             print(line)
     if regressions:
         print(f"bench_compare: FAIL ({len(regressions)} regression(s))")
         return 1
     print(
         f"bench_compare: OK ({len(improvements)} improvement(s), "
-        f"{len(notes)} schema difference(s))"
+        f"{len(notes)} new/removed row(s))"
     )
     return 0
 
@@ -204,14 +238,14 @@ def self_test():
     failures = []
 
     # 1. Identical documents must pass.
-    r, i, _ = compare(doc, doc, threshold=0.3, min_abs=1e-6)
+    r, i, _, _ = compare(doc, doc, threshold=0.3, min_abs=1e-6)
     if r or i:
         failures.append(f"identical docs flagged: {r + i}")
 
     # 2. An injected 50% throughput drop must be caught.
     hurt = copy.deepcopy(doc)
     hurt["results"][0]["dytis"]["insert_mops"] = 2.0
-    r, _, _ = compare(doc, hurt, threshold=0.3, min_abs=1e-6)
+    r, _, _, _ = compare(doc, hurt, threshold=0.3, min_abs=1e-6)
     if len(r) != 1 or "insert_mops" not in r[0]:
         failures.append(f"injected throughput drop not caught: {r}")
 
@@ -220,28 +254,28 @@ def self_test():
     lat["results"][0]["dytis"]["append_ns"] = 100.0
     lat2 = copy.deepcopy(lat)
     lat2["results"][0]["dytis"]["append_ns"] = 250.0
-    r, _, _ = compare(lat, lat2, threshold=0.3, min_abs=1e-6)
+    r, _, _, _ = compare(lat, lat2, threshold=0.3, min_abs=1e-6)
     if len(r) != 1 or "append_ns" not in r[0]:
         failures.append(f"latency regression not caught: {r}")
 
     # 4. Reordered rows must still align (no spurious regressions).
     reordered = copy.deepcopy(doc)
     reordered["results"].reverse()
-    r, i, _ = compare(doc, reordered, threshold=0.3, min_abs=1e-6)
+    r, i, _, _ = compare(doc, reordered, threshold=0.3, min_abs=1e-6)
     if r or i:
         failures.append(f"row reorder produced diffs: {r + i}")
 
     # 5. A small (sub-threshold) wobble must NOT fail.
     wobble = copy.deepcopy(doc)
     wobble["results"][0]["dytis"]["insert_mops"] = 3.6  # -10%
-    r, _, _ = compare(doc, wobble, threshold=0.3, min_abs=1e-6)
+    r, _, _, _ = compare(doc, wobble, threshold=0.3, min_abs=1e-6)
     if r:
         failures.append(f"sub-threshold wobble flagged: {r}")
 
     # 6. An improvement must not fail the gate.
     better = copy.deepcopy(doc)
     better["results"][0]["dytis"]["insert_mops"] = 8.0
-    r, i, _ = compare(doc, better, threshold=0.3, min_abs=1e-6)
+    r, i, _, _ = compare(doc, better, threshold=0.3, min_abs=1e-6)
     if r:
         failures.append(f"improvement flagged as regression: {r}")
     if not i:
@@ -250,17 +284,40 @@ def self_test():
     # 7. Schema drift (new perf column) is a note, never a failure.
     grown = copy.deepcopy(doc)
     grown["results"][1]["dytis"]["perf"] = {"cycles": 5, "ipc": 1.0}
-    r, _, notes = compare(doc, grown, threshold=0.3, min_abs=1e-6)
+    r, _, notes, _ = compare(doc, grown, threshold=0.3, min_abs=1e-6)
     if r:
         failures.append(f"schema growth flagged as regression: {r}")
     if not notes:
         failures.append("schema growth not noted")
 
+    # 8. Whole rows present in only one file are summarized as new/removed
+    #    notes — one line per row, never a regression, in both directions.
+    grown_rows = copy.deepcopy(doc)
+    grown_rows["results"].append(
+        {
+            "dataset": "attack",
+            "threads": 1,
+            "dytis": {"insert_mops": 2.0, "degradation_factor": 45.0},
+        }
+    )
+    r, _, notes, details = compare(doc, grown_rows, threshold=0.3, min_abs=1e-6)
+    if r:
+        failures.append(f"new row flagged as regression: {r}")
+    if len(notes) != 1 or "new:" not in notes[0]:
+        failures.append(f"new row not summarized as one note: {notes}")
+    if len(details) != 3:  # insert_mops, degradation_factor, threads
+        failures.append(f"new row leaf details wrong: {details}")
+    r, _, notes, _ = compare(grown_rows, doc, threshold=0.3, min_abs=1e-6)
+    if r:
+        failures.append(f"removed row flagged as regression: {r}")
+    if len(notes) != 1 or "removed:" not in notes[0]:
+        failures.append(f"removed row not summarized as one note: {notes}")
+
     if failures:
         for f in failures:
             print(f"bench_compare --self-test: FAIL: {f}", file=sys.stderr)
         return 3
-    print("bench_compare --self-test: OK (7 scenarios)")
+    print("bench_compare --self-test: OK (8 scenarios)")
     return 0
 
 

@@ -97,6 +97,18 @@ fuzz_rounds_for() {
   esac
 }
 
+# Attack-suite widening: the adversarial robustness tests (attack engine,
+# degradation detector + mitigation, adversarial integration) scale their
+# poisoned-key volume with DYTIS_ATTACK_KEYS.  Release runs wide enough to
+# saturate depth-capped segments several times over; sanitizer configs run
+# smaller (every stash insert and quarantine rebuild is instrumented).
+attack_keys_for() {
+  case "$1" in
+    release) echo 60000 ;;
+    *)       echo 12000 ;;
+  esac
+}
+
 for config in ${CONFIGS}; do
   # DYTIS_OBS is set explicitly per config so a cached build directory never
   # carries a stale value across runs.
@@ -143,6 +155,17 @@ for config in ${CONFIGS}; do
       DYTIS_CRASH_POINTS="$(crash_points_for "${config}")" \
       DYTIS_FUZZ_ROUNDS="$(fuzz_rounds_for "${config}")" \
       ctest --output-on-failure -j "${JOBS}" -R 'RecoveryCrashTest|RecoveryFuzzTest')
+  fi
+  # Attack-suite stage: re-run the adversarial robustness suites with the
+  # widened poisoned-key volume for this config (tsan runs them at default
+  # scale in the regular tiers above; re-running the stash-bomb saturation
+  # loops under TSan's serialisation adds minutes, not coverage — the
+  # concurrency of the repair path is exercised by the stress tier).
+  if [[ -z "${FILTER}" && "${config}" != "tsan" ]]; then
+    echo "=== [${config}] attack suite (DYTIS_ATTACK_KEYS=$(attack_keys_for "${config}")) ==="
+    (cd "${dir}" && \
+      DYTIS_ATTACK_KEYS="$(attack_keys_for "${config}")" \
+      ctest --output-on-failure -j "${JOBS}" -R 'Attack|Degradation|Adversarial')
   fi
 done
 

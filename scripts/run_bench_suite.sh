@@ -1,8 +1,9 @@
 #!/bin/sh
 # Canonical bench-suite runner: builds the release tree, runs the figure
 # benches that back the paper's headline claims (fig08 YCSB, table2
-# latency, fig12 concurrency, recovery), and merges their JSON exports
-# into one dated trajectory file at the repo root:
+# latency, fig12 concurrency, recovery) plus the adversarial-robustness
+# bench (bench_attack), and merges their JSON exports into one dated
+# trajectory file at the repo root:
 #
 #   BENCH_<YYYYMMDD>.json
 #
@@ -20,7 +21,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES="${DYTIS_SUITE_BENCHES:-bench_fig08_ycsb bench_table2_latency bench_fig12_concurrency bench_recovery}"
+BENCHES="${DYTIS_SUITE_BENCHES:-bench_fig08_ycsb bench_table2_latency bench_fig12_concurrency bench_recovery bench_attack}"
 OUT="${DYTIS_SUITE_OUT:-BENCH_$(date +%Y%m%d).json}"
 
 cmake -B build -S . >/dev/null

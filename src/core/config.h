@@ -28,8 +28,16 @@ struct FaultPolicy {
   // First matching structural attempt to fail (0-based).
   uint64_t start_op = 0;
   // Number of matching attempts to fail from start_op on; 0 disables the
-  // policy entirely, kAlways fails every matching attempt.
+  // deterministic window, kAlways fails every matching attempt.
   uint64_t fail_count = 0;
+  // Seeded probabilistic mode: when > 0 the deterministic window above is
+  // ignored and each matching attempt independently fails with this
+  // probability.  Draws come from a per-table SplitMix64 stream seeded with
+  // rng_seed ^ table id, so a single-writer run is exactly reproducible
+  // (attack runs mix structural faults with adversarial keys this way; see
+  // bench_attack and eh_table_fault_test).
+  double fail_probability = 0.0;
+  uint64_t rng_seed = 0;
   // Crash-injection harness hook: a matching attempt raises SIGKILL (dying
   // mid-structural-op with no cleanup, exactly like a real crash) instead of
   // reporting failure.  Used by the recovery crash tests to place
@@ -49,7 +57,7 @@ struct FaultPolicy {
   bool (*on_match)(void* arg, StructuralOp op) = nullptr;
   void* on_match_arg = nullptr;
 
-  bool Enabled() const { return fail_count != 0; }
+  bool Enabled() const { return fail_count != 0 || fail_probability > 0.0; }
 
   bool Matches(StructuralOp op) const {
     switch (op) {
@@ -72,6 +80,48 @@ struct FaultPolicy {
     p.fail_count = kAlways;
     return p;
   }
+};
+
+// Thresholds and hysteresis for the per-segment degradation detectors
+// (src/obs/degradation.h) and the online mitigation path
+// (BasicDyTIS::MitigateDegraded / EhTable::RepairSegmentAt).  Detection is
+// pull-based — it reads HealthReport snapshots off the hot path, so these
+// knobs cost nothing on inserts/lookups.  Plain trivially-copyable fields,
+// like the rest of DyTISConfig (snapshots serialize the config as raw
+// bytes).
+struct DegradationPolicy {
+  // A segment observation *trips* when any signal crosses its threshold:
+  //   - stash_size >= stash_depth_threshold (absolute stash depth), or
+  //   - stash_size >= stash_rate_threshold * num_keys (relative), or
+  //   - mean PLR in-bucket error >= plr_mean_error_threshold slots.
+  // It *clears* when every signal is below threshold * clear_fraction; the
+  // band in between holds the current state (hysteresis).
+  size_t stash_depth_threshold = 32;
+  double stash_rate_threshold = 0.10;
+  double plr_mean_error_threshold = 8.0;
+  double clear_fraction = 0.5;
+
+  // Consecutive tripping observations before a segment is marked degraded,
+  // and consecutive clear observations before the mark is dropped.  Both
+  // >= 1; higher values trade detection latency for flap resistance.
+  int trip_strikes = 2;
+  int clear_strikes = 2;
+
+  // Mitigation: seed for the keyed re-salt of repaired remap functions
+  // (0 = derive from the policy defaults; any value works, it only has to
+  // be unpredictable to the attacker).  allow_limit_override lets a
+  // quarantined segment whose keys cannot fit under Limit_seg (a depth-cap
+  // stash bomb) be rebuilt beyond the limit — trading memory for restored
+  // throughput instead of staying degraded forever.
+  uint64_t salt_seed = 0;
+  bool allow_limit_override = true;
+
+  // Bucket budget of the beyond-limit quarantine rebuild, in buckets per
+  // resident key: bounds the memory the override may trade (a dense run
+  // narrower than any reachable bucket span would otherwise drive the
+  // allocation toward span/capacity buckets).  Keys that still overflow at
+  // the budget spill back into the stash.
+  double override_budget_per_key = 2.0;
 };
 
 struct DyTISConfig {
@@ -176,6 +226,11 @@ struct DyTISConfig {
   // Deterministic structural-failure injection (tests only; disabled by
   // default).  See FaultPolicy.
   FaultPolicy fault_policy;
+
+  // Degradation-detector thresholds + mitigation knobs (adversarial
+  // robustness; see DESIGN.md "Adversarial robustness").  Off the hot path:
+  // only read when a detector evaluates a HealthReport or a repair runs.
+  DegradationPolicy degradation;
 
   // Derived: key/value pairs per bucket.
   size_t BucketCapacity() const { return bucket_bytes / 16; }

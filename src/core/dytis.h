@@ -37,7 +37,9 @@
 #include "src/core/insert_result.h"
 #include "src/core/lock_policy.h"
 #include "src/core/stats.h"
+#include "src/obs/degradation.h"
 #include "src/obs/health.h"
+#include "src/obs/metrics.h"
 #include "src/util/bitops.h"
 #include "src/util/timer.h"
 
@@ -317,6 +319,85 @@ class BasicDyTIS {
     return report;
   }
 
+  // --- Adversarial robustness: detect-and-mitigate loop (DESIGN.md) ------
+
+  using RepairOutcome = typename EhTable<V, Policy>::RepairOutcome;
+
+  // Online repair of one segment, addressed by its health identity
+  // (SegmentHealth::table_id, SegmentHealth::range_start).  `salt` keys the
+  // retrained remap allocation; see EhTable::RepairSegmentAt.
+  bool RepairSegment(uint32_t table_id, uint64_t range_start, uint64_t salt,
+                     RepairOutcome* out = nullptr) {
+    if (table_id >= tables_.size()) {
+      return false;
+    }
+    return tables_[table_id]->RepairSegmentAt(range_start, salt, out);
+  }
+
+  // One round of the closed robustness loop: collect health, run the
+  // detector's hysteresis over it, repair every segment it reports
+  // degraded (each with a fresh salt), and publish the attack.* mitigation
+  // counters.  Call on a cadence (or from a maintenance thread); repeated
+  // rounds converge — a repaired segment stops tripping, an escalated split
+  // re-enters as two fresh identities the next round.
+  struct MitigationOutcome {
+    size_t degraded = 0;         // verdicts this round
+    size_t repaired = 0;         // repairs that changed structure
+    size_t retrains = 0;         // ... via salted retrain
+    size_t splits = 0;           // ... via split escalation
+    size_t limit_overrides = 0;  // ... via beyond-limit quarantine rebuild
+    size_t failures = 0;         // repairs that could not change anything
+    uint64_t stash_drained = 0;  // stash entries folded back into buckets
+  };
+
+  MitigationOutcome MitigateDegraded(obs::DegradationDetector* detector) {
+    MitigationOutcome out;
+    const obs::HealthReport report = HealthReport();
+    const std::vector<obs::SegmentVerdict> verdicts =
+        detector->Evaluate(report);
+    out.degraded = verdicts.size();
+    for (const obs::SegmentVerdict& v : verdicts) {
+      RepairOutcome r;
+      if (RepairSegment(v.table_id, v.range_start, NextSalt(), &r)) {
+        out.repaired++;
+        if (r.retrained) {
+          out.retrains++;
+        }
+        if (r.split_escalated) {
+          out.splits++;
+        }
+        if (r.limit_overridden) {
+          out.limit_overrides++;
+        }
+        out.stash_drained += r.stash_drained;
+        // Repair feedback: an attack the grid remap cannot absorb (e.g. a
+        // consecutive-key stash bomb) leaves a deep residual stash no matter
+        // how the rebuild is salted.  Telling the detector lets it back off
+        // instead of burning an O(segment) rebuild every round.
+        detector->NoteRepair(
+            v.table_id, v.range_start,
+            r.stash_after <
+                static_cast<uint64_t>(
+                    detector->policy().stash_depth_threshold));
+      } else {
+        out.failures++;
+        detector->NoteRepair(v.table_id, v.range_start, false);
+      }
+    }
+    auto& registry = obs::MetricsRegistry::Global();
+    if (out.repaired != 0) {
+      registry.GetCounter("attack.mitigations").Add(out.repaired);
+      registry.GetCounter("attack.retrains").Add(out.retrains);
+      registry.GetCounter("attack.splits_escalated").Add(out.splits);
+      registry.GetCounter("attack.limit_overrides").Add(out.limit_overrides);
+      registry.GetCounter("attack.stash_drained").Add(out.stash_drained);
+    }
+    if (out.failures != 0) {
+      registry.GetCounter("attack.repair_failures").Add(out.failures);
+    }
+    return out;
+  }
+
   // Checks every structural invariant (directory alignment, sorted order,
   // remap placement, sibling chains, key counts).  Test-suite hook.
   bool ValidateInvariants(std::string* error = nullptr) const {
@@ -424,6 +505,18 @@ class BasicDyTIS {
     return *tables_[TableIndexFor(key)];
   }
 
+  // Fresh per-repair salt: the configured secret mixed with a sequence
+  // number, so two repairs of the same segment never reuse an allocation an
+  // attacker may have probed.  (salt_seed = 0 still produces well-mixed
+  // salts; deployments serving untrusted traffic should set it to a
+  // secret.)
+  uint64_t NextSalt() {
+    const uint64_t n = salt_seq_.fetch_add(1, std::memory_order_relaxed);
+    return SplitMix64(config_.degradation.salt_seed ^
+                      (0x9E3779B97F4A7C15ULL * (n + 1)))
+        .Next();
+  }
+
   DyTISConfig config_;
   std::unique_ptr<DyTISStats> stats_;
   // Construction timestamp: the uptime denominator for the health report's
@@ -436,6 +529,8 @@ class BasicDyTIS {
   std::unique_ptr<EpochDomain> ebr_;
   std::vector<std::unique_ptr<EhTable<V, Policy>>> tables_;
   std::atomic<size_t> size_{0};
+  // Repair-salt sequence (NextSalt); relaxed — salts only need uniqueness.
+  std::atomic<uint64_t> salt_seq_{0};
 };
 
 // Single-threaded DyTIS (no locking; for one-engine-per-core designs).

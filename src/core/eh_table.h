@@ -72,6 +72,7 @@
 #include "src/obs/trace.h"
 #include "src/sync/ebr.h"
 #include "src/util/bitops.h"
+#include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace dytis {
@@ -135,6 +136,12 @@ class EhTable {
       }
     }
     ebr_ = ebr;
+    // Per-table stream for the probabilistic fault mode: distinct tables
+    // draw independent sequences from the same configured seed.
+    fault_rng_state_.store(
+        config.fault_policy.rng_seed ^
+            (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(table_id) + 1)),
+        std::memory_order_relaxed);
     auto* seg = new SegmentT(
         /*local_depth=*/0, RemapFunction(key_bits_, /*num_buckets=*/1),
         static_cast<uint32_t>(config_.BucketCapacity()));
@@ -552,6 +559,14 @@ class EhTable {
       }
       prev = seg;
       obs::SegmentHealth health;
+      // EH-local key where this segment's directory run begins — the stable
+      // identity the degradation detectors key their hysteresis on and the
+      // handle RepairSegmentAt re-locates the segment by.  (dir.depth can be
+      // 0 only for the single-segment directory, whose run starts at key 0.)
+      health.range_start =
+          dir.depth == 0 ? 0
+                         : static_cast<uint64_t>(i)
+                               << (key_bits_ - dir.depth);
       {
         SegmentScanLock seg_lock(seg->mutex);
         seg->FillHealth(table_id_, &health);
@@ -571,6 +586,102 @@ class EhTable {
       segments->push_back(std::move(health));
     }
     return table;
+  }
+
+  // --- Online degradation repair (adversarial robustness; DESIGN.md) ------
+
+  // Outcome of one RepairSegmentAt call, for the mitigation driver's
+  // accounting (BasicDyTIS::MitigateDegraded publishes it as attack.*
+  // metrics).
+  struct RepairOutcome {
+    bool found = false;             // a segment owns the range
+    bool retrained = false;         // salted retrain rebuilt the segment
+    bool split_escalated = false;   // repaired by splitting instead
+    bool limit_overridden = false;  // quarantine rebuild beyond Limit_seg
+    uint64_t stash_drained = 0;     // stash entries the repair absorbed
+    uint64_t stash_after = 0;       // stash entries still resident afterwards
+    uint32_t buckets_before = 0;
+    uint32_t buckets_after = 0;     // 0 when the repair went through split
+  };
+
+  // Quarantines and repairs the segment owning the EH-local key
+  // `range_start` (the SegmentHealth::range_start handle): forced salted
+  // retrain of its remap function, escalating to a split when the retrain
+  // cannot fit under Limit_seg and the segment is below global depth, and —
+  // for depth-capped stash bombs where neither applies — an explicit
+  // beyond-limit rebuild when DegradationPolicy::allow_limit_override is
+  // set.  `salt` keys the retrained allocation (SplitMix64 jitter per
+  // sub-range) so an attacker cannot precompute the post-repair bucket
+  // boundaries from the public algorithm.
+  //
+  // EBR-safe by construction: every rebuild goes through RebuildSegment's
+  // PublishCore/RetireCore swap and a split retires its parent through the
+  // epoch domain exactly like the insert path.  The retrain is gated on
+  // FaultPolicy(kRemap) and the escalation on kSplit, so the crash/fault
+  // matrix covers mid-repair death.  Returns true when the structure
+  // changed.
+  bool RepairSegmentAt(uint64_t range_start, uint64_t salt,
+                       RepairOutcome* out = nullptr) {
+    RepairOutcome local_out;
+    RepairOutcome& r = out != nullptr ? *out : local_out;
+    r = RepairOutcome{};
+    const uint64_t eh_local = LowBits(range_start, key_bits_);
+    {
+      typename Policy::SharedLock dir_lock(mutex_);
+      SegmentT* seg = SegmentFor(eh_local);
+      typename Policy::UniqueLock seg_lock(seg->mutex);
+      r.found = true;
+      r.buckets_before = seg->remap().num_buckets();
+      r.stash_drained = seg->stash.size();
+      switch (TryRetrainLocked(seg, salt)) {
+        case RetrainResult::kRetrained:
+          r.retrained = true;
+          r.buckets_after = seg->remap().num_buckets();
+          r.stash_after = seg->stash.size();
+          return true;
+        case RetrainResult::kOverridden:
+          r.retrained = true;
+          r.limit_overridden = true;
+          r.buckets_after = seg->remap().num_buckets();
+          // The override may have spilled unplaceable keys back.
+          r.stash_after = seg->stash.size();
+          r.stash_drained -= std::min<uint64_t>(r.stash_drained, r.stash_after);
+          return true;
+        case RetrainResult::kNeedsSplit:
+          break;  // fall through to the exclusive phase below
+        case RetrainResult::kFailed:
+          return false;
+      }
+    }
+    // Escalation: the keys need more range separation than a local retrain
+    // can provide.  Same discipline as HandleOverflowExclusive — exclusive
+    // directory lock, split under the segment lock, parent retired after the
+    // lock is released.
+    SegmentT* split_parent = nullptr;
+    {
+      typename Policy::UniqueLock dir_lock(mutex_);
+      stats_->Add(&DyTISStats::dir_exclusive_acquisitions, 1);
+      SegmentT* seg = SegmentFor(eh_local);
+      typename Policy::UniqueLock seg_lock(seg->mutex);
+      if (seg->local_depth < dir_.load(std::memory_order_relaxed)->depth) {
+        if (FaultInjected(StructuralOp::kSplit)) {
+          return false;
+        }
+        const uint64_t t0 = NowNanos();
+        SplitSegment(seg, eh_local);
+        split_parent = seg;
+        DYTIS_OBS_TRACE(obs::TraceOp::kMitigation, t0, NowNanos(), table_id_,
+                        seg->local_depth);
+      }
+      // A concurrent writer may have split or repaired the segment between
+      // the two phases; the next detector round re-evaluates the result.
+    }
+    if (split_parent != nullptr) {
+      RetireSegment(split_parent);
+      r.split_escalated = true;
+      return true;
+    }
+    return false;
   }
 
   size_t MemoryBytes() const {
@@ -775,20 +886,29 @@ class EhTable {
   }
 
   // Fault-injection gate: true when config.fault_policy directs this
-  // structural attempt to fail.  Matching attempts are numbered per EH in
-  // arrival order, so single-threaded tests are fully deterministic.
+  // structural attempt to fail.  Deterministic mode numbers matching
+  // attempts per EH in arrival order, so single-threaded tests are fully
+  // deterministic; probabilistic mode (fail_probability > 0) draws each
+  // matching attempt from the per-table seeded stream instead and ignores
+  // the window counters.
   bool FaultInjected(StructuralOp op) {
     const FaultPolicy& fp = config_.fault_policy;
     if (!fp.Enabled() || !fp.Matches(op)) {
       return false;
     }
-    const uint64_t n = fault_seq_.fetch_add(1, std::memory_order_relaxed);
-    if (n < fp.start_op) {
-      return false;
-    }
-    if (fp.fail_count != FaultPolicy::kAlways &&
-        n - fp.start_op >= fp.fail_count) {
-      return false;
+    if (fp.fail_probability > 0.0) {
+      if (NextFaultUniform() >= fp.fail_probability) {
+        return false;
+      }
+    } else {
+      const uint64_t n = fault_seq_.fetch_add(1, std::memory_order_relaxed);
+      if (n < fp.start_op) {
+        return false;
+      }
+      if (fp.fail_count != FaultPolicy::kAlways &&
+          n - fp.start_op >= fp.fail_count) {
+        return false;
+      }
     }
     if (fp.on_match != nullptr && !fp.on_match(fp.on_match_arg, op)) {
       // Observation hook declined the failure: the structural operation
@@ -808,6 +928,21 @@ class EhTable {
     DYTIS_OBS_TRACE(obs::TraceOp::kFault, now, now, table_id_, -1);
 #endif
     return true;
+  }
+
+  // Next uniform draw in [0, 1) for the probabilistic fault mode: SplitMix64
+  // with atomic state, seeded per table from FaultPolicy::rng_seed in the
+  // constructor.  fetch_add of the odd gamma is the state update, so
+  // concurrent writers each consume distinct stream positions; a
+  // single-writer run replays the exact same sequence.
+  double NextFaultUniform() {
+    uint64_t z = fault_rng_state_.fetch_add(0x9E3779B97F4A7C15ULL,
+                                            std::memory_order_relaxed) +
+                 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
   }
 
   // --- Optimistic read path (kOptimisticCapable instantiations only) ------
@@ -1220,6 +1355,133 @@ class EhTable {
     }
   }
 
+  // Forced salted retrain of a quarantined segment (RepairSegmentAt's
+  // segment-local phase; caller holds dir shared + segment unique).  The
+  // allocation is computed from the *actual* key histogram at maximum
+  // refinement — buckets and stash both — sized for util_threshold, then
+  // perturbed per sub-range by SplitMix64(salt) jitter so the post-repair
+  // bucket boundaries are keyed, not derivable from the public algorithm.
+  // (Sub-range *boundaries* stay equal key spans — the remap function is
+  // monotone by construction and a hash-style salt would break key order —
+  // so the salt keys the per-sub-range bucket allocation, which is what
+  // decides where collisions land.)
+  enum class RetrainResult { kRetrained, kOverridden, kNeedsSplit, kFailed };
+  RetrainResult TryRetrainLocked(SegmentT* seg, uint64_t salt) {
+    if (FaultInjected(StructuralOp::kRemap)) {
+      return RetrainResult::kFailed;
+    }
+    const uint64_t t0 = NowNanos();
+    const int key_bits = seg->remap().key_bits();
+    const int max_p = std::min(config_.max_subrange_bits, key_bits);
+    const uint32_t subs = static_cast<uint32_t>(Pow2(max_p));
+    std::vector<uint64_t> keys_at(subs, 0);
+    for (uint32_t b = 0; b < seg->buckets().num_buckets(); b++) {
+      for (uint64_t k : seg->buckets().Keys(b)) {
+        keys_at[TopBits(LowBits(k, key_bits), key_bits, max_p)]++;
+      }
+    }
+    for (const auto& entry : seg->stash) {
+      keys_at[TopBits(LowBits(entry.first, key_bits), key_bits, max_p)]++;
+    }
+    const double cap = static_cast<double>(seg->buckets().capacity());
+    std::vector<uint32_t> counts(subs);
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < subs; s++) {
+      counts[s] = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 std::ceil(static_cast<double>(keys_at[s]) /
+                           (cap * config_.util_threshold))));
+      total += counts[s];
+    }
+    // Keyed jitter: up to +25% buckets per sub-range.  When the base
+    // allocation fits under Limit_seg the jitter is capped by the remaining
+    // headroom so salting never forces an unnecessary escalation.
+    const uint64_t limit = SegmentLimit(seg->local_depth);
+    const bool fits = total <= limit;
+    uint64_t headroom = fits ? limit - total : ~uint64_t{0};
+    SplitMix64 sm(salt);
+    for (uint32_t s = 0; s < subs; s++) {
+      uint64_t jitter = sm.Next() % (counts[s] / 4 + 1);
+      jitter = std::min(jitter, headroom);
+      counts[s] += static_cast<uint32_t>(jitter);
+      headroom -= jitter;
+    }
+    if (fits &&
+        RebuildSegment(seg, std::vector<uint32_t>(counts),
+                       /*enforce_limit=*/true)) {
+      DYTIS_OBS_TRACE(obs::TraceOp::kMitigation, t0, NowNanos(), table_id_,
+                      seg->local_depth);
+      return RetrainResult::kRetrained;
+    }
+    if (seg->local_depth < dir_.load(std::memory_order_relaxed)->depth) {
+      return RetrainResult::kNeedsSplit;  // escalate under the dir lock
+    }
+    if (!config_.degradation.allow_limit_override) {
+      return RetrainResult::kFailed;
+    }
+    // Depth-capped stash bomb: no split or doubling can separate the keys
+    // and they cannot fit under Limit_seg.  Quarantine override — rebuild
+    // beyond the limit with a bucket budget linear in the actual key count,
+    // trading memory for restored bucket placement instead of staying on
+    // the O(stash) insert path forever.  Keys the budget cannot place (a
+    // dense run narrower than any reachable bucket span has no grid
+    // allocation at all) spill back into the stash, bounded.
+    RebuildSegmentQuarantine(seg, std::move(counts));
+    DYTIS_OBS_TRACE(obs::TraceOp::kMitigation, t0, NowNanos(), table_id_,
+                    seg->local_depth);
+    return RetrainResult::kOverridden;
+  }
+
+  // Quarantine rebuild (TryRetrainLocked's limit-override path; caller
+  // holds the segment unique lock).  Same PublishCore/RetireCore swap as
+  // RebuildSegment, but with the limit replaced by a budget linear in the
+  // key count: the grid remap needs span/capacity buckets to absorb a key
+  // run narrower than a bucket span, so an unbounded doubling loop would
+  // allocate toward UINT32_MAX buckets on exactly the attacks this path
+  // exists for.  Entries that still overflow at the budget return to the
+  // stash (ascending, so the stash stays sorted); the stash bound is reset
+  // above the residue so the insert path does not immediately burn cycles
+  // re-attempting a repair this path just proved impossible.
+  //
+  // Futility check: when most of the segment still spills at the budget,
+  // the attack is structurally unabsorbable (a stride-1 run would need
+  // span/capacity buckets no budget reaches) and the big allocation buys
+  // nothing — it only slows scans, which must walk its empty buckets.  In
+  // that case the segment is rebuilt *compact*, at the normal limit, and
+  // the run stays quarantined in the stash.
+  void RebuildSegmentQuarantine(SegmentT* seg, std::vector<uint32_t> counts) {
+    const int key_bits = seg->remap().key_bits();
+    const std::vector<std::pair<uint64_t, V>> entries =
+        CollectSegmentEntries(*seg);
+    const double per_key =
+        std::max(1.0, config_.degradation.override_budget_per_key);
+    const uint64_t limit = SegmentLimit(seg->local_depth);
+    const uint64_t budget = std::max<uint64_t>(
+        limit,
+        static_cast<uint64_t>(static_cast<double>(entries.size()) * per_key));
+    std::vector<uint32_t> counts_copy = counts;
+    std::vector<std::pair<uint64_t, V>> spill;
+    auto rebuilt = BuildBuckets(key_bits, std::move(counts), entries, budget,
+                                static_cast<uint32_t>(config_.BucketCapacity()),
+                                &spill);
+    if (spill.size() * 2 > entries.size()) {
+      spill.clear();
+      rebuilt = BuildBuckets(key_bits, std::move(counts_copy), entries, limit,
+                             static_cast<uint32_t>(config_.BucketCapacity()),
+                             &spill);
+    }
+    // With a spill vector BuildBuckets always produces an allocation.
+    auto* next = new SegmentCore<V>(std::move(rebuilt->first),
+                                    std::move(rebuilt->second));
+    RetireCore(seg->PublishCore(next));
+    seg->ResetBucketLocks();
+    seg->stash = std::move(spill);
+    seg->stash.shrink_to_fit();
+    seg->SyncStashCount();
+    seg->stash_bound =
+        std::max<size_t>(config_.stash_soft_limit, seg->stash.size() * 2);
+  }
+
   // Merged, ascending-key view of a segment's buckets and stash.
   static std::vector<std::pair<uint64_t, V>> CollectSegmentEntries(
       const SegmentT& seg) {
@@ -1362,8 +1624,9 @@ class EhTable {
   bool HandleOverflowExclusive(uint64_t eh_local) {
     typename Policy::UniqueLock dir_lock(mutex_);
     // Counted so the reclamation regression test can assert that memory
-    // reclamation never shows up here: this must be the *only* site that
-    // takes the directory lock exclusively, and only for split/doubling.
+    // reclamation never shows up here: the directory lock is taken
+    // exclusively only here and in RepairSegmentAt's split escalation, and
+    // only for split/doubling.
     stats_->Add(&DyTISStats::dir_exclusive_acquisitions, 1);
     // The exclusive directory lock excludes every *writer*, but epoch-guarded
     // readers ignore it entirely — segment state may be probed (locked or
@@ -1590,6 +1853,10 @@ class EhTable {
   // Sequence number of fault-policy-matched structural attempts (fault
   // injection is disabled by default; see DyTISConfig::fault_policy).
   std::atomic<uint64_t> fault_seq_{0};
+
+  // SplitMix64 state of the probabilistic fault mode, seeded per table in
+  // the constructor so every EH draws an independent reproducible stream.
+  std::atomic<uint64_t> fault_rng_state_{0};
 };
 
 }  // namespace dytis

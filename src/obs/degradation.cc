@@ -1,0 +1,143 @@
+#include "src/obs/degradation.h"
+
+#include "src/obs/metrics.h"
+
+namespace dytis {
+namespace obs {
+
+namespace {
+
+// Signals of one observation against the policy thresholds.  Returns the
+// tripped-reason bitmask; *all_clear is true only when every signal is
+// below threshold * clear_fraction (the hysteresis clear band).
+uint32_t Observe(const DegradationPolicy& policy, const SegmentHealth& seg,
+                 bool* all_clear) {
+  const double clear = policy.clear_fraction;
+  const double stash = static_cast<double>(seg.stash_size);
+  const double rate_limit =
+      policy.stash_rate_threshold * static_cast<double>(seg.num_keys);
+  const double plr_mean = seg.plr.MeanError();
+  uint32_t reasons = 0;
+  if (seg.stash_size >= policy.stash_depth_threshold) {
+    reasons |= kReasonStashDepth;
+  }
+  if (seg.num_keys > 0 && stash >= rate_limit) {
+    reasons |= kReasonStashRate;
+  }
+  if (plr_mean >= policy.plr_mean_error_threshold) {
+    reasons |= kReasonPlrError;
+  }
+  *all_clear =
+      stash < clear * static_cast<double>(policy.stash_depth_threshold) &&
+      (seg.num_keys == 0 || stash < clear * rate_limit) &&
+      plr_mean < clear * policy.plr_mean_error_threshold;
+  return reasons;
+}
+
+}  // namespace
+
+std::vector<SegmentVerdict> DegradationDetector::Evaluate(
+    const HealthReport& report) {
+  generation_++;
+  const int trip_needed = policy_.trip_strikes < 1 ? 1 : policy_.trip_strikes;
+  const int clear_needed =
+      policy_.clear_strikes < 1 ? 1 : policy_.clear_strikes;
+  std::vector<SegmentVerdict> degraded;
+  size_t degraded_total = 0;  // includes cooled-down segments
+  uint64_t trips = 0;
+  uint64_t clears = 0;
+  for (const SegmentHealth& seg : report.segments) {
+    SegmentState& st = states_[{seg.table_id, seg.range_start}];
+    st.last_seen = generation_;
+    bool all_clear = false;
+    const uint32_t reasons = Observe(policy_, seg, &all_clear);
+    if (reasons != 0) {
+      st.clear_strikes = 0;
+      if (++st.trip_strikes >= trip_needed && !st.degraded) {
+        st.degraded = true;
+        trips++;
+      }
+    } else if (all_clear) {
+      st.trip_strikes = 0;
+      if (++st.clear_strikes >= clear_needed && st.degraded) {
+        st.degraded = false;
+        clears++;
+      }
+    } else {
+      // Hysteresis band: neither tripping nor fully clear.  Hold the state
+      // and reset both strike counters so only *consecutive* observations
+      // on one side can flip it.
+      st.trip_strikes = 0;
+      st.clear_strikes = 0;
+    }
+    if (st.degraded) {
+      degraded_total++;
+    }
+    if (st.degraded && generation_ <= st.cooldown_until) {
+      // Repair-feedback backoff: the last repair did not help, so keep the
+      // segment out of the verdict list (it still counts as degraded in the
+      // gauge) until the cooldown expires, instead of feeding the mitigation
+      // loop a provably futile rebuild.
+      continue;
+    }
+    if (st.degraded) {
+      SegmentVerdict v;
+      v.table_id = seg.table_id;
+      v.range_start = seg.range_start;
+      v.local_depth = seg.local_depth;
+      v.reasons = reasons;
+      v.strikes = st.trip_strikes;
+      v.stash_size = seg.stash_size;
+      v.plr_mean_error = seg.plr.MeanError();
+      degraded.push_back(v);
+    }
+  }
+  // Forget segments the report no longer contains: a split replaced them
+  // with fresh-identity children, or a repair re-keyed the run.  Their
+  // hysteresis must not leak onto an unrelated future segment.
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (it->second.last_seen != generation_) {
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  degraded_ = degraded_total;
+  total_trips_ += trips;
+  total_clears_ += clears;
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("health.degraded_segments")
+      .Set(static_cast<int64_t>(degraded_));
+  if (trips != 0) {
+    registry.GetCounter("attack.detector_trips").Add(trips);
+  }
+  if (clears != 0) {
+    registry.GetCounter("attack.detector_clears").Add(clears);
+  }
+  return degraded;
+}
+
+void DegradationDetector::NoteRepair(uint32_t table_id, uint64_t range_start,
+                                     bool effective) {
+  auto it = states_.find({table_id, range_start});
+  if (it == states_.end()) {
+    return;  // repair re-keyed or split the segment; its state is gone
+  }
+  SegmentState& st = it->second;
+  if (effective) {
+    st.ineffective_repairs = 0;
+    st.cooldown_until = 0;
+    return;
+  }
+  // Exponential backoff, capped so a long-lived unabsorbable segment is
+  // still retried occasionally (the workload may have drained around it).
+  constexpr uint32_t kMaxShift = 10;  // cooldown caps at 1024 evaluations
+  const uint32_t shift =
+      st.ineffective_repairs < kMaxShift ? st.ineffective_repairs : kMaxShift;
+  st.cooldown_until = generation_ + (uint64_t{1} << shift);
+  st.ineffective_repairs++;
+  MetricsRegistry::Global().GetCounter("attack.repair_backoffs").Add(1);
+}
+
+}  // namespace obs
+}  // namespace dytis

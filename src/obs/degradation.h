@@ -1,0 +1,131 @@
+// Per-segment degradation detectors for the adversarial robustness loop
+// (DESIGN.md "Adversarial robustness").
+//
+// The detector is *pull-based*: it evaluates HealthReport snapshots (already
+// collected off the hot path by src/obs/health.h) against the thresholds in
+// DegradationPolicy, with hysteresis so a segment oscillating around a
+// threshold never flaps between healthy and degraded.  Nothing here runs on
+// the insert/lookup path, so detection costs exactly one HealthReport per
+// evaluation cadence and zero per-operation work; under DYTIS_OBS=OFF only
+// the (already compiled-out) trace hooks disappear — detection and
+// mitigation still work, because HealthReport collection is pull-based too.
+//
+// State machine per segment (identity = (table_id, range_start); see
+// SegmentHealth::range_start):
+//
+//        trip x trip_strikes                 clear x clear_strikes
+//   HEALTHY ------------------> DEGRADED ------------------------> HEALTHY
+//      ^  \__ in-band: strikes reset __/  ^
+//      |                                  |
+//   (new segment / post-split identity)   (mitigation rebuilds the segment;
+//                                          the next clean report clears it)
+//
+// An observation *trips* when any signal crosses its threshold (stash depth,
+// stash rate, mean PLR in-bucket error); it *clears* when every signal is
+// below threshold * clear_fraction; the band in between holds the current
+// state and resets the opposing strike counter.  Segments that vanish from
+// a report (split children replaced them, or the whole run was repaired
+// under a new identity) are forgotten.
+//
+// Repair feedback: a mitigation driver reports each repair back through
+// NoteRepair(). An *ineffective* repair (the segment still tripping after
+// the rebuild — e.g. a stride-1 stash bomb whose dense run no grid
+// allocation can absorb) puts the segment on an exponentially growing
+// cooldown during which Evaluate() suppresses its verdict.  Without this a
+// mitigation loop would re-run an O(segment) rebuild on every evaluation
+// forever — the mitigation itself would become the amplification the
+// attacker wanted.  An effective repair resets the backoff.
+//
+// Evaluate() also publishes the `health.degraded_segments` gauge and the
+// attack.* transition counters into the global metrics registry, so the
+// health dumps and bench exports carry the robustness signals.
+#ifndef DYTIS_SRC_OBS_DEGRADATION_H_
+#define DYTIS_SRC_OBS_DEGRADATION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/obs/health.h"
+
+namespace dytis {
+namespace obs {
+
+// Which signals tripped for one observation (bitmask in SegmentVerdict).
+enum DegradationReason : uint32_t {
+  kReasonStashDepth = 1u << 0,  // stash_size >= stash_depth_threshold
+  kReasonStashRate = 1u << 1,   // stash_size >= stash_rate_threshold * keys
+  kReasonPlrError = 1u << 2,    // mean PLR error >= plr_mean_error_threshold
+};
+
+// One degraded segment, as reported by DegradationDetector::Evaluate.
+// (table_id, range_start) is the repair handle BasicDyTIS::RepairSegment /
+// EhTable::RepairSegmentAt takes.
+struct SegmentVerdict {
+  uint32_t table_id = 0;
+  uint64_t range_start = 0;
+  int local_depth = 0;
+  uint32_t reasons = 0;  // DegradationReason bits of the latest observation
+  int strikes = 0;       // consecutive tripping observations
+  uint64_t stash_size = 0;
+  double plr_mean_error = 0.0;
+};
+
+class DegradationDetector {
+ public:
+  explicit DegradationDetector(const DegradationPolicy& policy)
+      : policy_(policy) {}
+
+  // Evaluates one health snapshot (report.segments must be populated, i.e.
+  // the report must come from DyTIS::HealthReport(), not a segment-less
+  // dump).  Updates the per-segment hysteresis state and returns the
+  // segments that are degraded *after* this observation, publishes
+  // health.degraded_segments, and counts state transitions as
+  // attack.detector_trips / attack.detector_clears.
+  std::vector<SegmentVerdict> Evaluate(const HealthReport& report);
+
+  // Repair feedback from the mitigation driver (BasicDyTIS::MitigateDegraded
+  // calls this after every RepairSegment).  effective=false means the repair
+  // did not move the segment out of the degraded band (the attack is
+  // structurally unabsorbable); the segment's verdict is then suppressed for
+  // 2^k evaluations, doubling per consecutive ineffective repair.  An
+  // effective repair resets the backoff.
+  void NoteRepair(uint32_t table_id, uint64_t range_start, bool effective);
+
+  // Degraded segments after the latest Evaluate(), including segments whose
+  // verdicts are suppressed by a repair-backoff cooldown.
+  size_t degraded_count() const { return degraded_; }
+
+  // Lifetime transition totals (mirrors of the attack.* counters, for
+  // callers that keep their own detector).
+  uint64_t total_trips() const { return total_trips_; }
+  uint64_t total_clears() const { return total_clears_; }
+
+  const DegradationPolicy& policy() const { return policy_; }
+
+ private:
+  struct SegmentState {
+    int trip_strikes = 0;
+    int clear_strikes = 0;
+    bool degraded = false;
+    uint64_t last_seen = 0;  // Evaluate() generation, for pruning
+    // Repair-feedback backoff: while generation < cooldown_until the
+    // segment's verdict is suppressed even if it is still degraded.
+    uint32_t ineffective_repairs = 0;
+    uint64_t cooldown_until = 0;
+  };
+
+  DegradationPolicy policy_;
+  std::map<std::pair<uint32_t, uint64_t>, SegmentState> states_;
+  uint64_t generation_ = 0;
+  size_t degraded_ = 0;
+  uint64_t total_trips_ = 0;
+  uint64_t total_clears_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_OBS_DEGRADATION_H_

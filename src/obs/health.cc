@@ -63,6 +63,7 @@ LatencyGauge ReadLatencyGauge(const std::string& name) {
 JsonValue SegmentHealth::ToJson() const {
   JsonValue j = JsonValue::Object();
   j["table_id"] = table_id;
+  j["range_start"] = range_start;
   j["local_depth"] = local_depth;
   j["num_keys"] = num_keys;
   j["num_buckets"] = num_buckets;

@@ -100,6 +100,12 @@ using FillHistogram = std::array<uint64_t, kFillBins>;
 // (Segment::FillHealth in src/core/segment.h).
 struct SegmentHealth {
   uint32_t table_id = 0;  // owning first-level EH table
+  // First EH-local key the segment's directory run covers: a stable segment
+  // identity for the degradation detectors' hysteresis.  Survives directory
+  // doubling (the run start scales with the directory); a split assigns the
+  // upper child a fresh identity, which deliberately restarts its hysteresis.
+  // Also the handle EhTable::RepairSegmentAt uses to re-locate the segment.
+  uint64_t range_start = 0;
   int local_depth = 0;
   uint64_t num_keys = 0;  // bucket + stash residents
   uint32_t num_buckets = 0;

@@ -32,6 +32,8 @@ const char* TraceOpName(TraceOp op) {
       return "recovery";
     case TraceOp::kEpochReclaim:
       return "epoch_reclaim";
+    case TraceOp::kMitigation:
+      return "mitigation";
   }
   return "?";
 }

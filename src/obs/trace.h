@@ -62,8 +62,11 @@ enum class TraceOp : uint8_t {
   // Epoch-based reclamation pass (src/sync/ebr.h) that actually freed
   // retired objects; `depth` carries the number freed.
   kEpochReclaim,
+  // Online degradation repair (EhTable::RepairSegmentAt): quarantine +
+  // salted retrain of a degraded segment, or its split escalation.
+  kMitigation,
 };
-inline constexpr int kNumTraceOps = 11;
+inline constexpr int kNumTraceOps = 12;
 
 const char* TraceOpName(TraceOp op);
 

@@ -1,0 +1,277 @@
+#include "src/workloads/attack.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace workloads {
+
+namespace {
+
+uint64_t ReverseBits64(uint64_t v) {
+  uint64_t r = 0;
+  for (int b = 0; b < 64; b++) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* AttackPatternName(AttackPattern p) {
+  switch (p) {
+    case AttackPattern::kDescending:
+      return "descending";
+    case AttackPattern::kBitReversed:
+      return "bit_reversed";
+    case AttackPattern::kAlternatingEnds:
+      return "alternating_ends";
+    case AttackPattern::kSawtoothWaves:
+      return "sawtooth_waves";
+    case AttackPattern::kZigzagPowers:
+      return "zigzag_powers";
+    case AttackPattern::kCdfCliff:
+      return "cdf_cliff";
+    case AttackPattern::kPiecewiseDense:
+      return "piecewise_dense";
+    case AttackPattern::kStashBomb:
+      return "stash_bomb";
+    case AttackPattern::kDirectoryChurn:
+      return "directory_churn";
+  }
+  return "?";
+}
+
+std::vector<AttackPattern> AllAttackPatterns() {
+  std::vector<AttackPattern> out;
+  out.reserve(kNumAttackPatterns);
+  for (int i = 0; i < kNumAttackPatterns; i++) {
+    out.push_back(static_cast<AttackPattern>(i));
+  }
+  return out;
+}
+
+std::vector<uint64_t> DescendingKeys(size_t n) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = n; i > 0; i--) {
+    keys.push_back(static_cast<uint64_t>(i) << 40);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> BitReversedKeys(size_t n) {
+  // Bit-reversed counter: maximally scattered prefixes (every new key flips
+  // the directory side), the EH-split stress pattern.
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 1; i <= n; i++) {
+    keys.push_back(ReverseBits64(static_cast<uint64_t>(i)));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> AlternatingEndsKeys(size_t n) {
+  // Alternates between the bottom and top of the key space: every insert
+  // lands in a different first-level EH / tree spine.
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    if (i % 2 == 0) {
+      keys.push_back((static_cast<uint64_t>(i) << 30) + 1);
+    } else {
+      keys.push_back(~uint64_t{0} - (static_cast<uint64_t>(i) << 30));
+    }
+  }
+  return keys;
+}
+
+std::vector<uint64_t> SawtoothWaveKeys(size_t n) {
+  // Repeated ascending waves over the same range with fresh offsets:
+  // continuous churn of the same segments.
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  const size_t wave = 1000;
+  for (size_t i = 0; i < n; i++) {
+    const uint64_t within = (i % wave) << 44;
+    const uint64_t offset = (i / wave) << 20;
+    keys.push_back(within + offset);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> ZigzagPowerKeys(size_t n, uint64_t seed) {
+  // Exponentially spaced keys: every scale of the key space occupied.
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; i++) {
+    const int shift = static_cast<int>(rng.NextBelow(56));
+    keys.push_back((uint64_t{1} << shift) + rng.NextBelow(1 << 12));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<uint64_t> CdfCliffKeys(size_t n, uint64_t seed) {
+  // 1-in-16 keys land in a cliff of width n at a seeded base; the rest are
+  // uniform.  The cliff sub-range carries 16x the mass its key span
+  // predicts, which is exactly the error the equal-span remap cannot model.
+  SplitMix64 sm(seed ^ 0xC11FFC11FFC11FF0ULL);
+  const uint64_t cliff_base = sm.Next();
+  Rng rng(sm.Next());
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    if (i % 16 == 0) {
+      keys.push_back(cliff_base + rng.NextBelow(n > 0 ? n : 1));
+    } else {
+      keys.push_back(rng.Next());
+    }
+  }
+  return keys;
+}
+
+std::vector<uint64_t> PiecewiseDenseKeys(size_t n, uint64_t seed) {
+  // 32 dense clusters at seeded bases, densified round-robin so every
+  // refinement of the remap function keeps inheriting fresh cliffs.
+  constexpr size_t kClusters = 32;
+  SplitMix64 sm(seed ^ 0x91ECE5EDE15E0000ULL);
+  uint64_t bases[kClusters];
+  for (size_t c = 0; c < kClusters; c++) {
+    bases[c] = sm.Next();
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    const size_t c = i % kClusters;
+    keys.push_back(bases[c] + 3 * (i / kClusters));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> StashBombKeys(size_t n, uint64_t seed, uint64_t stride) {
+  // The progression shares its top 64 - ceil(log2(n * stride)) bits: more
+  // than first_level_bits + max_global_depth for the strides we emit, so no
+  // split or doubling can separate the keys and the overflow beyond
+  // Limit_seg is forced into the stash.  Emitted ascending (the realistic
+  // "hot counter" shape).  The base is masked so the whole run stays below
+  // the wraparound even at wide strides.
+  SplitMix64 sm(seed ^ 0x57A5B0B057A5B0B0ULL);
+  if (stride == 0) {
+    stride = 1;
+  }
+  uint64_t base = sm.Next();
+  const uint64_t width = n * stride;
+  if (base > ~uint64_t{0} - width) {
+    base -= width;
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    keys.push_back(base + i * stride);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> DirectoryChurnKeys(size_t n, uint64_t seed) {
+  // Bit-reversed counters squeezed below a single 12-bit first-level prefix:
+  // one EH table absorbs maximally scattered directory prefixes, so it pays
+  // the full split + doubling churn alone.
+  constexpr int kPrefixBits = 12;
+  SplitMix64 sm(seed ^ 0xD12EC7012EC70120ULL);
+  const uint64_t prefix = sm.Next() >> (64 - kPrefixBits);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 1; i <= n; i++) {
+    keys.push_back((prefix << (64 - kPrefixBits)) |
+                   (ReverseBits64(static_cast<uint64_t>(i)) >> kPrefixBits));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> MakeAttackKeys(AttackPattern p, size_t n,
+                                     uint64_t seed) {
+  switch (p) {
+    case AttackPattern::kDescending:
+      return DescendingKeys(n);
+    case AttackPattern::kBitReversed:
+      return BitReversedKeys(n);
+    case AttackPattern::kAlternatingEnds:
+      return AlternatingEndsKeys(n);
+    case AttackPattern::kSawtoothWaves:
+      return SawtoothWaveKeys(n);
+    case AttackPattern::kZigzagPowers:
+      return ZigzagPowerKeys(n);
+    case AttackPattern::kCdfCliff:
+      return CdfCliffKeys(n, seed);
+    case AttackPattern::kPiecewiseDense:
+      return PiecewiseDenseKeys(n, seed);
+    case AttackPattern::kStashBomb:
+      return StashBombKeys(n, seed);
+    case AttackPattern::kDirectoryChurn:
+      return DirectoryChurnKeys(n, seed);
+  }
+  return {};
+}
+
+std::vector<uint64_t> MakePoisonedStream(const PoisonSpec& spec, size_t n) {
+  double fraction = spec.attack_fraction;
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const size_t attack_count = static_cast<size_t>(fraction * n + 0.5);
+  std::vector<uint64_t> attack =
+      MakeAttackKeys(spec.pattern, attack_count, spec.seed);
+  Rng benign(SplitMix64(spec.seed ^ 0xBE219E00BE219E00ULL).Next());
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // Bresenham spread: attack keys are emitted in pattern order, evenly
+  // interleaved with the benign traffic, so the poison rate is steady over
+  // the whole stream rather than front-loaded.
+  double acc = 0.0;
+  size_t next_attack = 0;
+  for (size_t i = 0; i < n; i++) {
+    acc += fraction;
+    if (acc >= 1.0 && next_attack < attack.size()) {
+      acc -= 1.0;
+      keys.push_back(attack[next_attack++]);
+    } else {
+      keys.push_back(benign.Next());
+    }
+  }
+  return keys;
+}
+
+std::vector<ScanShape> MakeScanAmplificationShapes(AttackPattern p, size_t n,
+                                                   size_t num_scans,
+                                                   size_t want,
+                                                   uint64_t seed) {
+  const std::vector<uint64_t> keys = MakeAttackKeys(p, n, seed);
+  uint64_t lo = ~uint64_t{0};
+  uint64_t hi = 0;
+  for (uint64_t k : keys) {
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  if (keys.empty()) {
+    lo = 0;
+    hi = ~uint64_t{0};
+  }
+  Rng rng(SplitMix64(seed ^ 0x5CA05CA05CA05CA0ULL).Next());
+  std::vector<ScanShape> shapes;
+  shapes.reserve(num_scans);
+  const uint64_t span = hi - lo;
+  for (size_t i = 0; i < num_scans; i++) {
+    ScanShape s;
+    s.start_key = span == 0 ? lo : lo + rng.NextBelow(span);
+    s.want = want;
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+}  // namespace workloads
+}  // namespace dytis

@@ -1,0 +1,127 @@
+// Adversarial workload engine: seeded, composable generators of key streams
+// that drive DyTIS (and, for comparison, any ordered index) into its
+// worst-case paths.  "Algorithmic Complexity Attacks on Dynamic Learned
+// Indexes" (PAPERS.md) shows that CDF-based structures admit crafted inserts
+// that collapse the learned remap function; this library is the single
+// source of those patterns for both the test suite (tests/adversarial_test.cc,
+// tests/degradation_test.cc) and the attack bench (bench/bench_attack.cc).
+//
+// Every generator is a pure function of (n, seed): the same arguments always
+// produce the same key sequence, across processes and builds, so attack runs
+// are reproducible and the crash-recovery tests can replay them.
+//
+// Attack taxonomy (see DESIGN.md "Adversarial robustness"):
+//   kDescending / kBitReversed / kAlternatingEnds / kSawtoothWaves /
+//   kZigzagPowers     — the legacy structural-stress orders promoted from
+//                       tests/adversarial_test.cc (sequences are identical,
+//                       so rebasing the tests changed no behavior).
+//   kCdfCliff         — mostly-uniform keys with a measured fraction packed
+//                       into one tiny range: the empirical CDF grows a near-
+//                       vertical cliff, so equal-key-span sub-ranges of the
+//                       remap function see wildly unequal mass and the PLR
+//                       in-bucket error blows up.
+//   kPiecewiseDense   — many independent dense clusters at seeded bases,
+//                       densified round-robin so *every* refinement level of
+//                       the remap function keeps inheriting new cliffs.
+//   kStashBomb        — consecutive integers above a seeded base.  All of
+//                       them share one first-level slot and one directory
+//                       prefix deeper than max_global_depth, so splits and
+//                       doublings cannot separate them; once the segment hits
+//                       Limit_seg the remainder lands in the sorted stash,
+//                       where every insert pays an O(stash) memmove.
+//   kDirectoryChurn   — bit-reversed counters confined to one first-level
+//                       table: each insert toggles the farthest-apart
+//                       directory prefix, maximising split + doubling churn
+//                       for the number of keys inserted.
+#ifndef DYTIS_SRC_WORKLOADS_ATTACK_H_
+#define DYTIS_SRC_WORKLOADS_ATTACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dytis {
+namespace workloads {
+
+enum class AttackPattern : int {
+  kDescending = 0,
+  kBitReversed,
+  kAlternatingEnds,
+  kSawtoothWaves,
+  kZigzagPowers,
+  kCdfCliff,
+  kPiecewiseDense,
+  kStashBomb,
+  kDirectoryChurn,
+};
+inline constexpr int kNumAttackPatterns = 9;
+
+const char* AttackPatternName(AttackPattern p);
+
+// All patterns, for parameterised sweeps.
+std::vector<AttackPattern> AllAttackPatterns();
+
+// ---- Legacy structural-stress orders (promoted from adversarial_test.cc).
+// These take no seed: they are fully determined by n, exactly as the test
+// helpers were.
+std::vector<uint64_t> DescendingKeys(size_t n);
+std::vector<uint64_t> BitReversedKeys(size_t n);
+std::vector<uint64_t> AlternatingEndsKeys(size_t n);
+std::vector<uint64_t> SawtoothWaveKeys(size_t n);
+// Exponentially spaced keys; may return fewer than n after dedup.  The
+// default seed matches the legacy test helper.
+std::vector<uint64_t> ZigzagPowerKeys(size_t n, uint64_t seed = 99);
+
+// ---- Poisoned streams (seeded).
+// ~15/16 uniform keys, 1/16 packed into a cliff of width n so the CDF grows
+// a near-vertical step at a seeded position.
+std::vector<uint64_t> CdfCliffKeys(size_t n, uint64_t seed);
+// 32 dense clusters at seeded bases, emitted round-robin (progressive
+// densification of many sub-ranges at once).
+std::vector<uint64_t> PiecewiseDenseKeys(size_t n, uint64_t seed);
+// Arithmetic progression above a seeded base: the hot-segment stash bomb.
+// stride = 1 (the default, and what MakeAttackKeys uses) is the narrow bomb:
+// consecutive integers that no grid remap allocation can ever separate, so
+// the only mitigation is quarantine.  A wide stride (e.g. 1 << 30) keeps the
+// keys inside one depth-capped segment — still past Limit_seg, still forced
+// into the stash — but leaves them absorbable by a beyond-limit retrain,
+// which is the recoverable case the mitigation benchmarks measure.
+std::vector<uint64_t> StashBombKeys(size_t n, uint64_t seed,
+                                    uint64_t stride = 1);
+// Bit-reversed counters confined below one first-level prefix.
+std::vector<uint64_t> DirectoryChurnKeys(size_t n, uint64_t seed);
+
+// Dispatch by pattern.  Legacy patterns ignore the seed (their sequences are
+// pinned by the test-equivalence contract above).
+std::vector<uint64_t> MakeAttackKeys(AttackPattern p, size_t n, uint64_t seed);
+
+// ---- Composable poisoned stream.
+// Interleaves attack keys into benign uniform traffic: a fraction
+// `attack_fraction` of the n emitted keys comes from `pattern` (in pattern
+// order), the rest is seeded uniform noise.  attack_fraction = 1.0 is the
+// pure attack; 0.0 is a pure benign stream.  The interleaving is evenly
+// spread (Bresenham) and fully deterministic in (spec, n).
+struct PoisonSpec {
+  AttackPattern pattern = AttackPattern::kStashBomb;
+  double attack_fraction = 1.0;
+  uint64_t seed = 1;
+};
+std::vector<uint64_t> MakePoisonedStream(const PoisonSpec& spec, size_t n);
+
+// ---- Scan-amplification range shapes.
+// Short range scans aimed at the region an attack densified: on a stash-
+// active segment every scan re-merges the whole stash with the buckets, so
+// many short scans over the bombed range amplify into O(scans * stash) work.
+// Returns `num_scans` [start_key, want] probes inside the attacked region.
+struct ScanShape {
+  uint64_t start_key = 0;
+  size_t want = 0;
+};
+std::vector<ScanShape> MakeScanAmplificationShapes(AttackPattern p, size_t n,
+                                                   size_t num_scans,
+                                                   size_t want, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_WORKLOADS_ATTACK_H_

@@ -11,7 +11,7 @@
 #include "src/baselines/xindex/xindex.h"
 #include "src/core/dytis.h"
 #include "src/util/bitops.h"
-#include "src/util/rng.h"
+#include "src/workloads/attack.h"
 
 namespace dytis {
 namespace {
@@ -25,69 +25,28 @@ DyTISConfig SmallConfig() {
   return c;
 }
 
-// Key patterns.  Each produces `n` unique keys in a stressful order.
+// Key patterns, promoted to src/workloads/attack.h so tests and benches
+// share one generator library.  The wrappers keep the PatternFn signature;
+// the generated sequences are identical to the original in-test helpers
+// (attack_engine_test.cc asserts the equivalence).
 std::vector<uint64_t> Descending(size_t n) {
-  std::vector<uint64_t> keys;
-  for (size_t i = n; i > 0; i--) {
-    keys.push_back(static_cast<uint64_t>(i) << 40);
-  }
-  return keys;
+  return workloads::DescendingKeys(n);
 }
 
 std::vector<uint64_t> BitReversed(size_t n) {
-  // Bit-reversed counter: maximally scattered prefixes (every new key flips
-  // the directory side), the EH-split stress pattern.
-  std::vector<uint64_t> keys;
-  for (size_t i = 1; i <= n; i++) {
-    uint64_t v = static_cast<uint64_t>(i);
-    uint64_t r = 0;
-    for (int b = 0; b < 64; b++) {
-      r = (r << 1) | (v & 1);
-      v >>= 1;
-    }
-    keys.push_back(r);
-  }
-  return keys;
+  return workloads::BitReversedKeys(n);
 }
 
 std::vector<uint64_t> AlternatingEnds(size_t n) {
-  // Alternates between the bottom and top of the key space: every insert
-  // lands in a different first-level EH / tree spine.
-  std::vector<uint64_t> keys;
-  for (size_t i = 0; i < n; i++) {
-    if (i % 2 == 0) {
-      keys.push_back((static_cast<uint64_t>(i) << 30) + 1);
-    } else {
-      keys.push_back(~uint64_t{0} - (static_cast<uint64_t>(i) << 30));
-    }
-  }
-  return keys;
+  return workloads::AlternatingEndsKeys(n);
 }
 
 std::vector<uint64_t> SawtoothWaves(size_t n) {
-  // Repeated ascending waves over the same range with fresh offsets:
-  // continuous churn of the same segments.
-  std::vector<uint64_t> keys;
-  const size_t wave = 1000;
-  for (size_t i = 0; i < n; i++) {
-    const uint64_t within = (i % wave) << 44;
-    const uint64_t offset = (i / wave) << 20;
-    keys.push_back(within + offset);
-  }
-  return keys;
+  return workloads::SawtoothWaveKeys(n);
 }
 
 std::vector<uint64_t> ZigzagPowers(size_t n) {
-  // Exponentially spaced keys: every scale of the key space occupied.
-  std::vector<uint64_t> keys;
-  Rng rng(99);
-  for (size_t i = 0; i < n; i++) {
-    const int shift = static_cast<int>(rng.NextBelow(56));
-    keys.push_back((uint64_t{1} << shift) + rng.NextBelow(1 << 12));
-  }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
+  return workloads::ZigzagPowerKeys(n);
 }
 
 using PatternFn = std::vector<uint64_t> (*)(size_t);

@@ -1,0 +1,409 @@
+// Degradation detector + mitigation tests (src/obs/degradation.h,
+// EhTable::RepairSegmentAt, BasicDyTIS::MitigateDegraded):
+//   * detector unit tests over synthetic HealthReports — threshold trips,
+//     hysteresis (no flapping inside the band), pruning of vanished
+//     segments;
+//   * integration: a stash-bombed index flips health.degraded_segments,
+//     and the mitigation loop restores the pre-attack error profile;
+//   * the keyed re-salt produces salt-dependent layouts;
+//   * durability: a quarantine/re-salt repair survives a crash-replay
+//     cycle (the WAL logs logical ops only, so the rebuilt structure is
+//     re-derived deterministically on recovery).
+#include "src/obs/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/dytis.h"
+#include "src/obs/metrics.h"
+#include "src/recovery/durable_dytis.h"
+#include "src/util/rng.h"
+#include "src/workloads/attack.h"
+
+namespace dytis {
+namespace {
+
+using obs::DegradationDetector;
+using obs::HealthReport;
+using obs::SegmentHealth;
+using obs::SegmentVerdict;
+using recovery::DurableDyTIS;
+using recovery::RecoveryConfig;
+
+// Small depth-capped config: the stash bomb saturates it in a few thousand
+// keys (max_global_depth low enough that no split can separate the bomb).
+DyTISConfig BombableConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 2;
+  c.bucket_bytes = 256;  // 16 slots per bucket
+  c.l_start = 3;
+  c.max_global_depth = 8;
+  return c;
+}
+
+DegradationPolicy FastTripPolicy() {
+  DegradationPolicy p;
+  p.trip_strikes = 1;
+  p.clear_strikes = 1;
+  return p;
+}
+
+// Synthetic single-segment report for the detector unit tests.
+HealthReport ReportWithStash(uint64_t stash_size, uint64_t num_keys = 10'000,
+                             uint64_t range_start = 0x40) {
+  HealthReport r;
+  SegmentHealth seg;
+  seg.table_id = 1;
+  seg.range_start = range_start;
+  seg.local_depth = 5;
+  seg.num_keys = num_keys;
+  seg.stash_size = stash_size;
+  r.segments.push_back(seg);
+  return r;
+}
+
+TEST(DegradationDetectorTest, TripsOnlyAfterConsecutiveStrikes) {
+  DegradationPolicy policy;  // defaults: trip_strikes = 2
+  DegradationDetector det(policy);
+  // One tripping observation (stash 100 >= threshold 32): not yet degraded.
+  EXPECT_TRUE(det.Evaluate(ReportWithStash(100)).empty());
+  EXPECT_EQ(det.degraded_count(), 0u);
+  // Second consecutive trip: degraded, gauge flips.
+  const auto verdicts = det.Evaluate(ReportWithStash(100));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].table_id, 1u);
+  EXPECT_EQ(verdicts[0].range_start, 0x40u);
+  EXPECT_NE(verdicts[0].reasons & obs::kReasonStashDepth, 0u);
+  EXPECT_EQ(det.degraded_count(), 1u);
+  EXPECT_EQ(det.total_trips(), 1u);
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetGauge("health.degraded_segments")
+          .Value(),
+      1);
+}
+
+TEST(DegradationDetectorTest, InBandObservationsNeverFlap) {
+  DegradationPolicy policy;  // trip at 32, clear below 16 (clear_fraction .5)
+  DegradationDetector det(policy);
+  det.Evaluate(ReportWithStash(100));
+  det.Evaluate(ReportWithStash(100));
+  ASSERT_EQ(det.degraded_count(), 1u);
+  // Oscillate between tripping and the in-between band: the mark must hold
+  // (no flapping), because the band resets the clear streak every time.
+  for (int i = 0; i < 6; i++) {
+    det.Evaluate(ReportWithStash(i % 2 == 0 ? 20 : 40));
+    EXPECT_EQ(det.degraded_count(), 1u) << "flapped at round " << i;
+  }
+  EXPECT_EQ(det.total_clears(), 0u);
+  // A genuine clear (stash 0, below every clear threshold) held for
+  // clear_strikes consecutive rounds drops the mark.
+  det.Evaluate(ReportWithStash(0));
+  EXPECT_EQ(det.degraded_count(), 1u);  // one clear strike: still held
+  det.Evaluate(ReportWithStash(0));
+  EXPECT_EQ(det.degraded_count(), 0u);
+  EXPECT_EQ(det.total_clears(), 1u);
+  // And re-degrading needs a fresh trip streak.
+  det.Evaluate(ReportWithStash(100));
+  EXPECT_EQ(det.degraded_count(), 0u);
+}
+
+TEST(DegradationDetectorTest, PlrErrorAloneTrips) {
+  DegradationPolicy policy;
+  policy.trip_strikes = 1;
+  DegradationDetector det(policy);
+  HealthReport r = ReportWithStash(0);
+  // Mean error 16 slots >= default threshold 8.
+  r.segments[0].plr.Record(16);
+  const auto verdicts = det.Evaluate(r);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_NE(verdicts[0].reasons & obs::kReasonPlrError, 0u);
+  EXPECT_EQ(verdicts[0].reasons & obs::kReasonStashDepth, 0u);
+}
+
+TEST(DegradationDetectorTest, VanishedSegmentsForgetTheirStrikes) {
+  DegradationDetector det(FastTripPolicy());
+  det.Evaluate(ReportWithStash(100, 10'000, /*range_start=*/0x40));
+  EXPECT_EQ(det.degraded_count(), 1u);
+  // The segment vanishes (split replaced it with fresh identities): its
+  // state must be forgotten, not leak onto a future segment at that range.
+  HealthReport empty;
+  det.Evaluate(empty);
+  EXPECT_EQ(det.degraded_count(), 0u);
+  DegradationPolicy two = FastTripPolicy();
+  two.trip_strikes = 2;
+  DegradationDetector det2(two);
+  det2.Evaluate(ReportWithStash(100));
+  det2.Evaluate(empty);
+  // One old strike + one new trip: not degraded, the streak restarted.
+  det2.Evaluate(ReportWithStash(100));
+  EXPECT_EQ(det2.degraded_count(), 0u);
+}
+
+TEST(DegradationDetectorTest, IneffectiveRepairsBackOffExponentially) {
+  DegradationDetector det(FastTripPolicy());
+  ASSERT_EQ(det.Evaluate(ReportWithStash(100)).size(), 1u);
+  // An ineffective repair suppresses the verdict for 1 evaluation, then 2,
+  // then 4 — the segment stays *degraded* (the gauge holds) but stops being
+  // offered to the mitigation loop.
+  det.NoteRepair(1, 0x40, /*effective=*/false);
+  EXPECT_TRUE(det.Evaluate(ReportWithStash(100)).empty());
+  EXPECT_EQ(det.degraded_count(), 1u);  // still marked, just cooled down
+  ASSERT_EQ(det.Evaluate(ReportWithStash(100)).size(), 1u);
+  det.NoteRepair(1, 0x40, /*effective=*/false);
+  EXPECT_TRUE(det.Evaluate(ReportWithStash(100)).empty());
+  EXPECT_TRUE(det.Evaluate(ReportWithStash(100)).empty());
+  ASSERT_EQ(det.Evaluate(ReportWithStash(100)).size(), 1u);
+  // An effective repair resets the backoff: the very next evaluation may
+  // report the segment again.
+  det.NoteRepair(1, 0x40, /*effective=*/true);
+  EXPECT_EQ(det.Evaluate(ReportWithStash(100)).size(), 1u);
+}
+
+TEST(DegradationMitigationTest, UnabsorbableSegmentStopsBeingRepaired) {
+  // The closed loop on a narrow (stride-1) bomb: the first round runs the
+  // futile quarantine rebuild, the feedback marks it ineffective, and
+  // subsequent rounds back off instead of re-repairing every time —
+  // otherwise the mitigation would cost more than the attack.
+  DyTIS<uint64_t> idx(BombableConfig());
+  const auto keys = workloads::StashBombKeys(8'000, 41);  // stride 1
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i));
+  }
+  DegradationDetector det(FastTripPolicy());
+  size_t repairs = 0;
+  for (int round = 0; round < 8; round++) {
+    repairs += idx.MitigateDegraded(&det).repaired;
+  }
+  // At most a few repairs across 8 rounds (1 + backoff retries), not 8.
+  EXPECT_GT(repairs, 0u);
+  EXPECT_LE(repairs, 4u);
+  EXPECT_TRUE(idx.CheckInvariants().ok());
+}
+
+// --- Integration against a real attacked index ---------------------------
+
+size_t AttackKeys() {
+  const char* env = std::getenv("DYTIS_ATTACK_KEYS");
+  if (env != nullptr && std::atoll(env) > 0) {
+    return static_cast<size_t>(std::atoll(env));
+  }
+  return 20'000;
+}
+
+TEST(DegradationMitigationTest, StashBombedSegmentFlipsTheGauge) {
+  DyTIS<uint64_t> idx(BombableConfig());
+  const auto keys = workloads::StashBombKeys(AttackKeys(), 17);
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i));
+  }
+  ASSERT_GT(idx.StashEntries(), 0u);
+  DegradationDetector det(FastTripPolicy());
+  const auto verdicts = det.Evaluate(idx.HealthReport());
+  ASSERT_FALSE(verdicts.empty());
+  EXPECT_EQ(det.degraded_count(), verdicts.size());
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetGauge("health.degraded_segments")
+          .Value(),
+      static_cast<int64_t>(verdicts.size()));
+}
+
+// Wide-stride bomb: still confined to one depth-capped segment and forced
+// past Limit_seg into the stash, but absorbable by the beyond-limit
+// quarantine rebuild (bucket span can reach capacity * stride).  This is
+// the recoverable attack; the narrow stride-1 bomb is the unrecoverable
+// one (see NarrowBombQuarantineIsBoundedAndSafe).
+constexpr uint64_t kWideStride = uint64_t{1} << 30;
+
+TEST(DegradationMitigationTest, MitigationRestoresThePreAttackProfile) {
+  DyTIS<uint64_t> idx(BombableConfig());
+  const size_t n = AttackKeys();
+  const auto keys = workloads::StashBombKeys(n, 23, kWideStride);
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i));
+  }
+  const HealthReport before = idx.HealthReport();
+  ASSERT_GT(before.stash_entries, 0u);
+
+  DegradationDetector det(FastTripPolicy());
+  DyTIS<uint64_t>::MitigationOutcome total;
+  // The closed loop converges in a handful of rounds: repaired segments
+  // stop tripping, split children re-enter as fresh identities.
+  for (int round = 0; round < 8; round++) {
+    const auto out = idx.MitigateDegraded(&det);
+    total.repaired += out.repaired;
+    total.retrains += out.retrains;
+    total.splits += out.splits;
+    total.limit_overrides += out.limit_overrides;
+    total.failures += out.failures;
+    total.stash_drained += out.stash_drained;
+    if (out.degraded == 0) {
+      break;
+    }
+  }
+  EXPECT_GT(total.repaired, 0u);
+  EXPECT_EQ(total.failures, 0u);
+  // The depth-capped bomb cannot fit under Limit_seg and cannot split: the
+  // repair must have gone through the quarantine override.
+  EXPECT_GT(total.limit_overrides, 0u);
+  EXPECT_GT(total.stash_drained, 0u);
+
+  const HealthReport after = idx.HealthReport();
+  EXPECT_EQ(after.stash_entries, 0u);
+  EXPECT_EQ(after.max_stash_depth, 0u);
+  EXPECT_LT(after.plr.MeanError(),
+            det.policy().plr_mean_error_threshold);
+  EXPECT_EQ(det.Evaluate(after).size(), 0u);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("attack.mitigations")
+                .Value(),
+            0u);
+
+  // Correctness held throughout: invariants, point reads, full scan.
+  const auto inv = idx.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.Describe();
+  for (size_t i = 0; i < keys.size(); i += 101) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(keys.size());
+  EXPECT_EQ(idx.Scan(0, keys.size(), out.data()), keys.size());
+}
+
+TEST(DegradationMitigationTest, NarrowBombQuarantineIsBoundedAndSafe) {
+  // Stride-1 consecutive integers can never fit a grid remap at the depth
+  // cap (a bucket would need a span of `capacity` keys, i.e. span/capacity
+  // buckets).  The quarantine rebuild must stay bounded by its per-key
+  // bucket budget, spill the unplaceable run back into the stash, and keep
+  // the index correct — not chase the allocation toward UINT32_MAX buckets.
+  DyTIS<uint64_t> idx(BombableConfig());
+  const size_t n = 8'000;
+  const auto keys = workloads::StashBombKeys(n, 37);  // stride 1
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(idx.Insert(keys[i], i));
+  }
+  const size_t stash_before = idx.StashEntries();
+  ASSERT_GT(stash_before, 0u);
+  const size_t mem_before = idx.MemoryBytes();
+  DegradationDetector det(FastTripPolicy());
+  const auto out = idx.MitigateDegraded(&det);
+  EXPECT_GT(out.repaired, 0u);
+  EXPECT_GT(out.limit_overrides, 0u);
+  // Bounded: the override budget is override_budget_per_key (2.0) buckets
+  // per key and the doubling loop can at most double once past it, so the
+  // allocation stays under 4n buckets; with per-bucket metadata below one
+  // bucket_bytes, memory growth stays under 8n * bucket_bytes — versus the
+  // gigabytes an unbounded doubling loop would chase.
+  const DyTISConfig config = BombableConfig();
+  const size_t budget_bytes = 8 * n * config.bucket_bytes;
+  EXPECT_LT(idx.MemoryBytes(), mem_before + budget_bytes);
+  // The run is unplaceable: most of it spills back, and the index stays
+  // fully correct.
+  EXPECT_GT(idx.StashEntries(), 0u);
+  const auto inv = idx.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.Describe();
+  for (size_t i = 0; i < keys.size(); i += 53) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx.Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(DegradationMitigationTest, RepairLayoutIsKeyedBySalt) {
+  // Two identical attacked indexes repaired with different salts must end
+  // with different bucket allocations: the attacker cannot precompute the
+  // post-repair layout from the public algorithm alone.
+  auto build_and_repair = [](uint64_t salt) {
+    auto idx = std::make_unique<DyTIS<uint64_t>>(BombableConfig());
+    const auto keys = workloads::StashBombKeys(8'000, 29, kWideStride);
+    for (size_t i = 0; i < keys.size(); i++) {
+      idx->Insert(keys[i], i);
+    }
+    DegradationDetector det(FastTripPolicy());
+    const auto verdicts = det.Evaluate(idx->HealthReport());
+    EXPECT_FALSE(verdicts.empty());
+    DyTIS<uint64_t>::RepairOutcome out;
+    EXPECT_TRUE(idx->RepairSegment(verdicts[0].table_id,
+                                   verdicts[0].range_start, salt, &out));
+    EXPECT_TRUE(out.retrained);
+    std::string err;
+    EXPECT_TRUE(idx->ValidateInvariants(&err)) << err;
+    return out.buckets_after;
+  };
+  const uint32_t a = build_and_repair(0x1111);
+  const uint32_t b = build_and_repair(0x9999);
+  EXPECT_NE(a, b);
+}
+
+// --- Durability: quarantine/re-salt survives crash replay -----------------
+
+TEST(DegradationRecoveryTest, RepairSurvivesACrashReplayCycle) {
+  char tmpl[] = "/tmp/dytis_degradation_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = std::string(tmpl) + "/db";
+  RecoveryConfig rc;
+  rc.dir = dir;
+  const size_t n = 6'000;
+  const auto keys = workloads::StashBombKeys(n, 31, kWideStride);
+  {
+    std::string error;
+    auto db = DurableDyTIS<uint64_t>::Open(rc, BombableConfig(), &error);
+    ASSERT_NE(db, nullptr) << error;
+    for (size_t i = 0; i < keys.size(); i++) {
+      ASSERT_TRUE(db->Put(keys[i], i));
+    }
+    ASSERT_GT(db->index().StashEntries(), 0u);
+    // Mitigate online, then keep writing (the repair is structural only —
+    // the WAL sees logical puts, nothing else).
+    DegradationDetector det(FastTripPolicy());
+    for (int round = 0; round < 8; round++) {
+      if (db->index().MitigateDegraded(&det).degraded == 0) {
+        break;
+      }
+    }
+    EXPECT_EQ(db->index().StashEntries(), 0u);
+    // Benign (uniform) post-mitigation traffic, not another dense run.
+    Rng benign(555);
+    for (size_t i = 0; i < 500; i++) {
+      ASSERT_TRUE(db->Put(benign.Next(), n + i));
+    }
+    ASSERT_TRUE(db->Sync());
+    // Simulated crash: drop the handle without a checkpoint; recovery must
+    // rebuild everything from WAL replay alone.
+  }
+  std::string error;
+  auto db = DurableDyTIS<uint64_t>::Open(rc, BombableConfig(), &error);
+  ASSERT_NE(db, nullptr) << error;
+  EXPECT_EQ(db->index().size(), n + 500);
+  const auto inv = db->index().CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.Describe();
+  for (size_t i = 0; i < keys.size(); i += 79) {
+    uint64_t v = 0;
+    ASSERT_TRUE(db->Find(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+  Rng benign(555);
+  for (size_t i = 0; i < 500; i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(db->Find(benign.Next(), &v));
+    EXPECT_EQ(v, n + i);
+  }
+  // The recovered index replays the *attack* too (replay rebuilds structure
+  // from the logical ops, not the repaired layout), so the detector and
+  // mitigation must work identically after recovery.
+  DegradationDetector det(FastTripPolicy());
+  for (int round = 0; round < 8; round++) {
+    if (db->index().MitigateDegraded(&det).degraded == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(db->index().StashEntries(), 0u);
+  EXPECT_TRUE(db->index().CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace dytis

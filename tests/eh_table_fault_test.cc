@@ -197,6 +197,103 @@ TEST(EhTableFaultTest, DepthCapExhaustionReportsStashOutcome) {
   }
 }
 
+// --- Probabilistic mode -----------------------------------------------------
+
+TEST(EhTableFaultTest, ProbabilisticFaultsAreSeedReproducible) {
+  // fail_probability draws from a per-table seeded stream: two tables built
+  // from the same config must inject the same faults at the same ops and
+  // end up with identical contents.
+  DyTISConfig config = TinyConfig();
+  config.fault_policy.fail_remap = true;
+  config.fault_policy.fail_expand = true;
+  config.fault_policy.fail_split = true;
+  config.fault_policy.fail_doubling = true;
+  config.fault_policy.fail_probability = 0.3;
+  config.fault_policy.rng_seed = 7;
+  ASSERT_TRUE(config.fault_policy.Enabled());
+  TableFixture a(config);
+  TableFixture b(config);
+  Rng ra(5);
+  Rng rb(5);
+  for (int i = 0; i < 20'000; i++) {
+    a.table.Insert(ra.Next(), 1);
+    b.table.Insert(rb.Next(), 1);
+  }
+  EXPECT_GT(a.stats.injected_faults.load(), 0u);
+  EXPECT_EQ(a.stats.injected_faults.load(), b.stats.injected_faults.load());
+  EXPECT_EQ(a.stats.splits.load(), b.stats.splits.load());
+  EXPECT_EQ(a.stats.doublings.load(), b.stats.doublings.load());
+  EXPECT_EQ(a.stats.stash_inserts.load(), b.stats.stash_inserts.load());
+  ASSERT_EQ(a.table.NumKeys(), b.table.NumKeys());
+  const size_t n = a.table.NumKeys();
+  std::vector<std::pair<uint64_t, uint64_t>> sa(n);
+  std::vector<std::pair<uint64_t, uint64_t>> sb(n);
+  ASSERT_EQ(a.table.Scan(0, true, n, sa.data()), n);
+  ASSERT_EQ(b.table.Scan(0, true, n, sb.data()), n);
+  EXPECT_EQ(sa, sb);
+  std::string err;
+  EXPECT_TRUE(a.table.ValidateInvariants(&err)) << err;
+
+  // A different seed draws a different fault schedule.
+  config.fault_policy.rng_seed = 8;
+  TableFixture c(config);
+  Rng rc(5);
+  for (int i = 0; i < 20'000; i++) {
+    c.table.Insert(rc.Next(), 1);
+  }
+  EXPECT_NE(c.stats.injected_faults.load(), a.stats.injected_faults.load());
+}
+
+TEST(EhTableFaultTest, ProbabilityOneMatchesFailEverything) {
+  // p = 1.0 must behave like the deterministic kAlways window: the table
+  // never grows, everything overflows into the stash, nothing is lost.
+  DyTISConfig config = TinyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  config.fault_policy.fail_count = 0;  // deterministic window off...
+  config.fault_policy.fail_probability = 1.0;  // ...probabilistic always-on
+  ASSERT_TRUE(config.fault_policy.Enabled());
+  TableFixture f(config);
+  Rng rng(17);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; i++) {
+    keys.push_back(rng.Next());
+    ASSERT_TRUE(IsStored(f.table.InsertEx(keys.back(), i)));
+  }
+  EXPECT_EQ(f.table.global_depth(), 0);
+  EXPECT_EQ(f.table.NumSegments(), 1u);
+  EXPECT_EQ(f.stats.splits.load(), 0u);
+  EXPECT_EQ(f.stats.doublings.load(), 0u);
+  EXPECT_GT(f.stats.stash_inserts.load(), 0u);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(f.table.Find(k, nullptr));
+  }
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+}
+
+TEST(EhTableFaultTest, ProbabilisticFaultsNeverDropAKey) {
+  // The central fault-matrix contract holds under random injection too:
+  // every insert is durably stored regardless of which attempts failed.
+  DyTISConfig config = TinyConfig();
+  config.fault_policy = FaultPolicy::FailEverything();
+  config.fault_policy.fail_count = 0;
+  config.fault_policy.fail_probability = 0.5;
+  config.fault_policy.rng_seed = 99;
+  TableFixture f(config);
+  Rng rng(23);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10'000; i++) {
+    keys.push_back(rng.Next());
+    ASSERT_TRUE(IsStored(f.table.InsertEx(keys.back(), i))) << i;
+  }
+  EXPECT_GT(f.stats.injected_faults.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(f.table.ValidateInvariants(&err)) << err;
+  for (size_t i = 0; i < keys.size(); i += 61) {
+    ASSERT_TRUE(f.table.Find(keys[i], nullptr)) << i;
+  }
+}
+
 // --- Hard-error path --------------------------------------------------------
 
 TEST(EhTableFaultTest, HardErrorWhenStashCapped) {
