@@ -109,6 +109,18 @@ attack_keys_for() {
   esac
 }
 
+# Server-suite widening: the sharded serving front end's differential and
+# determinism tests scale their op streams with DYTIS_SERVER_OPS.  Release
+# runs wide (long differential streams, more batches through the pipeline);
+# sanitizer configs run smaller — every routed op crosses the queue/worker
+# handoff that TSan/ASan instrument, so coverage per op is already high.
+server_ops_for() {
+  case "$1" in
+    release) echo 30000 ;;
+    *)       echo 4000 ;;
+  esac
+}
+
 for config in ${CONFIGS}; do
   # DYTIS_OBS is set explicitly per config so a cached build directory never
   # carries a stale value across runs.
@@ -167,6 +179,19 @@ for config in ${CONFIGS}; do
       DYTIS_ATTACK_KEYS="$(attack_keys_for "${config}")" \
       ctest --output-on-failure -j "${JOBS}" -R 'Attack|Degradation|Adversarial')
   fi
+  # Server-suite stage: re-run the serving front end's suites with the
+  # widened op streams for this config.  Every config runs it — the router
+  # differential is where a misrouted key shows up, the loadgen determinism
+  # and cross-shard scan tests are exactly the queue/worker/EBR interleaving
+  # surface TSan exists for (obsoff proves the metrics hooks compile out of
+  # the pipeline hot path).
+  if [[ -z "${FILTER}" ]]; then
+    echo "=== [${config}] server suite (DYTIS_SERVER_OPS=$(server_ops_for "${config}")) ==="
+    (cd "${dir}" && \
+      DYTIS_SERVER_OPS="$(server_ops_for "${config}")" \
+      ctest --output-on-failure -j "${JOBS}" \
+      -R 'RangeRouter|ShardedDifferential|ServerPipeline|LoadGen|ShardedScan')
+  fi
 done
 
 # Bench-export smoke: one bench binary end to end must produce JSON that a
@@ -213,7 +238,7 @@ if [[ "${COVERAGE}" == "1" && -z "${FILTER}" ]]; then
   find build-cov -name '*.gcda' -delete  # stale counters skew the summary
   (cd build-cov && ctest --output-on-failure -j "${JOBS}" -L fast)
   python3 scripts/coverage_summary.py build-cov src/core/ src/sync/ \
-    src/obs/ src/recovery/
+    src/obs/ src/recovery/ src/server/
 fi
 
 echo "=== all configs passed: ${CONFIGS} ==="

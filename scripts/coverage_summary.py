@@ -10,7 +10,7 @@ TUs; a line is covered if ANY TU executed it), and prints a per-file table
 plus a total for the requested prefixes.
 
 Usage: coverage_summary.py [build_dir] [source_prefix...]
-Defaults: build-cov src/core/
+Defaults: build-cov src/core/ src/server/
 Multiple prefixes are allowed (e.g. src/core/ src/sync/); a file is
 included when it matches any of them, and the TOTAL row spans all.
 """
@@ -44,7 +44,8 @@ def gcov_json_docs(gcda_path):
 
 def main():
     build_dir = sys.argv[1] if len(sys.argv) > 1 else "build-cov"
-    prefixes = sys.argv[2:] if len(sys.argv) > 2 else ["src/core/"]
+    prefixes = sys.argv[2:] if len(sys.argv) > 2 else ["src/core/",
+                                                       "src/server/"]
     gcda_files = glob.glob(
         os.path.join(build_dir, "**", "*.gcda"), recursive=True
     )

@@ -21,7 +21,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES="${DYTIS_SUITE_BENCHES:-bench_fig08_ycsb bench_table2_latency bench_fig12_concurrency bench_recovery bench_attack}"
+BENCHES="${DYTIS_SUITE_BENCHES:-bench_fig08_ycsb bench_table2_latency bench_fig12_concurrency bench_recovery bench_attack bench_server}"
 OUT="${DYTIS_SUITE_OUT:-BENCH_$(date +%Y%m%d).json}"
 
 cmake -B build -S . >/dev/null

@@ -34,6 +34,8 @@ const char* TraceOpName(TraceOp op) {
       return "epoch_reclaim";
     case TraceOp::kMitigation:
       return "mitigation";
+    case TraceOp::kServerBatch:
+      return "server_batch";
   }
   return "?";
 }

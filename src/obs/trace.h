@@ -65,8 +65,12 @@ enum class TraceOp : uint8_t {
   // Online degradation repair (EhTable::RepairSegmentAt): quarantine +
   // salted retrain of a degraded segment, or its split escalation.
   kMitigation,
+  // One per-shard request batch executed by a serving-pipeline worker
+  // (src/server/server.h); `table_id` carries the shard index and `depth`
+  // the batch size, so a trace shows per-shard service slices under load.
+  kServerBatch,
 };
-inline constexpr int kNumTraceOps = 12;
+inline constexpr int kNumTraceOps = 13;
 
 const char* TraceOpName(TraceOp op);
 

@@ -1,0 +1,331 @@
+#include "src/server/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <thread>
+
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace dytis {
+namespace server {
+
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t kInsertRegion = uint64_t{1} << 63;
+
+}  // namespace
+
+uint64_t PreloadValueFor(uint64_t key) {
+  return Mix64(key ^ 0xA5A5A5A5A5A5A5A5ULL);
+}
+uint64_t InsertValueFor(uint64_t key) {
+  return Mix64(key ^ 0x3C3C3C3C3C3C3C3CULL);
+}
+uint64_t UpdateValueFor(uint64_t key) {
+  return Mix64(key ^ 0x0F0F0F0F0F0F0F0FULL);
+}
+
+std::vector<uint64_t> PreloadKeys(const LoadGenOptions& options) {
+  std::vector<uint64_t> keys;
+  keys.reserve(options.preload_keys + options.preload_keys / 16);
+  SplitMix64 sm(options.seed ^ 0x9E3779B97F4A7C15ULL);
+  while (keys.size() < options.preload_keys) {
+    const size_t need = options.preload_keys - keys.size();
+    for (size_t i = 0; i < need; i++) {
+      keys.push_back(sm.Next() & ~kInsertRegion);  // [0, 2^63)
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  return keys;
+}
+
+void Preload(ServerIndex* index, const LoadGenOptions& options) {
+  for (const uint64_t key : PreloadKeys(options)) {
+    index->Insert(key, PreloadValueFor(key));
+  }
+}
+
+SlotStreams GenerateSlotStreams(const LoadGenOptions& options) {
+  assert(options.session_slots > 0);
+  assert(!options.tenants.empty());
+  SlotStreams out;
+  const size_t slots = options.session_slots;
+  out.slots.resize(slots);
+  const std::vector<uint64_t> preload = PreloadKeys(options);
+  assert(!preload.empty());
+  const int slot_bits =
+      std::bit_width(static_cast<uint64_t>(slots - 1));
+  const size_t num_tenants = options.tenants.size();
+  const size_t storm_keys = std::min(
+      std::max<size_t>(options.storm_keys, 1), preload.size());
+
+  for (size_t s = 0; s < slots; s++) {
+    const size_t slot_ops =
+        options.total_ops / slots + (s < options.total_ops % slots ? 1 : 0);
+    std::vector<Request>& stream = out.slots[s];
+    stream.reserve(slot_ops);
+    Rng rng(SplitMix64(options.seed ^ (0xD6E8FEB86659FD93ULL * (s + 1)))
+                .Next());
+    // One Zipfian generator per (slot, tenant): its zeta setup is O(preload)
+    // and its state must advance deterministically within the slot stream.
+    std::vector<std::unique_ptr<ScrambledZipfianGenerator>> zipfs(
+        num_tenants);
+    std::vector<uint64_t> inserted;  // keys this slot inserted, erase pool
+    size_t session = 0;              // sessions completed in this slot
+    uint64_t session_id = static_cast<uint64_t>(s);
+    const TenantMix* mix = &options.tenants[session_id % num_tenants];
+    uint64_t storm_base =
+        Mix64(options.seed ^ (session_id * 0xBF58476D1CE4E5B9ULL)) %
+        (preload.size() - storm_keys + 1);
+    uint64_t insert_seq = 0;
+
+    auto pick_read_key = [&]() -> uint64_t {
+      if (options.hot_storm_fraction > 0.0 &&
+          rng.NextDouble() < options.hot_storm_fraction) {
+        return preload[storm_base + rng.NextBelow(storm_keys)];
+      }
+      size_t rank;
+      if (mix->zipfian) {
+        const size_t t = session_id % num_tenants;
+        if (zipfs[t] == nullptr) {
+          zipfs[t] = std::make_unique<ScrambledZipfianGenerator>(
+              preload.size(), mix->theta,
+              SplitMix64(options.seed ^ (0x94D049BB133111EBULL * (s + 1)) ^
+                         t)
+                  .Next());
+        }
+        rank = zipfs[t]->Next();
+      } else {
+        rank = rng.NextBelow(preload.size());
+      }
+      return preload[rank];
+    };
+
+    for (size_t op = 0; op < slot_ops; op++) {
+      const double total = mix->get + mix->put + mix->update + mix->scan +
+                           mix->erase;
+      double r = rng.NextDouble() * (total > 0.0 ? total : 1.0);
+      Request req;
+      if ((r -= mix->get) < 0.0) {
+        req.op = OpType::kGet;
+        req.key = pick_read_key();
+      } else if ((r -= mix->put) < 0.0) {
+        req.op = OpType::kPut;
+        // Fresh key: top bit tags the insert region (disjoint from the
+        // preload set), low bits tag the slot (disjoint across slots).
+        const uint64_t raw =
+            Mix64(options.seed ^ (s * 0x2545F4914F6CDD1DULL) ^ ++insert_seq);
+        req.key = kInsertRegion |
+                  ((raw >> (1 + slot_bits)) << slot_bits) |
+                  static_cast<uint64_t>(s);
+        req.value = InsertValueFor(req.key);
+        inserted.push_back(req.key);
+      } else if ((r -= mix->update) < 0.0) {
+        req.op = OpType::kUpdate;
+        req.key = pick_read_key();
+        req.value = UpdateValueFor(req.key);
+      } else if ((r -= mix->scan) < 0.0) {
+        req.op = OpType::kScan;
+        req.key = pick_read_key();
+        req.scan_count = mix->scan_len;
+      } else if (!inserted.empty()) {
+        req.op = OpType::kErase;
+        const size_t pick = rng.NextBelow(inserted.size());
+        req.key = inserted[pick];
+        inserted[pick] = inserted.back();
+        inserted.pop_back();
+      } else {
+        // Nothing of ours to erase yet: degrade to a read (deterministic —
+        // depends only on this slot's own history).
+        req.op = OpType::kGet;
+        req.key = pick_read_key();
+      }
+      stream.push_back(req);
+      // Connection churn: the session disconnects and the slot re-connects
+      // as a fresh session (new id, tenant, storm window).
+      if (options.session_churn > 0.0 &&
+          rng.NextDouble() < options.session_churn) {
+        session++;
+        session_id = static_cast<uint64_t>(s) + session * slots;
+        mix = &options.tenants[session_id % num_tenants];
+        storm_base =
+            Mix64(options.seed ^ (session_id * 0xBF58476D1CE4E5B9ULL)) %
+            (preload.size() - storm_keys + 1);
+      }
+    }
+    out.sessions_started += session + 1;
+    out.total_ops += stream.size();
+  }
+  return out;
+}
+
+uint64_t StreamHash(const SlotStreams& streams) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ streams.slots.size();
+  for (size_t s = 0; s < streams.slots.size(); s++) {
+    h = Mix64(h ^ Mix64(s));
+    for (const Request& r : streams.slots[s]) {
+      h = Mix64(h ^ static_cast<uint64_t>(r.op));
+      h = Mix64(h ^ Mix64(r.key));
+      h = Mix64(h ^ Mix64(r.value));
+      h = Mix64(h ^ r.scan_count);
+    }
+  }
+  return h;
+}
+
+LoadGenResult RunClosedLoop(DyTISServer* srv, const LoadGenOptions& options,
+                            int threads) {
+  assert(threads > 0);
+  const SlotStreams streams = GenerateSlotStreams(options);
+  LoadGenResult result;
+  result.sessions_started = streams.sessions_started;
+  std::vector<LatencyRecorder> recorders(threads);
+  std::vector<size_t> ops_done(threads, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    clients.emplace_back([&, t] {
+      // Slots owned by this client: s ≡ t (mod threads).  Driven
+      // round-robin, one batch per turn, so the slots behave like
+      // concurrent sessions multiplexed on one connection.
+      std::vector<size_t> my_slots;
+      for (size_t s = t; s < streams.slots.size();
+           s += static_cast<size_t>(threads)) {
+        my_slots.push_back(s);
+      }
+      std::vector<size_t> pos(my_slots.size(), 0);
+      std::vector<Response> responses(options.batch_size);
+      bool any = true;
+      while (any) {
+        any = false;
+        for (size_t i = 0; i < my_slots.size(); i++) {
+          const std::vector<Request>& stream = streams.slots[my_slots[i]];
+          if (pos[i] >= stream.size()) {
+            continue;
+          }
+          const size_t m =
+              std::min(options.batch_size, stream.size() - pos[i]);
+          const uint64_t begin = NowNanos();
+          srv->ExecuteBatch(stream.data() + pos[i], m, responses.data());
+          const uint64_t e2e = NowNanos() - begin;
+          for (size_t k = 0; k < m; k++) {
+            recorders[t].Record(e2e);
+          }
+          pos[i] += m;
+          ops_done[t] += m;
+          any = true;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  result.seconds = timer.ElapsedSeconds();
+  for (int t = 0; t < threads; t++) {
+    result.ops += ops_done[t];
+    result.e2e.Merge(recorders[t]);
+  }
+  result.throughput_mops =
+      result.seconds > 0.0
+          ? static_cast<double>(result.ops) / result.seconds / 1e6
+          : 0.0;
+  return result;
+}
+
+OpenLoopResult RunOpenLoop(DyTISServer* srv, const LoadGenOptions& options,
+                           double offered_rate, int threads) {
+  assert(threads > 0);
+  assert(offered_rate > 0.0);
+  // NOTE: open-loop traffic measures latency under a fixed offered rate;
+  // batches of one slot can be in flight simultaneously, so the final-state
+  // determinism contract applies to the closed loop only.
+  const SlotStreams streams = GenerateSlotStreams(options);
+  // Flatten into the dispatch schedule: slot-major round-robin, so the
+  // per-batch shard mix matches the closed loop's.
+  std::vector<std::vector<Request>> batches;
+  std::vector<size_t> pos(streams.slots.size(), 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (size_t s = 0; s < streams.slots.size(); s++) {
+      const std::vector<Request>& stream = streams.slots[s];
+      if (pos[s] >= stream.size()) {
+        continue;
+      }
+      const size_t m = std::min(options.batch_size, stream.size() - pos[s]);
+      batches.emplace_back(stream.begin() + pos[s],
+                           stream.begin() + pos[s] + m);
+      pos[s] += m;
+      any = true;
+    }
+  }
+  // Deadline of batch i: cumulative ops before it, paced at the offered
+  // rate.
+  std::vector<uint64_t> deadline_ns(batches.size(), 0);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < batches.size(); i++) {
+    deadline_ns[i] = static_cast<uint64_t>(
+        static_cast<double>(cumulative) / offered_rate * 1e9);
+    cumulative += batches[i].size();
+  }
+  OpenLoopResult result;
+  result.offered_rate = offered_rate;
+  result.ops = cumulative;
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(threads);
+  const uint64_t start_ns = NowNanos();
+  for (int t = 0; t < threads; t++) {
+    dispatchers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batches.size()) {
+          return;
+        }
+        const uint64_t target = start_ns + deadline_ns[i];
+        // Sleep to ~100us before the deadline, then spin: dispatch jitter
+        // stays well under the latencies being measured.
+        for (;;) {
+          const uint64_t now = NowNanos();
+          if (now >= target) {
+            break;
+          }
+          if (target - now > 200'000) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(target - now - 100'000));
+          }
+        }
+        srv->SubmitBatch(std::move(batches[i]));
+      }
+    });
+  }
+  for (auto& d : dispatchers) {
+    d.join();
+  }
+  srv->Drain();
+  const double elapsed =
+      static_cast<double>(NowNanos() - start_ns) / 1e9;
+  result.seconds = elapsed;
+  result.achieved_rate =
+      elapsed > 0.0 ? static_cast<double>(result.ops) / elapsed : 0.0;
+  result.e2e = srv->EndToEndLatency();
+  return result;
+}
+
+}  // namespace server
+}  // namespace dytis

@@ -1,0 +1,147 @@
+// Sessionized load generator for the sharded serving front end.
+//
+// Simulates a population of client sessions driving DyTISServer: each
+// session belongs to a tenant (an op mix: get/put/update/scan/erase
+// fractions, Zipfian or uniform key popularity), lives for a geometrically
+// distributed number of ops (connection churn), and is replaced by a fresh
+// session in the same slot when it disconnects.  Hot-key storms concentrate
+// a configurable fraction of reads on a small seeded key set, exercising the
+// router-skew path that range partitioning admits.
+//
+// Determinism contract (tests/server_loadgen_test.cc):
+//   * The op stream is a pure function of LoadGenOptions: GenerateSlotStreams
+//     returns bit-identical streams for the same options, across runs,
+//     processes, and builds (StreamHash pins it).
+//   * The final index state is independent of client thread count and shard
+//     count.  Three structural rules make any interleaving converge:
+//       1. every written value is a pure function of its key
+//          (InsertValueFor / UpdateValueFor / PreloadValueFor);
+//       2. inserted keys are tagged with their session slot in the low bits
+//          (and the top bit, keeping them disjoint from the preload set), so
+//          no two slots ever write the same fresh key;
+//       3. erases target only keys the same slot inserted, and a slot's ops
+//          execute in stream order (closed-loop clients submit a slot's next
+//          batch only after the previous one completed; the per-shard
+//          single-consumer queue preserves arrival order within a shard).
+//     Reads and scans touch anything and affect nothing.
+//   * Bench rows built on this generator are therefore reproducible: same
+//     seed, same ops, same final StateHash — only the timing varies.
+//
+// Two driving modes:
+//   * RunClosedLoop — `threads` clients, each owning the slots congruent to
+//     its id, submit batches synchronously and record end-to-end latency.
+//     Throughput is the capacity measurement.
+//   * RunOpenLoop  — batches are dispatched on a fixed-rate schedule without
+//     waiting for completions (SubmitBatch); end-to-end latency (queue wait
+//     included) comes from the server's recorder.  Sweeping the offered rate
+//     toward capacity yields the p99-under-load curve.
+#ifndef DYTIS_SRC_SERVER_LOADGEN_H_
+#define DYTIS_SRC_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/server/server.h"
+#include "src/util/latency_recorder.h"
+
+namespace dytis {
+namespace server {
+
+// One tenant's behaviour: op mix (fractions normalised over their sum) and
+// key-popularity model for reads/updates/scans.
+struct TenantMix {
+  double get = 0.50;
+  double put = 0.25;
+  double update = 0.15;
+  double scan = 0.05;
+  double erase = 0.05;
+  uint32_t scan_len = 100;
+  bool zipfian = true;   // false: uniform over the preload population
+  double theta = 0.99;   // YCSB default Zipfian constant
+};
+
+struct LoadGenOptions {
+  uint64_t seed = 0x5eed;
+  // Keys preloaded before the run (uniform over [0, 2^63); the top bit is
+  // reserved for fresh inserts so the two populations never collide).
+  size_t preload_keys = 100'000;
+  // Concurrent session slots; slot s runs sessions s, s+slots, s+2*slots...
+  size_t session_slots = 64;
+  size_t total_ops = 200'000;
+  // Per-op disconnect probability: mean session length = 1/churn ops.
+  // 0 disables churn (each slot is one session for the whole run).
+  double session_churn = 0.002;
+  // Tenant mixes, assigned to slots round-robin (multi-tenant runs list
+  // several; default is one balanced mix).
+  std::vector<TenantMix> tenants = {TenantMix{}};
+  // Fraction of get/scan key choices redirected to the storm set: a small
+  // seeded window of `storm_keys` consecutive preload ranks (a hot-key storm
+  // concentrated on one shard's range).
+  double hot_storm_fraction = 0.0;
+  size_t storm_keys = 64;
+  // Ops per submitted batch (the shard-handoff amortisation unit).
+  size_t batch_size = 64;
+};
+
+// --- Pure value functions (any interleaving converges; see header note) ---
+uint64_t PreloadValueFor(uint64_t key);
+uint64_t InsertValueFor(uint64_t key);
+uint64_t UpdateValueFor(uint64_t key);
+
+// The preload key set: sorted, unique, pure function of options.seed and
+// options.preload_keys.
+std::vector<uint64_t> PreloadKeys(const LoadGenOptions& options);
+
+// Inserts the preload set (values PreloadValueFor) directly into the index.
+void Preload(ServerIndex* index, const LoadGenOptions& options);
+
+// Deterministic per-slot op streams.  slots[s] is the exact op sequence
+// slot s issues, in order; independent of thread/shard count by
+// construction.
+struct SlotStreams {
+  std::vector<std::vector<Request>> slots;
+  size_t sessions_started = 0;  // session churn actually simulated
+  size_t total_ops = 0;
+};
+SlotStreams GenerateSlotStreams(const LoadGenOptions& options);
+
+// Order-sensitive digest of a generated stream (determinism tests and bench
+// row provenance).
+uint64_t StreamHash(const SlotStreams& streams);
+
+struct LoadGenResult {
+  size_t ops = 0;
+  size_t sessions_started = 0;
+  double seconds = 0.0;
+  double throughput_mops = 0.0;
+  // Client-side end-to-end per-op latency (batch completion attributed to
+  // each of its ops).
+  LatencyRecorder e2e;
+};
+
+// Closed loop: client t owns slots s with s % threads == t and drives them
+// round-robin, one batch at a time, blocking on each batch.
+LoadGenResult RunClosedLoop(DyTISServer* srv, const LoadGenOptions& options,
+                            int threads);
+
+struct OpenLoopResult {
+  double offered_rate = 0.0;   // ops/s requested
+  double achieved_rate = 0.0;  // ops/s actually completed
+  size_t ops = 0;
+  double seconds = 0.0;
+  // End-to-end latency including queue wait (from the server's recorder,
+  // this run's submissions only).
+  LatencyRecorder e2e;
+};
+
+// Open loop at `offered_rate` ops/s: `threads` dispatchers submit batches on
+// a shared deadline schedule and never wait for completions; Drain() at the
+// end.  The server should be freshly constructed (its e2e recorder is the
+// measurement).
+OpenLoopResult RunOpenLoop(DyTISServer* srv, const LoadGenOptions& options,
+                           double offered_rate, int threads);
+
+}  // namespace server
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_SERVER_LOADGEN_H_

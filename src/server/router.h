@@ -1,0 +1,77 @@
+// Range-based key router for the sharded serving front end.
+//
+// Partitions the full 64-bit key space into `num_shards` contiguous,
+// near-equal ranges and maps every key to exactly one shard with a single
+// multiply-shift:
+//
+//   ShardFor(key) = floor(key * num_shards / 2^64)
+//
+// Properties the router differential suite (tests/server_router_test.cc)
+// pins:
+//   * total     — every key maps to exactly one shard in [0, num_shards)
+//   * monotone  — key1 <= key2  =>  ShardFor(key1) <= ShardFor(key2), so a
+//                 shard owns one contiguous key range and a cross-shard scan
+//                 stitches shards in index order with no merge heap
+//   * balanced  — range widths differ by at most one key
+//   * stable    — the mapping is a pure function of (key, num_shards): two
+//                 routers with the same shard count agree on every key,
+//                 across processes and builds
+//
+// Range partitioning (not hash partitioning) is a deliberate trade: it keeps
+// the index's defining property — key order — visible at the serving layer,
+// which is what makes Scan a first-class citizen.  The cost is that a skewed
+// key distribution skews shard load; the load generator's hot-key storms
+// exercise exactly that, and the bench JSON carries per-shard op counts so
+// the imbalance is measurable (see DESIGN.md Section 9).
+#ifndef DYTIS_SRC_SERVER_ROUTER_H_
+#define DYTIS_SRC_SERVER_ROUTER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace dytis {
+namespace server {
+
+class RangeRouter {
+ public:
+  explicit RangeRouter(uint32_t num_shards) : num_shards_(num_shards) {
+    assert(num_shards > 0);
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  // The owning shard of `key`; always in [0, num_shards).
+  uint32_t ShardFor(uint64_t key) const {
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(key) * num_shards_) >> 64);
+  }
+
+  // Smallest key routed to `shard` (ceil(shard * 2^64 / num_shards)).
+  uint64_t RangeStart(uint32_t shard) const {
+    assert(shard < num_shards_);
+    if (shard == 0) {
+      return 0;
+    }
+    const unsigned __int128 numerator =
+        (static_cast<unsigned __int128>(shard) << 64) + num_shards_ - 1;
+    return static_cast<uint64_t>(numerator / num_shards_);
+  }
+
+  // Largest key routed to `shard` (inclusive: 2^64 - 1 has no exclusive
+  // upper bound in uint64_t).
+  uint64_t RangeLast(uint32_t shard) const {
+    assert(shard < num_shards_);
+    if (shard + 1 == num_shards_) {
+      return ~uint64_t{0};
+    }
+    return RangeStart(shard + 1) - 1;
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+}  // namespace server
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_SERVER_ROUTER_H_

@@ -1,0 +1,390 @@
+#include "src/server/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dytis {
+namespace server {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+      return "get";
+    case OpType::kPut:
+      return "put";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kErase:
+      return "erase";
+    case OpType::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+bool PinThreadToCore(unsigned cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+uint64_t ScanChecksum(const ServerIndex::ScanEntry* entries, size_t n) {
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ n;
+  for (size_t i = 0; i < n; i++) {
+    h = mix(h ^ mix(entries[i].first));
+    h = mix(h ^ mix(entries[i].second));
+  }
+  return h;
+}
+
+// One client batch in flight.  Sync batches live on the caller's stack
+// (requests/responses point at caller memory); async batches own their
+// storage and are freed by the worker that completes them.
+struct DyTISServer::BatchState {
+  const Request* requests = nullptr;
+  Response* responses = nullptr;
+  std::vector<Request> owned_requests;
+  std::vector<Response> owned_responses;
+  size_t num_requests = 0;
+  uint64_t submit_ns = 0;
+  bool async = false;
+  // Shard tasks still executing; the worker that takes it to zero completes
+  // the batch.
+  std::atomic<uint32_t> pending{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+DyTISServer::DyTISServer(ServerIndex* index, const ServerOptions& options)
+    : index_(index),
+      options_(options),
+      shard_requests_(index->num_shards()) {
+  if (options_.threads_per_shard == 0) {
+    options_.threads_per_shard = 1;
+  }
+  if (options_.max_scan_entries == 0) {
+    options_.max_scan_entries = 1024;
+  }
+  const uint32_t shards = index_->num_shards();
+  queues_.reserve(shards);
+  for (uint32_t s = 0; s < shards; s++) {
+    queues_.push_back(std::make_unique<ShardQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(shards) * options_.threads_per_shard);
+  for (uint32_t s = 0; s < shards; s++) {
+    for (uint32_t w = 0; w < options_.threads_per_shard; w++) {
+      workers_.push_back(std::make_unique<Worker>());
+      Worker* worker = workers_.back().get();
+      worker->thread =
+          std::thread([this, s, w, worker] { WorkerLoop(s, w, worker); });
+    }
+  }
+}
+
+DyTISServer::~DyTISServer() { Stop(); }
+
+void DyTISServer::Route(BatchState* batch, const Request* requests,
+                        size_t n) {
+  const uint32_t shards = index_->num_shards();
+  std::vector<std::vector<uint32_t>> groups(shards);
+  for (size_t i = 0; i < n; i++) {
+    groups[index_->router().ShardFor(requests[i].key)].push_back(
+        static_cast<uint32_t>(i));
+  }
+  uint32_t touched = 0;
+  for (uint32_t s = 0; s < shards; s++) {
+    if (!groups[s].empty()) {
+      touched++;
+    }
+  }
+  // pending must cover every task before the first one can complete.
+  batch->pending.store(touched, std::memory_order_release);
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  handoffs_.fetch_add(touched, std::memory_order_relaxed);
+#if DYTIS_OBS_ENABLED
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("server.batches").Add(1);
+    registry.GetCounter("server.requests").Add(n);
+    registry.GetCounter("server.shard_handoffs").Add(touched);
+  }
+#endif
+  const int64_t depth =
+      queue_depth_.fetch_add(touched, std::memory_order_acq_rel) +
+      static_cast<int64_t>(touched);
+  uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(depth) > peak &&
+         !queue_depth_peak_.compare_exchange_weak(
+             peak, static_cast<uint64_t>(depth), std::memory_order_relaxed)) {
+  }
+#if DYTIS_OBS_ENABLED
+  obs::MetricsRegistry::Global().GetGauge("server.queue_depth").Set(depth);
+#endif
+  for (uint32_t s = 0; s < shards; s++) {
+    if (groups[s].empty()) {
+      continue;
+    }
+    ShardQueue& q = *queues_[s];
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.tasks.push_back(ShardTask{batch, std::move(groups[s])});
+    }
+    q.cv.notify_one();
+  }
+}
+
+void DyTISServer::ExecuteBatch(const Request* requests, size_t n,
+                               Response* responses) {
+  assert(!stopped_.load(std::memory_order_acquire));
+  if (n == 0) {
+    return;
+  }
+  BatchState batch;
+  batch.requests = requests;
+  batch.responses = responses;
+  batch.num_requests = n;
+  batch.submit_ns = NowNanos();
+  batch.async = false;
+  Route(&batch, requests, n);
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.cv.wait(lock, [&batch] { return batch.done; });
+}
+
+void DyTISServer::SubmitBatch(std::vector<Request> requests) {
+  assert(!stopped_.load(std::memory_order_acquire));
+  if (requests.empty()) {
+    return;
+  }
+  auto* batch = new BatchState();
+  batch->owned_requests = std::move(requests);
+  batch->owned_responses.resize(batch->owned_requests.size());
+  batch->requests = batch->owned_requests.data();
+  batch->responses = batch->owned_responses.data();
+  batch->num_requests = batch->owned_requests.size();
+  batch->submit_ns = NowNanos();
+  batch->async = true;
+  Route(batch, batch->requests, batch->num_requests);
+}
+
+void DyTISServer::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void DyTISServer::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  Drain();
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->stopped = true;
+  }
+  for (auto& q : queues_) {
+    q->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+}
+
+void DyTISServer::ExecuteOne(const Request& req, Response* resp) {
+  switch (req.op) {
+    case OpType::kGet:
+      resp->ok = index_->Find(req.key, &resp->value);
+      break;
+    case OpType::kPut:
+      resp->ok = IsNewKey(index_->InsertEx(req.key, req.value));
+      break;
+    case OpType::kUpdate:
+      resp->ok = index_->Update(req.key, req.value);
+      break;
+    case OpType::kErase:
+      resp->ok = index_->Erase(req.key);
+      break;
+    case OpType::kScan:
+      // Handled in WorkerLoop (needs the scratch buffer); never reaches
+      // here.
+      break;
+  }
+}
+
+void DyTISServer::CompleteBatch(BatchState* batch, Worker* worker) {
+  if (batch->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  if (batch->async) {
+    // End-to-end latency: completion minus submit, attributed to every op
+    // in the batch (the batch is the unit the client observed).
+    const uint64_t now = NowNanos();
+    const uint64_t e2e =
+        now > batch->submit_ns ? now - batch->submit_ns : 0;
+    {
+      std::lock_guard<std::mutex> lock(recorder_mu_);
+      for (size_t i = 0; i < batch->num_requests; i++) {
+        worker->e2e.Record(e2e);
+      }
+    }
+    delete batch;
+  } else {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->done = true;
+    batch->cv.notify_one();
+    // The sync client owns `batch` (stack) and may destroy it as soon as it
+    // wakes; nothing below may touch it.
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void DyTISServer::WorkerLoop(uint32_t shard, uint32_t worker_index,
+                             Worker* worker) {
+  if (options_.pin_cores) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores > 0) {
+      PinThreadToCore((shard * options_.threads_per_shard + worker_index) %
+                      cores);
+    }
+  }
+  ShardQueue& q = *queues_[shard];
+  // Scratch reused across tasks: the scan buffer and the per-task latency
+  // recorder (flushed under recorder_mu_ once per task, so the per-op
+  // recording path takes no lock).
+  std::vector<ServerIndex::ScanEntry> scan_buf(options_.max_scan_entries);
+  LatencyRecorder scratch;
+  uint64_t local_op_counts[kNumOpTypes];
+  for (;;) {
+    ShardTask task;
+    {
+      std::unique_lock<std::mutex> lock(q.mu);
+      q.cv.wait(lock, [&q] { return q.stopped || !q.tasks.empty(); });
+      if (q.tasks.empty()) {
+        return;  // stopped and drained
+      }
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+    const int64_t depth =
+        queue_depth_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+#if DYTIS_OBS_ENABLED
+    obs::MetricsRegistry::Global().GetGauge("server.queue_depth").Set(depth);
+#else
+    (void)depth;
+#endif
+    BatchState* batch = task.batch;
+    for (int i = 0; i < kNumOpTypes; i++) {
+      local_op_counts[i] = 0;
+    }
+    const uint64_t begin_ns = NowNanos();
+    uint64_t prev_ns = begin_ns;
+    for (const uint32_t idx : task.indices) {
+      const Request& req = batch->requests[idx];
+      Response* resp = &batch->responses[idx];
+      if (req.op == OpType::kScan) {
+        const size_t want =
+            std::min<size_t>(req.scan_count, scan_buf.size());
+        const size_t got = index_->Scan(req.key, want, scan_buf.data());
+        resp->ok = true;
+        resp->scan_len = static_cast<uint32_t>(got);
+        resp->value = ScanChecksum(scan_buf.data(), got);
+      } else {
+        ExecuteOne(req, resp);
+      }
+      local_op_counts[static_cast<size_t>(req.op)]++;
+      const uint64_t now_ns = NowNanos();
+      scratch.Record(now_ns > prev_ns ? now_ns - prev_ns : 0);
+      prev_ns = now_ns;
+    }
+    worker->requests.fetch_add(task.indices.size(),
+                               std::memory_order_relaxed);
+    for (int i = 0; i < kNumOpTypes; i++) {
+      if (local_op_counts[i] != 0) {
+        worker->op_counts[i].fetch_add(local_op_counts[i],
+                                       std::memory_order_relaxed);
+      }
+    }
+    shard_requests_[shard].fetch_add(task.indices.size(),
+                                     std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(recorder_mu_);
+      worker->service.Merge(scratch);
+    }
+    scratch.Reset();
+#if DYTIS_OBS_ENABLED
+    obs::MetricsRegistry::Global()
+        .GetHistogram("server.batch_size")
+        .Record(task.indices.size());
+#endif
+    DYTIS_OBS_TRACE(obs::TraceOp::kServerBatch, begin_ns, prev_ns, shard,
+                    static_cast<int32_t>(task.indices.size()));
+    CompleteBatch(batch, worker);
+  }
+}
+
+LatencyRecorder DyTISServer::ServiceLatency() const {
+  LatencyRecorder merged;
+  std::lock_guard<std::mutex> lock(recorder_mu_);
+  for (const auto& w : workers_) {
+    merged.Merge(w->service);
+  }
+  return merged;
+}
+
+LatencyRecorder DyTISServer::EndToEndLatency() const {
+  LatencyRecorder merged;
+  std::lock_guard<std::mutex> lock(recorder_mu_);
+  for (const auto& w : workers_) {
+    merged.Merge(w->e2e);
+  }
+  return merged;
+}
+
+ServerStats DyTISServer::Stats() const {
+  ServerStats stats;
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.shard_handoffs = handoffs_.load(std::memory_order_relaxed);
+  stats.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    stats.requests += w->requests.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumOpTypes; i++) {
+      stats.op_counts[i] += w->op_counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  stats.shard_requests.reserve(shard_requests_.size());
+  for (const auto& n : shard_requests_) {
+    stats.shard_requests.push_back(n.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace dytis

@@ -1,0 +1,216 @@
+// DyTISServer — the request pipeline of the sharded serving front end.
+//
+// Architecture (DESIGN.md Section 9):
+//
+//   clients ──ExecuteBatch/SubmitBatch──▶ router ──▶ per-shard MPMC queues
+//                                                         │
+//                                          shard workers (pinnable) ──▶ shards
+//
+// A client hands the server a *batch* of requests.  The submit path routes
+// the batch once — one pass groups the request indices by owning shard — and
+// enqueues one ShardTask per shard touched, so the per-request queue cost is
+// amortised over the batch (the handoff is the unit of queueing, not the
+// op).  Each shard has its own queue and its own worker thread(s): a slow
+// shard backs up its own queue without stalling traffic to the others, and
+// with one worker per shard every shard's write stream is executed in
+// arrival order.  Workers can be pinned to cores on Linux
+// (ServerOptions::pin_cores) for the shard-per-core, NUMA-friendly layout
+// the ROADMAP's serving item calls for.
+//
+// Two submission modes:
+//   * ExecuteBatch — closed-loop: blocks until every response is filled in
+//     caller memory.  The load generator's closed-loop clients and the
+//     differential tests use this.
+//   * SubmitBatch  — open-loop: fire-and-measure.  The batch is heap-owned;
+//     when its last shard task completes, the worker records every op's
+//     end-to-end latency (completion minus submit, queue wait included) and
+//     frees the batch.  Drain() waits for the in-flight count to hit zero.
+//
+// Scans execute against the *facade* (cross-shard stitching), not just the
+// worker's own shard: reads are lock-free on every shard, and each shard's
+// epoch domain registers the worker's reader slot lazily, so the EBR guard
+// coverage follows the scan across the shard handoff.  A scan response
+// carries the entry count plus an order-sensitive checksum so tests can
+// diff pipeline scans against an oracle without shipping the entries back.
+//
+// Observability (compiled out under DYTIS_OBS=OFF like the core's hooks):
+//   server.requests / server.batches / server.shard_handoffs  counters
+//   server.queue_depth                                        gauge
+//   server.batch_size                                         histogram
+//   kServerBatch trace slices (shard id + batch size) in the structural
+//   tracer, one per executed handoff.
+#ifndef DYTIS_SRC_SERVER_SERVER_H_
+#define DYTIS_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/server/sharded_dytis.h"
+#include "src/util/latency_recorder.h"
+
+namespace dytis {
+namespace server {
+
+// The serving layer fixes the value type: a production front end serves one
+// wire format, and u64 -> u64 is what the whole bench/test harness speaks.
+using ServerIndex = ShardedDyTIS<uint64_t>;
+
+enum class OpType : uint8_t { kGet, kPut, kUpdate, kErase, kScan };
+inline constexpr int kNumOpTypes = 5;
+const char* OpTypeName(OpType op);
+
+struct Request {
+  OpType op = OpType::kGet;
+  uint64_t key = 0;
+  uint64_t value = 0;      // kPut / kUpdate payload
+  uint32_t scan_count = 0; // kScan: entries wanted
+};
+
+struct Response {
+  // kGet: key found; kPut: key was new; kUpdate/kErase: key existed;
+  // kScan: always true.
+  bool ok = false;
+  // kGet: the value read; kScan: order-sensitive checksum of the scanned
+  // (key, value) entries (tests diff it against an oracle scan).
+  uint64_t value = 0;
+  uint32_t scan_len = 0;   // kScan: entries returned
+};
+
+struct ServerOptions {
+  // Worker threads per shard.  1 (the default) keeps each shard's write
+  // stream totally ordered — the determinism the load-generator contract
+  // leans on; more workers trade that for intra-shard parallelism.
+  uint32_t threads_per_shard = 1;
+  // Pin workers round-robin across online cores (Linux; no-op elsewhere or
+  // on failure).  Worker (shard s, index w) gets core
+  // (s * threads_per_shard + w) % num_cores — shard-major, so at
+  // shards <= cores each shard's workers land on their own core.
+  bool pin_cores = false;
+  // Cap on entries a single kScan request may ask for (bounds the worker's
+  // scratch buffer; larger requests are clamped).
+  uint32_t max_scan_entries = 1024;
+};
+
+// Merged point-in-time counters (see also the server.* metrics).
+struct ServerStats {
+  uint64_t requests = 0;        // ops executed
+  uint64_t batches = 0;         // client batches accepted
+  uint64_t shard_handoffs = 0;  // shard tasks enqueued
+  uint64_t queue_depth_peak = 0;
+  uint64_t op_counts[kNumOpTypes] = {0, 0, 0, 0, 0};
+  // Ops executed per shard (router skew is visible here).
+  std::vector<uint64_t> shard_requests;
+};
+
+class DyTISServer {
+ public:
+  // The server does not own the index; destroy the server (or Stop()) before
+  // the index.  Workers start immediately.
+  DyTISServer(ServerIndex* index, const ServerOptions& options = {});
+  ~DyTISServer();
+
+  DyTISServer(const DyTISServer&) = delete;
+  DyTISServer& operator=(const DyTISServer&) = delete;
+
+  // Synchronous: routes, enqueues per-shard tasks, blocks until every
+  // response is written.  Requests within one batch that land on different
+  // shards execute concurrently; requests to one shard execute in batch
+  // order.
+  void ExecuteBatch(const Request* requests, size_t n, Response* responses);
+
+  // Asynchronous fire-and-measure: takes ownership of the request vector,
+  // returns immediately.  End-to-end latency of every op (completion minus
+  // submit, queueing included) is recorded when the batch completes;
+  // responses are discarded.
+  void SubmitBatch(std::vector<Request> requests);
+
+  // Blocks until every submitted/executing batch has completed.
+  void Drain();
+
+  // Drains, stops and joins all workers.  Idempotent; called by the
+  // destructor.  After Stop() the server accepts no further batches.
+  void Stop();
+
+  size_t inflight_batches() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  uint32_t num_shards() const { return index_->num_shards(); }
+  const ServerIndex& index() const { return *index_; }
+
+  // Per-op service latency (worker-side execution time, queue wait
+  // excluded), merged across workers.
+  LatencyRecorder ServiceLatency() const;
+  // Per-op end-to-end latency of SubmitBatch traffic (queue wait included).
+  LatencyRecorder EndToEndLatency() const;
+
+  ServerStats Stats() const;
+
+ private:
+  struct BatchState;
+  struct ShardTask {
+    BatchState* batch = nullptr;
+    // Request indices owned by one shard, in batch order.
+    std::vector<uint32_t> indices;
+  };
+  struct ShardQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ShardTask> tasks;
+    bool stopped = false;
+  };
+  struct Worker {
+    std::thread thread;
+    // Recorders are flushed by the owning worker under recorder_mu_ (one
+    // flush per task, not per op) and merged by the accessors under the same
+    // mutex, so live reads are race-free.
+    LatencyRecorder service;   // per-op execution latency
+    LatencyRecorder e2e;       // per-op end-to-end (async batches)
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> op_counts[kNumOpTypes] = {};
+  };
+
+  void Route(BatchState* batch, const Request* requests, size_t n);
+  void WorkerLoop(uint32_t shard, uint32_t worker_index, Worker* worker);
+  void ExecuteOne(const Request& req, Response* resp);
+  void CompleteBatch(BatchState* batch, Worker* worker);
+
+  ServerIndex* index_;
+  ServerOptions options_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::atomic<uint64_t>> shard_requests_;
+
+  std::atomic<size_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> handoffs_{0};
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+  std::atomic<bool> stopped_{false};
+  // Guards the workers' recorders against concurrent merges in
+  // ServiceLatency()/EndToEndLatency()/Stats().
+  mutable std::mutex recorder_mu_;
+};
+
+// Pins the calling thread to `cpu` (Linux).  Returns false when pinning is
+// unsupported or rejected (non-Linux, cpuset restrictions); callers treat
+// pinning as best-effort.
+bool PinThreadToCore(unsigned cpu);
+
+// Order-sensitive checksum of a scan result, shared by the worker path and
+// the tests' oracle side.
+uint64_t ScanChecksum(const ServerIndex::ScanEntry* entries, size_t n);
+
+}  // namespace server
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_SERVER_SERVER_H_

@@ -1,0 +1,315 @@
+// ShardedDyTIS — the keyspace-partitioned facade of the serving front end.
+//
+// N independent DyTIS shards behind a RangeRouter: point operations route to
+// the owning shard; Scan stitches per-shard cursors in key order.  Because
+// the router is monotone (a shard owns one contiguous key range, ranges
+// ascend with the shard index), the cross-shard merge degenerates to
+// concatenation: drain the start key's shard, then each following shard from
+// its first key — exactly the walk BasicDyTIS::Scan already does across its
+// first-level tables, lifted one level up.
+//
+// Concurrency: each shard is a full BasicDyTIS with its own two-level write
+// locking and its own epoch-reclamation domain, so shards share no state at
+// all — a structural operation in one shard cannot stall another.  Reads and
+// scans are lock-free per shard (epoch guards, src/sync/ebr.h); a stitched
+// scan enters and leaves one shard's epoch domain per hop, so the guard
+// coverage spans the shard handoff with no global epoch to contend on.
+// Cross-shard consistency matches the single-index Scan contract: each
+// per-shard leg is an atomic frozen-snapshot walk, stable keys appear
+// exactly once in order, but there is no snapshot isolation across legs
+// (entries inserted behind the stitch point are not revisited).
+//
+// This header is policy-generic like the core; the serving pipeline
+// (src/server/server.h) fixes V = uint64_t and the shared-mutex policy.
+#ifndef DYTIS_SRC_SERVER_SHARDED_DYTIS_H_
+#define DYTIS_SRC_SERVER_SHARDED_DYTIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/cursor.h"
+#include "src/core/dytis.h"
+#include "src/server/router.h"
+
+namespace dytis {
+namespace server {
+
+// Splits a whole-index configuration across `num_shards` shards: the static
+// first level (2^R tables) is what partitions the key space inside one
+// DyTIS, and the router now does log2(shards) bits of that work, so each
+// shard drops that many first-level bits.  Keeps the total first-level table
+// count — and therefore the keys-per-EH dynamics the paper's defaults are
+// tuned for — roughly constant as the shard count sweeps.
+inline DyTISConfig ShardScaledConfig(DyTISConfig base, uint32_t num_shards) {
+  int shard_bits = 0;
+  while ((uint32_t{1} << (shard_bits + 1)) <= num_shards) {
+    shard_bits++;
+  }
+  base.first_level_bits = base.first_level_bits > shard_bits
+                              ? base.first_level_bits - shard_bits
+                              : 0;
+  return base;
+}
+
+template <typename V, typename Policy = SharedMutexPolicy>
+class BasicShardedDyTIS {
+ public:
+  using ValueType = V;
+  using Shard = BasicDyTIS<V, Policy>;
+  using ScanEntry = std::pair<uint64_t, V>;
+
+  explicit BasicShardedDyTIS(uint32_t num_shards,
+                             const DyTISConfig& shard_config = DyTISConfig{})
+      : router_(num_shards) {
+    shards_.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; s++) {
+      shards_.push_back(std::make_unique<Shard>(shard_config));
+    }
+  }
+
+  const RangeRouter& router() const { return router_; }
+  uint32_t num_shards() const { return router_.num_shards(); }
+  Shard& shard(uint32_t s) { return *shards_[s]; }
+  const Shard& shard(uint32_t s) const { return *shards_[s]; }
+
+  // --- Point operations: route to the owning shard -------------------------
+
+  bool Insert(uint64_t key, const V& value) {
+    return ShardFor(key).Insert(key, value);
+  }
+  InsertResult InsertEx(uint64_t key, const V& value) {
+    return ShardFor(key).InsertEx(key, value);
+  }
+  bool Find(uint64_t key, V* value) const {
+    return ShardFor(key).Find(key, value);
+  }
+  bool Contains(uint64_t key) const { return Find(key, nullptr); }
+  bool Update(uint64_t key, const V& value) {
+    return ShardFor(key).Update(key, value);
+  }
+  bool Erase(uint64_t key) { return ShardFor(key).Erase(key); }
+
+  // --- Cross-shard scan stitching ------------------------------------------
+
+  // Copies up to `count` entries with key >= start_key in ascending key
+  // order, crossing shard boundaries as needed.  Same contract as
+  // BasicDyTIS::Scan; per-shard legs are epoch-guarded lock-free walks.
+  size_t Scan(uint64_t start_key, size_t count, ScanEntry* out) const {
+    size_t got = 0;
+    // Later shards hold only keys above start_key (ranges ascend), so each
+    // leg can pass start_key unchanged: a shard scans from max(start_key,
+    // its first key).
+    for (uint32_t s = router_.ShardFor(start_key);
+         got < count && s < shards_.size(); s++) {
+      got += shards_[s]->Scan(start_key, count - got, out + got);
+    }
+    return got;
+  }
+
+  // Bounded scan, stops before end_key (exclusive).
+  size_t ScanRange(uint64_t start_key, uint64_t end_key, size_t count,
+                   ScanEntry* out) const {
+    if (start_key >= end_key) {
+      return 0;
+    }
+    const size_t got = Scan(start_key, count, out);
+    size_t lo = 0;
+    size_t hi = got;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (out[mid].first < end_key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Visits every (key, value) in ascending key order across all shards.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& s : shards_) {
+      s->ForEach(fn);
+    }
+  }
+
+  // --- Aggregates ----------------------------------------------------------
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->size();
+    }
+    return n;
+  }
+  size_t MemoryBytes() const {
+    size_t n = sizeof(*this) + shards_.capacity() * sizeof(void*);
+    for (const auto& s : shards_) {
+      n += s->MemoryBytes();
+    }
+    return n;
+  }
+  size_t NumSegments() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->NumSegments();
+    }
+    return n;
+  }
+  size_t StashEntries() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->StashEntries();
+    }
+    return n;
+  }
+  size_t QuiesceReclamation() {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->QuiesceReclamation();
+    }
+    return n;
+  }
+
+  // Order-sensitive digest of the full (key, value) content, for the load
+  // generator's determinism contract: two indexes with identical content in
+  // identical order hash equal, any divergence (missing key, torn value,
+  // misrouted entry changing the order) hashes different.
+  uint64_t StateHash() const {
+    static_assert(std::is_integral_v<V>,
+                  "StateHash digests integral values only");
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    ForEach([&h](uint64_t key, const V& value) {
+      h = MixHash(h ^ MixHash(key));
+      h = MixHash(h ^ MixHash(static_cast<uint64_t>(value)));
+    });
+    return h;
+  }
+
+  // Per-shard structural invariants plus the two properties only the facade
+  // can check: every key lives in the shard the router assigns it, and the
+  // cross-shard walk is globally ascending.
+  bool CheckShardingInvariants(std::string* error = nullptr) const {
+    for (uint32_t s = 0; s < shards_.size(); s++) {
+      std::string err;
+      if (!shards_[s]->ValidateInvariants(&err)) {
+        if (error != nullptr) {
+          *error = "shard " + std::to_string(s) + ": " + err;
+        }
+        return false;
+      }
+      bool ok = true;
+      shards_[s]->ForEach([&](uint64_t key, const V&) {
+        if (ok && router_.ShardFor(key) != s) {
+          if (error != nullptr) {
+            *error = "key " + std::to_string(key) + " stored in shard " +
+                     std::to_string(s) + " but routes to shard " +
+                     std::to_string(router_.ShardFor(key));
+          }
+          ok = false;
+        }
+      });
+      if (!ok) {
+        return false;
+      }
+    }
+    uint64_t prev = 0;
+    bool have_prev = false;
+    bool ordered = true;
+    ForEach([&](uint64_t key, const V&) {
+      if (ordered && have_prev && key <= prev) {
+        if (error != nullptr) {
+          *error = "cross-shard order violated near key " +
+                   std::to_string(key);
+        }
+        ordered = false;
+      }
+      prev = key;
+      have_prev = true;
+    });
+    return ordered;
+  }
+
+ private:
+  static uint64_t MixHash(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  Shard& ShardFor(uint64_t key) { return *shards_[router_.ShardFor(key)]; }
+  const Shard& ShardFor(uint64_t key) const {
+    return *shards_[router_.ShardFor(key)];
+  }
+
+  RangeRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Forward cursor over a sharded index: one per-shard BasicCursor at a time,
+// handed off in shard order when it runs dry.  Because shard ranges are
+// disjoint and ascending, this *is* the key-order merge of the per-shard
+// cursors; no heap is needed (see the router monotonicity property).
+template <typename V, typename Policy = SharedMutexPolicy>
+class BasicShardedCursor {
+ public:
+  explicit BasicShardedCursor(const BasicShardedDyTIS<V, Policy>& index,
+                              size_t batch_size = 256)
+      : index_(&index), batch_size_(batch_size) {
+    SeekToFirst();
+  }
+
+  void SeekToFirst() { Seek(0); }
+
+  // Positions at the smallest key >= target, crossing shards as needed.
+  void Seek(uint64_t target) {
+    shard_ = index_->router().ShardFor(target);
+    cursor_ = std::make_unique<ShardCursor>(index_->shard(shard_),
+                                            batch_size_);
+    cursor_->Seek(target);
+    AdvanceShardWhileDry();
+  }
+
+  bool Valid() const { return cursor_ != nullptr && cursor_->Valid(); }
+
+  void Next() {
+    cursor_->Next();
+    AdvanceShardWhileDry();
+  }
+
+  uint64_t key() const { return cursor_->key(); }
+  const V& value() const { return cursor_->value(); }
+
+ private:
+  using ShardCursor = BasicCursor<V, Policy>;
+
+  // Hands off to the next shard's cursor until one yields a key or the
+  // shards run out.
+  void AdvanceShardWhileDry() {
+    while (!cursor_->Valid() && shard_ + 1 < index_->num_shards()) {
+      shard_++;
+      cursor_ = std::make_unique<ShardCursor>(index_->shard(shard_),
+                                              batch_size_);
+    }
+  }
+
+  const BasicShardedDyTIS<V, Policy>* index_;
+  size_t batch_size_;
+  uint32_t shard_ = 0;
+  std::unique_ptr<ShardCursor> cursor_;
+};
+
+template <typename V>
+using ShardedDyTIS = BasicShardedDyTIS<V, SharedMutexPolicy>;
+template <typename V>
+using ShardedCursor = BasicShardedCursor<V, SharedMutexPolicy>;
+
+}  // namespace server
+}  // namespace dytis
+
+#endif  // DYTIS_SRC_SERVER_SHARDED_DYTIS_H_

@@ -1,0 +1,233 @@
+// Load-generator determinism suite (the contract in src/server/loadgen.h).
+//
+// Two claims are pinned:
+//   * The generated op stream is a pure function of LoadGenOptions —
+//     StreamHash is identical across calls, sensitive to the seed, and the
+//     structural rules (slot-tagged insert keys, own-slot erases, preload
+//     confinement) hold for every generated request.
+//   * The final index state after a closed-loop run is identical across
+//     runs, client thread counts, and shard counts — StateHash is the
+//     witness.  This is what makes bench_server rows reproducible.
+//
+// Op counts scale with DYTIS_SERVER_OPS (scripts/check.sh shrinks them for
+// the sanitizer stages).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/server/loadgen.h"
+#include "src/server/server.h"
+
+namespace dytis {
+namespace {
+
+using server::DyTISServer;
+using server::LoadGenOptions;
+using server::LoadGenResult;
+using server::OpType;
+using server::Request;
+using server::ServerIndex;
+using server::SlotStreams;
+
+size_t TestOps(size_t fallback) {
+  const char* v = std::getenv("DYTIS_SERVER_OPS");
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+LoadGenOptions SmallOptions() {
+  LoadGenOptions options;
+  options.seed = 0xfeedface;
+  options.preload_keys = 5'000;
+  options.session_slots = 8;
+  options.total_ops = TestOps(10'000);
+  options.session_churn = 0.01;
+  options.batch_size = 32;
+  return options;
+}
+
+TEST(LoadGenStreamTest, SameOptionsSameStream) {
+  const LoadGenOptions options = SmallOptions();
+  const SlotStreams a = server::GenerateSlotStreams(options);
+  const SlotStreams b = server::GenerateSlotStreams(options);
+  EXPECT_EQ(server::StreamHash(a), server::StreamHash(b));
+  EXPECT_EQ(a.sessions_started, b.sessions_started);
+  EXPECT_EQ(a.total_ops, options.total_ops);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (size_t s = 0; s < a.slots.size(); s++) {
+    ASSERT_EQ(a.slots[s].size(), b.slots[s].size()) << "slot " << s;
+  }
+}
+
+TEST(LoadGenStreamTest, SeedChangesStream) {
+  LoadGenOptions options = SmallOptions();
+  const uint64_t h1 = server::StreamHash(server::GenerateSlotStreams(options));
+  options.seed ^= 1;
+  const uint64_t h2 = server::StreamHash(server::GenerateSlotStreams(options));
+  EXPECT_NE(h1, h2);
+}
+
+TEST(LoadGenStreamTest, StructuralRulesHold) {
+  const LoadGenOptions options = SmallOptions();
+  const SlotStreams streams = server::GenerateSlotStreams(options);
+  const uint64_t slot_mask =
+      (uint64_t{1} << std::bit_width(options.session_slots - 1)) - 1;
+  for (const uint64_t key : server::PreloadKeys(options)) {
+    ASSERT_LT(key, uint64_t{1} << 63);  // preload confined below the top bit
+  }
+  for (size_t s = 0; s < streams.slots.size(); s++) {
+    std::set<uint64_t> live_inserts;
+    for (const Request& req : streams.slots[s]) {
+      switch (req.op) {
+        case OpType::kPut:
+          // Rule 2: fresh keys carry the top bit and the slot tag.
+          ASSERT_NE(req.key & (uint64_t{1} << 63), 0u);
+          ASSERT_EQ(req.key & slot_mask, s);
+          // Rule 1: values are pure functions of the key.
+          ASSERT_EQ(req.value, server::InsertValueFor(req.key));
+          ASSERT_TRUE(live_inserts.insert(req.key).second)
+              << "fresh key " << req.key << " inserted twice";
+          break;
+        case OpType::kUpdate:
+          ASSERT_EQ(req.value, server::UpdateValueFor(req.key));
+          break;
+        case OpType::kErase:
+          // Rule 3: erases target only this slot's own live inserts.
+          ASSERT_EQ(live_inserts.erase(req.key), 1u)
+              << "slot " << s << " erased foreign key " << req.key;
+          break;
+        case OpType::kGet:
+          break;
+        case OpType::kScan:
+          ASSERT_GT(req.scan_count, 0u);
+          break;
+      }
+    }
+  }
+}
+
+TEST(LoadGenStreamTest, ChurnStartsNewSessions) {
+  LoadGenOptions options = SmallOptions();
+  options.session_churn = 0.05;
+  const SlotStreams streams = server::GenerateSlotStreams(options);
+  EXPECT_GT(streams.sessions_started, options.session_slots);
+}
+
+TEST(LoadGenStreamTest, HotStormConfinesReads) {
+  LoadGenOptions options = SmallOptions();
+  options.session_slots = 1;
+  options.session_churn = 0.0;  // one session: one storm window
+  options.hot_storm_fraction = 1.0;
+  options.storm_keys = 16;
+  options.tenants = {server::TenantMix{}};
+  options.tenants[0].get = 1.0;
+  options.tenants[0].put = 0.0;
+  options.tenants[0].update = 0.0;
+  options.tenants[0].scan = 0.0;
+  options.tenants[0].erase = 0.0;
+  const SlotStreams streams = server::GenerateSlotStreams(options);
+  std::set<uint64_t> distinct;
+  for (const Request& req : streams.slots[0]) {
+    ASSERT_EQ(req.op, OpType::kGet);
+    distinct.insert(req.key);
+  }
+  EXPECT_LE(distinct.size(), options.storm_keys);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+// --- Final-state determinism across runs / threads / shards -----------------
+
+uint64_t RunAndHash(const LoadGenOptions& options, uint32_t shards,
+                    int threads, size_t* ops_out = nullptr) {
+  ServerIndex index(shards,
+                    server::ShardScaledConfig(SmallConfig(), shards));
+  server::Preload(&index, options);
+  DyTISServer srv(&index);
+  const LoadGenResult r = server::RunClosedLoop(&srv, options, threads);
+  srv.Stop();
+  EXPECT_EQ(r.ops, options.total_ops);
+  EXPECT_EQ(r.e2e.count(), r.ops);
+  if (ops_out != nullptr) {
+    *ops_out = r.ops;
+  }
+  std::string err;
+  EXPECT_TRUE(index.CheckShardingInvariants(&err)) << err;
+  return index.StateHash();
+}
+
+TEST(LoadGenDeterminismTest, FinalStateIdenticalAcrossRuns) {
+  const LoadGenOptions options = SmallOptions();
+  EXPECT_EQ(RunAndHash(options, 2, 2), RunAndHash(options, 2, 2));
+}
+
+TEST(LoadGenDeterminismTest, FinalStateIndependentOfThreadCount) {
+  const LoadGenOptions options = SmallOptions();
+  const uint64_t h1 = RunAndHash(options, 4, 1);
+  const uint64_t h2 = RunAndHash(options, 4, 2);
+  const uint64_t h4 = RunAndHash(options, 4, 4);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h4);
+}
+
+TEST(LoadGenDeterminismTest, FinalStateIndependentOfShardCount) {
+  const LoadGenOptions options = SmallOptions();
+  const uint64_t h1 = RunAndHash(options, 1, 2);
+  const uint64_t h2 = RunAndHash(options, 2, 2);
+  const uint64_t h8 = RunAndHash(options, 8, 2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h8);
+}
+
+TEST(LoadGenDeterminismTest, MultiTenantStormStateStillDeterministic) {
+  LoadGenOptions options = SmallOptions();
+  server::TenantMix heavy;  // defaults: mixed
+  server::TenantMix readmost;
+  readmost.get = 0.9;
+  readmost.put = 0.1;
+  readmost.update = 0.0;
+  readmost.scan = 0.0;
+  readmost.erase = 0.0;
+  readmost.zipfian = false;
+  options.tenants = {heavy, readmost};
+  options.hot_storm_fraction = 0.3;
+  const uint64_t h1 = RunAndHash(options, 4, 1);
+  const uint64_t h4 = RunAndHash(options, 4, 4);
+  EXPECT_EQ(h1, h4);
+}
+
+TEST(LoadGenOpenLoopTest, CompletesAllOpsAndRecordsLatency) {
+  LoadGenOptions options = SmallOptions();
+  options.total_ops = TestOps(10'000) / 2;
+  ServerIndex index(2, server::ShardScaledConfig(SmallConfig(), 2));
+  server::Preload(&index, options);
+  DyTISServer srv(&index);
+  const server::OpenLoopResult r =
+      server::RunOpenLoop(&srv, options, /*offered_rate=*/200'000.0,
+                          /*threads=*/2);
+  srv.Stop();
+  EXPECT_EQ(r.ops, options.total_ops);
+  EXPECT_EQ(r.e2e.count(), r.ops);
+  EXPECT_GT(r.achieved_rate, 0.0);
+  std::string err;
+  EXPECT_TRUE(index.CheckShardingInvariants(&err)) << err;
+}
+
+}  // namespace
+}  // namespace dytis

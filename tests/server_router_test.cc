@@ -1,0 +1,395 @@
+// Router + ShardedDyTIS differential suite (the serving front end's
+// correctness anchor).
+//
+// Three layers:
+//   1. RangeRouter algebra — total, monotone, balanced, stable, and the
+//      RangeStart/RangeLast bounds exactly tile the key space.
+//   2. ShardedDyTIS vs a single-index oracle — identical op streams
+//      (uniform, Zipfian, and adversarial key patterns) produce bit-identical
+//      results at every shard count: per-op return values, scan contents,
+//      final size and StateHash.  The oracle is the 1-shard facade, which is
+//      definitionally the unsharded index.
+//   3. The DyTISServer pipeline vs the same oracle — batches through the
+//      router/queue/worker path yield the same Response stream a sequential
+//      oracle produces.
+//
+// Op counts scale with DYTIS_SERVER_OPS (scripts/check.sh shrinks them for
+// the sanitizer stages).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/server/loadgen.h"
+#include "src/server/server.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+#include "src/workloads/attack.h"
+
+namespace dytis {
+namespace {
+
+using server::DyTISServer;
+using server::OpType;
+using server::RangeRouter;
+using server::Request;
+using server::Response;
+using server::ServerIndex;
+using server::ServerOptions;
+
+size_t TestOps(size_t fallback) {
+  const char* v = std::getenv("DYTIS_SERVER_OPS");
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+// --- Layer 1: router algebra ------------------------------------------------
+
+const uint32_t kShardCounts[] = {1, 2, 3, 4, 5, 8, 16, 64, 1000};
+
+std::vector<uint64_t> RouterProbeKeys() {
+  std::vector<uint64_t> keys = {0,
+                                1,
+                                2,
+                                (uint64_t{1} << 32) - 1,
+                                uint64_t{1} << 32,
+                                (uint64_t{1} << 63) - 1,
+                                uint64_t{1} << 63,
+                                ~uint64_t{0} - 1,
+                                ~uint64_t{0}};
+  Rng rng(0x1234);
+  for (int i = 0; i < 4'000; i++) {
+    keys.push_back(rng.Next());
+  }
+  return keys;
+}
+
+TEST(RangeRouterTest, EveryKeyMapsToExactlyOneShardInItsRange) {
+  const std::vector<uint64_t> keys = RouterProbeKeys();
+  for (const uint32_t n : kShardCounts) {
+    RangeRouter router(n);
+    for (const uint64_t key : keys) {
+      const uint32_t s = router.ShardFor(key);
+      ASSERT_LT(s, n) << "key " << key;
+      ASSERT_GE(key, router.RangeStart(s)) << "key " << key;
+      ASSERT_LE(key, router.RangeLast(s)) << "key " << key;
+    }
+  }
+}
+
+TEST(RangeRouterTest, RangesTileTheKeySpaceContiguously) {
+  for (const uint32_t n : kShardCounts) {
+    RangeRouter router(n);
+    ASSERT_EQ(router.RangeStart(0), 0u);
+    ASSERT_EQ(router.RangeLast(n - 1), ~uint64_t{0});
+    for (uint32_t s = 0; s + 1 < n; s++) {
+      ASSERT_EQ(router.RangeLast(s) + 1, router.RangeStart(s + 1))
+          << "shards " << s << "/" << s + 1 << " of " << n;
+    }
+    for (uint32_t s = 0; s < n; s++) {
+      ASSERT_EQ(router.ShardFor(router.RangeStart(s)), s);
+      ASSERT_EQ(router.ShardFor(router.RangeLast(s)), s);
+    }
+  }
+}
+
+TEST(RangeRouterTest, MonotoneOverSortedKeys) {
+  std::vector<uint64_t> keys = RouterProbeKeys();
+  std::sort(keys.begin(), keys.end());
+  for (const uint32_t n : kShardCounts) {
+    RangeRouter router(n);
+    uint32_t prev = 0;
+    for (const uint64_t key : keys) {
+      const uint32_t s = router.ShardFor(key);
+      ASSERT_GE(s, prev) << "key " << key;
+      prev = s;
+    }
+  }
+}
+
+TEST(RangeRouterTest, RangeWidthsBalancedWithinOneKey) {
+  for (const uint32_t n : kShardCounts) {
+    RangeRouter router(n);
+    unsigned __int128 min_width = ~static_cast<unsigned __int128>(0);
+    unsigned __int128 max_width = 0;
+    for (uint32_t s = 0; s < n; s++) {
+      const unsigned __int128 end =
+          s + 1 == n ? (static_cast<unsigned __int128>(1) << 64)
+                     : static_cast<unsigned __int128>(router.RangeStart(s + 1));
+      const unsigned __int128 width = end - router.RangeStart(s);
+      min_width = width < min_width ? width : min_width;
+      max_width = width > max_width ? width : max_width;
+    }
+    ASSERT_LE(max_width - min_width, 1u) << "shards=" << n;
+  }
+}
+
+TEST(RangeRouterTest, StableAcrossInstancesAndPinnedGolden) {
+  // Two routers with the same shard count agree everywhere.
+  RangeRouter a(7);
+  RangeRouter b(7);
+  for (const uint64_t key : RouterProbeKeys()) {
+    ASSERT_EQ(a.ShardFor(key), b.ShardFor(key));
+  }
+  // Pinned values: shard-count sweeps must not silently re-map stored keys'
+  // owners between builds (the facade's invariant checker depends on it).
+  RangeRouter quad(4);
+  EXPECT_EQ(quad.ShardFor(0), 0u);
+  EXPECT_EQ(quad.ShardFor((uint64_t{1} << 62) - 1), 0u);
+  EXPECT_EQ(quad.ShardFor(uint64_t{1} << 62), 1u);
+  EXPECT_EQ(quad.ShardFor(uint64_t{1} << 63), 2u);
+  EXPECT_EQ(quad.ShardFor(~uint64_t{0}), 3u);
+  RangeRouter one(1);
+  EXPECT_EQ(one.ShardFor(0), 0u);
+  EXPECT_EQ(one.ShardFor(~uint64_t{0}), 0u);
+}
+
+// --- Layer 2: ShardedDyTIS vs single-index oracle ---------------------------
+
+// Key streams named for the workload shape they exercise.
+std::vector<uint64_t> UniformKeys(size_t n, uint64_t seed) {
+  std::vector<uint64_t> keys(n);
+  Rng rng(seed);
+  for (auto& k : keys) {
+    k = rng.Next();
+  }
+  return keys;
+}
+
+std::vector<uint64_t> ZipfianKeys(size_t n, uint64_t seed) {
+  // Zipfian popularity over a fixed uniform population: repeats are the
+  // point (they turn inserts into duplicate-hits and erases into re-erases,
+  // the paths where sharded/unsharded return values could diverge).
+  const std::vector<uint64_t> population = UniformKeys(n / 2 + 1, seed);
+  ScrambledZipfianGenerator zipf(population.size(), 0.99, seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = population[zipf.Next()];
+  }
+  return keys;
+}
+
+std::vector<uint64_t> AttackKeys(size_t n, uint64_t seed) {
+  // Adversarial shapes: bit-reversed counters thrash EH directories;
+  // sawtooth waves stress the learned CDF remap.  Both are dense patterns a
+  // range router concentrates on few shards — the skew case.
+  std::vector<uint64_t> keys =
+      workloads::MakeAttackKeys(workloads::AttackPattern::kBitReversed, n / 2, seed);
+  const std::vector<uint64_t> saw =
+      workloads::MakeAttackKeys(workloads::AttackPattern::kSawtoothWaves, n - keys.size(), seed);
+  keys.insert(keys.end(), saw.begin(), saw.end());
+  return keys;
+}
+
+// Drives an identical mixed op stream into both indexes and requires
+// bit-identical behaviour, then compares the end states.
+void DifferentialRun(const std::vector<uint64_t>& keys, uint32_t shards,
+                     uint64_t seed) {
+  ServerIndex sharded(shards,
+                      server::ShardScaledConfig(SmallConfig(), shards));
+  ServerIndex oracle(1, SmallConfig());
+  Rng rng(seed);
+  std::vector<ServerIndex::ScanEntry> got(128);
+  std::vector<ServerIndex::ScanEntry> want(128);
+  for (size_t i = 0; i < keys.size(); i++) {
+    const uint64_t key = keys[i];
+    const uint64_t value = key * 2654435761ULL + 1;
+    const uint64_t dice = rng.NextBelow(100);
+    if (dice < 45) {
+      ASSERT_EQ(sharded.Insert(key, value), oracle.Insert(key, value))
+          << "insert " << key;
+    } else if (dice < 65) {
+      uint64_t sv = 0;
+      uint64_t ov = 0;
+      ASSERT_EQ(sharded.Find(key, &sv), oracle.Find(key, &ov))
+          << "find " << key;
+      ASSERT_EQ(sv, ov) << "find " << key;
+    } else if (dice < 80) {
+      ASSERT_EQ(sharded.Update(key, value ^ 0xff), oracle.Update(key, value ^ 0xff))
+          << "update " << key;
+    } else if (dice < 90) {
+      ASSERT_EQ(sharded.Erase(key), oracle.Erase(key)) << "erase " << key;
+    } else {
+      const size_t n_got = sharded.Scan(key, got.size(), got.data());
+      const size_t n_want = oracle.Scan(key, want.size(), want.data());
+      ASSERT_EQ(n_got, n_want) << "scan from " << key;
+      for (size_t j = 0; j < n_got; j++) {
+        ASSERT_EQ(got[j], want[j]) << "scan from " << key << " entry " << j;
+      }
+    }
+  }
+  ASSERT_EQ(sharded.size(), oracle.size());
+  ASSERT_EQ(sharded.StateHash(), oracle.StateHash());
+  std::string err;
+  ASSERT_TRUE(sharded.CheckShardingInvariants(&err)) << err;
+}
+
+TEST(ShardedDifferentialTest, UniformWorkloadMatchesOracleAcrossShardCounts) {
+  const std::vector<uint64_t> keys = UniformKeys(TestOps(8'000), 11);
+  for (const uint32_t shards : {2u, 3u, 4u, 8u}) {
+    DifferentialRun(keys, shards, 101 + shards);
+  }
+}
+
+TEST(ShardedDifferentialTest, ZipfianWorkloadMatchesOracleAcrossShardCounts) {
+  const std::vector<uint64_t> keys = ZipfianKeys(TestOps(8'000), 22);
+  for (const uint32_t shards : {2u, 3u, 4u, 8u}) {
+    DifferentialRun(keys, shards, 202 + shards);
+  }
+}
+
+TEST(ShardedDifferentialTest, AttackWorkloadMatchesOracleAcrossShardCounts) {
+  const std::vector<uint64_t> keys = AttackKeys(TestOps(8'000), 33);
+  for (const uint32_t shards : {2u, 3u, 4u, 8u}) {
+    DifferentialRun(keys, shards, 303 + shards);
+  }
+}
+
+TEST(ShardedDifferentialTest, StoredKeysRouteToTheirShard) {
+  // Direct check of the facade's routing invariant under a stream that
+  // lands keys across every shard, including range boundaries.
+  const uint32_t shards = 4;
+  ServerIndex index(shards, server::ShardScaledConfig(SmallConfig(), shards));
+  const RangeRouter& router = index.router();
+  for (uint32_t s = 0; s < shards; s++) {
+    index.Insert(router.RangeStart(s), 1);
+    index.Insert(router.RangeLast(s), 2);
+  }
+  Rng rng(44);
+  for (int i = 0; i < 2'000; i++) {
+    index.Insert(rng.Next(), 3);
+  }
+  for (uint32_t s = 0; s < shards; s++) {
+    index.shard(s).ForEach([&](uint64_t key, const uint64_t&) {
+      ASSERT_EQ(router.ShardFor(key), s) << "key " << key;
+    });
+  }
+  std::string err;
+  ASSERT_TRUE(index.CheckShardingInvariants(&err)) << err;
+}
+
+// --- Layer 3: the pipeline vs the oracle ------------------------------------
+
+// Computes the expected Response of one request against the oracle,
+// mirroring the worker's semantics (including the scan clamp).
+Response OracleExecute(ServerIndex* oracle, const Request& req,
+                       uint32_t max_scan_entries,
+                       std::vector<ServerIndex::ScanEntry>* buf) {
+  Response resp;
+  switch (req.op) {
+    case OpType::kGet:
+      resp.ok = oracle->Find(req.key, &resp.value);
+      break;
+    case OpType::kPut:
+      resp.ok = IsNewKey(oracle->InsertEx(req.key, req.value));
+      break;
+    case OpType::kUpdate:
+      resp.ok = oracle->Update(req.key, req.value);
+      break;
+    case OpType::kErase:
+      resp.ok = oracle->Erase(req.key);
+      break;
+    case OpType::kScan: {
+      const size_t want = std::min<size_t>(req.scan_count, max_scan_entries);
+      buf->resize(std::max<size_t>(want, 1));
+      const size_t got = oracle->Scan(req.key, want, buf->data());
+      resp.ok = true;
+      resp.scan_len = static_cast<uint32_t>(got);
+      resp.value = server::ScanChecksum(buf->data(), got);
+      break;
+    }
+  }
+  return resp;
+}
+
+TEST(ServerPipelineTest, BatchedResponsesMatchSequentialOracle) {
+  const uint32_t shards = 4;
+  ServerIndex index(shards, server::ShardScaledConfig(SmallConfig(), shards));
+  ServerIndex oracle(1, SmallConfig());
+  ServerOptions opts;
+  opts.max_scan_entries = 128;  // smaller than some requests: clamp path
+  DyTISServer srv(&index, opts);
+
+  Rng rng(0xbada + 7);
+  std::vector<ServerIndex::ScanEntry> scratch;
+  const size_t total_batches = TestOps(8'000) / 32;
+  size_t total_ops = 0;
+  for (size_t b = 0; b < total_batches; b++) {
+    // Alternate write-mixed and read-only batches.  Scans stitch across
+    // shards, so a scan racing a same-batch write on another shard would
+    // make the comparison nondeterministic; the server promises batch-order
+    // execution per shard, not cross-shard isolation.  Read-only batches
+    // race nothing and must match exactly.
+    const bool read_only = (b % 2) == 1;
+    std::vector<Request> batch(32);
+    for (Request& req : batch) {
+      const uint64_t dice = rng.NextBelow(100);
+      req.key = rng.Next();
+      if (read_only) {
+        if (dice < 70) {
+          req.op = OpType::kGet;
+        } else {
+          req.op = OpType::kScan;
+          req.scan_count = static_cast<uint32_t>(rng.NextBelow(256));
+        }
+      } else if (dice < 55) {
+        req.op = OpType::kPut;
+        req.value = req.key ^ 0xabcdef;
+      } else if (dice < 75) {
+        req.op = OpType::kGet;
+      } else if (dice < 90) {
+        req.op = OpType::kUpdate;
+        req.value = req.key ^ 0x123456;
+      } else {
+        req.op = OpType::kErase;
+      }
+    }
+    std::vector<Response> responses(batch.size());
+    srv.ExecuteBatch(batch.data(), batch.size(), responses.data());
+    total_ops += batch.size();
+    for (size_t i = 0; i < batch.size(); i++) {
+      const Response want =
+          OracleExecute(&oracle, batch[i], opts.max_scan_entries, &scratch);
+      ASSERT_EQ(responses[i].ok, want.ok)
+          << "batch " << b << " op " << i << " ("
+          << server::OpTypeName(batch[i].op) << " " << batch[i].key << ")";
+      ASSERT_EQ(responses[i].value, want.value)
+          << "batch " << b << " op " << i << " ("
+          << server::OpTypeName(batch[i].op) << " " << batch[i].key << ")";
+      ASSERT_EQ(responses[i].scan_len, want.scan_len)
+          << "batch " << b << " op " << i;
+    }
+  }
+  ASSERT_EQ(index.StateHash(), oracle.StateHash());
+  const server::ServerStats stats = srv.Stats();
+  EXPECT_EQ(stats.requests, total_ops);
+  EXPECT_EQ(stats.batches, total_batches);
+  EXPECT_GE(stats.shard_handoffs, stats.batches);
+  uint64_t op_sum = 0;
+  for (int i = 0; i < server::kNumOpTypes; i++) {
+    op_sum += stats.op_counts[i];
+  }
+  EXPECT_EQ(op_sum, total_ops);
+  EXPECT_EQ(srv.ServiceLatency().count(), total_ops);
+  EXPECT_EQ(srv.EndToEndLatency().count(), 0u);  // no async traffic
+  srv.Stop();
+  std::string err;
+  ASSERT_TRUE(index.CheckShardingInvariants(&err)) << err;
+}
+
+}  // namespace
+}  // namespace dytis

@@ -1,0 +1,268 @@
+// Cross-shard scan stitching under concurrent structural churn.
+//
+// Extends the concurrent_scan_test contract one level up: a stable key
+// population straddles every shard boundary of a 4-shard ShardedDyTIS while
+// writers churn interleaved keys in the same bands (splits/expansions/merges
+// inside the boundary shards).  A stitched scan must return every stable key
+// exactly once, in globally ascending order, with intact values — the shard
+// handoff may not skip, double-count, or reorder across the seam.
+//
+// Same consistency contract as the single-index scan: each per-shard leg is
+// an epoch-guarded frozen-snapshot walk; no snapshot isolation across legs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/sharded_dytis.h"
+#include "src/util/rng.h"
+
+namespace dytis {
+namespace {
+
+using Index = server::ShardedDyTIS<uint64_t>;
+
+#if defined(__SANITIZE_THREAD__)
+#define DYTIS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DYTIS_TSAN 1
+#endif
+#endif
+
+DyTISConfig SmallConfig() {
+  DyTISConfig c;
+  c.first_level_bits = 3;
+  c.bucket_bytes = 256;  // 16 pairs per bucket: splits come fast
+  c.l_start = 2;
+  c.max_global_depth = 14;
+  return c;
+}
+
+uint64_t ValueFor(uint64_t key) { return key * 2654435761ULL + 1; }
+
+constexpr uint32_t kShards = 4;
+#ifdef DYTIS_TSAN
+constexpr uint64_t kSpan = 4'000;  // keys per band (TSan: smaller churn)
+#else
+constexpr uint64_t kSpan = 10'000;
+#endif
+
+// One band per internal shard boundary, centred on it: half the band lives
+// in the shard below, half in the shard above.
+std::vector<uint64_t> BandStarts() {
+  const server::RangeRouter router(kShards);
+  std::vector<uint64_t> starts;
+  for (uint32_t s = 1; s < kShards; s++) {
+    starts.push_back(router.RangeStart(s) - kSpan / 2);
+  }
+  return starts;
+}
+
+bool IsStable(uint64_t band, uint64_t key) {
+  return key >= band && key < band + kSpan && (key - band) % 4 == 0;
+}
+
+// Scans [band, band + kSpan) through the facade in one ScanRange call (the
+// range crosses a shard boundary) and diffs the stable keys against the full
+// expected set.
+bool ScanAndDiff(const Index& idx, uint64_t band, std::string* what) {
+  std::vector<std::pair<uint64_t, uint64_t>> out(kSpan);
+  const size_t got = idx.ScanRange(band, band + kSpan, out.size(),
+                                   out.data());
+  uint64_t expect = band;
+  uint64_t prev = 0;
+  bool have_prev = false;
+  for (size_t i = 0; i < got; i++) {
+    const uint64_t k = out[i].first;
+    if (have_prev && k <= prev) {
+      *what = "scan not strictly ascending at key " + std::to_string(k);
+      return false;
+    }
+    prev = k;
+    have_prev = true;
+    if (!IsStable(band, k)) {
+      continue;  // churn key: may legitimately appear or not
+    }
+    if (k != expect) {
+      *what = "stable key " + std::to_string(expect) +
+              (k > expect ? " skipped" : " double-counted") + " (got " +
+              std::to_string(k) + ") near shard seam";
+      return false;
+    }
+    if (out[i].second != ValueFor(k)) {
+      *what = "stable key " + std::to_string(k) + " has a torn value";
+      return false;
+    }
+    expect = k + 4;
+  }
+  if (expect != band + kSpan) {
+    *what = "scan ended early: stable keys from " + std::to_string(expect) +
+            " missing";
+    return false;
+  }
+  return true;
+}
+
+// Deterministic seam check first: scans positioned exactly at, and one key
+// around, every shard boundary must equal a std::map oracle.  Catches
+// off-by-one bugs in the shard handoff independent of any concurrency.
+TEST(ShardedScanTest, BoundarySeamsMatchOracle) {
+  Index idx(kShards, server::ShardScaledConfig(SmallConfig(), kShards));
+  std::map<uint64_t, uint64_t> oracle;
+  for (const uint64_t band : BandStarts()) {
+    for (uint64_t i = 0; i < kSpan; i += 2) {  // denser: both key classes
+      const uint64_t key = band + i;
+      idx.Insert(key, ValueFor(key));
+      oracle[key] = ValueFor(key);
+    }
+  }
+  const server::RangeRouter router(kShards);
+  std::vector<std::pair<uint64_t, uint64_t>> buf(64);
+  std::vector<uint64_t> probes;
+  for (uint32_t s = 1; s < kShards; s++) {
+    const uint64_t b = router.RangeStart(s);
+    probes.insert(probes.end(), {b - 2, b - 1, b, b + 1, b + 2});
+  }
+  for (const uint64_t band : BandStarts()) {
+    probes.insert(probes.end(), {band, band + kSpan - 1, band + kSpan});
+  }
+  for (const uint64_t start : probes) {
+    const size_t got = idx.Scan(start, buf.size(), buf.data());
+    auto oit = oracle.lower_bound(start);
+    for (size_t i = 0; i < got; i++, ++oit) {
+      ASSERT_NE(oit, oracle.end()) << "start " << start;
+      ASSERT_EQ(buf[i].first, oit->first) << "start " << start;
+      ASSERT_EQ(buf[i].second, oit->second) << "start " << start;
+    }
+    if (got < buf.size()) {
+      ASSERT_EQ(oit, oracle.end()) << "start " << start;
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(idx.CheckShardingInvariants(&err)) << err;
+}
+
+// The core regression: stitched scans racing churn writers in every
+// boundary band.
+TEST(ShardedScanTest, ScanAcrossShardSeamsStableUnderChurn) {
+  Index idx(kShards, server::ShardScaledConfig(SmallConfig(), kShards));
+  const std::vector<uint64_t> bands = BandStarts();
+  for (const uint64_t band : bands) {
+    for (uint64_t i = 0; i < kSpan; i += 4) {
+      idx.Insert(band + i, ValueFor(band + i));
+    }
+  }
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad_scans{0};
+  std::string first_failure;
+  std::mutex failure_mu;
+  std::thread scanner([&] {
+    size_t band_idx = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::string what;
+      if (!ScanAndDiff(idx, bands[band_idx % bands.size()], &what)) {
+        if (bad_scans.fetch_add(1, std::memory_order_relaxed) == 0) {
+          std::lock_guard<std::mutex> g(failure_mu);
+          first_failure = what;
+        }
+      }
+      band_idx++;
+    }
+  });
+  // Churn writer: inserts then erases the interleaved keys in every band,
+  // so segments split/expand/merge on both sides of each seam while the
+  // stitched scans are in flight.
+  std::thread writer([&] {
+    for (int round = 0; round < 2; round++) {
+      for (const uint64_t band : bands) {
+        for (uint64_t i = 2; i < kSpan; i += 4) {
+          idx.Insert(band + i, ValueFor(band + i));
+        }
+      }
+      for (const uint64_t band : bands) {
+        for (uint64_t i = 2; i < kSpan; i += 4) {
+          idx.Erase(band + i);
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_EQ(bad_scans.load(), 0u) << first_failure;
+  std::string err;
+  ASSERT_TRUE(idx.CheckShardingInvariants(&err)) << err;
+}
+
+// The sharded cursor hands off between per-shard cursors; a full walk must
+// see every stable key of every band exactly once, globally ascending,
+// while the writers churn.
+TEST(ShardedScanTest, ShardedCursorWalkStableUnderChurn) {
+  Index idx(kShards, server::ShardScaledConfig(SmallConfig(), kShards));
+  const std::vector<uint64_t> bands = BandStarts();
+  for (const uint64_t band : bands) {
+    for (uint64_t i = 0; i < kSpan; i += 4) {
+      idx.Insert(band + i, ValueFor(band + i));
+    }
+  }
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad_walks{0};
+  std::thread walker([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      server::ShardedCursor<uint64_t> c(idx, /*batch_size=*/64);
+      size_t band_idx = 0;
+      uint64_t expect = bands[0];
+      bool ok = true;
+      for (; c.Valid(); c.Next()) {
+        const uint64_t k = c.key();
+        if (band_idx >= bands.size() ||
+            !IsStable(bands[band_idx], k)) {
+          continue;
+        }
+        if (k != expect || c.value() != ValueFor(k)) {
+          ok = false;
+          break;
+        }
+        expect = k + 4;
+        if (expect == bands[band_idx] + kSpan &&
+            band_idx + 1 < bands.size()) {
+          band_idx++;
+          expect = bands[band_idx];
+        }
+      }
+      if (!ok || band_idx != bands.size() - 1 ||
+          expect != bands.back() + kSpan) {
+        bad_walks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread writer([&] {
+    for (int round = 0; round < 2; round++) {
+      for (const uint64_t band : bands) {
+        for (uint64_t i = 2; i < kSpan; i += 4) {
+          idx.Insert(band + i, ValueFor(band + i));
+        }
+      }
+      for (const uint64_t band : bands) {
+        for (uint64_t i = 2; i < kSpan; i += 4) {
+          idx.Erase(band + i);
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  walker.join();
+  EXPECT_EQ(bad_walks.load(), 0u);
+  std::string err;
+  ASSERT_TRUE(idx.CheckShardingInvariants(&err)) << err;
+}
+
+}  // namespace
+}  // namespace dytis
